@@ -1,0 +1,51 @@
+"""Extra: index vs index-free baselines on query latency.
+
+Not a numbered figure in the paper, but it substantiates the paper's
+premise (Section I): a 2-hop ESPC index answers SPC queries orders of
+magnitude faster than running a (even bidirectional) BFS per query.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+from repro.baselines.bfs_spc import OnlineBFSCounter
+from repro.baselines.bidirectional import BidirectionalBFSCounter
+from repro.core.index import PSPCIndex
+from repro.experiments.datasets import load_dataset, random_query_pairs
+
+KEYS = ("FB", "GW")
+N_QUERIES = 100
+
+
+def _mean_us(counter, pairs) -> float:
+    start = time.perf_counter()
+    for s, t in pairs:
+        counter.query(s, t)
+    return (time.perf_counter() - start) / len(pairs) * 1e6
+
+
+def test_index_beats_online_bfs(benchmark, record):
+    def run():
+        rows = []
+        for key in KEYS:
+            graph = load_dataset(key)
+            index = PSPCIndex.build(graph)
+            pairs = random_query_pairs(graph, N_QUERIES, seed=5)
+            rows.append(
+                {
+                    "dataset": key,
+                    "index_us": round(_mean_us(index, pairs), 2),
+                    "bidir_bfs_us": round(_mean_us(BidirectionalBFSCounter(graph), pairs), 2),
+                    "bfs_us": round(_mean_us(OnlineBFSCounter(graph), pairs), 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("baseline_comparison", rows, "Query latency: index vs online BFS (us)")
+
+    for row in rows:
+        assert row["index_us"] < row["bidir_bfs_us"] < row["bfs_us"] * 1.5, row
+        assert row["index_us"] * 5 < row["bfs_us"], row

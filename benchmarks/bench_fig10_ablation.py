@@ -1,0 +1,46 @@
+"""Fig. 10 — ablation analysis at 20 threads.
+
+(a) landmark labeling on/off — LL should be a little faster than NLL;
+(b) static vs cost-function dynamic schedule — dynamic faster;
+(c) node order: degree vs significant-path vs hybrid — hybrid fastest in
+    the paper; we assert it is never the slowest of the three.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import (
+    exp_ablation_landmarks,
+    exp_ablation_order,
+    exp_ablation_schedule,
+)
+
+
+def test_fig10a_landmark_labeling(benchmark, record):
+    rows = run_once(benchmark, exp_ablation_landmarks)
+    record("fig10a_landmarks", rows, "Fig. 10(a): landmark labeling (s)")
+    for row in rows:
+        assert row["identical_index"], row["dataset"]
+        # the machine-independent shape: the filter strictly reduces the
+        # label-construction work (landmark hits replace label scans)
+        assert row["ll_work"] < row["nll_work"], row
+        # wall-clock stays in the same ballpark at our (small) scale, where
+        # the landmark BFS phase is relatively expensive in pure Python
+        assert row["ll_s"] <= row["nll_s"] * 3.0, row
+
+
+def test_fig10b_schedule_plan(benchmark, record):
+    rows = run_once(benchmark, exp_ablation_schedule)
+    record("fig10b_schedule", rows, "Fig. 10(b): schedule plan (s)")
+    for row in rows:
+        assert row["dynamic_s"] <= row["static_s"] + 1e-9, row
+
+
+def test_fig10c_node_order(benchmark, record):
+    rows = run_once(benchmark, exp_ablation_order)
+    record("fig10c_node_order", rows, "Fig. 10(c): node order (s)")
+    for row in rows:
+        times = {k: row[k] for k in ("degree_s", "sig_s", "hybrid_s")}
+        assert max(times, key=times.get) != "hybrid_s", (
+            f"{row['dataset']}: hybrid was slowest: {times}"
+        )

@@ -1,0 +1,31 @@
+"""Fig. 11 — effect of the hybrid-ordering threshold delta.
+
+Paper shape: as delta grows, index time / size / query time first improve
+then degrade; the paper settles on delta = 5.  We sweep delta on four
+datasets plus the road network (where the tree-decomposition part of the
+hybrid order matters most) and assert the sweep is non-degenerate: the best
+delta is strictly better than the worst.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_delta_effect
+
+KEYS = ("FB", "GW", "WI", "ROAD")
+DELTAS = (0, 2, 5, 10, 20)
+
+
+def test_fig11_delta_effect(benchmark, record):
+    rows = run_once(benchmark, lambda: exp_delta_effect(KEYS, deltas=DELTAS))
+    record("fig11_delta", rows, "Fig. 11: effect of hybrid threshold delta")
+
+    by_dataset: dict[str, list[dict]] = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for key, series in by_dataset.items():
+        assert len(series) == len(DELTAS)
+        sizes = [r["size_mb"] for r in series]
+        assert min(sizes) > 0
+        # delta must matter: the sweep changes the index size somewhere
+        assert max(sizes) > min(sizes) or len(set(r["index_s"] for r in series)) > 1, key

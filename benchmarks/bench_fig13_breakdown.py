@@ -1,0 +1,21 @@
+"""Fig. 13 — indexing-time breakdown: Order vs Landmark-Labeling vs
+Label-Construction.
+
+Paper shape: LC dominates everywhere; Order and LL are small but their
+results shape LC.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_time_breakdown
+
+
+def test_fig13_time_breakdown(benchmark, record):
+    rows = run_once(benchmark, exp_time_breakdown)
+    record("fig13_breakdown", rows, "Fig. 13: indexing-time breakdown (s)")
+
+    assert len(rows) == 10
+    for row in rows:
+        assert row["construction_s"] > row["order_s"], row
+        assert row["construction_s"] > row["landmarks_s"], row

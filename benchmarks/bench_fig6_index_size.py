@@ -1,0 +1,23 @@
+"""Fig. 6 — index size (MB).
+
+Paper shape: PSPC and PSPC+ produce the *same* size (thread-count
+independence), and HP-SPC's size is similar since the parallel paradigm
+does not affect the label set.  We assert the stronger property the paper
+observes: the indexes are identical.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_index_size
+
+
+def test_fig6_index_size(benchmark, record):
+    rows = run_once(benchmark, exp_index_size)
+    record("fig6_index_size", rows, "Fig. 6: index size (MB)")
+
+    assert len(rows) == 10
+    for row in rows:
+        assert row["identical"], f"{row['dataset']}: PSPC index differs from HP-SPC"
+        assert row["pspc_mb"] == row["pspc_plus_mb"]
+        assert row["pspc_mb"] > 0

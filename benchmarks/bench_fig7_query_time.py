@@ -1,0 +1,22 @@
+"""Fig. 7 — mean SPC query time (microseconds) over random query batches.
+
+Paper shape: HP-SPC and PSPC answer in ~100 microseconds (they share the
+index structure, so we report one single-thread series), and the parallel
+query evaluation gives a near-linear batch speedup (the PSPC+ column).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_query_time
+
+
+def test_fig7_query_time(benchmark, record):
+    rows = run_once(benchmark, exp_query_time)
+    record("fig7_query_time", rows, "Fig. 7: mean query time (us)")
+
+    assert len(rows) == 10
+    for row in rows:
+        # hub-label queries are microsecond-scale, far from BFS territory
+        assert row["mean_us"] < 2000, f"{row['dataset']} query too slow"
+        assert row["pspc_plus_mean_us"] < row["mean_us"]

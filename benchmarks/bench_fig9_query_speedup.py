@@ -1,0 +1,24 @@
+"""Fig. 9 — query-batch speedup vs number of threads (FB, GO, GW, WI).
+
+Paper shape: near-linear speedup, because queries are independent and a
+dynamic assignment balances them; the only loss is scatter in per-query
+label-scan costs plus the fork/join overhead.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_query_speedup
+
+
+def test_fig9_query_speedup(benchmark, record):
+    rows = run_once(benchmark, exp_query_speedup)
+    record("fig9_query_speedup", rows, "Fig. 9: query speedup vs threads")
+
+    series: dict[str, list[float]] = {}
+    for row in rows:
+        series.setdefault(row["dataset"], []).append(row["speedup"])
+    for key, values in series.items():
+        assert values[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), key
+        assert values[-1] >= 10.0, f"{key}: query speedup {values[-1]} at 20 threads"

@@ -1,0 +1,73 @@
+"""Design-choice ablation: the Section IV reductions (not a paper figure).
+
+DESIGN.md calls for ablation benches on the design choices; this one
+quantifies what each reduction stage buys on graphs where it can bite:
+a social graph with pendant tendrils (1-shell) and heavy twin structure
+(equivalence).  Query answers are asserted identical across all variants.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.core.index import PSPCIndex
+from repro.experiments.datasets import random_query_pairs
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+from repro.reduction.pipeline import ReducedSPCIndex
+
+
+def tendril_graph() -> Graph:
+    """BA core + 150 pendant chains + 60 duplicated leaves (twins)."""
+    core = barabasi_albert(700, 3, seed=61)
+    edges = list(core.edges())
+    n = core.n
+    extra = 0
+    for i in range(150):  # pendant chains of length 2
+        anchor = (i * 11) % n
+        edges.append((anchor, n + extra))
+        edges.append((n + extra, n + extra + 1))
+        extra += 2
+    for i in range(60):  # twin leaves: two vertices with one shared anchor
+        anchor = (i * 7) % n
+        edges.append((anchor, n + extra))
+        edges.append((anchor, n + extra + 1))
+        extra += 2
+    return Graph(n + extra, edges)
+
+
+def test_reduction_ablation(benchmark, record):
+    graph = tendril_graph()
+
+    def run():
+        variants = {
+            "none": ReducedSPCIndex.build(graph, use_one_shell=False, use_equivalence=False),
+            "one_shell": ReducedSPCIndex.build(graph, use_equivalence=False),
+            "equivalence": ReducedSPCIndex.build(graph, use_one_shell=False),
+            "both": ReducedSPCIndex.build(graph),
+        }
+        rows = []
+        for name, variant in variants.items():
+            rows.append(
+                {
+                    "variant": name,
+                    "indexed_vertices": variant.indexed_vertices,
+                    "entries": variant.index.total_entries(),
+                    "size_mb": round(variant.size_mb(), 4),
+                }
+            )
+        return rows, variants
+
+    (rows, variants) = run_once(benchmark, run)
+    record("reduction_ablation", rows, "Reduction ablation: index footprint")
+
+    sizes = {r["variant"]: r["entries"] for r in rows}
+    assert sizes["one_shell"] < sizes["none"]
+    assert sizes["equivalence"] < sizes["none"]
+    assert sizes["both"] <= min(sizes["one_shell"], sizes["equivalence"])
+
+    # all variants answer identically
+    pairs = random_query_pairs(graph, 150, seed=13)
+    reference = variants["none"]
+    for name, variant in variants.items():
+        for s, t in pairs:
+            assert variant.query(s, t) == reference.query(s, t), (name, s, t)

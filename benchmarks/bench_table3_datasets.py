@@ -1,0 +1,23 @@
+"""Table III — statistics of the (stand-in) benchmark datasets."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.datasets import PAPER_STATS, dataset_names
+from repro.experiments.harness import exp_table3_datasets
+
+
+def test_table3_dataset_statistics(benchmark, record):
+    rows = run_once(benchmark, exp_table3_datasets)
+    # annotate with the paper's original scale for side-by-side reading
+    for row in rows:
+        paper_v, paper_e, paper_davg = PAPER_STATS[row["dataset"]]
+        row["paper_V"] = paper_v
+        row["paper_davg"] = paper_davg
+    record("table3_datasets", rows, "Table III: dataset statistics (stand-ins)")
+
+    assert [r["dataset"] for r in rows] == dataset_names()
+    davg = {r["dataset"]: r["davg"] for r in rows}
+    # density contrasts preserved: PE and IN dense, YT sparsest
+    assert davg["PE"] > davg["GW"] > davg["YT"]
+    assert davg["IN"] > davg["GO"]

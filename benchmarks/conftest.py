@@ -1,0 +1,47 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper via the
+harness in :mod:`repro.experiments.harness`.  The ``record`` fixture prints
+the table (visible with ``pytest -s``) and writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote actual output.
+
+Benchmarks run with ``rounds=1``: every experiment performs and reports its
+own internal timing over full index builds, so statistical repetition at the
+pytest-benchmark level would multiply minutes of work for no extra signal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Return a callable saving experiment rows as text + JSON."""
+
+    def _record(name: str, rows: list[dict], title: str) -> None:
+        from repro.experiments.harness import format_rows
+
+        text = format_rows(rows, title=title)
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        (results_dir / f"{name}.json").write_text(json.dumps(rows, indent=2))
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,44 @@
+"""Parallel scaling: reproduce the paper's Fig. 8 speedup curve for one graph.
+
+Builds the PSPC index once, recording every vertex-task's work units, then
+replays the workload through the two schedule plans at 1..20 simulated
+threads (see DESIGN.md for why simulation replaces GIL-bound threads).
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro import PSPCIndex
+from repro.core import build_speedup_curve, simulated_build_units
+from repro.graph import barabasi_albert
+
+
+def main() -> None:
+    graph = barabasi_albert(1500, 6, seed=4)
+    index = PSPCIndex.build(graph, ordering="degree", num_landmarks=100)
+    stats = index.stats
+    print(f"graph: {graph}")
+    print(
+        f"construction: {stats.phase('construction'):.2f}s over "
+        f"{stats.n_iterations} distance iterations, {stats.total_work:,} work units"
+    )
+
+    threads = [1, 2, 4, 8, 12, 16, 20]
+    dynamic = build_speedup_curve(stats, index.order, threads, schedule="dynamic")
+    static = build_speedup_curve(stats, index.order, threads, schedule="static")
+
+    print(f"\n{'threads':<8} {'dynamic speedup':<16} {'static speedup':<15} bar")
+    for t in threads:
+        bar = "#" * int(round(dynamic[t]))
+        print(f"{t:<8} {dynamic[t]:<16.2f} {static[t]:<15.2f} {bar}")
+
+    makespan_1 = simulated_build_units(stats, index.order, 1)
+    makespan_20 = simulated_build_units(stats, index.order, 20)
+    projected = stats.phase("construction") * makespan_20 / makespan_1
+    print(
+        f"\nprojected 20-thread construction: {projected:.3f}s "
+        f"(vs {stats.phase('construction'):.2f}s single-threaded)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Quickstart: build an SPC index and answer point-to-point queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PSPCIndex
+from repro.baselines import OnlineBFSCounter
+from repro.graph import barabasi_albert
+
+
+def main() -> None:
+    # 1. get a graph (any undirected, unweighted graph; here a synthetic
+    #    scale-free network standing in for a social graph)
+    graph = barabasi_albert(2000, 5, seed=7)
+    print(f"graph: {graph}")
+
+    # 2. build the index: degree ordering + 100 landmarks is the paper's
+    #    default configuration
+    index = PSPCIndex.build(graph, ordering="degree", num_landmarks=100)
+    print(f"index: {index.total_entries()} label entries, {index.size_mb():.2f} MB")
+    print(f"build phases (s): {index.stats.phase_seconds}")
+
+    # 3. ask queries: distance AND number of shortest paths, in microseconds
+    for s, t in [(3, 721), (0, 1999), (42, 43)]:
+        result = index.query(s, t)
+        print(f"SPC({s}, {t}) = {result.count} shortest paths of length {result.dist}")
+
+    # 4. sanity: the index agrees with a from-scratch BFS
+    oracle = OnlineBFSCounter(graph)
+    assert index.query(3, 721) == oracle.query(3, 721)
+    print("index agrees with the BFS oracle")
+
+
+if __name__ == "__main__":
+    main()

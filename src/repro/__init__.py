@@ -1,0 +1,53 @@
+"""repro — a reproduction of PSPC (ICDE 2023): parallel shortest-path counting.
+
+Public API highlights:
+
+* :class:`repro.PSPCIndex` — build and query a 2-hop ESPC index;
+* :mod:`repro.graph` — CSR graphs, generators, I/O, traversal oracles;
+* :mod:`repro.ordering` — degree / significant-path / tree-decomposition /
+  hybrid vertex orders;
+* :mod:`repro.reduction` — 1-shell and neighbourhood-equivalence reductions;
+* :mod:`repro.applications` — group betweenness, Brandes betweenness, top-k;
+* :mod:`repro.experiments` — dataset registry and the table/figure harness.
+
+Quickstart::
+
+    from repro import PSPCIndex
+    from repro.graph import barabasi_albert
+
+    graph = barabasi_albert(1000, 5, seed=7)
+    index = PSPCIndex.build(graph, ordering="degree", num_landmarks=32)
+    result = index.query(3, 721)
+    print(result.dist, result.count)
+"""
+
+from repro.core.compact import CompactLabelIndex
+from repro.core.dynamic import DynamicSPCIndex
+from repro.core.index import BuildConfig, PSPCIndex
+from repro.core.labels import LabelEntry, LabelIndex
+from repro.core.queries import SPCResult
+from repro.digraph.digraph import DiGraph
+from repro.digraph.index import DirectedSPCIndex
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder
+from repro.reduction.pipeline import ReducedSPCIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PSPCIndex",
+    "ReducedSPCIndex",
+    "CompactLabelIndex",
+    "DynamicSPCIndex",
+    "DirectedSPCIndex",
+    "BuildConfig",
+    "LabelIndex",
+    "LabelEntry",
+    "SPCResult",
+    "Graph",
+    "DiGraph",
+    "VertexOrder",
+    "ReproError",
+    "__version__",
+]

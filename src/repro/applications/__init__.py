@@ -1,0 +1,16 @@
+"""Applications built on SPC: betweenness, group betweenness, top-k search."""
+
+from repro.applications.betweenness import brandes_betweenness
+from repro.applications.paths import enumerate_shortest_paths, shortest_path_dag
+from repro.applications.group_betweenness import group_betweenness, pairwise_matrices
+from repro.applications.topk import RankedCandidate, top_k_nearest
+
+__all__ = [
+    "brandes_betweenness",
+    "enumerate_shortest_paths",
+    "shortest_path_dag",
+    "group_betweenness",
+    "pairwise_matrices",
+    "RankedCandidate",
+    "top_k_nearest",
+]

@@ -1,0 +1,100 @@
+"""Group betweenness centrality (the paper's Application 1, Section I).
+
+``GB(C) = sum over pairs {s, t} disjoint from C of spc_C(s, t) / spc(s, t)``
+where ``spc_C`` counts the shortest ``s``-``t`` paths meeting the vertex set
+``C``.  Puzis et al. evaluate huge numbers of candidate groups, which is why
+pre-computing pairwise distance/count matrices from an SPC index matters.
+
+Two computations are provided:
+
+* :func:`group_betweenness` — exact, by inclusion–exclusion: the paths
+  through ``C`` are the total paths minus the paths surviving in
+  ``G - C`` at unchanged distance.  Counts come from two SPC indexes (one on
+  ``G``, one on ``G - C``), exercising the library end to end.
+* :func:`pairwise_matrices` — the ``D`` and ``Sigma`` input matrices of the
+  GBC algorithm, filled straight from an index (the paper's point: with an
+  SPC index these matrices cost ``|C|^2`` microsecond queries instead of
+  ``|C|`` BFS runs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.index import PSPCIndex
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHABLE
+
+__all__ = ["group_betweenness", "pairwise_matrices"]
+
+
+def _index_for(graph: Graph, **build_kwargs: object) -> PSPCIndex:
+    return PSPCIndex.build(graph, **build_kwargs)  # type: ignore[arg-type]
+
+
+def group_betweenness(
+    graph: Graph,
+    group: Sequence[int],
+    index: PSPCIndex | None = None,
+    **build_kwargs: object,
+) -> float:
+    """Exact group betweenness of ``group`` in ``graph``.
+
+    Sums ``spc_C(s, t) / spc(s, t)`` over unordered pairs with both
+    endpoints outside ``group``.  ``index`` (over the full graph) is built on
+    demand when not supplied; the avoidance index over ``G - C`` is always
+    built here.
+    """
+    group_set = set(int(v) for v in group)
+    if not group_set:
+        return 0.0
+    for v in group_set:
+        graph._check_vertex(v)
+    if index is None:
+        index = _index_for(graph, **build_kwargs)
+    elif index.n != graph.n:
+        raise QueryError("index does not match the queried graph")
+
+    survivors = [v for v in range(graph.n) if v not in group_set]
+    avoid_graph, old_of_new = graph.subgraph(survivors)
+    new_of_old = {int(old): new for new, old in enumerate(old_of_new)}
+    avoid_index = _index_for(avoid_graph, **build_kwargs)
+
+    total = 0.0
+    for i, s in enumerate(survivors):
+        for t in survivors[i + 1 :]:
+            full = index.query(s, t)
+            if not full.reachable:
+                continue
+            avoided = avoid_index.query(new_of_old[s], new_of_old[t])
+            through = full.count
+            if avoided.dist != UNREACHABLE and avoided.dist == full.dist:
+                through -= avoided.count
+            if through:
+                total += through / full.count
+    return total
+
+
+def pairwise_matrices(
+    index: PSPCIndex, group: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """The GBC input matrices ``D`` (distance) and ``Sigma`` (path count).
+
+    ``D[i, j] = dist(group[i], group[j])`` (``-1`` when unreachable) and
+    ``Sigma[i, j] = spc(group[i], group[j])`` as float64 (counts can exceed
+    int64 on dense graphs; GBC consumes ratios, so the float view suffices).
+    """
+    members = [int(v) for v in group]
+    k = len(members)
+    dist = np.zeros((k, k), dtype=np.int64)
+    sigma = np.zeros((k, k), dtype=np.float64)
+    for i, s in enumerate(members):
+        sigma[i, i] = 1.0
+        for j in range(i + 1, k):
+            result = index.query(s, members[j])
+            dist[i, j] = dist[j, i] = result.dist
+            sigma[i, j] = sigma[j, i] = float(result.count)
+    return dist, sigma

@@ -1,0 +1,57 @@
+"""Top-k nearest-neighbour search with SPC tie-breaking (Section I).
+
+The paper's road-network motivation: among candidates at the same distance
+from the query vertex, prefer the one reached by *more* shortest paths — it
+offers more alternative routes around congestion.  Ranking key:
+``(distance asc, shortest-path count desc, id asc)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.errors import QueryError
+from repro.graph.traversal import UNREACHABLE
+
+__all__ = ["RankedCandidate", "top_k_nearest"]
+
+
+class _SPCQueryable(Protocol):
+    """Anything with a ``query(s, t) -> SPCResult``-style interface."""
+
+    def query(self, s: int, t: int):  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate with its distance and route multiplicity."""
+
+    vertex: int
+    dist: int
+    count: int
+
+
+def top_k_nearest(
+    index: _SPCQueryable,
+    source: int,
+    candidates: Sequence[int],
+    k: int,
+) -> list[RankedCandidate]:
+    """The ``k`` best candidates from ``source``, SPC breaking distance ties.
+
+    Unreachable candidates are excluded.  Works with any of the query
+    front-ends (:class:`~repro.core.index.PSPCIndex`,
+    :class:`~repro.reduction.pipeline.ReducedSPCIndex`, the BFS baselines).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    ranked: list[RankedCandidate] = []
+    for c in candidates:
+        result = index.query(source, int(c))
+        if result.dist == UNREACHABLE:
+            continue
+        ranked.append(RankedCandidate(int(c), result.dist, result.count))
+    ranked.sort(key=lambda r: (r.dist, -r.count, r.vertex))
+    return ranked[:k]

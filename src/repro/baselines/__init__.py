@@ -1,0 +1,6 @@
+"""Index-free baselines used as oracles and comparators."""
+
+from repro.baselines.bfs_spc import OnlineBFSCounter
+from repro.baselines.bidirectional import BidirectionalBFSCounter, bidirectional_spc
+
+__all__ = ["OnlineBFSCounter", "BidirectionalBFSCounter", "bidirectional_spc"]

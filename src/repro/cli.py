@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro`` or the ``pspc`` script.
+
+Subcommands
+-----------
+``info``   — graph statistics for an edge-list file or named dataset.
+``build``  — build an index and save it to disk.
+``query``  — answer SPC queries from a saved index.
+``bench``  — run one of the paper's experiments and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.index import PSPCIndex
+from repro.errors import ReproError
+from repro.experiments import harness
+from repro.experiments.datasets import dataset_names, load_dataset
+from repro.graph.io import read_edge_list
+from repro.graph.properties import graph_stats
+from repro.ordering import ORDERINGS
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table3": lambda args: harness.exp_table3_datasets(),
+    "fig5": lambda args: harness.exp_indexing_time(threads=args.threads),
+    "fig6": lambda args: harness.exp_index_size(),
+    "fig7": lambda args: harness.exp_query_time(threads=args.threads),
+    "fig8": lambda args: harness.exp_build_speedup(),
+    "fig9": lambda args: harness.exp_query_speedup(),
+    "fig10a": lambda args: harness.exp_ablation_landmarks(threads=args.threads),
+    "fig10b": lambda args: harness.exp_ablation_schedule(threads=args.threads),
+    "fig10c": lambda args: harness.exp_ablation_order(threads=args.threads),
+    "fig11": lambda args: harness.exp_delta_effect(threads=args.threads),
+    "fig12": lambda args: harness.exp_landmark_count(threads=args.threads),
+    "fig13": lambda args: harness.exp_time_breakdown(),
+}
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.graph:
+        return read_edge_list(Path(args.graph))
+    raise ReproError("provide --graph FILE or --dataset KEY")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="pspc",
+        description="PSPC: parallel shortest-path counting (ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", help="edge-list file (SNAP/KONECT style)")
+        p.add_argument(
+            "--dataset",
+            choices=sorted(dataset_names(include_road=True)),
+            help="named benchmark dataset",
+        )
+
+    p_info = sub.add_parser("info", help="print graph statistics")
+    add_graph_args(p_info)
+
+    p_build = sub.add_parser("build", help="build an SPC index")
+    add_graph_args(p_build)
+    p_build.add_argument("--out", required=True, help="output index file")
+    p_build.add_argument("--ordering", default="degree", choices=sorted(ORDERINGS))
+    p_build.add_argument("--builder", default="pspc", choices=["pspc", "hpspc"])
+    p_build.add_argument("--paradigm", default="pull", choices=["pull", "push"])
+    p_build.add_argument("--landmarks", type=int, default=0)
+    p_build.add_argument("--threads", type=int, default=1)
+
+    p_query = sub.add_parser("query", help="query a saved index")
+    p_query.add_argument("--index", required=True, help="index file from `build`")
+    p_query.add_argument("pairs", nargs="+", help="queries as s,t (e.g. 3,17)")
+
+    p_bench = sub.add_parser("bench", help="run a paper experiment")
+    p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    p_bench.add_argument("--threads", type=int, default=harness.DEFAULT_THREADS)
+    p_bench.add_argument(
+        "--plot", action="store_true", help="render the rows as an ASCII chart"
+    )
+
+    p_audit = sub.add_parser("audit", help="validate a saved index against its graph")
+    add_graph_args(p_audit)
+    p_audit.add_argument("--index", required=True, help="index file from `build`")
+    p_audit.add_argument(
+        "--deep",
+        action="store_true",
+        help="also audit every label entry against the canonical ESPC definition",
+    )
+    p_audit.add_argument("--samples", type=int, default=500, help="query pairs to check")
+
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = graph_stats(graph, name=args.dataset or args.graph or "")
+    print(harness.format_rows([stats.__dict__], title="graph statistics"))
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    index = PSPCIndex.build(
+        graph,
+        ordering=args.ordering,
+        builder=args.builder,
+        paradigm=args.paradigm,
+        num_landmarks=args.landmarks,
+        threads=args.threads,
+    )
+    index.save(args.out)
+    print(
+        f"built {args.builder} index over {index.n} vertices: "
+        f"{index.total_entries()} entries, {index.size_mb():.3f} MB, "
+        f"{index.stats.total_seconds:.2f}s -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = PSPCIndex.load(args.index)
+    rows = []
+    for pair in args.pairs:
+        try:
+            s_text, t_text = pair.split(",")
+            s, t = int(s_text), int(t_text)
+        except ValueError:
+            raise ReproError(f"bad query {pair!r}; expected s,t") from None
+        result = index.query(s, t)
+        rows.append({"s": s, "t": t, "dist": result.dist, "count": result.count})
+    print(harness.format_rows(rows, title="SPC queries"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    rows = _EXPERIMENTS[args.experiment](args)
+    print(harness.format_rows(rows, title=f"experiment {args.experiment}"))
+    if args.plot and rows:
+        print()
+        print(_plot_rows(args.experiment, rows))
+    return 0
+
+
+def _plot_rows(experiment: str, rows: list[dict]) -> str:
+    """Pick a chart type matching the experiment's figure in the paper."""
+    from repro.experiments.plots import bar_chart, line_chart
+
+    if "speedup" in rows[0]:  # figs 8-9: one line per dataset
+        series: dict[str, list[tuple[float, float]]] = {}
+        for row in rows:
+            series.setdefault(row["dataset"], []).append(
+                (float(row["threads"]), float(row["speedup"]))
+            )
+        return line_chart(series, title=f"{experiment}: speedup vs threads")
+    numeric = [
+        k for k, v in rows[0].items() if k != "dataset" and isinstance(v, (int, float))
+    ]
+    label = "dataset" if "dataset" in rows[0] else next(iter(rows[0]))
+    keys = [k for k in numeric if k not in ("threads", "queries", "delta", "landmarks")]
+    return bar_chart(rows, label, keys[:3], title=f"{experiment}")
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.verify import audit_canonical, audit_queries, audit_structure
+
+    graph = _load_graph(args)
+    index = PSPCIndex.load(args.index)
+    if index.n != graph.n:
+        raise ReproError(
+            f"index covers {index.n} vertices but the graph has {graph.n}"
+        )
+    audit_structure(index.labels)
+    print("structure audit: ok")
+    if args.deep:
+        audit_canonical(index.labels, graph)
+        print("canonical-entry audit: ok")
+    audit_queries(index.labels, graph, samples=args.samples)
+    print(f"query audit ({args.samples} random pairs): ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+        "audit": _cmd_audit,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away: exit quietly, the
+        # conventional behaviour for line-oriented CLI tools
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

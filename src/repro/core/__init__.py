@@ -1,0 +1,67 @@
+"""Core PSPC machinery: labels, builders, queries, landmarks, scheduling."""
+
+from repro.core.compact import CompactLabelIndex
+from repro.core.dynamic import DynamicSPCIndex
+from repro.core.hpspc import build_hpspc, hpspc_index
+from repro.core.index import BuildConfig, PSPCIndex
+from repro.core.labels import ENTRY_BYTES, LabelEntry, LabelIndex
+from repro.core.landmarks import LandmarkIndex, build_landmark_index, select_landmarks
+from repro.core.parallel import (
+    SerialBackend,
+    ThreadBackend,
+    build_speedup_curve,
+    query_speedup_curve,
+    simulated_build_units,
+    simulated_query_units,
+)
+from repro.core.pspc import PARADIGMS, build_pspc, pspc_index
+from repro.core.queries import SPCResult, batch_query, query_costs, spc_query, spc_query_with_cost
+from repro.core.scheduling import (
+    SCHEDULES,
+    DynamicCostSchedule,
+    StaticNodeOrderSchedule,
+    cost_function_estimate,
+    get_schedule,
+)
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.core.verify import audit_canonical, audit_full, audit_queries, audit_structure
+
+__all__ = [
+    "PSPCIndex",
+    "CompactLabelIndex",
+    "DynamicSPCIndex",
+    "audit_structure",
+    "audit_canonical",
+    "audit_queries",
+    "audit_full",
+    "BuildConfig",
+    "LabelIndex",
+    "LabelEntry",
+    "ENTRY_BYTES",
+    "build_pspc",
+    "pspc_index",
+    "PARADIGMS",
+    "build_hpspc",
+    "hpspc_index",
+    "SPCResult",
+    "spc_query",
+    "spc_query_with_cost",
+    "batch_query",
+    "query_costs",
+    "LandmarkIndex",
+    "build_landmark_index",
+    "select_landmarks",
+    "SerialBackend",
+    "ThreadBackend",
+    "simulated_build_units",
+    "simulated_query_units",
+    "build_speedup_curve",
+    "query_speedup_curve",
+    "StaticNodeOrderSchedule",
+    "DynamicCostSchedule",
+    "cost_function_estimate",
+    "get_schedule",
+    "SCHEDULES",
+    "BuildStats",
+    "PhaseTimer",
+]

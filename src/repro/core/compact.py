@@ -1,0 +1,205 @@
+"""Compact, numpy-packed read-only label index.
+
+:class:`~repro.core.labels.LabelIndex` stores per-vertex lists of Python
+tuples — flexible during construction, heavy to hold and ship.
+:class:`CompactLabelIndex` freezes a finished index into four flat arrays
+(CSR-style): ``indptr``, ``hubs`` (int32), ``dists`` (int16) and ``counts``
+(int64), cutting memory by roughly an order of magnitude and making
+serialisation a single ``.npz``.
+
+Counts are the one lossy corner: dense small-world graphs can produce path
+counts beyond ``2**63``.  Freezing such an index raises
+:class:`~repro.errors.IndexStateError` rather than silently truncating —
+keep the tuple-based index in that regime.
+
+Queries return exactly the same results as the tuple index (asserted by
+tests); the merge runs over the packed arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.labels import LabelIndex
+from repro.core.queries import SPCResult
+from repro.errors import IndexStateError, QueryError
+from repro.graph.traversal import UNREACHABLE
+from repro.ordering.base import VertexOrder
+
+__all__ = ["CompactLabelIndex"]
+
+_COUNT_LIMIT = 2**63 - 1
+
+
+class CompactLabelIndex:
+    """A frozen ESPC index over flat numpy arrays."""
+
+    __slots__ = ("order", "indptr", "hubs", "dists", "counts", "weight_by_rank")
+
+    def __init__(
+        self,
+        order: VertexOrder,
+        indptr: np.ndarray,
+        hubs: np.ndarray,
+        dists: np.ndarray,
+        counts: np.ndarray,
+        weight_by_rank: np.ndarray,
+    ) -> None:
+        self.order = order
+        self.indptr = indptr
+        self.hubs = hubs
+        self.dists = dists
+        self.counts = counts
+        self.weight_by_rank = weight_by_rank
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, index: LabelIndex) -> "CompactLabelIndex":
+        """Freeze a tuple-based index (labels must fit int16/int64 ranges)."""
+        total = index.total_entries()
+        indptr = np.zeros(index.n + 1, dtype=np.int64)
+        hubs = np.empty(total, dtype=np.int32)
+        dists = np.empty(total, dtype=np.int16)
+        counts = np.empty(total, dtype=np.int64)
+        pos = 0
+        for v, entries in enumerate(index.entries):
+            for hub_rank, dist, count in entries:
+                if count > _COUNT_LIMIT:
+                    raise IndexStateError(
+                        f"count {count} on vertex {v} exceeds int64; "
+                        "keep the tuple-based LabelIndex for this graph"
+                    )
+                hubs[pos] = hub_rank
+                dists[pos] = dist
+                counts[pos] = count
+                pos += 1
+            indptr[v + 1] = pos
+        return cls(
+            index.order, indptr, hubs, dists, counts,
+            np.asarray(index.weight_by_rank, dtype=np.int64),
+        )
+
+    def to_label_index(self) -> LabelIndex:
+        """Thaw back into the tuple-based representation."""
+        entries = [
+            [
+                (int(self.hubs[i]), int(self.dists[i]), int(self.counts[i]))
+                for i in range(int(self.indptr[v]), int(self.indptr[v + 1]))
+            ]
+            for v in range(self.n)
+        ]
+        return LabelIndex(self.order, entries, self.weight_by_rank)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return len(self.indptr) - 1
+
+    def total_entries(self) -> int:
+        """Number of label entries."""
+        return len(self.hubs)
+
+    def nbytes(self) -> int:
+        """Actual memory held by the packed arrays."""
+        return (
+            self.indptr.nbytes + self.hubs.nbytes + self.dists.nbytes + self.counts.nbytes
+        )
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """Exact ``(distance, count)`` — identical to the tuple index."""
+        n = self.n
+        if not 0 <= s < n:
+            raise QueryError(f"source vertex {s} out of range for index over {n} vertices")
+        if not 0 <= t < n:
+            raise QueryError(f"target vertex {t} out of range for index over {n} vertices")
+        if s == t:
+            return SPCResult(s, t, 0, 1)
+        lo_s, hi_s = int(self.indptr[s]), int(self.indptr[s + 1])
+        lo_t, hi_t = int(self.indptr[t]), int(self.indptr[t + 1])
+        hubs_s = self.hubs[lo_s:hi_s]
+        hubs_t = self.hubs[lo_t:hi_t]
+        common, idx_s, idx_t = np.intersect1d(
+            hubs_s, hubs_t, assume_unique=True, return_indices=True
+        )
+        if len(common) == 0:
+            return SPCResult(s, t, UNREACHABLE, 0)
+        dsum = (
+            self.dists[lo_s:hi_s][idx_s].astype(np.int64)
+            + self.dists[lo_t:hi_t][idx_t].astype(np.int64)
+        )
+        best = int(dsum.min())
+        at_best = np.flatnonzero(dsum == best)
+        rank_s = int(self.order.rank[s])
+        rank_t = int(self.order.rank[t])
+        total = 0
+        for k in at_best:
+            hub_rank = int(common[k])
+            contribution = int(self.counts[lo_s:hi_s][idx_s[k]]) * int(
+                self.counts[lo_t:hi_t][idx_t[k]]
+            )
+            if hub_rank != rank_s and hub_rank != rank_t:
+                contribution *= int(self.weight_by_rank[hub_rank])
+            total += contribution
+        return SPCResult(s, t, best, total)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest paths between ``s`` and ``t``."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Shortest-path distance (-1 if disconnected)."""
+        return self.query(s, t).dist
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist as a single compressed ``.npz``."""
+        np.savez_compressed(
+            Path(path),
+            order=np.asarray(self.order.order),
+            strategy=np.array(self.order.strategy),
+            indptr=self.indptr,
+            hubs=self.hubs,
+            dists=self.dists,
+            counts=self.counts,
+            weight_by_rank=self.weight_by_rank,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CompactLabelIndex":
+        """Load an index written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            order = VertexOrder.from_order(
+                data["order"], len(data["order"]), strategy=str(data["strategy"])
+            )
+            return cls(
+                order,
+                data["indptr"],
+                data["hubs"],
+                data["dists"],
+                data["counts"],
+                data["weight_by_rank"],
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactLabelIndex):
+            return NotImplemented
+        return (
+            np.array_equal(self.order.order, other.order.order)
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.hubs, other.hubs)
+            and np.array_equal(self.dists, other.dists)
+            and np.array_equal(self.counts, other.counts)
+            and np.array_equal(self.weight_by_rank, other.weight_by_rank)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactLabelIndex(n={self.n}, entries={self.total_entries()}, "
+            f"{self.nbytes() / 2**20:.2f}MB packed)"
+        )

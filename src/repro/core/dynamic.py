@@ -1,0 +1,153 @@
+"""Write-buffered dynamic SPC index.
+
+The paper's related-work section (Section VI, "Dynamic Maintenance for
+2-hop Labeling") surveys incremental label repair for *distance* labels.
+Counting labels are harder: an inserted edge can change the **count** of a
+label whose distance is untouched (a new equal-length path appears), so the
+classic "insert missing labels via partial BFS" repair is not exact for
+SPC — stale counts would silently under-report.
+
+This module therefore implements the pattern real systems use when exact
+answers are non-negotiable: a **write buffer with exact fallback**.
+
+* Updates (``add_edge`` / ``remove_edge``) mutate a pending edge set, O(1).
+* Queries on an un-dirty index hit the hub labels (microseconds).
+* Queries on a dirty index fall back to bidirectional BFS over the *current*
+  graph — exact, and still fast on small-world graphs.
+* Once the number of buffered updates reaches ``rebuild_threshold`` (or on
+  an explicit :meth:`rebuild`), the index is rebuilt with PSPC and queries
+  return to label speed.
+
+Every answer is exact at all times; only latency varies.  The trade-off and
+the reason incremental count repair is unsound are documented above so a
+future contributor does not "optimise" correctness away.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bidirectional import bidirectional_spc
+from repro.core.index import PSPCIndex
+from repro.core.queries import SPCResult
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["DynamicSPCIndex"]
+
+
+class DynamicSPCIndex:
+    """An SPC index over a mutable edge set, always exact.
+
+    Examples
+    --------
+    >>> from repro.graph import cycle_graph
+    >>> dyn = DynamicSPCIndex(cycle_graph(6))
+    >>> dyn.spc(0, 3)
+    2
+    >>> dyn.add_edge(0, 3)
+    >>> dyn.spc(0, 3)       # exact immediately, from the fallback path
+    1
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        rebuild_threshold: int = 16,
+        **build_kwargs: object,
+    ) -> None:
+        if rebuild_threshold < 1:
+            raise GraphError(f"rebuild threshold must be >= 1, got {rebuild_threshold}")
+        self._graph = graph
+        self._build_kwargs = dict(build_kwargs)
+        self._rebuild_threshold = rebuild_threshold
+        self._pending: int = 0
+        self._edge_set: set[tuple[int, int]] = set(graph.edges())
+        self._index = PSPCIndex.build(graph, **build_kwargs)  # type: ignore[arg-type]
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The current graph (reflects all buffered updates)."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._graph.n
+
+    @property
+    def dirty(self) -> bool:
+        """Whether buffered updates make the label index stale."""
+        return self._pending > 0
+
+    @property
+    def pending_updates(self) -> int:
+        """Buffered updates since the last rebuild."""
+        return self._pending
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the label index has been rebuilt."""
+        return self._rebuilds
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def _canonical(self, u: int, v: int) -> tuple[int, int]:
+        self._graph._check_vertex(u)
+        self._graph._check_vertex(v)
+        if u == v:
+            raise GraphError("self-loops are not allowed")
+        return (u, v) if u < v else (v, u)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``(u, v)``; no-op error if present."""
+        key = self._canonical(u, v)
+        if key in self._edge_set:
+            raise GraphError(f"edge {key} already exists")
+        self._edge_set.add(key)
+        self._apply_update()
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``(u, v)``; error if absent."""
+        key = self._canonical(u, v)
+        if key not in self._edge_set:
+            raise GraphError(f"edge {key} does not exist")
+        self._edge_set.remove(key)
+        self._apply_update()
+
+    def _apply_update(self) -> None:
+        self._graph = Graph(
+            self._graph.n, self._edge_set, vertex_weights=self._graph.vertex_weights
+        )
+        self._pending += 1
+        if self._pending >= self._rebuild_threshold:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Rebuild the label index now and clear the write buffer."""
+        self._index = PSPCIndex.build(self._graph, **self._build_kwargs)  # type: ignore[arg-type]
+        self._pending = 0
+        self._rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> SPCResult:
+        """Exact distance and count on the *current* graph."""
+        if self.dirty:
+            dist, count = bidirectional_spc(self._graph, s, t)
+            return SPCResult(s, t, dist, count)
+        return self._index.query(s, t)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest paths on the current graph."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Shortest-path distance on the current graph (-1 if disconnected)."""
+        return self.query(s, t).dist
+
+    def __repr__(self) -> str:
+        state = f"dirty, {self._pending} pending" if self.dirty else "clean"
+        return f"DynamicSPCIndex(n={self.n}, m={self._graph.m}, {state})"

@@ -1,0 +1,119 @@
+"""HP-SPC: the sequential hub-labeling baseline (Zhang & Yu, SIGMOD'20).
+
+One pruned BFS per vertex, in rank order from the most important hub down
+(Section II-A of the PSPC paper).  The BFS from hub ``h`` runs inside the
+subgraph of vertices ranked *below* ``h``, counting shortest paths there —
+exactly the trough-shortest-path counts of the canonical ESPC labels.
+
+Pruning (the source of the order dependency PSPC removes): when the BFS
+reaches ``u`` at distance ``d``, it asks the partially built index for
+``Query(h, u)``.  If the answer is ``< d``, a strictly shorter path through a
+higher-ranked hub exists, so neither ``u`` nor anything beyond it can carry a
+trough shortest path from ``h`` — prune the subtree.  If the answer equals
+``d``, equal-length paths through higher hubs exist but the trough paths of
+length ``d`` are still shortest and still counted at hub ``h``: the label is
+added and the BFS continues.  This is why ``L_i`` depends on ``L_{<i}``
+(Lemma 1), making the hub loop inherently sequential.
+
+Counting supports vertex multiplicities (equivalence-reduced graphs): a path
+contributes the product of its internal vertices' weights.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import LabelIndex
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder
+
+__all__ = ["build_hpspc", "hpspc_index"]
+
+
+def build_hpspc(graph: Graph, order: VertexOrder) -> tuple[LabelIndex, BuildStats]:
+    """Build the canonical ESPC index with the sequential HP-SPC algorithm.
+
+    Returns the index and its :class:`~repro.core.stats.BuildStats` (a single
+    "construction" phase; HP-SPC has no landmark phase).
+    """
+    stats = BuildStats(builder="hpspc", n_vertices=graph.n)
+    with PhaseTimer(stats, "construction"):
+        index = _construct(graph, order, stats)
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+def hpspc_index(graph: Graph, order: VertexOrder) -> LabelIndex:
+    """Convenience wrapper returning only the index."""
+    index, _ = build_hpspc(graph, order)
+    return index
+
+
+def _construct(graph: Graph, order: VertexOrder, stats: BuildStats) -> LabelIndex:
+    n = graph.n
+    rank = order.rank
+    order_arr = order.order
+    indptr, indices = graph.indptr, graph.indices
+    weights = graph.vertex_weights
+    # labels[u]: (hub_rank, dist, count) — appended in increasing hub_rank,
+    # which is exactly the sort order LabelIndex requires.
+    labels: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+    # label_maps[u]: hub_rank -> dist, the O(1) side of the pruning query.
+    label_maps: list[dict[int, int]] = [{} for _ in range(n)]
+
+    # Scratch arrays reused across BFS runs, versioned to avoid O(n) clears.
+    dist = [0] * n
+    version = [-1] * n
+    count = [0] * n
+
+    for hub_pos in range(n):
+        h = int(order_arr[hub_pos])
+        labels[h].append((hub_pos, 0, 1))
+        label_maps[h][hub_pos] = 0
+        hub_labels = labels[h]
+        dist[h] = 0
+        version[h] = hub_pos
+        count[h] = 1
+        frontier = [h]
+        d = 0
+        while frontier:
+            d += 1
+            next_frontier: list[int] = []
+            for u in frontier:
+                if u != h:
+                    # Pruning query: shortest distance via already-processed
+                    # (higher-ranked) hubs.  hub_labels is L(h) so far; its
+                    # own self-entry also catches u's labels pointing at h.
+                    pruned = False
+                    u_map = label_maps[u]
+                    du_map_get = u_map.get
+                    for hub_rank, dh, _ in hub_labels:
+                        du = du_map_get(hub_rank)
+                        if du is not None and dh + du < dist[u]:
+                            pruned = True
+                            break
+                    if pruned:
+                        stats.pruned_by_query += 1
+                        continue
+                    labels[u].append((hub_pos, dist[u], count[u]))
+                    u_map[hub_pos] = dist[u]
+                # Expand: extending a path that ends at u makes u internal,
+                # hence the multiplicity factor (1 for the hub endpoint).
+                cu = count[u] * (int(weights[u]) if u != h else 1)
+                for v in indices[indptr[u] : indptr[u + 1]]:
+                    v = int(v)
+                    if rank[v] <= hub_pos:
+                        # v outranks h (or is h): paths through it are not
+                        # trough paths for hub h.
+                        stats.pruned_by_rank += 1
+                        continue
+                    if version[v] != hub_pos:
+                        version[v] = hub_pos
+                        dist[v] = d
+                        count[v] = cu
+                        next_frontier.append(v)
+                    elif dist[v] == d:
+                        count[v] += cu
+            frontier = next_frontier
+
+    weight_by_rank = weights[order_arr].astype("int64")
+    return LabelIndex(order, labels, weight_by_rank)

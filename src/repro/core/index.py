@@ -1,0 +1,257 @@
+"""Public facade: build, query, persist and verify an SPC index.
+
+:class:`PSPCIndex` ties together the subsystems: it computes (or accepts) a
+vertex order, optionally runs the landmark phase, builds labels with either
+the PSPC propagation builder or the HP-SPC baseline, and serves queries.
+This is the class the examples, CLI and benchmark harness use.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hpspc import build_hpspc
+from repro.core.labels import LabelEntry, LabelIndex
+from repro.core.parallel import ExecutionBackend, SerialBackend, ThreadBackend
+from repro.core.pspc import build_pspc
+from repro.core.queries import SPCResult, batch_query, query_costs, spc_query
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.errors import IndexBuildError, QueryError
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+from repro.ordering import get_ordering
+from repro.ordering.base import VertexOrder
+
+__all__ = ["PSPCIndex", "BuildConfig"]
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Declarative description of how an index was (or should be) built."""
+
+    builder: str = "pspc"
+    ordering: str = "degree"
+    paradigm: str = "pull"
+    num_landmarks: int = 0
+    threads: int = 1
+    record_work: bool = True
+
+
+class PSPCIndex:
+    """A built shortest-path-counting index over one graph.
+
+    Use :meth:`build` to construct; then :meth:`query`, :meth:`spc` and
+    :meth:`distance` answer point-to-point questions in microseconds.
+
+    Examples
+    --------
+    >>> from repro.graph import cycle_graph
+    >>> index = PSPCIndex.build(cycle_graph(6))
+    >>> index.spc(0, 3)       # two arcs of equal length around the cycle
+    2
+    >>> index.distance(0, 3)
+    3
+    """
+
+    def __init__(
+        self,
+        labels: LabelIndex,
+        config: BuildConfig,
+        stats: BuildStats,
+        graph: Graph | None = None,
+    ) -> None:
+        self.labels = labels
+        self.config = config
+        self.stats = stats
+        #: the indexed graph; kept for verification, not needed for queries.
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        ordering: str | VertexOrder = "degree",
+        builder: str = "pspc",
+        paradigm: str = "pull",
+        num_landmarks: int = 0,
+        threads: int = 1,
+        record_work: bool = True,
+        backend: ExecutionBackend | None = None,
+    ) -> "PSPCIndex":
+        """Build an index.
+
+        Parameters
+        ----------
+        graph:
+            Input graph.
+        ordering:
+            A strategy name from :data:`repro.ordering.ORDERINGS` or a
+            pre-computed :class:`~repro.ordering.base.VertexOrder`.
+        builder:
+            ``"pspc"`` (parallel propagation) or ``"hpspc"`` (sequential
+            baseline).
+        paradigm:
+            Propagation paradigm for PSPC: ``"pull"`` or ``"push"``.
+        num_landmarks:
+            Landmark-filter size (PSPC only; 0 disables).
+        threads:
+            Thread-pool size for PSPC task execution (>=2 creates a real
+            :class:`~repro.core.parallel.ThreadBackend`).
+        record_work:
+            Record per-vertex work units for speedup simulation.
+        backend:
+            Explicit execution backend; overrides ``threads``.
+        """
+        if builder not in ("pspc", "hpspc"):
+            raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
+        if isinstance(ordering, VertexOrder):
+            order = ordering
+            ordering_name = ordering.strategy
+            order_seconds = 0.0
+        else:
+            strategy = get_ordering(ordering)
+            start = time.perf_counter()
+            order = strategy(graph)
+            order_seconds = time.perf_counter() - start
+            ordering_name = ordering
+
+        owns_backend = False
+        if builder == "hpspc":
+            labels, stats = build_hpspc(graph, order)
+        else:
+            if backend is None and threads > 1:
+                backend = ThreadBackend(threads)
+                owns_backend = True
+            labels, stats = build_pspc(
+                graph,
+                order,
+                paradigm=paradigm,
+                num_landmarks=num_landmarks,
+                backend=backend or SerialBackend(),
+                record_work=record_work,
+            )
+            if owns_backend and backend is not None:
+                backend.close()
+        stats.merge_phase("order", order_seconds)
+        config = BuildConfig(
+            builder=builder,
+            ordering=ordering_name,
+            paradigm=paradigm,
+            num_landmarks=num_landmarks,
+            threads=threads,
+            record_work=record_work,
+        )
+        return cls(labels, config, stats, graph=graph)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return self.labels.n
+
+    @property
+    def order(self) -> VertexOrder:
+        """The total order the index was built under."""
+        return self.labels.order
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """Full result: distance and shortest-path count for ``(s, t)``."""
+        return spc_query(self.labels, s, t)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest paths between ``s`` and ``t`` (0 if disconnected)."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Shortest-path distance (-1 if disconnected)."""
+        return self.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many queries (sequentially; see Fig. 9 for the parallel model)."""
+        return batch_query(self.labels, pairs)
+
+    def query_batch_costs(self, pairs: Sequence[tuple[int, int]]) -> list[int]:
+        """Per-query label-scan work units, for the query-speedup simulation."""
+        return query_costs(self.labels, pairs)
+
+    def label(self, v: int) -> list[LabelEntry]:
+        """Decoded label list of ``v`` — the paper's Table II view."""
+        return self.labels.label(v)
+
+    # ------------------------------------------------------------------
+    # reporting & verification
+    # ------------------------------------------------------------------
+    def size_mb(self) -> float:
+        """Nominal index size in MB (Fig. 6 unit)."""
+        return self.labels.size_mb()
+
+    def total_entries(self) -> int:
+        """Number of label entries in the index."""
+        return self.labels.total_entries()
+
+    def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
+        """Cross-check random pairs against ground-truth BFS counting.
+
+        Raises :class:`~repro.errors.QueryError` on the first mismatch.
+        Requires the graph to still be attached to the index.
+        """
+        if self.graph is None:
+            raise QueryError("verification requires the index to retain its graph")
+        rng = np.random.default_rng(seed)
+        for _ in range(samples):
+            s, t = (int(x) for x in rng.integers(self.n, size=2))
+            expected = spc_pair(self.graph, s, t)
+            got = self.query(s, t)
+            if (got.dist, got.count) != expected:
+                raise QueryError(
+                    f"index disagrees with BFS on ({s}, {t}): "
+                    f"index=({got.dist}, {got.count}), bfs={expected}"
+                )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise the index (labels + config + stats; not the graph)."""
+        payload = {
+            "labels_order": np.asarray(self.labels.order.order),
+            "labels_strategy": self.labels.order.strategy,
+            "labels_entries": self.labels.entries,
+            "weight_by_rank": np.asarray(self.labels.weight_by_rank),
+            "config": self.config,
+            "phase_seconds": self.stats.phase_seconds,
+        }
+        with Path(path).open("wb") as handle:
+            pickle.dump(payload, handle, protocol=5)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PSPCIndex":
+        """Load an index written by :meth:`save` (graph is not restored)."""
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        order = VertexOrder.from_order(
+            payload["labels_order"],
+            len(payload["labels_order"]),
+            strategy=payload["labels_strategy"],
+        )
+        labels = LabelIndex(order, payload["labels_entries"], payload["weight_by_rank"])
+        stats = BuildStats(builder=payload["config"].builder)
+        stats.phase_seconds = dict(payload["phase_seconds"])
+        return cls(labels, payload["config"], stats, graph=None)
+
+    def __repr__(self) -> str:
+        return (
+            f"PSPCIndex(n={self.n}, builder={self.config.builder!r}, "
+            f"ordering={self.config.ordering!r}, entries={self.total_entries()})"
+        )

@@ -1,0 +1,164 @@
+"""ESPC hub-label storage (Section II-A / III of the paper).
+
+A label entry on vertex ``u`` is a triple ``(hub_rank, dist, count)``:
+
+* ``hub_rank`` — the *rank* (position in the total order, 0 = highest) of
+  the hub vertex ``w``; storing ranks instead of ids makes the rank-pruning
+  rule (Lemma 3) a single integer comparison and keeps per-vertex label
+  lists mergeable in rank order;
+* ``dist`` — the exact distance ``dist(u, w)``;
+* ``count`` — the number of *trough shortest paths* between ``u`` and ``w``
+  (shortest paths on which ``w`` is the highest-ranked vertex), stored as a
+  Python int so dense small-world graphs cannot overflow it.
+
+For a fixed total order the canonical ESPC label set is unique, so the
+HP-SPC baseline and the PSPC builder must produce identical
+:class:`LabelIndex` objects — an invariant the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import IndexStateError
+from repro.ordering.base import VertexOrder
+
+__all__ = ["LabelEntry", "LabelIndex", "ENTRY_BYTES"]
+
+#: Nominal storage cost of one entry in a compact binary encoding
+#: (int32 hub + uint8 distance + int64 count), used for the index-size
+#: figures so that sizes are machine- and Python-version independent.
+ENTRY_BYTES = 13
+
+
+@dataclass(frozen=True)
+class LabelEntry:
+    """One decoded label entry, with the hub as a vertex id (for display)."""
+
+    hub: int
+    dist: int
+    count: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """The paper's Table II rendering ``(hub, dist, count)``."""
+        return (self.hub, self.dist, self.count)
+
+
+class LabelIndex:
+    """The 2-hop ESPC index: per-vertex label lists sorted by hub rank.
+
+    Instances are produced by the builders in :mod:`repro.core.hpspc` and
+    :mod:`repro.core.pspc`; query evaluation lives in
+    :mod:`repro.core.queries`.
+    """
+
+    __slots__ = ("order", "entries", "weight_by_rank")
+
+    def __init__(
+        self,
+        order: VertexOrder,
+        entries: list[list[tuple[int, int, int]]],
+        weight_by_rank: np.ndarray | None = None,
+    ) -> None:
+        if len(entries) != order.n:
+            raise IndexStateError(
+                f"index has {len(entries)} label lists for {order.n} vertices"
+            )
+        self.order = order
+        #: ``entries[u]`` is the label list of vertex ``u``, each element a
+        #: ``(hub_rank, dist, count)`` tuple, sorted ascending by hub_rank.
+        self.entries = entries
+        #: multiplicity of the hub vertex at each rank (all ones unless the
+        #: graph went through the equivalence reduction).
+        if weight_by_rank is None:
+            weight_by_rank = np.ones(order.n, dtype=np.int64)
+        self.weight_by_rank = weight_by_rank
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return self.order.n
+
+    def label(self, v: int) -> list[LabelEntry]:
+        """Decoded label list of ``v`` with hubs as vertex ids (Table II view)."""
+        order = self.order.order
+        return [LabelEntry(int(order[h]), d, c) for h, d, c in self.entries[v]]
+
+    def label_size(self, v: int) -> int:
+        """Number of entries on vertex ``v``."""
+        return len(self.entries[v])
+
+    def total_entries(self) -> int:
+        """Total number of label entries in the index."""
+        return sum(len(lst) for lst in self.entries)
+
+    def size_bytes(self) -> int:
+        """Nominal index size using the compact binary encoding."""
+        return self.total_entries() * ENTRY_BYTES
+
+    def size_mb(self) -> float:
+        """Nominal index size in MB (the unit of the paper's Fig. 6)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+    def average_label_size(self) -> float:
+        """Mean entries per vertex."""
+        return self.total_entries() / self.n if self.n else 0.0
+
+    def max_label_size(self) -> int:
+        """Largest per-vertex label list."""
+        return max((len(lst) for lst in self.entries), default=0)
+
+    def iter_entries(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield ``(vertex, hub_rank, dist, count)`` for every entry."""
+        for v, lst in enumerate(self.entries):
+            for hub_rank, dist, count in lst:
+                yield v, hub_rank, dist, count
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelIndex):
+            return NotImplemented
+        return (
+            np.array_equal(self.order.order, other.order.order)
+            and self.entries == other.entries
+            and np.array_equal(self.weight_by_rank, other.weight_by_rank)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelIndex(n={self.n}, entries={self.total_entries()}, "
+            f"size={self.size_mb():.2f}MB)"
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise to ``path`` (pickle protocol 5)."""
+        payload = {
+            "order": np.asarray(self.order.order),
+            "strategy": self.order.strategy,
+            "entries": self.entries,
+            "weight_by_rank": np.asarray(self.weight_by_rank),
+        }
+        with Path(path).open("wb") as handle:
+            pickle.dump(payload, handle, protocol=5)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LabelIndex":
+        """Load an index previously written by :meth:`save`."""
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        order = VertexOrder.from_order(
+            payload["order"], len(payload["order"]), strategy=payload["strategy"]
+        )
+        return cls(order, payload["entries"], payload["weight_by_rank"])

@@ -1,0 +1,203 @@
+"""Label-propagation primitives for the PSPC builder (Sections III-D/E).
+
+One distance iteration turns the labels created at distance ``d-1`` into the
+labels at distance ``d``.  Both propagation paradigms of Section III-E are
+implemented:
+
+* **pull** (Algorithm 2) — each destination vertex gathers the previous
+  iteration's labels from its neighbours; the whole iteration is a parallel
+  map over destinations;
+* **push** (Algorithm 1) — each source scatters its labels to neighbours
+  (phase 1, parallel over sources), then destinations merge/prune (phase 2,
+  parallel over destinations).
+
+Both paradigms apply *Label Merging* (duplicate hubs at equal distance merge
+by summing counts) and *Label Elimination* (a hub already reachable at a
+smaller distance is dropped — realised here through the pruning query, since
+previous-iteration labels always dominate current candidates), then the two
+pruning rules:
+
+* rank rule (Lemma 3): a hub must outrank the labelled vertex;
+* query rule (Lemma 4): ``Query(w, u, L_{<=d-1}) < d`` means a strictly
+  shorter path exists, so the candidate is not a shortest path.
+
+Vertex multiplicities (equivalence reduction) enter as the factor a
+propagating vertex applies when it becomes an internal vertex of the
+extended path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.landmarks import LandmarkIndex
+from repro.graph.graph import Graph
+
+__all__ = ["IterationContext", "TaskResult", "pull_candidates", "push_scatter", "prune_candidates"]
+
+
+@dataclass
+class IterationContext:
+    """Read-only state shared by every vertex task of one distance iteration.
+
+    Within an iteration, tasks only read these structures and return their
+    results; mutation happens after the barrier in the driver.  That is the
+    paper's dependency argument (Theorem 3) in code form.
+    """
+
+    graph: Graph
+    d: int
+    rank: np.ndarray
+    order_arr: np.ndarray
+    #: full label lists per vertex, complete through distance ``d - 1``.
+    labels: list[list[tuple[int, int, int]]]
+    #: ``hub_rank -> dist`` per vertex, same completeness.
+    label_maps: list[dict[int, int]]
+    #: labels created in iteration ``d - 1`` as ``(hub_rank, count)`` pairs.
+    current: list[list[tuple[int, int]]]
+    landmarks: LandmarkIndex | None = None
+
+
+@dataclass
+class TaskResult:
+    """Output of one per-vertex task: new labels plus work accounting."""
+
+    vertex: int
+    accepted: list[tuple[int, int]]
+    work: int
+    pruned_by_rank: int
+    pruned_by_query: int
+    landmark_hits: int
+
+
+def pull_candidates(ctx: IterationContext, u: int) -> tuple[dict[int, int], int, int]:
+    """Gather (and rank-prune, Lemma 3) candidate hubs for ``u`` from neighbours.
+
+    Returns ``(candidates, work, pruned_by_rank)`` where ``candidates`` maps
+    ``hub_rank -> aggregated count`` — the aggregation *is* Label Merging.
+    """
+    graph = ctx.graph
+    rank_u = int(ctx.rank[u])
+    weights = graph.vertex_weights
+    rank = ctx.rank
+    current = ctx.current
+    candidates: dict[int, int] = {}
+    work = 0
+    pruned_rank = 0
+    for v in graph.neighbors(u):
+        v = int(v)
+        entries = current[v]
+        if not entries:
+            continue
+        weight_v = int(weights[v])
+        rank_v = int(rank[v])
+        work += len(entries)
+        for hub_rank, count in entries:
+            if hub_rank >= rank_u:
+                # Lemma 3: the hub must outrank u.  Equality means the hub is
+                # u itself — a closed walk, never a shortest path.
+                pruned_rank += 1
+                continue
+            # v becomes internal to the extended path, unless v is the hub
+            # endpoint itself (its label is the self-entry at distance 0).
+            factor = weight_v if hub_rank != rank_v else 1
+            increment = count * factor
+            if hub_rank in candidates:
+                candidates[hub_rank] += increment
+            else:
+                candidates[hub_rank] = increment
+    return candidates, work, pruned_rank
+
+
+def push_scatter(
+    ctx: IterationContext, buckets: list[list[tuple[int, int]]], u: int
+) -> int:
+    """Phase 1 of push propagation: scatter ``u``'s fresh labels to neighbours.
+
+    Appends ``(hub_rank, count * factor)`` pairs to each neighbour's bucket
+    and returns the work units consumed.  The multiplicity factor is applied
+    at the source (``u`` becomes internal when the path is extended).
+    """
+    entries = ctx.current[u]
+    if not entries:
+        return 0
+    weights = ctx.graph.vertex_weights
+    weight_u = int(weights[u])
+    rank_u = int(ctx.rank[u])
+    work = 0
+    for v in ctx.graph.neighbors(u):
+        bucket = buckets[int(v)]
+        for hub_rank, count in entries:
+            factor = weight_u if hub_rank != rank_u else 1
+            bucket.append((hub_rank, count * factor))
+            work += 1
+    return work
+
+
+def merge_bucket(
+    ctx: IterationContext, u: int, bucket: list[tuple[int, int]]
+) -> tuple[dict[int, int], int, int]:
+    """Phase 2 of push: merge a destination's bucket with rank pruning."""
+    rank_u = int(ctx.rank[u])
+    candidates: dict[int, int] = {}
+    pruned_rank = 0
+    for hub_rank, count in bucket:
+        if hub_rank >= rank_u:
+            pruned_rank += 1
+            continue
+        if hub_rank in candidates:
+            candidates[hub_rank] += count
+        else:
+            candidates[hub_rank] = count
+    return candidates, len(bucket), pruned_rank
+
+
+def prune_candidates(
+    ctx: IterationContext, u: int, candidates: dict[int, int]
+) -> tuple[list[tuple[int, int]], int, int, int]:
+    """Apply the query rule (Lemma 4) to merged candidates.
+
+    A candidate hub ``w`` at distance ``d`` survives iff no common hub of
+    ``w`` and ``u`` witnesses a strictly shorter path.  When ``w`` is a
+    landmark the exact distance table answers this in O(1) (Section III-H);
+    otherwise ``L(w)`` is scanned against ``u``'s hub->dist map.
+
+    Returns ``(accepted, work, pruned_by_query, landmark_hits)`` with
+    ``accepted`` as ``(hub_rank, count)`` pairs sorted by hub rank (so label
+    lists stay deterministic regardless of dict iteration order).
+    """
+    d = ctx.d
+    labels = ctx.labels
+    order_arr = ctx.order_arr
+    u_map = ctx.label_maps[u]
+    u_map_get = u_map.get
+    landmarks = ctx.landmarks
+    rank_is_landmark = landmarks.rank_is_landmark if landmarks is not None else None
+    accepted: list[tuple[int, int]] = []
+    work = 0
+    pruned_query = 0
+    landmark_hits = 0
+    for hub_rank in sorted(candidates):
+        count = candidates[hub_rank]
+        work += 1
+        if rank_is_landmark is not None and rank_is_landmark[hub_rank]:
+            landmark_hits += 1
+            if landmarks.distance_by_rank(hub_rank, u) < d:
+                pruned_query += 1
+                continue
+        else:
+            hub_vertex = int(order_arr[hub_rank])
+            pruned = False
+            for other_rank, other_dist, _ in labels[hub_vertex]:
+                work += 1
+                du = u_map_get(other_rank)
+                if du is not None and other_dist + du < d:
+                    pruned = True
+                    break
+            if pruned:
+                pruned_query += 1
+                continue
+        accepted.append((hub_rank, count))
+    return accepted, work, pruned_query, landmark_hits

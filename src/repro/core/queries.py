@@ -1,0 +1,136 @@
+"""SPC query evaluation over a :class:`~repro.core.labels.LabelIndex`.
+
+Implements Equations (1) and (2) of the paper: scan ``L(s)`` and ``L(t)``
+(both sorted by hub rank) with a two-pointer merge, find the common hubs
+minimising ``dist(s, h) + dist(h, t)`` and sum ``count(s, h) * count(h, t)``
+over them.  Every shortest path is counted exactly once, at its unique
+highest-ranked vertex.
+
+For equivalence-reduced graphs the hub itself is an internal vertex of the
+joined path (unless it coincides with an endpoint), so its multiplicity
+scales the contribution — see :mod:`repro.reduction.equivalence` for why
+this is exact.
+
+The module also provides the parallel query machinery of Section IV
+("Query Evaluation in Parallel"): a batch is partitioned across threads and,
+because each query is independent, the simulated speedup is governed purely
+by load balance over the per-query label-scan costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.labels import LabelIndex
+from repro.errors import QueryError
+from repro.graph.traversal import UNREACHABLE
+
+__all__ = ["SPCResult", "spc_query", "spc_query_with_cost", "batch_query", "query_costs"]
+
+
+@dataclass(frozen=True)
+class SPCResult:
+    """Result of one SPC query.
+
+    ``dist`` is :data:`~repro.graph.traversal.UNREACHABLE` (-1) and ``count``
+    is 0 when no path exists.
+    """
+
+    s: int
+    t: int
+    dist: int
+    count: int
+
+    @property
+    def reachable(self) -> bool:
+        """Whether any path between the endpoints exists."""
+        return self.dist != UNREACHABLE
+
+
+def _check_pair(index: LabelIndex, s: int, t: int) -> None:
+    n = index.n
+    if not 0 <= s < n:
+        raise QueryError(f"source vertex {s} out of range for index over {n} vertices")
+    if not 0 <= t < n:
+        raise QueryError(f"target vertex {t} out of range for index over {n} vertices")
+
+
+def spc_query(index: LabelIndex, s: int, t: int) -> SPCResult:
+    """Exact ``(distance, count)`` for the pair ``(s, t)``."""
+    result, _ = spc_query_with_cost(index, s, t)
+    return result
+
+
+def spc_query_with_cost(index: LabelIndex, s: int, t: int) -> tuple[SPCResult, int]:
+    """Like :func:`spc_query` but also reports the number of entries scanned.
+
+    The scan count is the abstract work unit used by the query-speedup
+    simulation (paper Fig. 9): it is exactly the number of two-pointer steps,
+    which is what dominates real query latency.
+    """
+    _check_pair(index, s, t)
+    if s == t:
+        return SPCResult(s, t, 0, 1), 1
+    ls = index.entries[s]
+    lt = index.entries[t]
+    rank_s = int(index.order.rank[s])
+    rank_t = int(index.order.rank[t])
+    weights = index.weight_by_rank
+    i = j = 0
+    len_s, len_t = len(ls), len(lt)
+    best = -1
+    total = 0
+    steps = 0
+    while i < len_s and j < len_t:
+        steps += 1
+        hub_s = ls[i][0]
+        hub_t = lt[j][0]
+        if hub_s < hub_t:
+            i += 1
+        elif hub_s > hub_t:
+            j += 1
+        else:
+            dsum = ls[i][1] + lt[j][1]
+            if best < 0 or dsum < best:
+                best = dsum
+                total = 0
+            if dsum == best:
+                contribution = ls[i][2] * lt[j][2]
+                if hub_s != rank_s and hub_s != rank_t:
+                    contribution *= int(weights[hub_s])
+                total += contribution
+            i += 1
+            j += 1
+    if best < 0:
+        return SPCResult(s, t, UNREACHABLE, 0), steps
+    return SPCResult(s, t, best, total), steps
+
+
+def batch_query(
+    index: LabelIndex,
+    pairs: Sequence[tuple[int, int]],
+    threads: int = 1,
+) -> list[SPCResult]:
+    """Evaluate a batch of queries, optionally on a thread pool.
+
+    Section IV's parallel query evaluation: "each query is independent of
+    the other", so a pool partitions the batch dynamically.  Results come
+    back in input order regardless of ``threads`` (under CPython the pool
+    demonstrates the execution model; the speedup *figures* come from the
+    cost simulation in :mod:`repro.core.parallel`).
+    """
+    if threads <= 1:
+        return [spc_query(index, s, t) for s, t in pairs]
+    from repro.core.parallel import ThreadBackend  # local: avoid import cycle
+
+    backend = ThreadBackend(threads)
+    try:
+        return backend.map(lambda pair: spc_query(index, pair[0], pair[1]), pairs)
+    finally:
+        backend.close()
+
+
+def query_costs(index: LabelIndex, pairs: Sequence[tuple[int, int]]) -> list[int]:
+    """Per-query scan costs for a batch, for the parallel-query simulation."""
+    return [spc_query_with_cost(index, s, t)[1] for s, t in pairs]

@@ -1,0 +1,151 @@
+"""Schedule plans for parallel index construction (Section III-F).
+
+The builder's per-iteration work is a bag of independent per-vertex tasks.
+How those tasks map onto threads decides the *makespan* — the wall-clock of
+the slowest thread — and therefore the speedup.  Two plans from the paper:
+
+* :class:`StaticNodeOrderSchedule` — thread ``t_i`` handles the vertices
+  whose order position lies in ``[t_i * floor(n/t), (t_i+1) * floor(n/t))``
+  (Example 3).  Cheap, but unbalanced: top-ranked vertices receive almost no
+  candidates while mid-ranked ones receive many.
+* :class:`DynamicCostSchedule` — the cost-function-based plan: tasks are
+  prioritised by (estimated) cost and handed to whichever thread frees up
+  first (list scheduling, the classical model of a dynamic work queue).
+
+Definition 11's cost function — the number of candidate labels a vertex will
+receive from its neighbours — is implemented in :func:`cost_function_estimate`
+so the dynamic plan can prioritise without knowing true costs.
+
+Makespans are computed on recorded work units (see
+:mod:`repro.core.stats`), which is how this repository reproduces the
+speedup experiments on a GIL-bound interpreter: the schedule quality is
+measured exactly, the hardware constant is factored out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import SchedulingError
+
+__all__ = [
+    "SchedulePlan",
+    "StaticNodeOrderSchedule",
+    "DynamicCostSchedule",
+    "cost_function_estimate",
+    "get_schedule",
+    "SCHEDULES",
+]
+
+
+class SchedulePlan(Protocol):
+    """Strategy interface: compute a makespan for one iteration's tasks."""
+
+    name: str
+
+    def makespan(
+        self, costs_in_order: np.ndarray, n_threads: int, priority: np.ndarray | None = None
+    ) -> float:
+        """Simulated completion time of one iteration.
+
+        ``costs_in_order[i]`` is the work of the task at order position ``i``
+        (rank order).  ``priority`` optionally supplies the cost *estimates*
+        a dynamic scheduler would use; the true costs are still what the
+        simulated threads spend.
+        """
+        ...  # pragma: no cover
+
+
+def _check_threads(n_threads: int) -> None:
+    if n_threads < 1:
+        raise SchedulingError(f"thread count must be >= 1, got {n_threads}")
+
+
+class StaticNodeOrderSchedule:
+    """Contiguous rank-range blocks, one per thread (node-order schedule)."""
+
+    name = "static"
+
+    def makespan(
+        self, costs_in_order: np.ndarray, n_threads: int, priority: np.ndarray | None = None
+    ) -> float:
+        _check_threads(n_threads)
+        n = len(costs_in_order)
+        if n == 0:
+            return 0.0
+        if n_threads == 1:
+            return float(costs_in_order.sum())
+        block = n // n_threads
+        if block == 0:
+            # more threads than tasks: one task per thread, rest idle
+            return float(costs_in_order.max())
+        loads = []
+        for t in range(n_threads):
+            lo = t * block
+            hi = (t + 1) * block if t < n_threads - 1 else n
+            loads.append(float(costs_in_order[lo:hi].sum()))
+        return max(loads)
+
+
+class DynamicCostSchedule:
+    """Cost-function-prioritised dynamic work queue (list scheduling).
+
+    Tasks are sorted by descending priority (estimated cost; true cost when
+    no estimate is given) and each is assigned to the thread that becomes
+    free first — the standard model of a dynamic scheduler, equivalent to
+    LPT when priorities match true costs.
+    """
+
+    name = "dynamic"
+
+    def makespan(
+        self, costs_in_order: np.ndarray, n_threads: int, priority: np.ndarray | None = None
+    ) -> float:
+        _check_threads(n_threads)
+        n = len(costs_in_order)
+        if n == 0:
+            return 0.0
+        if n_threads == 1:
+            return float(costs_in_order.sum())
+        keys = priority if priority is not None else costs_in_order
+        task_order = np.argsort(-np.asarray(keys, dtype=np.float64), kind="stable")
+        heap = [0.0] * min(n_threads, n)
+        heapq.heapify(heap)
+        for task in task_order:
+            load = heapq.heappop(heap)
+            heapq.heappush(heap, load + float(costs_in_order[task]))
+        return max(heap)
+
+
+def cost_function_estimate(
+    neighbor_label_sizes: np.ndarray, degrees: np.ndarray
+) -> np.ndarray:
+    """Definition 11 approximation of per-vertex task cost.
+
+    The exact cost of a pull task at ``v_i`` is the number of higher-ranked
+    labels held by its neighbours — expensive to compute, so the paper uses
+    an approximation.  Ours: the sum of neighbour fresh-label counts, which
+    upper-bounds the exact value and is available for free from the previous
+    iteration.  ``neighbor_label_sizes[u]`` must hold that sum; ``degrees``
+    breaks ties so hubs with more fan-out are scheduled earlier.
+    """
+    return neighbor_label_sizes.astype(np.float64) + degrees.astype(np.float64) * 1e-9
+
+
+#: Registry of named schedule plans for the CLI / harness.
+SCHEDULES: dict[str, SchedulePlan] = {
+    "static": StaticNodeOrderSchedule(),
+    "dynamic": DynamicCostSchedule(),
+}
+
+
+def get_schedule(name: str) -> SchedulePlan:
+    """Look up a schedule plan by name."""
+    try:
+        return SCHEDULES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULES))
+        raise SchedulingError(f"unknown schedule {name!r}; expected one of: {known}") from None

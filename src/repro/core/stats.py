@@ -1,0 +1,93 @@
+"""Construction statistics: phase timing and per-vertex work accounting.
+
+Two consumers:
+
+* the Fig. 13 breakdown (Order / Landmark-Labeling / Label-Construction
+  wall-clock per phase);
+* the parallel-speedup simulation (Figs. 5, 8, 10), which replays the exact
+  per-vertex, per-iteration work units recorded during construction through
+  a schedule plan (see :mod:`repro.core.scheduling`).
+
+A *work unit* is one candidate examined or one label entry scanned during a
+pruning query — the operations that dominate construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BuildStats", "PhaseTimer"]
+
+import time
+
+
+@dataclass
+class BuildStats:
+    """Everything the builders record about one index construction."""
+
+    builder: str = ""
+    #: wall-clock seconds per phase: "order", "landmarks", "construction".
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: one int64 array per distance iteration; ``iteration_costs[d][u]`` is
+    #: the work units vertex-task ``u`` consumed in iteration ``d+1``.
+    iteration_costs: list[np.ndarray] = field(default_factory=list)
+    #: labels added per iteration (diagnostics / convergence reporting).
+    iteration_labels: list[int] = field(default_factory=list)
+    n_vertices: int = 0
+    total_entries: int = 0
+    #: number of candidate labels rejected by the rank rule (Lemma 3).
+    pruned_by_rank: int = 0
+    #: number rejected by the query rule (Lemma 4).
+    pruned_by_query: int = 0
+    #: number of pruning queries answered by the landmark filter alone.
+    landmark_hits: int = 0
+    #: how many landmarks the build used (0 = filter disabled).
+    num_landmarks: int = 0
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of distance iterations executed (PSPC) or 0 for HP-SPC."""
+        return len(self.iteration_costs)
+
+    @property
+    def total_work(self) -> int:
+        """Total work units across all iterations."""
+        return int(sum(int(c.sum()) for c in self.iteration_costs))
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all phase wall-clock times."""
+        return float(sum(self.phase_seconds.values()))
+
+    def phase(self, name: str) -> float:
+        """Seconds spent in ``name`` (0.0 when the phase did not run)."""
+        return self.phase_seconds.get(name, 0.0)
+
+    def merge_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name``."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+
+class PhaseTimer:
+    """Context manager accumulating wall-clock time into a stats phase.
+
+    >>> stats = BuildStats()
+    >>> with PhaseTimer(stats, "order"):
+    ...     pass
+    >>> stats.phase("order") >= 0.0
+    True
+    """
+
+    def __init__(self, stats: BuildStats, name: str) -> None:
+        self._stats = stats
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stats.merge_phase(self._name, time.perf_counter() - self._start)

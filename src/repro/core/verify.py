@@ -1,0 +1,138 @@
+"""Full-index audits: structural and semantic validation of an ESPC index.
+
+Three levels, each usable independently:
+
+* :func:`audit_structure` — cheap invariants that need no graph: labels
+  sorted by hub rank, self-entry present, hubs never outranked by their
+  vertex, distances/counts positive.
+* :func:`audit_canonical` — per-entry semantics against the graph: every
+  entry's distance is the true distance and its count equals the
+  trough-shortest-path count (recomputed by a rank-restricted BFS).
+* :func:`audit_queries` — end-to-end: every (sampled) pair's query answer
+  equals the BFS oracle.
+
+The auditors raise :class:`~repro.errors.IndexStateError` with a precise
+message on the first violation, so they double as debugging tools for
+anyone extending the builders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labels import LabelIndex
+from repro.core.queries import spc_query
+from repro.errors import IndexStateError
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+
+__all__ = ["audit_structure", "audit_canonical", "audit_queries", "audit_full"]
+
+
+def audit_structure(index: LabelIndex) -> None:
+    """Validate graph-independent label-list invariants."""
+    rank = index.order.rank
+    for v, entries in enumerate(index.entries):
+        rank_v = int(rank[v])
+        hubs = [h for h, _, _ in entries]
+        if hubs != sorted(hubs):
+            raise IndexStateError(f"vertex {v}: labels not sorted by hub rank")
+        if len(set(hubs)) != len(hubs):
+            raise IndexStateError(f"vertex {v}: duplicate hub in label list")
+        if (rank_v, 0, 1) not in entries:
+            raise IndexStateError(f"vertex {v}: missing self-label")
+        for hub_rank, dist, count in entries:
+            if hub_rank > rank_v:
+                raise IndexStateError(
+                    f"vertex {v}: hub at rank {hub_rank} does not outrank rank {rank_v}"
+                )
+            if dist < 0 or count < 1:
+                raise IndexStateError(
+                    f"vertex {v}: invalid entry ({hub_rank}, {dist}, {count})"
+                )
+            if (dist == 0) != (hub_rank == rank_v):
+                raise IndexStateError(
+                    f"vertex {v}: distance-0 entry must be exactly the self-label"
+                )
+
+
+def _trough_bfs(graph: Graph, hub: int, hub_rank: int, rank: np.ndarray):
+    """Distances/counts from ``hub`` restricted to lower-ranked vertices."""
+    dist = {hub: 0}
+    count = {hub: 1}
+    frontier = [hub]
+    weights = graph.vertex_weights
+    d = 0
+    while frontier:
+        d += 1
+        nxt = []
+        for u in frontier:
+            cu = count[u] * (int(weights[u]) if u != hub else 1)
+            for v in graph.neighbors(u):
+                v = int(v)
+                if rank[v] <= hub_rank:
+                    continue
+                if v not in dist:
+                    dist[v] = d
+                    count[v] = cu
+                    nxt.append(v)
+                elif dist[v] == d:
+                    count[v] += cu
+        frontier = nxt
+    return dist, count
+
+
+def audit_canonical(index: LabelIndex, graph: Graph) -> None:
+    """Validate every entry against the canonical ESPC definition.
+
+    Entry ``(w, d, c)`` on ``u`` must satisfy ``d == dist_G(u, w)`` and
+    ``c`` = number of shortest ``u``-``w`` paths avoiding vertices ranked
+    above ``w``; and conversely every hub whose trough shortest paths exist
+    must be present.  O(n * m) — intended for tests and debugging.
+    """
+    order_arr = index.order.order
+    rank = index.order.rank
+    present: dict[tuple[int, int], tuple[int, int]] = {
+        (v, hub_rank): (dist, count) for v, hub_rank, dist, count in index.iter_entries()
+    }
+    for hub_rank in range(index.n):
+        hub = int(order_arr[hub_rank])
+        trough_dist, trough_count = _trough_bfs(graph, hub, hub_rank, rank)
+        for v in range(graph.n):
+            true_dist = spc_pair(graph, v, hub)[0]
+            expected = None
+            if v in trough_dist and trough_dist[v] == true_dist:
+                expected = (true_dist, trough_count[v])
+            actual = present.get((v, hub_rank))
+            if expected != actual:
+                raise IndexStateError(
+                    f"entry mismatch at vertex {v}, hub rank {hub_rank} "
+                    f"(vertex {hub}): expected {expected}, found {actual}"
+                )
+
+
+def audit_queries(index: LabelIndex, graph: Graph, samples: int | None = None, seed: int = 0) -> None:
+    """Validate query answers against the BFS oracle.
+
+    ``samples=None`` checks *all* pairs (quadratic); otherwise that many
+    random pairs.
+    """
+    if samples is None:
+        pairs = [(s, t) for s in range(graph.n) for t in range(graph.n)]
+    else:
+        rng = np.random.default_rng(seed)
+        pairs = [(int(s), int(t)) for s, t in rng.integers(graph.n, size=(samples, 2))]
+    for s, t in pairs:
+        got = spc_query(index, s, t)
+        expected = spc_pair(graph, s, t)
+        if (got.dist, got.count) != expected:
+            raise IndexStateError(
+                f"query ({s}, {t}) answered ({got.dist}, {got.count}), BFS says {expected}"
+            )
+
+
+def audit_full(index: LabelIndex, graph: Graph, query_samples: int | None = 200) -> None:
+    """Run all three audits (structure, canonical entries, queries)."""
+    audit_structure(index)
+    audit_canonical(index, graph)
+    audit_queries(index, graph, samples=query_samples)

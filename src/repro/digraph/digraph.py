@@ -1,0 +1,148 @@
+"""Directed graph substrate (dual-CSR: out- and in-adjacency).
+
+The paper's formal treatment of HP-SPC (Section II-A) is stated for
+directed graphs — each vertex carries an in-label ``Lin`` and an out-label
+``Lout`` — and Algorithms 1-2 propagate over ``Gin``/``Gout``.  The
+evaluation converts everything to undirected graphs, but a library users
+would adopt needs the directed machinery, so this subpackage provides it:
+:class:`DiGraph` here, directed traversal oracles, and directed HP-SPC /
+PSPC builders in the sibling modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError, VertexError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """An immutable directed, unweighted graph with both adjacency directions.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (ids ``0..n-1``).
+    edges:
+        Iterable of ordered pairs ``(u, v)`` meaning an arc ``u -> v``.
+        Self-loops are dropped and duplicates collapse; ``(u, v)`` and
+        ``(v, u)`` are distinct arcs.
+
+    Examples
+    --------
+    >>> g = DiGraph(3, [(0, 1), (1, 2)])
+    >>> list(g.out_neighbors(0)), list(g.in_neighbors(0))
+    ([1], [])
+    """
+
+    __slots__ = ("_n", "_out_indptr", "_out_indices", "_in_indptr", "_in_indices")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]) -> None:
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._n = int(n)
+        pairs = self._canonical_pairs(edges)
+        self._out_indptr, self._out_indices = self._build_csr(pairs[:, 0], pairs[:, 1])
+        self._in_indptr, self._in_indices = self._build_csr(pairs[:, 1], pairs[:, 0])
+
+    def _canonical_pairs(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+        rows = []
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if not 0 <= u < self._n:
+                raise VertexError(u, self._n)
+            if not 0 <= v < self._n:
+                raise VertexError(v, self._n)
+            if u != v:
+                rows.append((u, v))
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.unique(np.array(rows, dtype=np.int64), axis=0)
+
+    def _build_csr(self, heads: np.ndarray, tails: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        tails = tails[order]
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.add.at(indptr, heads + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return indptr, tails.astype(np.int32)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of arcs."""
+        return len(self._out_indices)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Successors of ``v`` (sorted)."""
+        self._check_vertex(v)
+        return self._out_indices[self._out_indptr[v] : self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Predecessors of ``v`` (sorted)."""
+        self._check_vertex(v)
+        return self._in_indices[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        """Number of successors."""
+        self._check_vertex(v)
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of predecessors."""
+        self._check_vertex(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Total degree (in + out) per vertex, for ordering heuristics."""
+        return np.diff(self._out_indptr) + np.diff(self._in_indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the arc ``u -> v`` exists."""
+        row = self.out_neighbors(u)
+        self._check_vertex(v)
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and int(row[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate arcs as ``(u, v)``."""
+        for u in range(self._n):
+            for v in self.out_neighbors(u):
+                yield u, int(v)
+
+    def reverse(self) -> "DiGraph":
+        """The transpose graph (every arc flipped)."""
+        return DiGraph(self._n, [(v, u) for u, v in self.edges()])
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise VertexError(v, self._n)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._out_indptr, other._out_indptr)
+            and np.array_equal(self._out_indices, other._out_indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self._n}, m={self.m})"

@@ -1,0 +1,114 @@
+"""Directed HP-SPC: sequential pruned BFS building in/out labels.
+
+For each hub ``h`` in rank order, two pruned BFS runs inside the
+sub-digraph of lower-ranked vertices:
+
+* a **forward** BFS over out-arcs computes trough shortest paths
+  ``h -> u`` and appends to ``Lin(u)``;
+* a **backward** BFS over in-arcs computes trough shortest paths
+  ``u -> h`` and appends to ``Lout(u)``.
+
+The pruning query in each direction asks the partial index for the
+directed distance through already-processed (higher-ranked) hubs; a
+strictly smaller answer prunes the subtree, an equal answer keeps the
+label and the expansion, exactly as in the undirected builder
+(:mod:`repro.core.hpspc`).
+"""
+
+from __future__ import annotations
+
+from repro.digraph.digraph import DiGraph
+from repro.digraph.labels import DirectedLabelIndex
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.ordering.base import VertexOrder
+
+__all__ = ["build_hpspc_directed"]
+
+
+def build_hpspc_directed(
+    graph: DiGraph, order: VertexOrder
+) -> tuple[DirectedLabelIndex, BuildStats]:
+    """Build the canonical directed ESPC index sequentially."""
+    stats = BuildStats(builder="hpspc-directed", n_vertices=graph.n)
+    with PhaseTimer(stats, "construction"):
+        index = _construct(graph, order, stats)
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+def _construct(graph: DiGraph, order: VertexOrder, stats: BuildStats) -> DirectedLabelIndex:
+    n = graph.n
+    rank = order.rank
+    order_arr = order.order
+    entries_in: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+    entries_out: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+    # hub_rank -> dist maps for O(1) pruning-query probes
+    in_maps: list[dict[int, int]] = [{} for _ in range(n)]
+    out_maps: list[dict[int, int]] = [{} for _ in range(n)]
+
+    dist = [0] * n
+    version = [-1] * n
+    count = [0] * n
+    epoch = 0
+
+    def pruned_bfs(h: int, hub_pos: int, forward: bool) -> None:
+        """One pruned BFS; ``forward`` decides arc direction and label side."""
+        nonlocal epoch
+        epoch += 1
+        if forward:
+            neighbors = graph.out_neighbors
+            # paths h -> u land in Lin(u); query scans Lout(h) against Lin(u)
+            hub_scan = entries_out[h]
+            target_entries, target_maps = entries_in, in_maps
+        else:
+            neighbors = graph.in_neighbors
+            hub_scan = entries_in[h]
+            target_entries, target_maps = entries_out, out_maps
+        dist[h] = 0
+        version[h] = epoch
+        count[h] = 1
+        frontier = [h]
+        d = 0
+        while frontier:
+            d += 1
+            next_frontier: list[int] = []
+            for u in frontier:
+                if u != h:
+                    u_map = target_maps[u]
+                    u_map_get = u_map.get
+                    pruned = False
+                    for hub_rank, dh, _ in hub_scan:
+                        du = u_map_get(hub_rank)
+                        if du is not None and dh + du < dist[u]:
+                            pruned = True
+                            break
+                    if pruned:
+                        stats.pruned_by_query += 1
+                        continue
+                    target_entries[u].append((hub_pos, dist[u], count[u]))
+                    u_map[hub_pos] = dist[u]
+                cu = count[u]
+                for v in neighbors(u):
+                    v = int(v)
+                    if rank[v] <= hub_pos:
+                        stats.pruned_by_rank += 1
+                        continue
+                    if version[v] != epoch:
+                        version[v] = epoch
+                        dist[v] = d
+                        count[v] = cu
+                        next_frontier.append(v)
+                    elif dist[v] == d:
+                        count[v] += cu
+            frontier = next_frontier
+
+    for hub_pos in range(n):
+        h = int(order_arr[hub_pos])
+        entries_in[h].append((hub_pos, 0, 1))
+        entries_out[h].append((hub_pos, 0, 1))
+        in_maps[h][hub_pos] = 0
+        out_maps[h][hub_pos] = 0
+        pruned_bfs(h, hub_pos, forward=True)
+        pruned_bfs(h, hub_pos, forward=False)
+
+    return DirectedLabelIndex(order, entries_in, entries_out)

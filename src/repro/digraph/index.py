@@ -1,0 +1,95 @@
+"""Facade for directed SPC indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.queries import SPCResult
+from repro.core.stats import BuildStats
+from repro.digraph.digraph import DiGraph
+from repro.digraph.hpspc import build_hpspc_directed
+from repro.digraph.labels import DirectedLabelIndex, spc_query_directed
+from repro.digraph.pspc import build_pspc_directed
+from repro.digraph.traversal import spc_pair_directed
+from repro.errors import IndexBuildError, QueryError
+from repro.ordering.base import VertexOrder
+
+__all__ = ["DirectedSPCIndex", "degree_order_directed"]
+
+
+def degree_order_directed(graph: DiGraph) -> VertexOrder:
+    """Rank vertices by descending total degree (in + out), id tie-break."""
+    degrees = graph.degrees()
+    order = np.lexsort((np.arange(graph.n), -degrees))
+    return VertexOrder.from_order(order, graph.n, strategy="degree-directed")
+
+
+class DirectedSPCIndex:
+    """Build and query a directed shortest-path-counting index.
+
+    Examples
+    --------
+    >>> from repro.digraph import DiGraph
+    >>> g = DiGraph(3, [(0, 1), (1, 2), (0, 2)])
+    >>> index = DirectedSPCIndex.build(g)
+    >>> index.spc(0, 2), index.spc(2, 0)
+    (1, 0)
+    """
+
+    def __init__(self, labels: DirectedLabelIndex, stats: BuildStats, graph: DiGraph | None) -> None:
+        self.labels = labels
+        self.stats = stats
+        self.graph = graph
+
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        ordering: VertexOrder | None = None,
+        builder: str = "pspc",
+        num_landmarks: int = 0,
+    ) -> "DirectedSPCIndex":
+        """Build with the directed PSPC (default) or HP-SPC builder."""
+        order = ordering if ordering is not None else degree_order_directed(graph)
+        if builder == "pspc":
+            labels, stats = build_pspc_directed(graph, order, num_landmarks=num_landmarks)
+        elif builder == "hpspc":
+            labels, stats = build_hpspc_directed(graph, order)
+        else:
+            raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
+        return cls(labels, stats, graph)
+
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return self.labels.n
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """Directed distance and shortest-path count for ``s -> t``."""
+        return spc_query_directed(self.labels, s, t)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest directed paths ``s -> t``."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Directed distance (-1 if unreachable)."""
+        return self.query(s, t).dist
+
+    def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
+        """Cross-check random directed pairs against the BFS oracle."""
+        if self.graph is None:
+            raise QueryError("verification requires the index to retain its graph")
+        rng = np.random.default_rng(seed)
+        for _ in range(samples):
+            s, t = (int(x) for x in rng.integers(self.n, size=2))
+            expected = spc_pair_directed(self.graph, s, t)
+            got = self.query(s, t)
+            if (got.dist, got.count) != expected:
+                raise QueryError(
+                    f"directed index disagrees with BFS on ({s}, {t}): "
+                    f"index=({got.dist}, {got.count}), bfs={expected}"
+                )
+
+    def __repr__(self) -> str:
+        return f"DirectedSPCIndex(n={self.n}, entries={self.labels.total_entries()})"

@@ -1,0 +1,143 @@
+"""Directed ESPC labels: per-vertex in/out label lists and their queries.
+
+As in Section II-A of the paper: each vertex ``v`` carries
+
+* ``Lin(v)`` — entries ``(w, dist(w -> v), count)`` for hub-to-vertex paths;
+* ``Lout(v)`` — entries ``(w, dist(v -> w), count)`` for vertex-to-hub paths;
+
+where ``count`` is the number of *trough* shortest paths (the hub is the
+highest-ranked vertex on the path).  ``SPC(s, t)`` scans
+``Lout(s) x Lin(t)`` for the common hubs minimising
+``dist(s -> h) + dist(h -> t)`` and sums the count products — Equations (1)
+and (2), directed form.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.queries import SPCResult
+from repro.errors import IndexStateError, QueryError
+from repro.graph.traversal import UNREACHABLE
+from repro.ordering.base import VertexOrder
+
+__all__ = ["DirectedLabelIndex", "spc_query_directed"]
+
+Entry = tuple[int, int, int]  # (hub_rank, dist, count)
+
+
+class DirectedLabelIndex:
+    """The directed 2-hop ESPC index (in-labels and out-labels)."""
+
+    __slots__ = ("order", "entries_in", "entries_out")
+
+    def __init__(
+        self,
+        order: VertexOrder,
+        entries_in: list[list[Entry]],
+        entries_out: list[list[Entry]],
+    ) -> None:
+        if len(entries_in) != order.n or len(entries_out) != order.n:
+            raise IndexStateError(
+                f"directed index needs {order.n} in/out label lists, got "
+                f"{len(entries_in)}/{len(entries_out)}"
+            )
+        self.order = order
+        self.entries_in = entries_in
+        self.entries_out = entries_out
+
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return self.order.n
+
+    def total_entries(self) -> int:
+        """Total entries across both label directions."""
+        return sum(len(lst) for lst in self.entries_in) + sum(
+            len(lst) for lst in self.entries_out
+        )
+
+    def label_in(self, v: int) -> list[tuple[int, int, int]]:
+        """``Lin(v)`` decoded with hubs as vertex ids."""
+        order = self.order.order
+        return [(int(order[h]), d, c) for h, d, c in self.entries_in[v]]
+
+    def label_out(self, v: int) -> list[tuple[int, int, int]]:
+        """``Lout(v)`` decoded with hubs as vertex ids."""
+        order = self.order.order
+        return [(int(order[h]), d, c) for h, d, c in self.entries_out[v]]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedLabelIndex):
+            return NotImplemented
+        return (
+            np.array_equal(self.order.order, other.order.order)
+            and self.entries_in == other.entries_in
+            and self.entries_out == other.entries_out
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"DirectedLabelIndex(n={self.n}, entries={self.total_entries()})"
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise to ``path`` (pickle protocol 5)."""
+        payload = {
+            "order": np.asarray(self.order.order),
+            "strategy": self.order.strategy,
+            "entries_in": self.entries_in,
+            "entries_out": self.entries_out,
+        }
+        with Path(path).open("wb") as handle:
+            pickle.dump(payload, handle, protocol=5)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DirectedLabelIndex":
+        """Load an index written by :meth:`save`."""
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        order = VertexOrder.from_order(
+            payload["order"], len(payload["order"]), strategy=payload["strategy"]
+        )
+        return cls(order, payload["entries_in"], payload["entries_out"])
+
+
+def spc_query_directed(index: DirectedLabelIndex, s: int, t: int) -> SPCResult:
+    """Exact directed ``(distance, count)`` for the pair ``s -> t``."""
+    n = index.n
+    if not 0 <= s < n:
+        raise QueryError(f"source vertex {s} out of range for index over {n} vertices")
+    if not 0 <= t < n:
+        raise QueryError(f"target vertex {t} out of range for index over {n} vertices")
+    if s == t:
+        return SPCResult(s, t, 0, 1)
+    lo = index.entries_out[s]
+    li = index.entries_in[t]
+    i = j = 0
+    best = -1
+    total = 0
+    while i < len(lo) and j < len(li):
+        hub_o = lo[i][0]
+        hub_i = li[j][0]
+        if hub_o < hub_i:
+            i += 1
+        elif hub_o > hub_i:
+            j += 1
+        else:
+            dsum = lo[i][1] + li[j][1]
+            if best < 0 or dsum < best:
+                best = dsum
+                total = 0
+            if dsum == best:
+                total += lo[i][2] * li[j][2]
+            i += 1
+            j += 1
+    if best < 0:
+        return SPCResult(s, t, UNREACHABLE, 0)
+    return SPCResult(s, t, best, total)

@@ -1,0 +1,194 @@
+"""Directed PSPC: distance-iteration label propagation for in/out labels.
+
+Two label streams propagate simultaneously in each distance iteration ``d``:
+
+* ``Lin_d(u)`` pulls from **in**-neighbours ``v``: an entry
+  ``(w, d-1, c) in Lin_{d-1}(v)`` extends over the arc ``v -> u`` to a
+  candidate trough path ``w -> u`` of length ``d``;
+* ``Lout_d(u)`` pulls from **out**-neighbours ``v``: entries of
+  ``Lout_{d-1}(v)`` extend over ``u -> v``.
+
+Pruning mirrors the undirected Lemmas 3-4: the hub must outrank ``u``, and
+the directed pruning query (``Lout(w)`` scanned against ``u``'s in-map for
+``Lin`` candidates, ``Lin(w)`` against ``u``'s out-map for ``Lout``
+candidates) must not find a strictly shorter path.  Both streams read only
+distance ``<= d-1`` state, so each iteration is again an independent
+per-vertex map, and the result is identical to the directed HP-SPC baseline
+(asserted by the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.digraph.digraph import DiGraph
+from repro.digraph.labels import DirectedLabelIndex
+from repro.digraph.traversal import bfs_distances_directed
+from repro.errors import IndexBuildError
+from repro.graph.traversal import UNREACHABLE
+from repro.ordering.base import VertexOrder
+
+__all__ = ["build_pspc_directed"]
+
+
+class _DirectedLandmarks:
+    """Forward/backward exact distance tables for landmark hubs."""
+
+    def __init__(self, graph: DiGraph, order: VertexOrder, num_landmarks: int) -> None:
+        degrees = graph.degrees()
+        k = min(num_landmarks, graph.n)
+        top = np.lexsort((np.arange(graph.n), -degrees))[:k]
+        self.rank_is_landmark = np.zeros(order.n, dtype=bool)
+        self.forward: dict[int, np.ndarray] = {}
+        self.backward: dict[int, np.ndarray] = {}
+        for w in top:
+            r = int(order.rank[int(w)])
+            self.rank_is_landmark[r] = True
+            self.forward[r] = bfs_distances_directed(graph, int(w))
+            self.backward[r] = bfs_distances_directed(graph, int(w), reverse=True)
+
+
+def build_pspc_directed(
+    graph: DiGraph,
+    order: VertexOrder,
+    num_landmarks: int = 0,
+    max_iterations: int | None = None,
+) -> tuple[DirectedLabelIndex, BuildStats]:
+    """Build the canonical directed ESPC index by label propagation."""
+    if order.n != graph.n:
+        raise IndexBuildError(f"order covers {order.n} vertices but graph has {graph.n}")
+    stats = BuildStats(builder="pspc-directed", n_vertices=graph.n)
+    landmarks: _DirectedLandmarks | None = None
+    if num_landmarks > 0:
+        with PhaseTimer(stats, "landmarks"):
+            landmarks = _DirectedLandmarks(graph, order, num_landmarks)
+        stats.num_landmarks = len(landmarks.forward)
+    with PhaseTimer(stats, "construction"):
+        index = _propagate(graph, order, landmarks, stats, max_iterations)
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+def _propagate(
+    graph: DiGraph,
+    order: VertexOrder,
+    landmarks: _DirectedLandmarks | None,
+    stats: BuildStats,
+    max_iterations: int | None,
+) -> DirectedLabelIndex:
+    n = graph.n
+    rank = order.rank
+    order_arr = order.order
+
+    entries_in: list[list[tuple[int, int, int]]] = [[(int(rank[u]), 0, 1)] for u in range(n)]
+    entries_out: list[list[tuple[int, int, int]]] = [[(int(rank[u]), 0, 1)] for u in range(n)]
+    in_maps: list[dict[int, int]] = [{int(rank[u]): 0} for u in range(n)]
+    out_maps: list[dict[int, int]] = [{int(rank[u]): 0} for u in range(n)]
+    current_in: list[list[tuple[int, int]]] = [[(int(rank[u]), 1)] for u in range(n)]
+    current_out: list[list[tuple[int, int]]] = [[(int(rank[u]), 1)] for u in range(n)]
+
+    rank_is_landmark = landmarks.rank_is_landmark if landmarks is not None else None
+
+    def process(
+        u: int,
+        d: int,
+        source_neighbors,
+        current: list[list[tuple[int, int]]],
+        scan_entries: list[list[tuple[int, int, int]]],
+        probe_maps: list[dict[int, int]],
+        landmark_tables: dict[int, np.ndarray] | None,
+    ) -> tuple[list[tuple[int, int]], int]:
+        """Shared pull step for one stream.
+
+        ``scan_entries[hub_vertex]`` is the label list scanned for the
+        pruning query and ``probe_maps[u]`` the hub->dist map probed
+        against it; for the ``Lin`` stream these are ``Lout(w)`` and the
+        in-map of ``u``, for the ``Lout`` stream ``Lin(w)`` and the
+        out-map.
+        """
+        rank_u = int(rank[u])
+        candidates: dict[int, int] = {}
+        work = 0
+        for v in source_neighbors(u):
+            v = int(v)
+            fresh = current[v]
+            if not fresh:
+                continue
+            work += len(fresh)
+            for hub_rank, c in fresh:
+                if hub_rank >= rank_u:
+                    stats.pruned_by_rank += 1
+                    continue
+                if hub_rank in candidates:
+                    candidates[hub_rank] += c
+                else:
+                    candidates[hub_rank] = c
+        accepted: list[tuple[int, int]] = []
+        u_map_get = probe_maps[u].get
+        for hub_rank in sorted(candidates):
+            work += 1
+            if rank_is_landmark is not None and rank_is_landmark[hub_rank]:
+                stats.landmark_hits += 1
+                ld = int(landmark_tables[hub_rank][u])
+                if ld != UNREACHABLE and ld < d:
+                    stats.pruned_by_query += 1
+                    continue
+            else:
+                hub_vertex = int(order_arr[hub_rank])
+                pruned = False
+                for other_rank, other_dist, _ in scan_entries[hub_vertex]:
+                    work += 1
+                    du = u_map_get(other_rank)
+                    if du is not None and other_dist + du < d:
+                        pruned = True
+                        break
+                if pruned:
+                    stats.pruned_by_query += 1
+                    continue
+            accepted.append((hub_rank, candidates[hub_rank]))
+        return accepted, work
+
+    d = 0
+    while any(current_in) or any(current_out):
+        d += 1
+        if max_iterations is not None and d > max_iterations:
+            raise IndexBuildError(f"directed PSPC did not converge within {max_iterations} iterations")
+        iter_costs = np.zeros(n, dtype=np.int64)
+        fresh_in: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        fresh_out: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        results_in = []
+        results_out = []
+        for u in range(n):
+            acc_in, w1 = process(
+                u, d, graph.in_neighbors, current_in, entries_out, in_maps,
+                landmarks.forward if landmarks else None,
+            )
+            acc_out, w2 = process(
+                u, d, graph.out_neighbors, current_out, entries_in, out_maps,
+                landmarks.backward if landmarks else None,
+            )
+            iter_costs[u] = w1 + w2
+            results_in.append(acc_in)
+            results_out.append(acc_out)
+        added = 0
+        for u in range(n):
+            for hub_rank, c in results_in[u]:
+                entries_in[u].append((hub_rank, d, c))
+                in_maps[u][hub_rank] = d
+            for hub_rank, c in results_out[u]:
+                entries_out[u].append((hub_rank, d, c))
+                out_maps[u][hub_rank] = d
+            fresh_in[u] = results_in[u]
+            fresh_out[u] = results_out[u]
+            added += len(results_in[u]) + len(results_out[u])
+        stats.iteration_costs.append(iter_costs)
+        stats.iteration_labels.append(added)
+        current_in = fresh_in
+        current_out = fresh_out
+
+    for lst in entries_in:
+        lst.sort(key=lambda entry: entry[0])
+    for lst in entries_out:
+        lst.sort(key=lambda entry: entry[0])
+    return DirectedLabelIndex(order, entries_in, entries_out)

@@ -1,0 +1,71 @@
+"""Directed BFS oracles: distances and shortest-path counting."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.digraph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE
+
+__all__ = ["bfs_counting_directed", "spc_pair_directed", "bfs_distances_directed"]
+
+
+def bfs_distances_directed(graph: DiGraph, source: int, reverse: bool = False) -> np.ndarray:
+    """Directed BFS distances from ``source`` (over in-arcs if ``reverse``)."""
+    graph._check_vertex(source)
+    neighbors = graph.in_neighbors if reverse else graph.out_neighbors
+    dist = np.full(graph.n, UNREACHABLE, dtype=np.int32)
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = int(dist[u])
+        for v in neighbors(u):
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                queue.append(int(v))
+    return dist
+
+
+def bfs_counting_directed(
+    graph: DiGraph, source: int, reverse: bool = False
+) -> tuple[np.ndarray, list[int]]:
+    """Directed distances and shortest-path counts from ``source``.
+
+    With ``reverse=True`` counts paths *into* ``source`` (BFS over in-arcs),
+    i.e. ``count[v]`` = number of shortest ``v -> source`` paths.
+    """
+    graph._check_vertex(source)
+    neighbors = graph.in_neighbors if reverse else graph.out_neighbors
+    dist = np.full(graph.n, UNREACHABLE, dtype=np.int32)
+    count: list[int] = [0] * graph.n
+    dist[source] = 0
+    count[source] = 1
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = int(dist[u])
+        cu = count[u]
+        for v in neighbors(u):
+            v = int(v)
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                count[v] = cu
+                queue.append(v)
+            elif dist[v] == du + 1:
+                count[v] += cu
+    return dist, count
+
+
+def spc_pair_directed(graph: DiGraph, s: int, t: int) -> tuple[int, int]:
+    """Ground-truth ``(distance, count)`` for the directed pair ``s -> t``."""
+    graph._check_vertex(s)
+    graph._check_vertex(t)
+    if s == t:
+        return 0, 1
+    dist, count = bfs_counting_directed(graph, s)
+    if dist[t] == UNREACHABLE:
+        return UNREACHABLE, 0
+    return int(dist[t]), count[t]

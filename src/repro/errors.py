@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-classes are grouped by
+subsystem (graph substrate, ordering, index construction, querying,
+reduction) so tests can assert the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "VertexError",
+    "OrderingError",
+    "IndexError_",
+    "IndexBuildError",
+    "IndexStateError",
+    "QueryError",
+    "ReductionError",
+    "SchedulingError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation on it is invalid."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing a graph file in an unsupported/corrupt format."""
+
+
+class VertexError(GraphError, IndexError):
+    """A vertex id is out of range for the graph it is used with."""
+
+    def __init__(self, vertex: int, n: int) -> None:
+        super().__init__(f"vertex {vertex} out of range for graph with {n} vertices")
+        self.vertex = vertex
+        self.n = n
+
+
+class OrderingError(ReproError):
+    """A vertex ordering is invalid (not a permutation, wrong length, ...)."""
+
+
+class IndexError_(ReproError):
+    """Base class for errors from the label index subsystem."""
+
+
+class IndexBuildError(IndexError_):
+    """Index construction failed or was configured inconsistently."""
+
+
+class IndexStateError(IndexError_):
+    """An operation requires a built index but none is available."""
+
+
+class QueryError(IndexError_):
+    """A query is malformed (bad vertex ids, wrong index, ...)."""
+
+
+class ReductionError(ReproError):
+    """A graph reduction failed or its query mapping was used incorrectly."""
+
+
+class SchedulingError(ReproError):
+    """A schedule plan was configured with invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """A named dataset is unknown or could not be materialised."""

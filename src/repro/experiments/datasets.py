@@ -1,0 +1,131 @@
+"""Benchmark dataset registry: synthetic stand-ins for the paper's Table III.
+
+The paper evaluates on ten public graphs (63k-7.4M vertices).  Offline and in
+pure Python, indexing graphs of that size is infeasible, so each dataset is
+replaced by a deterministic synthetic graph whose *family* matches the
+original (degree profile, clustering, relative size ordering) at roughly
+1/100 scale.  The mapping, with the original statistics for reference, is:
+
+=====  ==========  ============  =========  ===========================
+key    original    |V| (paper)   davg       stand-in generator
+=====  ==========  ============  =========  ===========================
+FB     Facebook    63,731        25.6       Barabási–Albert, m=12
+GW     Gowalla     196,591       9.7        Barabási–Albert, m=5
+WI     WikiConfl.  118,100       34.3       Watts–Strogatz, k=16
+GO     Google      875,713       9.9        Barabási–Albert, m=5
+DB     DBLP        1,314,050     8.1        Holme–Kim powerlaw, m=4
+BE     Berkstan    685,230       19.4       Barabási–Albert, m=10
+YT     Youtube     3,223,589     5.8        Barabási–Albert, m=3
+PE     Petster     623,766       50.3       Barabási–Albert, m=25
+FL     Flickr      2,302,925     19.8       Barabási–Albert, m=10
+IN     Indochina   7,414,866     40.7       Barabási–Albert, m=15
+ROAD   (Sec III-G) —             ~3         grid + shortcuts
+=====  ==========  ============  =========  ===========================
+
+Stand-in sizes preserve the paper's ordering FB < WI < GW < BE < PE < GO <
+DB < FL < YT < IN in |V| up to what the session budget allows, and the
+average-degree contrast (PE/WI/IN dense, YT/DB sparse).  All stand-ins are
+restricted to their largest connected component and are deterministic in
+the registry seed, so benchmark rows are reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.generators import (
+    barabasi_albert,
+    grid_road_network,
+    powerlaw_cluster,
+    watts_strogatz,
+)
+from repro.graph.graph import Graph
+from repro.graph.properties import largest_component
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "load_dataset", "random_query_pairs", "PAPER_STATS"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named benchmark graph and its provenance."""
+
+    key: str
+    original_name: str
+    family: str
+    generator: Callable[[], Graph]
+    paper_vertices: int
+    paper_edges: int
+    paper_avg_degree: float
+
+
+def _ba(n: int, m: int, seed: int) -> Callable[[], Graph]:
+    return lambda: barabasi_albert(n, m, seed=seed)
+
+
+def _registry() -> dict[str, DatasetSpec]:
+    specs = [
+        DatasetSpec("FB", "Facebook", "social", _ba(600, 12, 42), 63_731, 817_035, 25.6),
+        DatasetSpec("GW", "Gowalla", "location-social", _ba(1200, 5, 43), 196_591, 950_327, 9.7),
+        DatasetSpec(
+            "WI", "WikiConflict", "interaction",
+            lambda: watts_strogatz(520, 16, 0.15, seed=44), 118_100, 2_027_871, 34.3,
+        ),
+        DatasetSpec("GO", "Google", "web", _ba(2000, 5, 45), 875_713, 4_322_051, 9.9),
+        DatasetSpec(
+            "DB", "DBLP", "co-authorship",
+            lambda: powerlaw_cluster(2200, 4, 0.6, seed=46), 1_314_050, 5_326_414, 8.1,
+        ),
+        DatasetSpec("BE", "Berkstan", "web", _ba(1000, 10, 47), 685_230, 6_649_470, 19.4),
+        DatasetSpec("YT", "Youtube", "social", _ba(2600, 3, 48), 3_223_589, 9_375_374, 5.8),
+        DatasetSpec("PE", "Petster", "social", _ba(520, 25, 49), 623_766, 15_695_166, 50.3),
+        DatasetSpec("FL", "Flickr", "social", _ba(1400, 10, 50), 2_302_925, 22_838_276, 19.8),
+        DatasetSpec("IN", "Indochina", "web", _ba(2000, 15, 51), 7_414_866, 150_984_819, 40.7),
+        DatasetSpec(
+            "ROAD", "road-grid", "road",
+            lambda: grid_road_network(28, 28, extra_edges=60, seed=52), 0, 0, 3.0,
+        ),
+    ]
+    return {spec.key: spec for spec in specs}
+
+
+#: The dataset registry, keyed by the paper's two-letter abbreviations.
+DATASETS: dict[str, DatasetSpec] = _registry()
+
+#: Paper-reported Table III rows ``key -> (|V|, |E|, davg)`` for EXPERIMENTS.md.
+PAPER_STATS: dict[str, tuple[int, int, float]] = {
+    spec.key: (spec.paper_vertices, spec.paper_edges, spec.paper_avg_degree)
+    for spec in DATASETS.values()
+    if spec.paper_vertices
+}
+
+
+def dataset_names(include_road: bool = False) -> list[str]:
+    """The ten Table III dataset keys, in the paper's column order."""
+    keys = ["FB", "GW", "WI", "GO", "DB", "BE", "YT", "PE", "FL", "IN"]
+    if include_road:
+        keys.append("ROAD")
+    return keys
+
+
+@lru_cache(maxsize=None)
+def load_dataset(key: str) -> Graph:
+    """Materialise a dataset (largest connected component), cached per key."""
+    try:
+        spec = DATASETS[key]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise DatasetError(f"unknown dataset {key!r}; expected one of: {known}") from None
+    graph, _ = largest_component(spec.generator())
+    return graph
+
+
+def random_query_pairs(graph: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """Deterministic random query workload (the paper uses random pairs)."""
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(graph.n, size=(count, 2))
+    return [(int(s), int(t)) for s, t in pairs]

@@ -1,0 +1,434 @@
+"""Experiment harness: one function per table/figure of the paper.
+
+Every function returns a list of plain-dict rows (JSON-friendly) and is
+invoked by the corresponding module under ``benchmarks/`` as well as by the
+CLI (``python -m repro bench``).  Wall-clock numbers are measured on the
+single-threaded builds; multi-thread numbers ("PSPC+", the speedup curves)
+come from the deterministic work-unit simulation described in
+:mod:`repro.core.parallel`:
+
+``simulated_seconds(t) = serial_phases + construction_seconds *
+sim_units(t) / sim_units(1)``
+
+i.e. the measured construction wall-clock is scaled by the simulated
+parallel efficiency, while the ordering and landmark phases (serial in the
+paper too) are charged in full.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.index import PSPCIndex
+from repro.core.parallel import simulated_build_units, simulated_query_units
+from repro.core.queries import spc_query
+from repro.experiments.datasets import dataset_names, load_dataset, random_query_pairs
+from repro.graph.properties import graph_stats
+from repro.ordering.hybrid import DEFAULT_DELTA
+
+__all__ = [
+    "DEFAULT_THREADS",
+    "DEFAULT_QUERY_COUNT",
+    "exp_table3_datasets",
+    "exp_indexing_time",
+    "exp_index_size",
+    "exp_query_time",
+    "exp_build_speedup",
+    "exp_query_speedup",
+    "exp_ablation_landmarks",
+    "exp_ablation_schedule",
+    "exp_ablation_order",
+    "exp_delta_effect",
+    "exp_landmark_count",
+    "exp_time_breakdown",
+    "format_rows",
+]
+
+#: "PSPC+" in the paper is PSPC on 20 threads.
+DEFAULT_THREADS = 20
+#: Queries per dataset (the paper uses 10k-100k; see DESIGN.md substitutions).
+DEFAULT_QUERY_COUNT = 2000
+#: Ordering used for the headline experiments.
+DEFAULT_ORDERING = "degree"
+#: Landmark count (paper Section V-A default).
+DEFAULT_LANDMARKS = 100
+
+
+#: Cache of built indexes shared across experiments within one process, so
+#: that e.g. the Fig. 6 size table reuses the indexes timed for Fig. 5.
+_INDEX_CACHE: dict[tuple, tuple[PSPCIndex, float]] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached indexes (used by tests and long sweeps)."""
+    _INDEX_CACHE.clear()
+
+
+def _build(
+    graph,
+    builder: str,
+    ordering=DEFAULT_ORDERING,
+    cache_key: str | None = None,
+    fresh: bool = False,
+    **kwargs,
+):
+    """Build and return ``(index, wall_seconds)`` including ordering time.
+
+    When ``cache_key`` (a dataset key) is given, results are memoised on
+    ``(dataset, builder, ordering, landmarks)``; ``fresh=True`` forces a
+    rebuild (for experiments whose *point* is the wall-clock) but still
+    stores the result for later experiments to reuse.
+    """
+    ordering_name = ordering if isinstance(ordering, str) else ordering.strategy
+    key = (cache_key, builder, ordering_name, kwargs.get("num_landmarks", 0))
+    if cache_key is not None and not fresh and key in _INDEX_CACHE:
+        return _INDEX_CACHE[key]
+    start = time.perf_counter()
+    index = PSPCIndex.build(graph, ordering=ordering, builder=builder, **kwargs)
+    result = (index, time.perf_counter() - start)
+    if cache_key is not None:
+        _INDEX_CACHE[key] = result
+    return result
+
+
+def _simulated_seconds(index: PSPCIndex, threads: int, schedule: str = "dynamic") -> float:
+    """Projected wall-clock on ``threads`` threads (see module docstring).
+
+    The ordering phase is serial; the landmark phase is a set of independent
+    BFS runs, so it parallelises up to ``min(threads, num_landmarks)``.
+    """
+    stats = index.stats
+    landmark_workers = max(1, min(threads, stats.num_landmarks))
+    serial = stats.phase("order") + stats.phase("landmarks") / landmark_workers
+    construction = stats.phase("construction")
+    if threads == 1 or not stats.iteration_costs:
+        return serial + construction
+    base = simulated_build_units(stats, index.order, 1, schedule)
+    target = simulated_build_units(stats, index.order, threads, schedule)
+    return serial + construction * (target / base)
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+def exp_table3_datasets(keys: Sequence[str] | None = None) -> list[dict]:
+    """Stand-in dataset statistics (Table III)."""
+    rows = []
+    for key in keys or dataset_names():
+        graph = load_dataset(key)
+        stats = graph_stats(graph, name=key)
+        rows.append(
+            {
+                "dataset": key,
+                "V": stats.n,
+                "E": stats.m,
+                "davg": round(stats.avg_degree, 1),
+                "diameter_lb": stats.diameter_lb,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 1 / Fig 5 — indexing time
+# ----------------------------------------------------------------------
+def exp_indexing_time(
+    keys: Sequence[str] | None = None,
+    threads: int = DEFAULT_THREADS,
+    num_landmarks: int = DEFAULT_LANDMARKS,
+) -> list[dict]:
+    """Indexing time (s): HP-SPC vs PSPC (1 thread) vs PSPC+ (simulated)."""
+    rows = []
+    for key in keys or dataset_names():
+        graph = load_dataset(key)
+        _, hpspc_seconds = _build(graph, "hpspc", cache_key=key, fresh=True)
+        pspc_index, pspc_seconds = _build(
+            graph, "pspc", cache_key=key, fresh=True, num_landmarks=num_landmarks
+        )
+        rows.append(
+            {
+                "dataset": key,
+                "hpspc_s": round(hpspc_seconds, 3),
+                "pspc_s": round(pspc_seconds, 3),
+                "pspc_plus_s": round(_simulated_seconds(pspc_index, threads), 3),
+                "threads": threads,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 2 / Fig 6 — index size
+# ----------------------------------------------------------------------
+def exp_index_size(keys: Sequence[str] | None = None) -> list[dict]:
+    """Index size (MB) for the three algorithms; PSPC == PSPC+ by design."""
+    rows = []
+    for key in keys or dataset_names():
+        graph = load_dataset(key)
+        hpspc_index, _ = _build(graph, "hpspc", cache_key=key)
+        pspc_index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        rows.append(
+            {
+                "dataset": key,
+                "hpspc_mb": round(hpspc_index.size_mb(), 4),
+                "pspc_mb": round(pspc_index.size_mb(), 4),
+                "pspc_plus_mb": round(pspc_index.size_mb(), 4),
+                "identical": hpspc_index.labels == pspc_index.labels,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 3 / Fig 7 — query time
+# ----------------------------------------------------------------------
+def exp_query_time(
+    keys: Sequence[str] | None = None,
+    n_queries: int = DEFAULT_QUERY_COUNT,
+    threads: int = DEFAULT_THREADS,
+) -> list[dict]:
+    """Mean query latency (microseconds) and the PSPC+ parallel projection."""
+    rows = []
+    for key in keys or dataset_names():
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        pairs = random_query_pairs(graph, n_queries, seed=7)
+        start = time.perf_counter()
+        for s, t in pairs:
+            spc_query(index.labels, s, t)
+        elapsed = time.perf_counter() - start
+        mean_us = elapsed / n_queries * 1e6
+        costs = index.query_batch_costs(pairs)
+        base = simulated_query_units(costs, 1)
+        target = simulated_query_units(costs, threads)
+        rows.append(
+            {
+                "dataset": key,
+                "queries": n_queries,
+                "mean_us": round(mean_us, 2),
+                "pspc_plus_mean_us": round(mean_us * target / base, 2),
+                "threads": threads,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 4 / Figs 8-9 — speedup curves
+# ----------------------------------------------------------------------
+def exp_build_speedup(
+    keys: Sequence[str] = ("FB", "GO", "GW", "WI"),
+    threads: Iterable[int] = (1, 2, 4, 8, 12, 16, 20),
+    schedule: str = "dynamic",
+) -> list[dict]:
+    """Indexing speedup vs thread count (Fig. 8), from the work-unit model."""
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        base = simulated_build_units(index.stats, index.order, 1, schedule)
+        for t in threads:
+            units = simulated_build_units(index.stats, index.order, t, schedule)
+            rows.append(
+                {
+                    "dataset": key,
+                    "threads": t,
+                    "speedup": round(base / units, 2),
+                }
+            )
+    return rows
+
+
+def exp_query_speedup(
+    keys: Sequence[str] = ("FB", "GO", "GW", "WI"),
+    threads: Iterable[int] = (1, 2, 4, 8, 12, 16, 20),
+    n_queries: int = DEFAULT_QUERY_COUNT,
+) -> list[dict]:
+    """Query-batch speedup vs thread count (Fig. 9)."""
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        pairs = random_query_pairs(graph, n_queries, seed=7)
+        costs = index.query_batch_costs(pairs)
+        base = simulated_query_units(costs, 1)
+        for t in threads:
+            units = simulated_query_units(costs, t)
+            rows.append(
+                {
+                    "dataset": key,
+                    "threads": t,
+                    "speedup": round(base / units, 2),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 5 / Fig 10 — ablations
+# ----------------------------------------------------------------------
+def exp_ablation_landmarks(
+    keys: Sequence[str] = ("FB", "GW", "WI", "GO"),
+    threads: int = DEFAULT_THREADS,
+    num_landmarks: int = DEFAULT_LANDMARKS,
+) -> list[dict]:
+    """Fig. 10(a): indexing time with (LL) and without (NLL) landmarks."""
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        no_lm, _ = _build(graph, "pspc", cache_key=key, num_landmarks=0)
+        with_lm, _ = _build(graph, "pspc", cache_key=key, num_landmarks=num_landmarks)
+        rows.append(
+            {
+                "dataset": key,
+                "nll_s": round(_simulated_seconds(no_lm, threads), 3),
+                "ll_s": round(_simulated_seconds(with_lm, threads), 3),
+                # machine-independent view: construction work units
+                "nll_work": no_lm.stats.total_work,
+                "ll_work": with_lm.stats.total_work,
+                "identical_index": no_lm.labels == with_lm.labels,
+            }
+        )
+    return rows
+
+
+def exp_ablation_schedule(
+    keys: Sequence[str] = ("FB", "GW", "WI", "GO"),
+    threads: int = DEFAULT_THREADS,
+) -> list[dict]:
+    """Fig. 10(b): static vs cost-function dynamic schedule at 20 threads."""
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        rows.append(
+            {
+                "dataset": key,
+                "static_s": round(_simulated_seconds(index, threads, "static"), 3),
+                "dynamic_s": round(_simulated_seconds(index, threads, "dynamic"), 3),
+            }
+        )
+    return rows
+
+
+def exp_ablation_order(
+    keys: Sequence[str] = ("FB", "GW", "WI", "GO", "BE", "YT"),
+    threads: int = DEFAULT_THREADS,
+) -> list[dict]:
+    """Fig. 10(c): degree vs significant-path vs hybrid node order."""
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        row: dict = {"dataset": key}
+        for label, ordering in (
+            ("degree_s", "degree"),
+            ("sig_s", "significant-path"),
+            ("hybrid_s", "hybrid"),
+        ):
+            index, _ = _build(graph, "pspc", cache_key=key, ordering=ordering)
+            row[label] = round(_simulated_seconds(index, threads), 3)
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 6 / Fig 11 — hybrid threshold delta
+# ----------------------------------------------------------------------
+def exp_delta_effect(
+    keys: Sequence[str] = ("FB", "GW", "WI", "GO"),
+    deltas: Sequence[int] = (0, 2, 5, 10, 20),
+    n_queries: int = 500,
+    threads: int = DEFAULT_THREADS,
+) -> list[dict]:
+    """Fig. 11: index time / size / query time as the hybrid delta varies."""
+    from repro.ordering.hybrid import hybrid_order  # local to avoid cycle
+
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        pairs = random_query_pairs(graph, n_queries, seed=7)
+        for delta in deltas:
+            order = hybrid_order(graph, delta=delta)
+            index, _ = _build(graph, "pspc", cache_key=key, ordering=order)
+            start = time.perf_counter()
+            for s, t in pairs:
+                spc_query(index.labels, s, t)
+            query_us = (time.perf_counter() - start) / n_queries * 1e6
+            rows.append(
+                {
+                    "dataset": key,
+                    "delta": delta,
+                    "index_s": round(_simulated_seconds(index, threads), 3),
+                    "size_mb": round(index.size_mb(), 4),
+                    "query_us": round(query_us, 2),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 7 / Fig 12 — number of landmarks
+# ----------------------------------------------------------------------
+def exp_landmark_count(
+    keys: Sequence[str] = ("FB", "GO", "GW", "WI"),
+    counts: Sequence[int] = (0, 50, 100, 150, 200, 250),
+    threads: int = DEFAULT_THREADS,
+) -> list[dict]:
+    """Fig. 12: indexing time as the landmark count sweeps 0..250."""
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        for count in counts:
+            index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=count)
+            rows.append(
+                {
+                    "dataset": key,
+                    "landmarks": count,
+                    "index_s": round(_simulated_seconds(index, threads), 3),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp 8 / Fig 13 — phase breakdown
+# ----------------------------------------------------------------------
+def exp_time_breakdown(
+    keys: Sequence[str] | None = None,
+    num_landmarks: int = DEFAULT_LANDMARKS,
+) -> list[dict]:
+    """Fig. 13: ordering vs landmark-labeling vs label-construction time."""
+    rows = []
+    for key in keys or dataset_names():
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=num_landmarks)
+        stats = index.stats
+        rows.append(
+            {
+                "dataset": key,
+                "order_s": round(stats.phase("order"), 4),
+                "landmarks_s": round(stats.phase("landmarks"), 4),
+                "construction_s": round(stats.phase("construction"), 4),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+def format_rows(rows: list[dict], title: str = "") -> str:
+    """Render rows as an aligned text table (for benches and the CLI)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Terminal plotting for the experiment harness (no plotting deps offline).
+
+Renders the paper's figure types as ASCII:
+
+* :func:`line_chart` — speedup-vs-threads curves (Figs. 8-9);
+* :func:`bar_chart` — per-dataset grouped bars on a log axis (Figs. 5-7);
+
+Used by the CLI's ``bench`` subcommand (``--plot``) and by the benchmark
+result files, so a reviewer can eyeball the curve shapes straight from the
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot one or more ``(x, y)`` series as an ASCII chart.
+
+    Each series gets the first letter of its name as the marker; collisions
+    render as ``*``.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, pts in series.items():
+        marker = name[0] if name else "*"
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = "*" if grid[row][col] not in (" ", marker) else marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>8.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_lo:>8.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<10.0f}{'':^{max(width - 20, 0)}}{x_hi:>10.0f}")
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    label_key: str,
+    value_keys: Sequence[str],
+    width: int = 48,
+    log: bool = True,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars, one group per row (log scale by default)."""
+    values = [float(r[k]) for r in rows for k in value_keys if float(r[k]) > 0]
+    if not values:
+        return f"{title}\n(no data)"
+    v_hi = max(values)
+    v_lo = min(values)
+
+    def bar_len(v: float) -> int:
+        if v <= 0:
+            return 0
+        if log and v_hi > v_lo:
+            frac = (math.log10(v) - math.log10(v_lo)) / (math.log10(v_hi) - math.log10(v_lo))
+        else:
+            frac = v / v_hi
+        return max(1, int(round(frac * (width - 1))) + 1)
+
+    label_width = max(len(str(r[label_key])) for r in rows)
+    key_width = max(len(k) for k in value_keys)
+    lines = [title] if title else []
+    for r in rows:
+        for i, key in enumerate(value_keys):
+            label = str(r[label_key]) if i == 0 else ""
+            v = float(r[key])
+            lines.append(
+                f"{label:>{label_width}} {key:<{key_width}} "
+                f"|{'#' * bar_len(v):<{width}}| {v:g}"
+            )
+    scale = "log" if log else "linear"
+    lines.append(f"({scale} scale, range {v_lo:g} .. {v_hi:g})")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Markdown report generation from recorded benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` writes each experiment's rows to
+``benchmarks/results/<name>.json``.  :func:`generate_report` folds whatever
+is present into one Markdown document — the machine-written companion to
+the hand-written analysis in ``EXPERIMENTS.md`` — so re-running the suite
+on new hardware regenerates all measured tables in one step:
+
+>>> from repro.experiments.report import generate_report   # doctest: +SKIP
+>>> print(generate_report("benchmarks/results"))            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DatasetError
+
+__all__ = ["load_results", "rows_to_markdown", "generate_report", "EXPERIMENT_TITLES"]
+
+#: Display order and titles; unknown result files are appended alphabetically.
+EXPERIMENT_TITLES: dict[str, str] = {
+    "table2_example": "Table II — running-example labels",
+    "table3_datasets": "Table III — dataset statistics",
+    "fig5_indexing_time": "Fig. 5 — indexing time (s)",
+    "fig6_index_size": "Fig. 6 — index size (MB)",
+    "fig7_query_time": "Fig. 7 — query time (µs)",
+    "fig8_indexing_speedup": "Fig. 8 — indexing speedup vs threads",
+    "fig9_query_speedup": "Fig. 9 — query speedup vs threads",
+    "fig10a_landmarks": "Fig. 10(a) — landmark labeling",
+    "fig10b_schedule": "Fig. 10(b) — schedule plan",
+    "fig10c_node_order": "Fig. 10(c) — node order",
+    "fig11_delta": "Fig. 11 — effect of δ",
+    "fig12_landmarks": "Fig. 12 — effect of #landmarks",
+    "fig13_breakdown": "Fig. 13 — indexing-time breakdown",
+    "baseline_comparison": "Extra — index vs online BFS",
+    "reduction_ablation": "Extra — reduction ablation",
+}
+
+
+def load_results(results_dir: str | Path) -> dict[str, list[dict]]:
+    """Read every ``<name>.json`` under ``results_dir`` into row lists."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise DatasetError(f"results directory {directory} does not exist")
+    results: dict[str, list[dict]] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            rows = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}: corrupt result file: {exc}") from exc
+        if isinstance(rows, list):
+            results[path.stem] = rows
+    return results
+
+
+def rows_to_markdown(rows: list[dict]) -> str:
+    """Render uniform row dicts as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "_(no rows)_"
+    columns = list(rows[0])
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def generate_report(results_dir: str | Path, title: str = "Measured results") -> str:
+    """Assemble all recorded experiments into one Markdown document."""
+    results = load_results(results_dir)
+    ordered = [name for name in EXPERIMENT_TITLES if name in results]
+    ordered += sorted(set(results) - set(EXPERIMENT_TITLES))
+    parts = [f"# {title}", ""]
+    if not ordered:
+        parts.append("_No recorded results; run `pytest benchmarks/ --benchmark-only`._")
+    for name in ordered:
+        parts.append(f"## {EXPERIMENT_TITLES.get(name, name)}")
+        parts.append("")
+        parts.append(rows_to_markdown(results[name]))
+        parts.append("")
+    return "\n".join(parts)

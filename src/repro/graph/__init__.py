@@ -1,0 +1,66 @@
+"""Graph substrate: CSR graphs, builders, generators, I/O and statistics."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    barabasi_albert,
+    caveman,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_road_network,
+    path_graph,
+    powerlaw_cluster,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.graph import Graph
+from repro.graph.kcore import CoreFringe, core_fringe, core_numbers, k_core_vertices
+from repro.graph.properties import (
+    GraphStats,
+    connected_components,
+    diameter_double_sweep,
+    diameter_exact,
+    graph_stats,
+    is_connected,
+    largest_component,
+)
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs_counting,
+    bfs_distances,
+    distance_pair,
+    spc_pair,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "UNREACHABLE",
+    "bfs_counting",
+    "bfs_distances",
+    "spc_pair",
+    "distance_pair",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "diameter_exact",
+    "diameter_double_sweep",
+    "graph_stats",
+    "GraphStats",
+    "core_numbers",
+    "k_core_vertices",
+    "core_fringe",
+    "CoreFringe",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "powerlaw_cluster",
+    "grid_road_network",
+    "random_tree",
+    "caveman",
+    "complete_graph",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+]

@@ -1,0 +1,85 @@
+"""Incremental construction of :class:`~repro.graph.graph.Graph` objects.
+
+:class:`GraphBuilder` accepts arbitrary hashable vertex names, assigns dense
+integer ids in first-seen order, and produces an immutable CSR graph plus the
+name mapping.  This is the entry point used by the file readers in
+:mod:`repro.graph.io` and by user code assembling graphs from application
+data (e.g. road segments keyed by OSM ids).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges over arbitrary vertex names and builds a graph.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> b.add_edge("amsterdam", "utrecht")
+    >>> b.add_edge("utrecht", "arnhem")
+    >>> g, names = b.build()
+    >>> g.n, g.m
+    (3, 2)
+    >>> names[0]
+    'amsterdam'
+    """
+
+    def __init__(self) -> None:
+        self._id_of_name: dict[Hashable, int] = {}
+        self._names: list[Hashable] = []
+        self._edges: list[tuple[int, int]] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of distinct vertices seen so far."""
+        return len(self._names)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of ``add_edge`` calls recorded (before deduplication)."""
+        return len(self._edges)
+
+    def vertex_id(self, name: Hashable) -> int:
+        """Return the dense id for ``name``, registering it if new."""
+        existing = self._id_of_name.get(name)
+        if existing is not None:
+            return existing
+        vid = len(self._names)
+        self._id_of_name[name] = vid
+        self._names.append(name)
+        return vid
+
+    def add_vertex(self, name: Hashable) -> int:
+        """Ensure ``name`` exists as an (initially isolated) vertex."""
+        return self.vertex_id(name)
+
+    def add_edge(self, a: Hashable, b: Hashable) -> None:
+        """Record the undirected edge between vertices named ``a`` and ``b``."""
+        self._edges.append((self.vertex_id(a), self.vertex_id(b)))
+
+    def add_edges(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Record many edges at once."""
+        for a, b in pairs:
+            self.add_edge(a, b)
+
+    def build(self) -> tuple[Graph, list[Hashable]]:
+        """Finalise into ``(graph, names)`` where ``names[id] -> original name``.
+
+        The builder is single-shot: building twice raises :class:`GraphError`
+        to avoid silently sharing mutable state between two graphs.
+        """
+        if self._built:
+            raise GraphError("GraphBuilder.build() may only be called once")
+        self._built = True
+        graph = Graph(len(self._names), self._edges)
+        return graph, list(self._names)

@@ -1,0 +1,261 @@
+"""Immutable undirected, unweighted graph stored in CSR form.
+
+The paper (Section II) works exclusively with undirected, unweighted graphs;
+directed inputs are symmetrised on load.  :class:`Graph` is the substrate for
+every other subsystem: orderings, the HP-SPC baseline, the PSPC builder, the
+reductions and the benchmark harness all consume this type.
+
+The representation is a standard compressed-sparse-row adjacency:
+
+* ``indptr`` — ``int64`` array of length ``n + 1``;
+* ``indices`` — ``int32`` array of length ``2m`` with neighbour lists sorted
+  ascending inside each row.
+
+Vertices are dense integers ``0..n-1``.  Construction canonicalises the edge
+set: self-loops are dropped, parallel edges are deduplicated and both
+directions are stored.  Optional per-vertex integer *weights* (multiplicities)
+support the neighbourhood-equivalence reduction of Section IV-B; a plain
+graph has weight 1 everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, VertexError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected, unweighted graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertex ids are ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Order, duplicates and self-loops are
+        all tolerated and canonicalised away.
+    vertex_weights:
+        Optional sequence of positive integer multiplicities, used by the
+        equivalence reduction.  ``None`` means weight 1 for every vertex.
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2)])
+    >>> g.n, g.m
+    (3, 2)
+    >>> list(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_n", "_indptr", "_indices", "_weights")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]],
+        vertex_weights: Sequence[int] | None = None,
+    ) -> None:
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._n = int(n)
+        pairs = self._canonical_pairs(edges)
+        self._indptr, self._indices = self._build_csr(pairs)
+        self._weights = self._validate_weights(vertex_weights)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _canonical_pairs(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+        """Return a deduplicated ``(k, 2)`` array of undirected edges ``u < v``."""
+        rows = []
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if not 0 <= u < self._n:
+                raise VertexError(u, self._n)
+            if not 0 <= v < self._n:
+                raise VertexError(v, self._n)
+            if u == v:
+                continue
+            rows.append((u, v) if u < v else (v, u))
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        arr = np.array(rows, dtype=np.int64)
+        return np.unique(arr, axis=0)
+
+    def _build_csr(self, pairs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        heads = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        tails = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        tails = tails[order]
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.add.at(indptr, heads + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return indptr, tails.astype(np.int32)
+
+    def _validate_weights(self, weights: Sequence[int] | None) -> np.ndarray:
+        if weights is None:
+            return np.ones(self._n, dtype=np.int64)
+        arr = np.asarray(weights, dtype=np.int64)
+        if arr.shape != (self._n,):
+            raise GraphError(
+                f"vertex_weights must have length {self._n}, got shape {arr.shape}"
+            )
+        if self._n and int(arr.min()) < 1:
+            raise GraphError("vertex weights must be positive integers")
+        return arr
+
+    @classmethod
+    def _from_csr(
+        cls, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray
+    ) -> "Graph":
+        """Internal trusted constructor used by :meth:`subgraph` and I/O."""
+        g = cls.__new__(cls)
+        g._n = len(indptr) - 1
+        g._indptr = indptr
+        g._indices = indices
+        g._weights = weights
+        return g
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self._indices) // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (length ``n + 1``); treat as read-only."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column array (length ``2m``); treat as read-only."""
+        return self._indices
+
+    @property
+    def vertex_weights(self) -> np.ndarray:
+        """Per-vertex multiplicities (all ones for a plain graph)."""
+        return self._weights
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether any vertex has multiplicity > 1 (equivalence-reduced graph)."""
+        return bool((self._weights != 1).any())
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` (number of distinct neighbours)."""
+        self._check_vertex(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices as an ``int64`` array."""
+        return np.diff(self._indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of ``v`` (a view into CSR storage)."""
+        self._check_vertex(v)
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and int(row[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def average_degree(self) -> float:
+        """Average degree ``2m / n`` (the paper's ``davg`` column)."""
+        if self._n == 0:
+            return 0.0
+        return 2.0 * self.m / self._n
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise VertexError(v, self._n)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``keep``.
+
+        Returns the subgraph (with vertices relabelled ``0..len(keep)-1`` in
+        the order given) and the mapping array ``old_of_new`` such that
+        ``old_of_new[new_id] == old_id``.
+        """
+        keep_arr = np.asarray(list(keep), dtype=np.int64)
+        if len(np.unique(keep_arr)) != len(keep_arr):
+            raise GraphError("subgraph vertex list contains duplicates")
+        new_of_old = np.full(self._n, -1, dtype=np.int64)
+        for new, old in enumerate(keep_arr):
+            self._check_vertex(int(old))
+            new_of_old[old] = new
+        edges = []
+        for old_u in keep_arr:
+            new_u = new_of_old[old_u]
+            for old_v in self.neighbors(int(old_u)):
+                new_v = new_of_old[old_v]
+                if new_v >= 0 and new_u < new_v:
+                    edges.append((int(new_u), int(new_v)))
+        sub = Graph(len(keep_arr), edges, vertex_weights=self._weights[keep_arr])
+        return sub, keep_arr
+
+    def relabeled(self, new_of_old: Sequence[int]) -> "Graph":
+        """Return a copy with vertex ``v`` renamed to ``new_of_old[v]``.
+
+        ``new_of_old`` must be a permutation of ``0..n-1``.
+        """
+        perm = np.asarray(new_of_old, dtype=np.int64)
+        if perm.shape != (self._n,) or not np.array_equal(
+            np.sort(perm), np.arange(self._n)
+        ):
+            raise GraphError("relabeling must be a permutation of 0..n-1")
+        edges = [(int(perm[u]), int(perm[v])) for u, v in self.edges()]
+        weights = np.empty(self._n, dtype=np.int64)
+        weights[perm] = self._weights
+        return Graph(self._n, edges, vertex_weights=weights)
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._weights, other._weights)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        tag = ", weighted" if self.is_weighted else ""
+        return f"Graph(n={self._n}, m={self.m}{tag})"

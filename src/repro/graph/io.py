@@ -1,0 +1,180 @@
+"""Graph serialisation: edge lists (SNAP/KONECT style), METIS, and NPZ.
+
+The paper's datasets come from SNAP, KONECT and LAW; all three distribute
+whitespace-separated edge lists with ``#`` or ``%`` comment headers, handled
+by :func:`read_edge_list`.  Directed inputs are symmetrised, matching the
+paper's setting ("Directed graphs were converted to undirected ones").
+
+For fast round-tripping of generated benchmark graphs we also provide a
+binary NPZ format storing the CSR arrays directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "save_npz",
+    "load_npz",
+    "save_json",
+    "load_json",
+]
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _tokenised_lines(handle: IO[str]) -> Iterator[list[str]]:
+    for raw in handle:
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        yield line.split()
+
+
+def read_edge_list(path: str | Path, relabel: bool = True) -> Graph:
+    """Read a whitespace-separated edge list (SNAP / KONECT style).
+
+    Lines starting with ``#``, ``%`` or ``//`` are comments.  Each data line
+    must start with two integer vertex ids; extra columns (timestamps,
+    weights) are ignored.  With ``relabel=True`` (default) arbitrary ids are
+    compacted to ``0..n-1`` in first-seen order; with ``relabel=False`` the
+    ids are used directly and must be non-negative.
+    """
+    path = Path(path)
+    builder = GraphBuilder()
+    raw_edges: list[tuple[int, int]] = []
+    max_id = -1
+    with path.open() as handle:
+        for lineno, tokens in enumerate(_tokenised_lines(handle), start=1):
+            if len(tokens) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected two vertex ids")
+            try:
+                u, v = int(tokens[0]), int(tokens[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id {tokens[:2]}"
+                ) from exc
+            if relabel:
+                builder.add_edge(u, v)
+            else:
+                if u < 0 or v < 0:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: negative id with relabel=False"
+                    )
+                raw_edges.append((u, v))
+                max_id = max(max_id, u, v)
+    if relabel:
+        graph, _ = builder.build()
+        return graph
+    return Graph(max_id + 1, raw_edges)
+
+
+def write_edge_list(graph: Graph, path: str | Path, header: str = "") -> None:
+    """Write an edge list with one ``u v`` line per undirected edge."""
+    path = Path(path)
+    with path.open("w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# n={graph.n} m={graph.m}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_metis(path: str | Path) -> Graph:
+    """Read a METIS adjacency file (1-indexed neighbour lists)."""
+    path = Path(path)
+    with path.open() as handle:
+        lines = list(_tokenised_lines(handle))
+    if not lines:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    try:
+        n, m = int(lines[0][0]), int(lines[0][1])
+    except (ValueError, IndexError) as exc:
+        raise GraphFormatError(f"{path}: bad METIS header {lines[0]}") from exc
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"{path}: header declares {n} vertices but file has {len(lines) - 1} rows"
+        )
+    edges = []
+    for u, tokens in enumerate(lines[1:]):
+        for token in tokens:
+            v = int(token) - 1
+            if not 0 <= v < n:
+                raise GraphFormatError(f"{path}: neighbour {token} out of range")
+            if u < v:
+                edges.append((u, v))
+    graph = Graph(n, edges)
+    if graph.m != m:
+        raise GraphFormatError(
+            f"{path}: header declares {m} edges but adjacency encodes {graph.m}"
+        )
+    return graph
+
+
+def write_metis(graph: Graph, path: str | Path) -> None:
+    """Write a METIS adjacency file."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"{graph.n} {graph.m}\n")
+        for u in range(graph.n):
+            handle.write(" ".join(str(int(v) + 1) for v in graph.neighbors(u)) + "\n")
+
+
+def save_npz(graph: Graph, path: str | Path) -> None:
+    """Save the CSR arrays (and vertex weights) to a compressed ``.npz``."""
+    np.savez_compressed(
+        Path(path),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.vertex_weights,
+    )
+
+
+def load_npz(path: str | Path) -> Graph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        try:
+            indptr = data["indptr"]
+            indices = data["indices"]
+            weights = data["weights"]
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing CSR array {exc}") from exc
+    return Graph._from_csr(
+        indptr.astype(np.int64), indices.astype(np.int32), weights.astype(np.int64)
+    )
+
+
+def save_json(graph: Graph, path: str | Path) -> None:
+    """Save as a small JSON document (debug-friendly; edges listed once)."""
+    doc = {
+        "n": graph.n,
+        "edges": [[u, v] for u, v in graph.edges()],
+        "weights": graph.vertex_weights.tolist(),
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_json(path: str | Path) -> Graph:
+    """Load a graph previously written by :func:`save_json`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+        return Graph(
+            doc["n"],
+            [tuple(e) for e in doc["edges"]],
+            vertex_weights=doc.get("weights"),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise GraphFormatError(f"{path}: invalid JSON graph document: {exc}") from exc

@@ -1,0 +1,166 @@
+"""k-core decomposition and the core–fringe split used by Section IV-A.
+
+The paper's 1-shell reduction removes the *fringe* — the forest of vertices
+peeled away by iteratively deleting degree-1 vertices — and indexes only the
+2-core.  This module provides the generic k-core machinery plus the
+specialised :func:`core_fringe` split that records, for every fringe vertex,
+its parent towards the core, its anchor (first 2-core vertex on its unique
+path to the core) and its depth, which is exactly what the reduced query
+evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["core_numbers", "k_core_vertices", "CoreFringe", "core_fringe"]
+
+
+def core_numbers(graph: Graph) -> np.ndarray:
+    """Core number of every vertex (standard peeling algorithm, O(m))."""
+    n = graph.n
+    deg = graph.degrees().copy()
+    core = np.zeros(n, dtype=np.int64)
+    order = np.argsort(deg, kind="stable")
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    # bin boundaries for bucket-based peeling
+    max_deg = int(deg.max()) if n else 0
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    for d in deg:
+        bin_start[d + 1] += 1
+    np.cumsum(bin_start, out=bin_start)
+    bins = bin_start[:-1].copy()
+    order = order.copy()
+    for i in range(n):
+        u = int(order[i])
+        core[u] = deg[u]
+        for v in graph.neighbors(u):
+            v = int(v)
+            if deg[v] > deg[u]:
+                # swap v to the front of its degree bucket, then shrink it
+                dv = int(deg[v])
+                pos_v = int(position[v])
+                pos_w = int(bins[dv])
+                w = int(order[pos_w])
+                if v != w:
+                    order[pos_v], order[pos_w] = w, v
+                    position[v], position[w] = pos_w, pos_v
+                bins[dv] += 1
+                deg[v] -= 1
+    return core
+
+
+def k_core_vertices(graph: Graph, k: int) -> np.ndarray:
+    """Vertices of the k-core (possibly empty)."""
+    return np.flatnonzero(core_numbers(graph) >= k)
+
+
+@dataclass(frozen=True)
+class CoreFringe:
+    """Result of the 1-shell (core–fringe) split.
+
+    Attributes
+    ----------
+    core_graph:
+        Induced subgraph on the 2-core, vertices relabelled ``0..k-1``.
+    core_of_old:
+        Length-``n`` array mapping original ids to core ids (``-1`` for
+        fringe vertices).
+    old_of_core:
+        Inverse mapping, length ``k``.
+    parent:
+        For fringe vertices, the original id of the next vertex on the unique
+        path towards the core; ``-1`` for core vertices.  When the whole
+        component is a tree (empty 2-core) the component root has ``-1``.
+    anchor:
+        Original id of the first 2-core vertex reached (the attachment
+        point); for tree components without a core this is the component
+        root's own id.
+    depth:
+        Distance from each vertex to its anchor (0 for core vertices).
+    """
+
+    core_graph: Graph
+    core_of_old: np.ndarray
+    old_of_core: np.ndarray
+    parent: np.ndarray
+    anchor: np.ndarray
+    depth: np.ndarray
+
+    @property
+    def fringe_size(self) -> int:
+        """Number of vertices peeled into the fringe."""
+        return int((self.core_of_old < 0).sum())
+
+
+def core_fringe(graph: Graph) -> CoreFringe:
+    """Split ``graph`` into its 2-core and the forest fringe.
+
+    Peels degree-1 vertices iteratively.  Each peeled vertex records the
+    neighbour it was attached to when removed (``parent``); following parents
+    leads to the 2-core (or, for tree components, to the last surviving
+    vertex, which acts as that tree's anchor).
+    """
+    n = graph.n
+    deg = graph.degrees().copy().astype(np.int64)
+    removed = np.zeros(n, dtype=bool)
+    parent = np.full(n, -1, dtype=np.int64)
+    # queue of current degree-<=1 vertices
+    stack = [int(v) for v in np.flatnonzero(deg <= 1)]
+    while stack:
+        u = stack.pop()
+        if removed[u]:
+            continue
+        removed[u] = True
+        for v in graph.neighbors(u):
+            v = int(v)
+            if not removed[v]:
+                parent[u] = v
+                deg[v] -= 1
+                if deg[v] <= 1:
+                    stack.append(v)
+    # Isolated vertices and tree roots may be removed with no live neighbour:
+    # they keep parent == -1 and anchor themselves.
+    core_ids = np.flatnonzero(~removed)
+    core_graph, old_of_core = graph.subgraph(core_ids)
+    core_of_old = np.full(n, -1, dtype=np.int64)
+    core_of_old[old_of_core] = np.arange(len(old_of_core))
+
+    anchor = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    anchor[~removed] = np.flatnonzero(~removed)
+
+    def resolve(u: int) -> None:
+        chain = []
+        x = u
+        while anchor[x] < 0:
+            chain.append(x)
+            p = int(parent[x])
+            if p < 0:  # root of a coreless tree component anchors itself
+                anchor[x] = x
+                depth[x] = 0
+                chain.pop()
+                break
+            x = p
+        base_anchor = int(anchor[x])
+        base_depth = int(depth[x])
+        for back, y in enumerate(reversed(chain), start=1):
+            anchor[y] = base_anchor
+            depth[y] = base_depth + back
+
+    for u in range(n):
+        if anchor[u] < 0:
+            resolve(u)
+    return CoreFringe(
+        core_graph=core_graph,
+        core_of_old=core_of_old,
+        old_of_core=old_of_core,
+        parent=parent,
+        anchor=anchor,
+        depth=depth,
+    )

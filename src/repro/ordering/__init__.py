@@ -1,0 +1,58 @@
+"""Vertex-ordering strategies (Section III-G of the paper)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import OrderingError
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder, identity_order, rank_of_order, validate_order
+from repro.ordering.degree import degree_order
+from repro.ordering.hybrid import DEFAULT_DELTA, hybrid_order
+from repro.ordering.metrics import (
+    OrderQuality,
+    degree_rank_correlation,
+    top_vertex_rank_profile,
+)
+from repro.ordering.significant_path import significant_path_order
+from repro.ordering.tree_decomposition import mde_elimination, tree_decomposition_order
+
+__all__ = [
+    "VertexOrder",
+    "validate_order",
+    "rank_of_order",
+    "identity_order",
+    "degree_order",
+    "significant_path_order",
+    "tree_decomposition_order",
+    "mde_elimination",
+    "hybrid_order",
+    "DEFAULT_DELTA",
+    "OrderQuality",
+    "top_vertex_rank_profile",
+    "degree_rank_correlation",
+    "get_ordering",
+    "ORDERINGS",
+]
+
+#: Registry of named ordering strategies usable from the CLI and harness.
+ORDERINGS: dict[str, Callable[[Graph], VertexOrder]] = {
+    "degree": degree_order,
+    "significant-path": significant_path_order,
+    "tree-decomposition": tree_decomposition_order,
+    "hybrid": hybrid_order,
+    "identity": identity_order,
+}
+
+
+def get_ordering(name: str) -> Callable[[Graph], VertexOrder]:
+    """Look up an ordering strategy by name.
+
+    Raises :class:`~repro.errors.OrderingError` listing the valid names when
+    ``name`` is unknown.
+    """
+    try:
+        return ORDERINGS[name]
+    except KeyError:
+        known = ", ".join(sorted(ORDERINGS))
+        raise OrderingError(f"unknown ordering {name!r}; expected one of: {known}") from None

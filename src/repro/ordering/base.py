@@ -1,0 +1,85 @@
+"""Vertex-ordering framework.
+
+A *total order* over vertices drives both HP-SPC and PSPC (Section III-G of
+the paper): labels only ever point from a vertex to a higher-ranked hub, so a
+good order ranks vertices that cover many shortest paths first.
+
+Conventions used throughout the repository:
+
+* ``order`` — array of vertex ids, ``order[0]`` is the **highest-ranked**
+  (most important) vertex;
+* ``rank`` — inverse permutation, ``rank[v]`` is the position of ``v`` in
+  ``order``; *smaller rank = higher priority*.  ``rank[w] < rank[u]`` is the
+  paper's ``w <= u`` ("w has a higher rank than v" in Table I's notation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.graph import Graph
+
+__all__ = ["VertexOrder", "validate_order", "rank_of_order"]
+
+
+def validate_order(order: np.ndarray, n: int) -> np.ndarray:
+    """Check that ``order`` is a permutation of ``0..n-1`` and return it as int64."""
+    arr = np.asarray(order, dtype=np.int64)
+    if arr.shape != (n,):
+        raise OrderingError(f"order must have length {n}, got shape {arr.shape}")
+    if not np.array_equal(np.sort(arr), np.arange(n)):
+        raise OrderingError("order is not a permutation of 0..n-1")
+    return arr
+
+
+def rank_of_order(order: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``rank[order[i]] == i``."""
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order))
+    return rank
+
+
+@dataclass(frozen=True)
+class VertexOrder:
+    """A validated total order over the vertices of one graph.
+
+    Attributes
+    ----------
+    order:
+        ``order[i]`` is the vertex with rank ``i`` (0 = highest priority).
+    rank:
+        Inverse permutation of ``order``.
+    strategy:
+        Name of the strategy that produced the order (for reporting).
+    """
+
+    order: np.ndarray
+    rank: np.ndarray = field(repr=False)
+    strategy: str = "custom"
+
+    @classmethod
+    def from_order(cls, order: np.ndarray, n: int, strategy: str = "custom") -> "VertexOrder":
+        """Build from an order array, validating it is a permutation."""
+        arr = validate_order(order, n)
+        return cls(order=arr, rank=rank_of_order(arr), strategy=strategy)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices covered by the order."""
+        return len(self.order)
+
+    def outranks(self, w: int, u: int) -> bool:
+        """Whether ``w`` is ranked strictly higher (more important) than ``u``."""
+        return bool(self.rank[w] < self.rank[u])
+
+    def top(self, k: int) -> np.ndarray:
+        """The ``k`` highest-ranked vertices."""
+        return self.order[:k]
+
+
+def identity_order(graph: Graph) -> VertexOrder:
+    """Order vertices by id — a degenerate order useful in tests."""
+    return VertexOrder.from_order(np.arange(graph.n), graph.n, strategy="identity")

@@ -1,0 +1,24 @@
+"""Degree-based vertex ordering (Section III-G, "Degree-Based Scheme").
+
+Vertices with higher degree are ranked higher, on the premise that many
+shortest paths pass through well-connected vertices.  Ties are broken by
+vertex id to keep the order deterministic, which the index-equality tests
+(PSPC == HP-SPC) rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder
+
+__all__ = ["degree_order"]
+
+
+def degree_order(graph: Graph) -> VertexOrder:
+    """Rank vertices by descending degree, ids ascending within a tie."""
+    degrees = graph.degrees()
+    # lexsort keys: last key is primary; negate degree for descending.
+    order = np.lexsort((np.arange(graph.n), -degrees))
+    return VertexOrder.from_order(order, graph.n, strategy="degree")

@@ -1,0 +1,116 @@
+"""Significant-path-based vertex ordering (Section III-G).
+
+The scheme of Zhang & Yu picks hub ``w_{i+1}`` by walking the *significant
+path* of the shortest-path tree produced while pushing hub ``w_i``: starting
+at the root, repeatedly descend into the child with the most descendants;
+among the vertices of that path, pick the one maximising
+``deg(v) * (des(par(v)) - des(v))``.  ``w_1`` is the highest-degree vertex.
+
+The tree in the original formulation is the *pruned* BFS tree of the HP-SPC
+construction, which couples ordering to index construction — the dependency
+the paper calls out as hostile to parallelism.  To keep the ordering a
+stand-alone preprocessing stage (as PSPC requires) we build the tree by a
+BFS from ``w_i`` restricted to the not-yet-ordered vertices: previously
+chosen hubs prune exactly the regions they cover, which is the same effect
+the pruned BFS achieves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder
+
+__all__ = ["significant_path_order"]
+
+
+def _bfs_tree_unordered(
+    graph: Graph, root: int, ordered: np.ndarray
+) -> tuple[list[int], np.ndarray]:
+    """BFS tree from ``root`` over unordered vertices.
+
+    Returns (visit order, parent array).  ``ordered[v]`` marks vertices that
+    already have a rank and must not be entered (the root itself may be
+    marked; it is still used as the tree root).
+    """
+    parent = np.full(graph.n, -2, dtype=np.int64)  # -2 = unvisited, -1 = root
+    parent[root] = -1
+    visit = [root]
+    head = 0
+    indptr, indices = graph.indptr, graph.indices
+    while head < len(visit):
+        u = visit[head]
+        head += 1
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            v = int(v)
+            if parent[v] == -2 and not ordered[v]:
+                parent[v] = u
+                visit.append(v)
+    return visit, parent
+
+
+def _descendant_counts(visit: list[int], parent: np.ndarray) -> dict[int, int]:
+    """Number of tree descendants (excluding self) per visited vertex."""
+    des = {v: 0 for v in visit}
+    for v in reversed(visit):
+        p = int(parent[v])
+        if p >= 0:
+            des[p] += des[v] + 1
+    return des
+
+
+def _children_of(visit: list[int], parent: np.ndarray) -> dict[int, list[int]]:
+    children: dict[int, list[int]] = {v: [] for v in visit}
+    for v in visit:
+        p = int(parent[v])
+        if p >= 0:
+            children[p].append(v)
+    return children
+
+
+def significant_path_order(graph: Graph) -> VertexOrder:
+    """Rank vertices by the significant-path heuristic.
+
+    Deterministic: all ties break towards the smaller vertex id.  Falls back
+    to the highest-degree unordered vertex whenever the significant path is
+    empty (isolated regions, exhausted components).
+    """
+    n = graph.n
+    degrees = graph.degrees()
+    ordered = np.zeros(n, dtype=bool)
+    order: list[int] = []
+
+    def best_unordered_by_degree() -> int:
+        candidates = np.flatnonzero(~ordered)
+        return int(candidates[np.argmax(degrees[candidates])])
+
+    current = best_unordered_by_degree() if n else -1
+    while len(order) < n:
+        order.append(current)
+        ordered[current] = True
+        if len(order) == n:
+            break
+        visit, parent = _bfs_tree_unordered(graph, current, ordered)
+        nxt = _pick_next(visit, parent, degrees) if len(visit) > 1 else -1
+        current = nxt if nxt >= 0 else best_unordered_by_degree()
+    return VertexOrder.from_order(np.array(order, dtype=np.int64), n, strategy="significant-path")
+
+
+def _pick_next(visit: list[int], parent: np.ndarray, degrees: np.ndarray) -> int:
+    """Walk the significant path and score its vertices; -1 when empty."""
+    des = _descendant_counts(visit, parent)
+    children = _children_of(visit, parent)
+    root = visit[0]
+    path: list[int] = []
+    node = root
+    while children[node]:
+        node = max(children[node], key=lambda c: (des[c], -c))
+        path.append(node)
+    best, best_score = -1, (-1, 0)
+    for v in path:
+        p = int(parent[v])
+        score = (int(degrees[v]) * (des[p] - des[v]), -v)
+        if score > best_score:
+            best, best_score = v, score
+    return best

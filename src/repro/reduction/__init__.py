@@ -1,0 +1,7 @@
+"""Index-size reductions (Section IV): 1-shell and neighbourhood equivalence."""
+
+from repro.reduction.equivalence import EquivalenceReduction
+from repro.reduction.one_shell import OneShellReduction
+from repro.reduction.pipeline import ReducedSPCIndex
+
+__all__ = ["OneShellReduction", "EquivalenceReduction", "ReducedSPCIndex"]

@@ -1,0 +1,177 @@
+"""Reduction by neighbourhood equivalence (Section IV-B).
+
+Two vertices are *neighbourhood equivalent* (``u = v`` in the paper's
+notation) when ``nbr(u) \\ {v} == nbr(v) \\ {u}``.  Two flavours:
+
+* **non-adjacent twins** — identical open neighbourhoods;
+* **adjacent twins** — identical closed neighbourhoods.
+
+Each equivalence class collapses to one representative carrying an integer
+*weight* (the class size, or the sum of pre-existing weights).  The paper
+warns that "straight application without adjustment might result in findings
+that are grossly underestimated": merging vertices loses the fact that a
+shortest path may route through *any* member of a merged class.  The fix is
+vertex-weighted counting — a path counts the product of its internal
+vertices' weights — which threads through the whole stack (BFS oracle,
+HP-SPC, PSPC, queries).
+
+Why weighted counting is exact:
+
+1. An equivalent twin never lies on a shortest path between its sibling and
+   a third vertex (it would imply ``dist(u, v) + dist(v, t) == dist(u, t)``
+   with ``dist(u, v) in {1, 2}`` while ``dist(v, t) == dist(u, t)`` by the
+   identical neighbourhoods — a contradiction).  So collapsing a class never
+   destroys or conflates distinct shortest paths between other vertices.
+2. Two members of one class can never be consecutive internal vertices of a
+   shortest path (their shared neighbourhood would shortcut them), and a
+   reduced shortest path visits each class at most once (it is simple), so
+   each internal class contributes an independent choice among ``weight``
+   members — exactly the product the weighted count computes.
+
+Same-class queries are answered directly: adjacent twins are at distance 1
+with a single shortest path (the edge); non-adjacent twins are at distance 2
+with one path per common neighbour, i.e. the summed weight of the
+representative's reduced-graph neighbours.
+
+The two flavours can never claim the same vertex (a vertex open-equivalent
+to one twin and closed-equivalent to another yields a membership
+contradiction), so a single pass — open groups first, closed groups over the
+rest — partitions the vertices cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReductionError
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHABLE
+
+__all__ = ["EquivalenceReduction"]
+
+
+class EquivalenceReduction:
+    """Collapse neighbourhood-equivalent vertices into weighted representatives."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        n = graph.n
+        class_of = np.full(n, -1, dtype=np.int64)
+        classes: list[list[int]] = []
+        class_adjacent: list[bool] = []
+
+        open_groups: dict[tuple[int, ...], list[int]] = {}
+        for u in range(n):
+            open_groups.setdefault(tuple(int(x) for x in graph.neighbors(u)), []).append(u)
+        for members in open_groups.values():
+            if len(members) >= 2:
+                cid = len(classes)
+                classes.append(members)
+                class_adjacent.append(False)
+                for u in members:
+                    class_of[u] = cid
+
+        closed_groups: dict[tuple[int, ...], list[int]] = {}
+        for u in range(n):
+            if class_of[u] >= 0:
+                continue
+            key = tuple(sorted([u, *(int(x) for x in graph.neighbors(u))]))
+            closed_groups.setdefault(key, []).append(u)
+        for members in closed_groups.values():
+            if len(members) >= 2:
+                cid = len(classes)
+                classes.append(members)
+                class_adjacent.append(True)
+                for u in members:
+                    class_of[u] = cid
+        for u in range(n):
+            if class_of[u] < 0:
+                cid = len(classes)
+                classes.append([u])
+                class_adjacent.append(False)
+                class_of[u] = cid
+
+        self._classes = classes
+        self._class_adjacent = class_adjacent
+        self._class_of = class_of
+
+        # representative = smallest member id; reduced ids follow rep order
+        reps = np.array([min(members) for members in classes], dtype=np.int64)
+        rep_order = np.argsort(reps)
+        reduced_of_class = np.empty(len(classes), dtype=np.int64)
+        reduced_of_class[rep_order] = np.arange(len(classes))
+        self._reduced_of_old = reduced_of_class[class_of]
+        self._rep_of_reduced = reps[rep_order]
+
+        old_weights = graph.vertex_weights
+        weights = np.zeros(len(classes), dtype=np.int64)
+        for cid, members in enumerate(classes):
+            weights[reduced_of_class[cid]] = int(old_weights[members].sum())
+
+        edge_set: set[tuple[int, int]] = set()
+        for u, v in graph.edges():
+            ru = int(self._reduced_of_old[u])
+            rv = int(self._reduced_of_old[v])
+            if ru != rv:
+                edge_set.add((ru, rv) if ru < rv else (rv, ru))
+        self._reduced = Graph(len(classes), sorted(edge_set), vertex_weights=weights)
+        self._adjacent_of_reduced = np.zeros(len(classes), dtype=bool)
+        for cid, adj in enumerate(class_adjacent):
+            self._adjacent_of_reduced[reduced_of_class[cid]] = adj
+
+    # ------------------------------------------------------------------
+    @property
+    def reduced_graph(self) -> Graph:
+        """The weighted reduced graph; index this graph."""
+        return self._reduced
+
+    @property
+    def removed(self) -> int:
+        """Number of vertices eliminated by the reduction."""
+        return self._graph.n - self._reduced.n
+
+    def reduced_id(self, v: int) -> int:
+        """Reduced-graph id of original vertex ``v``."""
+        if not 0 <= v < self._graph.n:
+            raise ReductionError(f"vertex {v} out of range for n={self._graph.n}")
+        return int(self._reduced_of_old[v])
+
+    def class_members(self, v: int) -> list[int]:
+        """All original vertices equivalent to ``v`` (including ``v``)."""
+        return list(self._classes[int(self._class_of[v])])
+
+    # ------------------------------------------------------------------
+    def resolve(self, s: int, t: int) -> tuple[int, int] | tuple[int, int, int, int]:
+        """Map an original query onto the reduced graph.
+
+        Same contract as :meth:`OneShellReduction.resolve`: a 2-tuple is a
+        final ``(dist, count)``; a 4-tuple ``(rs, rt, extra, multiplier)``
+        delegates to a reduced-graph query.
+        """
+        if not 0 <= s < self._graph.n or not 0 <= t < self._graph.n:
+            raise ReductionError(f"query ({s}, {t}) out of range for n={self._graph.n}")
+        if s == t:
+            return (0, 1)
+        rs = int(self._reduced_of_old[s])
+        rt = int(self._reduced_of_old[t])
+        if rs != rt:
+            return (rs, rt, 0, 1)
+        if self._adjacent_of_reduced[rs]:
+            return (1, 1)
+        # non-adjacent twins: one 2-path per common neighbour (weighted)
+        weights = self._reduced.vertex_weights
+        total = int(sum(int(weights[w]) for w in self._reduced.neighbors(rs)))
+        if total == 0:
+            return (UNREACHABLE, 0)
+        return (2, total)
+
+    def query_via(self, reduced_query, s: int, t: int) -> tuple[int, int]:
+        """Answer an original query given a reduced ``(s, t) -> (dist, count)`` callable."""
+        resolved = self.resolve(s, t)
+        if len(resolved) == 2:
+            return resolved  # type: ignore[return-value]
+        rs, rt, extra, multiplier = resolved
+        dist, count = reduced_query(rs, rt)
+        if dist == UNREACHABLE:
+            return (UNREACHABLE, 0)
+        return (dist + extra, count * multiplier)

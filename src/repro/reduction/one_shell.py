@@ -1,0 +1,138 @@
+"""Reduction by 1-shell (Section IV-A): peel tree fringes, index the 2-core.
+
+Every graph decomposes into a 2-core plus a forest of *fringe trees*, each
+attached to the core by at most one vertex.  Inside a tree there is exactly
+one path between any two vertices, and no shortest path between core
+vertices ever enters a tree — so the fringe can be answered by pure tree
+arithmetic and the (often much smaller) core is what gets indexed.
+
+Query evaluation generalises the paper's sketch to full exactness:
+
+* both endpoints in the same fringe tree — the unique tree path:
+  ``dist = depth(s) + depth(t) - 2 * depth(lca)``, ``count = 1``;
+* otherwise — every path runs through the anchors:
+  ``dist = depth(s) + dist_core(anchor(s), anchor(t)) + depth(t)`` and
+  ``count = count_core(anchor(s), anchor(t))`` (tree segments are unique, so
+  they multiply the count by 1).
+
+Vertices of coreless tree components anchor at their component root; two
+such vertices in different components are unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReductionError
+from repro.graph.graph import Graph
+from repro.graph.kcore import CoreFringe, core_fringe
+from repro.graph.traversal import UNREACHABLE
+
+__all__ = ["OneShellReduction"]
+
+
+@dataclass(frozen=True)
+class _TreePath:
+    dist: int
+    count: int
+
+
+class OneShellReduction:
+    """The 1-shell core–fringe split with exact query remapping.
+
+    Build once per graph; then :meth:`resolve` turns an original-vertex query
+    into either a final answer (both endpoints fringe-local) or a core query
+    plus additive tree distances.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._split: CoreFringe = core_fringe(graph)
+
+    # ------------------------------------------------------------------
+    @property
+    def core_graph(self) -> Graph:
+        """The 2-core, relabelled ``0..k-1``; index this graph."""
+        return self._split.core_graph
+
+    @property
+    def fringe_size(self) -> int:
+        """How many vertices were peeled."""
+        return self._split.fringe_size
+
+    @property
+    def core_size(self) -> int:
+        """Vertices remaining in the 2-core."""
+        return self._split.core_graph.n
+
+    def core_id(self, v: int) -> int:
+        """Core id of an original vertex (-1 if it lies in the fringe)."""
+        return int(self._split.core_of_old[v])
+
+    def anchor(self, v: int) -> int:
+        """Original id of the attachment vertex for ``v`` (itself for core vertices)."""
+        return int(self._split.anchor[v])
+
+    def depth(self, v: int) -> int:
+        """Tree distance from ``v`` to its anchor (0 for core vertices)."""
+        return int(self._split.depth[v])
+
+    # ------------------------------------------------------------------
+    def _tree_path(self, s: int, t: int) -> _TreePath:
+        """Unique path between two vertices anchored at the same vertex."""
+        # Walk the deeper endpoint up until both meet: parents form the tree.
+        parent = self._split.parent
+        depth = self._split.depth
+        a, b = s, t
+        da, db = int(depth[a]), int(depth[b])
+        steps = 0
+        while da > db:
+            a = int(parent[a])
+            da -= 1
+            steps += 1
+        while db > da:
+            b = int(parent[b])
+            db -= 1
+            steps += 1
+        while a != b:
+            a = int(parent[a])
+            b = int(parent[b])
+            steps += 2
+        return _TreePath(dist=steps, count=1)
+
+    def resolve(self, s: int, t: int) -> tuple[int, int] | tuple[int, int, int, int]:
+        """Map an original query to the core.
+
+        Returns either a 2-tuple ``(dist, count)`` — the query was answered
+        inside a fringe tree (or found unreachable) — or a 4-tuple
+        ``(core_s, core_t, extra_dist, count_multiplier)`` meaning: answer
+        ``(dist_core + extra_dist, count_core * count_multiplier)`` with a
+        core-graph query.
+        """
+        split = self._split
+        if not 0 <= s < self._graph.n or not 0 <= t < self._graph.n:
+            raise ReductionError(f"query ({s}, {t}) out of range for n={self._graph.n}")
+        if s == t:
+            return (0, 1)
+        anchor_s, anchor_t = int(split.anchor[s]), int(split.anchor[t])
+        if anchor_s == anchor_t:
+            path = self._tree_path(s, t)
+            return (path.dist, path.count)
+        core_s = int(split.core_of_old[anchor_s])
+        core_t = int(split.core_of_old[anchor_t])
+        if core_s < 0 or core_t < 0:
+            # distinct coreless tree components are mutually unreachable
+            return (UNREACHABLE, 0)
+        extra = int(split.depth[s]) + int(split.depth[t])
+        return (core_s, core_t, extra, 1)
+
+    def query_via(self, core_query, s: int, t: int) -> tuple[int, int]:
+        """Answer an original-vertex query given a core ``(s, t) -> (dist, count)`` callable."""
+        resolved = self.resolve(s, t)
+        if len(resolved) == 2:
+            return resolved  # type: ignore[return-value]
+        core_s, core_t, extra, multiplier = resolved
+        dist, count = core_query(core_s, core_t)
+        if dist == UNREACHABLE:
+            return (UNREACHABLE, 0)
+        return (dist + extra, count * multiplier)

@@ -1,0 +1,121 @@
+"""Composable reduction pipeline: 1-shell, then equivalence, then index.
+
+:class:`ReducedSPCIndex` is the drop-in counterpart of
+:class:`~repro.core.index.PSPCIndex` that first shrinks the graph with the
+Section IV reductions, builds the label index on the residual graph, and
+routes every original-vertex query back through the reduction mappings.
+Query answers are bit-identical to an unreduced index (asserted by tests);
+only the index footprint and build time change.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.index import PSPCIndex
+from repro.core.queries import SPCResult
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHABLE
+from repro.reduction.equivalence import EquivalenceReduction
+from repro.reduction.one_shell import OneShellReduction
+
+__all__ = ["ReducedSPCIndex"]
+
+
+class ReducedSPCIndex:
+    """SPC index over a reduced graph, queryable by original vertex ids."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        one_shell: OneShellReduction | None,
+        equivalence: EquivalenceReduction | None,
+        index: PSPCIndex,
+    ) -> None:
+        self._graph = graph
+        self._one_shell = one_shell
+        self._equivalence = equivalence
+        self.index = index
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        use_one_shell: bool = True,
+        use_equivalence: bool = True,
+        **build_kwargs: object,
+    ) -> "ReducedSPCIndex":
+        """Reduce ``graph`` and build an index on the residual core.
+
+        ``build_kwargs`` are forwarded to :meth:`PSPCIndex.build` (ordering,
+        builder, paradigm, landmarks, ...).
+        """
+        one_shell = OneShellReduction(graph) if use_one_shell else None
+        inner = one_shell.core_graph if one_shell else graph
+        equivalence = EquivalenceReduction(inner) if use_equivalence else None
+        final = equivalence.reduced_graph if equivalence else inner
+        index = PSPCIndex.build(final, **build_kwargs)  # type: ignore[arg-type]
+        return cls(graph, one_shell, equivalence, index)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of original vertices served."""
+        return self._graph.n
+
+    @property
+    def indexed_vertices(self) -> int:
+        """Vertices actually carried into the label index."""
+        return self.index.n
+
+    @property
+    def removed_by_one_shell(self) -> int:
+        """Vertices peeled by the 1-shell stage (0 when disabled)."""
+        return self._one_shell.fringe_size if self._one_shell else 0
+
+    @property
+    def removed_by_equivalence(self) -> int:
+        """Vertices merged away by the equivalence stage (0 when disabled)."""
+        return self._equivalence.removed if self._equivalence else 0
+
+    def size_mb(self) -> float:
+        """Label-index size (excludes the O(n) reduction mappings)."""
+        return self.index.size_mb()
+
+    # ------------------------------------------------------------------
+    def _core_query(self, s: int, t: int) -> tuple[int, int]:
+        """Query at the layer below 1-shell (equivalence layer or raw index)."""
+        if self._equivalence is not None:
+            return self._equivalence.query_via(self._index_query, s, t)
+        return self._index_query(s, t)
+
+    def _index_query(self, s: int, t: int) -> tuple[int, int]:
+        result = self.index.query(s, t)
+        return (result.dist, result.count)
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """Distance and shortest-path count for original vertices ``(s, t)``."""
+        if self._one_shell is not None:
+            dist, count = self._one_shell.query_via(self._core_query, s, t)
+        else:
+            dist, count = self._core_query(s, t)
+        return SPCResult(s, t, dist, count)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest paths between original vertices (0 if disconnected)."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Shortest-path distance between original vertices (-1 if disconnected)."""
+        return self.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many original-vertex queries."""
+        return [self.query(s, t) for s, t in pairs]
+
+    def __repr__(self) -> str:
+        return (
+            f"ReducedSPCIndex(n={self.n}, indexed={self.indexed_vertices}, "
+            f"one_shell=-{self.removed_by_one_shell}, "
+            f"equivalence=-{self.removed_by_equivalence})"
+        )

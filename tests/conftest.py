@@ -1,0 +1,60 @@
+"""Shared fixtures: canonical small graphs and the paper's running example."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import barabasi_albert, grid_road_network
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """Two disjoint length-2 paths between 0 and 3 (spc(0,3) == 2)."""
+    return Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """A path 0-1-2 plus an isolated edge 3-4."""
+    return Graph(5, [(0, 1), (1, 2), (3, 4)])
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The Fig. 2 graph of the paper; vertex ``v_i`` is id ``i - 1``."""
+    edges = [
+        (0, 2), (0, 3), (0, 4), (0, 9),   # v1-v3, v1-v4, v1-v5, v1-v10
+        (6, 3), (6, 4), (6, 5), (6, 7),   # v7-v4, v7-v5, v7-v6, v7-v8
+        (1, 3), (1, 9),                   # v2-v4, v2-v10
+        (2, 5),                           # v3-v6
+        (8, 9), (8, 7),                   # v9-v10, v9-v8
+    ]
+    return Graph(10, edges)
+
+
+@pytest.fixture
+def paper_order() -> VertexOrder:
+    """The paper's total order v1<=v7<=v4<=v10<=v3<=v5<=v6<=v2<=v8<=v9."""
+    order = np.array([0, 6, 3, 9, 2, 4, 5, 1, 7, 8])
+    return VertexOrder.from_order(order, 10, strategy="paper")
+
+
+@pytest.fixture
+def social_graph() -> Graph:
+    """A small scale-free graph standing in for a social network."""
+    return barabasi_albert(150, 3, seed=11)
+
+
+@pytest.fixture
+def road_graph() -> Graph:
+    """A small grid-with-shortcuts road-network proxy."""
+    return grid_road_network(8, 8, extra_edges=6, seed=5)

@@ -1,0 +1,162 @@
+"""Unit tests for the SPC applications: betweenness, GBC, top-k."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.betweenness import brandes_betweenness
+from repro.applications.group_betweenness import group_betweenness, pairwise_matrices
+from repro.applications.topk import top_k_nearest
+from repro.baselines.bfs_spc import OnlineBFSCounter
+from repro.core.index import PSPCIndex
+from repro.errors import QueryError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+
+
+def reference_betweenness(graph: Graph) -> np.ndarray:
+    """O(n^3) textbook betweenness for cross-checking Brandes."""
+    n = graph.n
+    result = np.zeros(n, dtype=np.float64)
+    for s in range(n):
+        for t in range(s + 1, n):
+            d_st, c_st = spc_pair(graph, s, t)
+            if c_st == 0:
+                continue
+            for v in range(n):
+                if v in (s, t):
+                    continue
+                d_sv, c_sv = spc_pair(graph, s, v)
+                d_vt, c_vt = spc_pair(graph, v, t)
+                if d_sv >= 0 and d_vt >= 0 and d_sv + d_vt == d_st:
+                    result[v] += c_sv * c_vt / c_st
+    return result
+
+
+class TestBrandes:
+    def test_star_center(self):
+        bc = brandes_betweenness(star_graph(5))
+        assert bc[0] == pytest.approx(10.0)  # C(5,2) leaf pairs
+        assert np.allclose(bc[1:], 0.0)
+
+    def test_path_interior(self):
+        bc = brandes_betweenness(path_graph(5))
+        assert bc[2] == pytest.approx(4.0)
+        assert bc[0] == pytest.approx(0.0)
+
+    def test_complete_graph_zero(self):
+        assert np.allclose(brandes_betweenness(complete_graph(5)), 0.0)
+
+    def test_matches_reference(self, diamond):
+        assert np.allclose(brandes_betweenness(diamond), reference_betweenness(diamond))
+
+    def test_matches_reference_random(self):
+        g = barabasi_albert(40, 2, seed=12)
+        assert np.allclose(brandes_betweenness(g), reference_betweenness(g))
+
+    def test_normalization(self):
+        g = star_graph(5)
+        bc = brandes_betweenness(g, normalized=True)
+        assert bc[0] == pytest.approx(1.0)
+
+
+class TestGroupBetweenness:
+    def test_star_center_group(self):
+        g = star_graph(5)
+        # all 10 leaf pairs route through the center
+        assert group_betweenness(g, [0]) == pytest.approx(10.0)
+
+    def test_singleton_matches_brandes(self):
+        g = barabasi_albert(35, 2, seed=13)
+        bc = brandes_betweenness(g)
+        for v in (0, 5, 20):
+            assert group_betweenness(g, [v]) == pytest.approx(float(bc[v]))
+
+    def test_group_at_most_sum_of_singletons(self):
+        g = barabasi_albert(30, 2, seed=14)
+        pair = [0, 1]
+        combined = group_betweenness(g, pair)
+        singles = sum(group_betweenness(g, [v]) for v in pair)
+        assert combined <= singles + 1e-9
+
+    def test_empty_group(self, diamond):
+        assert group_betweenness(diamond, []) == 0.0
+
+    def test_cycle_symmetric_group(self):
+        g = cycle_graph(6)
+        # vertices 1..4 pairs; fraction through {0}: only pairs whose
+        # shortest path passes 0; cross-checked against brandes
+        assert group_betweenness(g, [0]) == pytest.approx(float(brandes_betweenness(g)[0]))
+
+    def test_reuses_supplied_index(self, diamond):
+        index = PSPCIndex.build(diamond)
+        assert group_betweenness(diamond, [1], index=index) == pytest.approx(0.5)
+
+    def test_wrong_index_rejected(self, diamond, triangle):
+        index = PSPCIndex.build(triangle)
+        with pytest.raises(QueryError):
+            group_betweenness(diamond, [1], index=index)
+
+
+class TestPairwiseMatrices:
+    def test_matrices_match_queries(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        group = [0, 3, 9, 27]
+        dist, sigma = pairwise_matrices(index, group)
+        assert dist.shape == sigma.shape == (4, 4)
+        for i, s in enumerate(group):
+            assert sigma[i, i] == 1.0
+            for j, t in enumerate(group):
+                if i < j:
+                    expected = spc_pair(social_graph, s, t)
+                    assert dist[i, j] == expected[0]
+                    assert sigma[i, j] == float(expected[1])
+
+    def test_symmetry(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        dist, sigma = pairwise_matrices(index, [1, 2, 3])
+        assert np.array_equal(dist, dist.T)
+        assert np.array_equal(sigma, sigma.T)
+
+
+class TestTopK:
+    @pytest.fixture
+    def road_index(self, road_graph):
+        return PSPCIndex.build(road_graph)
+
+    def test_ranked_by_distance_then_count(self, road_index, road_graph):
+        source = 0
+        candidates = list(range(1, road_graph.n, 5))
+        ranked = top_k_nearest(road_index, source, candidates, k=5)
+        assert len(ranked) == 5
+        keys = [(r.dist, -r.count, r.vertex) for r in ranked]
+        assert keys == sorted(keys)
+
+    def test_spc_breaks_ties(self):
+        # 0 at distance 2 from both 3 (one path) and 4 (two paths)
+        g = Graph(6, [(0, 1), (1, 3), (0, 2), (2, 4), (0, 5), (5, 4)])
+        index = PSPCIndex.build(g)
+        ranked = top_k_nearest(index, 0, [3, 4], k=2)
+        assert ranked[0].vertex == 4
+        assert ranked[0].count == 2
+
+    def test_unreachable_candidates_dropped(self, two_components):
+        index = PSPCIndex.build(two_components)
+        ranked = top_k_nearest(index, 0, [1, 4], k=5)
+        assert [r.vertex for r in ranked] == [1]
+
+    def test_works_with_bfs_baseline(self, diamond):
+        ranked = top_k_nearest(OnlineBFSCounter(diamond), 0, [1, 2, 3], k=2)
+        assert len(ranked) == 2
+
+    def test_invalid_k(self, road_index):
+        with pytest.raises(QueryError):
+            top_k_nearest(road_index, 0, [1], k=0)

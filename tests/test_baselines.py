@@ -1,0 +1,79 @@
+"""Unit tests for the index-free baselines (online BFS, bidirectional BFS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bfs_spc import OnlineBFSCounter
+from repro.baselines.bidirectional import BidirectionalBFSCounter, bidirectional_spc
+from repro.graph.generators import (
+    barabasi_albert,
+    cycle_graph,
+    grid_road_network,
+    path_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHABLE, spc_pair
+
+
+class TestOnlineBFS:
+    def test_matches_oracle(self, diamond):
+        counter = OnlineBFSCounter(diamond)
+        assert counter.spc(0, 3) == 2
+        assert counter.distance(0, 3) == 2
+        assert counter.n == 4
+
+    def test_batch(self, diamond):
+        results = OnlineBFSCounter(diamond).query_batch([(0, 3), (1, 1)])
+        assert [r.count for r in results] == [2, 1]
+
+
+class TestBidirectional:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(11),
+            lambda: cycle_graph(12),
+            lambda: barabasi_albert(90, 3, seed=3),
+            lambda: grid_road_network(6, 6, extra_edges=3, seed=1),
+        ],
+        ids=["path", "cycle", "ba", "grid"],
+    )
+    def test_all_pairs_match_unidirectional(self, graph_factory):
+        graph = graph_factory()
+        for s in range(0, graph.n, 3):
+            for t in range(0, graph.n, 4):
+                assert bidirectional_spc(graph, s, t) == spc_pair(graph, s, t), (s, t)
+
+    def test_identity(self, triangle):
+        assert bidirectional_spc(triangle, 2, 2) == (0, 1)
+
+    def test_unreachable(self, two_components):
+        assert bidirectional_spc(two_components, 0, 4) == (UNREACHABLE, 0)
+
+    def test_weighted_graph(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], vertex_weights=[1, 2, 3, 1])
+        assert bidirectional_spc(g, 0, 3) == spc_pair(g, 0, 3) == (2, 5)
+
+    def test_asymmetric_expansion(self):
+        # star forces one side's frontier to explode: exercises the
+        # smaller-frontier-first branch in both directions
+        g = Graph(7, [(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6)])
+        for s in range(7):
+            for t in range(7):
+                assert bidirectional_spc(g, s, t) == spc_pair(g, s, t)
+
+    def test_counter_wrapper(self, diamond):
+        counter = BidirectionalBFSCounter(diamond)
+        assert counter.spc(0, 3) == 2
+        assert counter.distance(0, 0) == 0
+        assert counter.n == 4
+        assert [r.count for r in counter.query_batch([(0, 3)])] == [2]
+
+    def test_random_pairs_on_larger_graph(self):
+        g = barabasi_albert(300, 4, seed=5)
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            s, t = (int(x) for x in rng.integers(g.n, size=2))
+            assert bidirectional_spc(g, s, t) == spc_pair(g, s, t)

@@ -1,0 +1,68 @@
+"""Unit tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_names_assigned_in_first_seen_order(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y")
+        b.add_edge("y", "z")
+        g, names = b.build()
+        assert names == ["x", "y", "z"]
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_vertex_id_is_stable(self):
+        b = GraphBuilder()
+        first = b.vertex_id("a")
+        second = b.vertex_id("a")
+        assert first == second == 0
+
+    def test_add_vertex_registers_isolated(self):
+        b = GraphBuilder()
+        b.add_vertex("lonely")
+        b.add_edge("a", "b")
+        g, names = b.build()
+        assert g.n == 3
+        assert g.degree(0) == 0
+        assert names[0] == "lonely"
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([(1, 2), (2, 3), (3, 1)])
+        g, _ = b.build()
+        assert g.m == 3
+
+    def test_integer_and_string_names_coexist(self):
+        b = GraphBuilder()
+        b.add_edge(7, "seven")
+        g, names = b.build()
+        assert g.m == 1
+        assert set(names) == {7, "seven"}
+
+    def test_counts_before_build(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.add_edge("a", "b")
+        assert b.n == 2
+        assert b.edge_count == 2  # raw adds, deduplication happens at build
+
+    def test_build_is_single_shot(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.build()
+        with pytest.raises(GraphError):
+            b.build()
+
+    def test_duplicate_edges_deduplicated_at_build(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.add_edge("b", "a")
+        g, _ = b.build()
+        assert g.m == 1

@@ -1,0 +1,107 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import barabasi_albert
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(barabasi_albert(60, 2, seed=21), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "fig10b"])
+        assert args.experiment == "fig10b"
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestInfo:
+    def test_info_from_file(self, graph_file, capsys):
+        assert main(["info", "--graph", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "60" in out
+
+    def test_info_without_source_fails(self, capsys):
+        assert main(["info"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBuildAndQuery:
+    def test_round_trip(self, graph_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.pkl"
+        assert main([
+            "build", "--graph", str(graph_file), "--out", str(index_path),
+            "--ordering", "degree", "--landmarks", "5",
+        ]) == 0
+        assert index_path.exists()
+        assert main(["query", "--index", str(index_path), "0,1", "3,7"]) == 0
+        out = capsys.readouterr().out
+        assert "dist" in out
+
+    def test_hpspc_builder_flag(self, graph_file, tmp_path):
+        index_path = tmp_path / "idx.pkl"
+        assert main([
+            "build", "--graph", str(graph_file), "--out", str(index_path),
+            "--builder", "hpspc",
+        ]) == 0
+
+    def test_bad_query_syntax(self, graph_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.pkl"
+        main(["build", "--graph", str(graph_file), "--out", str(index_path)])
+        assert main(["query", "--index", str(index_path), "zero-one"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_small_bench_runs(self, capsys):
+        # fig10b on the default keys is the cheapest experiment
+        assert main(["bench", "fig10b", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "static_s" in out
+        assert "FB" in out
+
+
+class TestAudit:
+    def test_audit_clean_index(self, graph_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.pkl"
+        main(["build", "--graph", str(graph_file), "--out", str(index_path)])
+        assert main([
+            "audit", "--graph", str(graph_file), "--index", str(index_path),
+            "--deep", "--samples", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "structure audit: ok" in out
+        assert "canonical-entry audit: ok" in out
+
+    def test_audit_rejects_mismatched_graph(self, graph_file, tmp_path, capsys):
+        from repro.graph.generators import path_graph
+        from repro.graph.io import write_edge_list
+
+        index_path = tmp_path / "idx.pkl"
+        main(["build", "--graph", str(graph_file), "--out", str(index_path)])
+        other = tmp_path / "other.txt"
+        write_edge_list(path_graph(5), other)
+        assert main(["audit", "--graph", str(other), "--index", str(index_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchPlot:
+    def test_plot_flag_renders_chart(self, capsys):
+        assert main(["bench", "fig10b", "--threads", "4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar chart rendered

@@ -1,0 +1,91 @@
+"""Unit tests for the numpy-packed CompactLabelIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compact import CompactLabelIndex
+from repro.core.index import PSPCIndex
+from repro.errors import IndexStateError, QueryError
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def frozen(social_graph):
+    index = PSPCIndex.build(social_graph)
+    return social_graph, index, CompactLabelIndex.from_index(index.labels)
+
+
+class TestFreezeThaw:
+    def test_round_trip(self, frozen):
+        _, index, compact = frozen
+        assert compact.to_label_index() == index.labels
+
+    def test_entry_count_preserved(self, frozen):
+        _, index, compact = frozen
+        assert compact.total_entries() == index.total_entries()
+        assert compact.n == index.n
+
+    def test_packed_is_smaller_than_nominal_tuples(self, frozen):
+        _, index, compact = frozen
+        # each tuple entry costs >= 3 pointers (~24B) beyond the 14B packed
+        assert compact.nbytes() < index.total_entries() * 24
+
+    def test_overflow_rejected(self):
+        g = Graph(2, [(0, 1)])
+        index = PSPCIndex.build(g)
+        index.labels.entries[1][0] = (0, 1, 2**64)
+        with pytest.raises(IndexStateError, match="int64"):
+            CompactLabelIndex.from_index(index.labels)
+
+
+class TestQueries:
+    def test_matches_tuple_index(self, frozen):
+        graph, index, compact = frozen
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            s, t = (int(x) for x in rng.integers(graph.n, size=2))
+            assert compact.query(s, t) == index.query(s, t)
+
+    def test_identity_and_unreachable(self, two_components):
+        index = PSPCIndex.build(two_components)
+        compact = CompactLabelIndex.from_index(index.labels)
+        assert compact.query(1, 1).count == 1
+        assert compact.query(0, 4).count == 0
+        assert compact.spc(0, 1) == 1
+        assert compact.distance(0, 2) == 2
+
+    def test_weighted_graph(self):
+        g = Graph(3, [(0, 1), (1, 2)], vertex_weights=[1, 5, 1])
+        compact = CompactLabelIndex.from_index(PSPCIndex.build(g).labels)
+        assert compact.query(0, 2).count == 5
+
+    def test_out_of_range(self, frozen):
+        _, _, compact = frozen
+        with pytest.raises(QueryError):
+            compact.query(0, 10_000)
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, frozen, tmp_path):
+        _, _, compact = frozen
+        path = tmp_path / "compact.npz"
+        compact.save(path)
+        assert CompactLabelIndex.load(path) == compact
+
+    def test_loaded_queries_match(self, tmp_path):
+        graph = barabasi_albert(70, 2, seed=23)
+        index = PSPCIndex.build(graph)
+        compact = CompactLabelIndex.from_index(index.labels)
+        path = tmp_path / "c.npz"
+        compact.save(path)
+        loaded = CompactLabelIndex.load(path)
+        for s in range(0, 70, 7):
+            for t in range(0, 70, 9):
+                assert loaded.query(s, t) == index.query(s, t)
+
+    def test_repr(self, frozen):
+        _, _, compact = frozen
+        assert "CompactLabelIndex" in repr(compact)

@@ -1,0 +1,97 @@
+"""Unit tests for the write-buffered dynamic index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicSPCIndex
+from repro.errors import GraphError
+from repro.graph.generators import barabasi_albert, cycle_graph
+from repro.graph.traversal import spc_pair
+
+
+class TestUpdates:
+    def test_insertion_changes_answers_immediately(self):
+        dyn = DynamicSPCIndex(cycle_graph(6))
+        assert dyn.spc(0, 3) == 2
+        dyn.add_edge(0, 3)
+        assert dyn.distance(0, 3) == 1
+        assert dyn.spc(0, 3) == 1
+
+    def test_deletion_changes_answers_immediately(self):
+        dyn = DynamicSPCIndex(cycle_graph(6))
+        dyn.remove_edge(0, 1)
+        assert dyn.distance(0, 3) == 3
+        assert dyn.spc(0, 3) == 1  # only one way around now
+
+    def test_duplicate_insert_rejected(self):
+        dyn = DynamicSPCIndex(cycle_graph(5))
+        with pytest.raises(GraphError):
+            dyn.add_edge(0, 1)
+
+    def test_missing_delete_rejected(self):
+        dyn = DynamicSPCIndex(cycle_graph(5))
+        with pytest.raises(GraphError):
+            dyn.remove_edge(0, 2)
+
+    def test_self_loop_rejected(self):
+        dyn = DynamicSPCIndex(cycle_graph(5))
+        with pytest.raises(GraphError):
+            dyn.add_edge(2, 2)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicSPCIndex(cycle_graph(5), rebuild_threshold=0)
+
+
+class TestRebuildPolicy:
+    def test_dirty_until_threshold(self):
+        dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=3)
+        dyn.add_edge(0, 4)
+        dyn.add_edge(1, 5)
+        assert dyn.dirty
+        assert dyn.pending_updates == 2
+        dyn.add_edge(2, 6)  # third update triggers the rebuild
+        assert not dyn.dirty
+        assert dyn.rebuild_count == 1
+
+    def test_explicit_rebuild(self):
+        dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=100)
+        dyn.add_edge(0, 4)
+        assert dyn.dirty
+        dyn.rebuild()
+        assert not dyn.dirty
+        assert dyn.spc(0, 4) == 1
+
+    def test_clean_index_answers_from_labels(self):
+        dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=1)
+        dyn.add_edge(0, 4)  # immediate rebuild
+        assert not dyn.dirty
+        assert dyn.distance(0, 4) == 1
+
+
+class TestExactnessThroughout:
+    def test_random_update_stream(self):
+        base = barabasi_albert(60, 2, seed=31)
+        dyn = DynamicSPCIndex(base, rebuild_threshold=4)
+        rng = np.random.default_rng(8)
+        for step in range(12):
+            u, v = (int(x) for x in rng.integers(60, size=2))
+            key = (min(u, v), max(u, v))
+            if u == v:
+                continue
+            if dyn.graph.has_edge(*key):
+                dyn.remove_edge(*key)
+            else:
+                dyn.add_edge(*key)
+            # spot-check several pairs against the BFS oracle every step
+            for s, t in [(0, 59), (3, 40), (u, v), (17, 17)]:
+                got = dyn.query(s, t)
+                assert (got.dist, got.count) == spc_pair(dyn.graph, s, t), step
+
+    def test_repr_reports_state(self):
+        dyn = DynamicSPCIndex(cycle_graph(5), rebuild_threshold=10)
+        assert "clean" in repr(dyn)
+        dyn.add_edge(0, 2)
+        assert "dirty" in repr(dyn)

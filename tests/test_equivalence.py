@@ -1,0 +1,104 @@
+"""Unit tests for the neighbourhood-equivalence reduction (Section IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.graph.generators import complete_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+from repro.reduction.equivalence import EquivalenceReduction
+
+
+def exhaustive_check(graph: Graph) -> None:
+    reduction = EquivalenceReduction(graph)
+    reduced = reduction.reduced_graph
+
+    def reduced_query(s: int, t: int) -> tuple[int, int]:
+        return spc_pair(reduced, s, t)
+
+    for s in range(graph.n):
+        for t in range(graph.n):
+            got = reduction.query_via(reduced_query, s, t)
+            assert got == spc_pair(graph, s, t), (s, t, got)
+
+
+class TestClassDetection:
+    def test_open_twins(self):
+        # two twin pairs: {1, 2} share {0, 3}; {0, 3} share {1, 2}
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        reduction = EquivalenceReduction(g)
+        assert reduction.removed == 2
+        assert set(reduction.class_members(1)) == {1, 2}
+        assert set(reduction.class_members(0)) == {0, 3}
+
+    def test_closed_twins_in_clique(self):
+        reduction = EquivalenceReduction(complete_graph(5))
+        assert reduction.reduced_graph.n == 1
+        assert int(reduction.reduced_graph.vertex_weights[0]) == 5
+
+    def test_star_leaves_merge(self):
+        reduction = EquivalenceReduction(star_graph(6))
+        assert reduction.reduced_graph.n == 2
+        assert reduction.removed == 5
+
+    def test_no_twins_no_change(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        reduction = EquivalenceReduction(g)
+        assert reduction.removed == 0
+        assert reduction.reduced_graph == g
+
+    def test_weights_accumulate(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], vertex_weights=[1, 2, 3, 1])
+        reduction = EquivalenceReduction(g)
+        rep = reduction.reduced_id(1)
+        assert int(reduction.reduced_graph.vertex_weights[rep]) == 5
+
+
+class TestQueries:
+    def test_diamond_exhaustive(self, diamond):
+        exhaustive_check(diamond)
+
+    def test_clique_exhaustive(self):
+        exhaustive_check(complete_graph(6))
+
+    def test_star_exhaustive(self):
+        exhaustive_check(star_graph(7))
+
+    def test_bipartite_twins_exhaustive(self):
+        # K_{2,3}: the 3-side are open twins, the 2-side too
+        g = Graph(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+        exhaustive_check(g)
+
+    def test_mixed_adjacent_and_open_twins(self):
+        # clique {0,1,2} plus open twins 3,4 attached to {0,1}
+        g = Graph(5, [(0, 1), (0, 2), (1, 2), (3, 0), (3, 1), (4, 0), (4, 1)])
+        exhaustive_check(g)
+
+    def test_social_graph_spot_check(self, social_graph):
+        reduction = EquivalenceReduction(social_graph)
+        reduced = reduction.reduced_graph
+
+        def reduced_query(s, t):
+            return spc_pair(reduced, s, t)
+
+        for s in range(0, social_graph.n, 13):
+            for t in range(0, social_graph.n, 17):
+                assert reduction.query_via(reduced_query, s, t) == spc_pair(social_graph, s, t)
+
+    def test_isolated_twins_unreachable(self):
+        g = Graph(3, [(0, 1)])  # vertex 2 isolated; no twins for it
+        reduction = EquivalenceReduction(g)
+        assert reduction.query_via(lambda s, t: spc_pair(reduction.reduced_graph, s, t), 0, 2) == (-1, 0)
+
+    def test_two_isolated_vertices_are_twins(self):
+        g = Graph(4, [(0, 1)])
+        reduction = EquivalenceReduction(g)
+        assert reduction.reduced_id(2) == reduction.reduced_id(3)
+        # same-class, empty common neighbourhood -> unreachable
+        assert reduction.resolve(2, 3) == (-1, 0)
+
+    def test_out_of_range_rejected(self, triangle):
+        with pytest.raises(ReductionError):
+            EquivalenceReduction(triangle).resolve(5, 0)

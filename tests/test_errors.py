@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_vertex_error_is_also_index_error(self):
+        # so sloppy `except IndexError` call sites still work
+        assert issubclass(errors.VertexError, IndexError)
+
+    def test_vertex_error_message(self):
+        exc = errors.VertexError(7, 3)
+        assert exc.vertex == 7
+        assert exc.n == 3
+        assert "7" in str(exc) and "3" in str(exc)
+
+    def test_index_errors_grouped(self):
+        assert issubclass(errors.IndexBuildError, errors.IndexError_)
+        assert issubclass(errors.QueryError, errors.IndexError_)
+        assert issubclass(errors.IndexStateError, errors.IndexError_)
+
+    def test_catching_base_catches_subsystems(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("nope")

@@ -1,0 +1,113 @@
+"""Failure-injection tests: corrupt files, truncated data, bad state.
+
+A production library fails loudly and precisely; these tests pin the
+behaviour on the unhappy paths that unit tests of the happy path miss.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.compact import CompactLabelIndex
+from repro.core.index import PSPCIndex
+from repro.core.labels import LabelIndex
+from repro.graph import io as graph_io
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def built(tmp_path):
+    graph = barabasi_albert(40, 2, seed=3)
+    index = PSPCIndex.build(graph)
+    return graph, index, tmp_path
+
+
+class TestCorruptIndexFiles:
+    def test_truncated_pickle(self, built):
+        _, index, tmp_path = built
+        path = tmp_path / "idx.pkl"
+        index.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):  # unpickling error surface
+            PSPCIndex.load(path)
+
+    def test_wrong_payload_type(self, built):
+        _, _, tmp_path = built
+        path = tmp_path / "idx.pkl"
+        with path.open("wb") as handle:
+            pickle.dump(["not", "an", "index"], handle)
+        with pytest.raises(Exception):
+            PSPCIndex.load(path)
+
+    def test_label_index_with_tampered_order(self, built):
+        _, index, tmp_path = built
+        path = tmp_path / "l.pkl"
+        index.labels.save(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        payload["order"] = payload["order"][:-1]  # no longer a permutation
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        from repro.errors import ReproError
+
+        # either the permutation check (OrderingError) or the label-list
+        # length check (IndexStateError) must fire — both are ReproErrors
+        with pytest.raises(ReproError):
+            LabelIndex.load(path)
+
+
+class TestCorruptGraphFiles:
+    def test_npz_missing_arrays(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez_compressed(path, indptr=np.array([0, 0]))
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            graph_io.load_npz(path)
+
+    def test_binary_garbage_edge_list(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\x00\x01 \x02\x03\n")
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            graph_io.read_edge_list(path)
+
+
+class TestCompactRobustness:
+    def test_compact_npz_missing_key(self, tmp_path):
+        path = tmp_path / "c.npz"
+        np.savez_compressed(path, order=np.arange(3))
+        with pytest.raises(KeyError):
+            CompactLabelIndex.load(path)
+
+    def test_freeze_of_hand_built_index_round_trips(self):
+        # a minimal hand-built valid index survives freeze/thaw untouched
+        from repro.ordering.base import VertexOrder
+
+        order = VertexOrder.from_order(np.array([0, 1]), 2)
+        labels = LabelIndex(order, [[(0, 0, 1)], [(0, 1, 1), (1, 0, 1)]])
+        compact = CompactLabelIndex.from_index(labels)
+        assert compact.to_label_index() == labels
+
+
+class TestStateErrors:
+    def test_query_before_graph_attached(self, built):
+        graph, index, tmp_path = built
+        path = tmp_path / "i.pkl"
+        index.save(path)
+        loaded = PSPCIndex.load(path)
+        # queries work without the graph; only verification needs it
+        assert loaded.query(0, 1) == index.query(0, 1)
+
+    def test_graph_immutable_arrays_not_required_but_copies_safe(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        before = g.degrees().copy()
+        neighbors = g.neighbors(1)
+        _ = neighbors + 1  # arithmetic on a copy leaves CSR untouched
+        assert np.array_equal(g.degrees(), before)

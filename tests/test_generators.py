@@ -1,0 +1,156 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.properties import is_connected
+
+
+class TestErdosRenyi:
+    def test_p_zero_is_empty(self):
+        assert gen.erdos_renyi(20, 0.0, seed=1).m == 0
+
+    def test_p_one_is_complete(self):
+        g = gen.erdos_renyi(10, 1.0, seed=1)
+        assert g.m == 45
+
+    def test_deterministic_in_seed(self):
+        assert gen.erdos_renyi(30, 0.2, seed=9) == gen.erdos_renyi(30, 0.2, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert gen.erdos_renyi(30, 0.2, seed=1) != gen.erdos_renyi(30, 0.2, seed=2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            gen.erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 100, 3
+        g = gen.barabasi_albert(n, m, seed=0)
+        # clique on m+1 vertices + m edges per newcomer
+        assert g.m == m * (m + 1) // 2 + (n - m - 1) * m
+
+    def test_connected(self):
+        assert is_connected(gen.barabasi_albert(200, 2, seed=3))
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(500, 3, seed=1)
+        degrees = g.degrees()
+        assert int(degrees.max()) > 5 * int(np.median(degrees))
+
+    def test_deterministic(self):
+        assert gen.barabasi_albert(50, 2, seed=4) == gen.barabasi_albert(50, 2, seed=4)
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            gen.barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            gen.barabasi_albert(3, 4)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_lattice(self):
+        g = gen.watts_strogatz(20, 4, 0.0, seed=0)
+        assert g.m == 40
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_rewiring_preserves_edge_count(self):
+        g = gen.watts_strogatz(60, 6, 0.3, seed=2)
+        assert g.m == 180
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphError):
+            gen.watts_strogatz(10, 3, 0.1)
+
+    def test_n_must_exceed_k(self):
+        with pytest.raises(GraphError):
+            gen.watts_strogatz(4, 4, 0.1)
+
+
+class TestPowerlawCluster:
+    def test_edge_count_matches_ba(self):
+        g = gen.powerlaw_cluster(80, 3, 0.5, seed=1)
+        assert g.m == 3 * 4 // 2 + (80 - 4) * 3
+
+    def test_triangle_probability_validated(self):
+        with pytest.raises(GraphError):
+            gen.powerlaw_cluster(10, 2, 1.5)
+
+    def test_clustering_exceeds_plain_ba(self):
+        # Holme-Kim at p=1 should close many more triangles than BA.
+        def triangles(g):
+            total = 0
+            for u in range(g.n):
+                nbrs = set(int(x) for x in g.neighbors(u))
+                for v in nbrs:
+                    if v > u:
+                        total += len(nbrs & set(int(x) for x in g.neighbors(v)))
+            return total
+
+        hk = gen.powerlaw_cluster(300, 3, 1.0, seed=7)
+        ba = gen.barabasi_albert(300, 3, seed=7)
+        assert triangles(hk) > triangles(ba)
+
+
+class TestGridRoadNetwork:
+    def test_grid_shape(self):
+        g = gen.grid_road_network(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horizontal + vertical edges
+
+    def test_shortcuts_add_edges(self):
+        base = gen.grid_road_network(6, 6)
+        extra = gen.grid_road_network(6, 6, extra_edges=10, seed=1)
+        assert extra.m > base.m
+
+    def test_degree_bounded(self):
+        g = gen.grid_road_network(10, 10)
+        assert int(g.degrees().max()) <= 4
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            gen.grid_road_network(0, 5)
+
+
+class TestSmallGenerators:
+    def test_random_tree_is_tree(self):
+        g = gen.random_tree(50, seed=2)
+        assert g.m == 49
+        assert is_connected(g)
+
+    def test_caveman_structure(self):
+        g = gen.caveman(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 10 + 4  # four K5s plus the ring
+
+    def test_caveman_validation(self):
+        with pytest.raises(GraphError):
+            gen.caveman(0, 3)
+
+    def test_complete_graph(self):
+        assert gen.complete_graph(6).m == 15
+
+    def test_star_graph(self):
+        g = gen.star_graph(5)
+        assert g.n == 6
+        assert g.degree(0) == 5
+
+    def test_path_graph(self):
+        g = gen.path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == 1
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(5)
+        assert g.m == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)

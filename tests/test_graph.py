@@ -1,0 +1,141 @@
+"""Unit tests for the CSR Graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, VertexError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0
+        assert g.m == 0
+        assert g.average_degree() == 0.0
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [])
+        assert g.n == 4
+        assert g.m == 0
+        assert g.degree(2) == 0
+
+    def test_basic_edges(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+        assert all(triangle.degree(v) == 2 for v in range(3))
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loops_dropped(self):
+        g = Graph(3, [(0, 0), (1, 1), (0, 1)])
+        assert g.m == 1
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(VertexError):
+            Graph(2, [(0, 5)])
+
+    def test_negative_vertex(self):
+        with pytest.raises(VertexError):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_vertex_count(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert list(g.neighbors(2)) == [0, 1, 3, 4]
+
+    def test_csr_arrays_consistent(self, diamond):
+        assert len(diamond.indptr) == diamond.n + 1
+        assert len(diamond.indices) == 2 * diamond.m
+        assert int(diamond.indptr[-1]) == 2 * diamond.m
+
+
+class TestAccessors:
+    def test_degrees_matches_degree(self, diamond):
+        degrees = diamond.degrees()
+        assert [int(d) for d in degrees] == [diamond.degree(v) for v in range(4)]
+
+    def test_has_edge(self, diamond):
+        assert diamond.has_edge(0, 1)
+        assert diamond.has_edge(1, 0)
+        assert not diamond.has_edge(0, 3)
+
+    def test_has_edge_out_of_range(self, diamond):
+        with pytest.raises(VertexError):
+            diamond.has_edge(0, 99)
+
+    def test_edges_iterates_once_each(self, triangle):
+        edges = list(triangle.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == pytest.approx(2.0)
+
+    def test_len(self, diamond):
+        assert len(diamond) == 4
+
+    def test_repr_mentions_counts(self, diamond):
+        assert "n=4" in repr(diamond)
+        assert "m=4" in repr(diamond)
+
+
+class TestWeights:
+    def test_default_weights_are_one(self, triangle):
+        assert np.array_equal(triangle.vertex_weights, np.ones(3, dtype=np.int64))
+        assert not triangle.is_weighted
+
+    def test_explicit_weights(self):
+        g = Graph(3, [(0, 1)], vertex_weights=[2, 1, 3])
+        assert g.is_weighted
+        assert list(g.vertex_weights) == [2, 1, 3]
+
+    def test_weights_wrong_length(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)], vertex_weights=[1, 2])
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1)], vertex_weights=[1, 0])
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_induced_edges(self, diamond):
+        sub, old_of_new = diamond.subgraph([0, 1, 3])
+        assert sub.n == 3
+        assert sub.m == 2  # edges 0-1 and 1-3 survive
+        assert list(old_of_new) == [0, 1, 3]
+
+    def test_subgraph_duplicate_vertices_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.subgraph([0, 0, 1])
+
+    def test_subgraph_carries_weights(self):
+        g = Graph(3, [(0, 1), (1, 2)], vertex_weights=[5, 6, 7])
+        sub, _ = g.subgraph([2, 0])
+        assert list(sub.vertex_weights) == [7, 5]
+
+    def test_relabeled_preserves_structure(self, diamond):
+        perm = [3, 2, 1, 0]
+        relabeled = diamond.relabeled(perm)
+        assert relabeled.m == diamond.m
+        for u, v in diamond.edges():
+            assert relabeled.has_edge(perm[u], perm[v])
+
+    def test_relabeled_requires_permutation(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.relabeled([0, 0, 1, 2])
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        c = Graph(3, [(0, 1)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"

@@ -1,0 +1,105 @@
+"""Integration tests for the experiment harness (cheap configurations only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import harness
+
+
+KEYS = ["FB", "WI"]  # the two cheapest datasets
+
+
+class TestHeadlineExperiments:
+    def test_table3_rows(self):
+        rows = harness.exp_table3_datasets(KEYS)
+        assert [r["dataset"] for r in rows] == KEYS
+        assert all(r["V"] > 0 and r["E"] > 0 for r in rows)
+
+    def test_indexing_time_rows(self):
+        rows = harness.exp_indexing_time(KEYS, threads=8, num_landmarks=20)
+        for row in rows:
+            assert row["hpspc_s"] > 0
+            assert row["pspc_s"] > 0
+            # the simulated 8-thread run must beat one thread
+            assert row["pspc_plus_s"] < row["pspc_s"]
+
+    def test_index_size_rows(self):
+        rows = harness.exp_index_size(KEYS)
+        for row in rows:
+            assert row["identical"], "PSPC must equal HP-SPC"
+            assert row["pspc_mb"] == row["pspc_plus_mb"]
+            assert row["pspc_mb"] > 0
+
+    def test_query_time_rows(self):
+        rows = harness.exp_query_time(KEYS, n_queries=200, threads=8)
+        for row in rows:
+            assert row["mean_us"] > 0
+            assert row["pspc_plus_mean_us"] < row["mean_us"]
+
+
+class TestSpeedupExperiments:
+    def test_build_speedup_shape(self):
+        rows = harness.exp_build_speedup(KEYS, threads=(1, 4, 16))
+        by_dataset: dict[str, list[float]] = {}
+        for row in rows:
+            by_dataset.setdefault(row["dataset"], []).append(row["speedup"])
+        for series in by_dataset.values():
+            assert series[0] == pytest.approx(1.0)
+            assert series == sorted(series)
+
+    def test_query_speedup_shape(self):
+        rows = harness.exp_query_speedup(KEYS, threads=(1, 8), n_queries=200)
+        speedups = {(r["dataset"], r["threads"]): r["speedup"] for r in rows}
+        for key in KEYS:
+            assert speedups[(key, 1)] == pytest.approx(1.0)
+            assert speedups[(key, 8)] > 2.0
+
+
+class TestAblations:
+    def test_landmark_ablation(self):
+        rows = harness.exp_ablation_landmarks(KEYS, threads=8, num_landmarks=30)
+        for row in rows:
+            assert row["identical_index"]
+            assert row["ll_s"] > 0 and row["nll_s"] > 0
+
+    def test_schedule_ablation(self):
+        rows = harness.exp_ablation_schedule(KEYS, threads=8)
+        for row in rows:
+            assert row["dynamic_s"] <= row["static_s"] + 1e-9
+
+    def test_order_ablation(self):
+        rows = harness.exp_ablation_order(["FB"], threads=8)
+        row = rows[0]
+        assert row["degree_s"] > 0
+        assert row["sig_s"] > 0
+        assert row["hybrid_s"] > 0
+
+    def test_delta_effect(self):
+        rows = harness.exp_delta_effect(["FB"], deltas=(2, 10), n_queries=50, threads=8)
+        assert len(rows) == 2
+        assert all(r["size_mb"] > 0 for r in rows)
+
+    def test_landmark_count_sweep(self):
+        rows = harness.exp_landmark_count(["FB"], counts=(0, 20), threads=8)
+        assert [r["landmarks"] for r in rows] == [0, 20]
+
+    def test_time_breakdown(self):
+        rows = harness.exp_time_breakdown(["FB"], num_landmarks=20)
+        row = rows[0]
+        assert row["construction_s"] > 0
+        assert row["landmarks_s"] > 0
+        # label construction dominates, as in the paper's Fig. 13
+        assert row["construction_s"] > row["order_s"]
+
+
+class TestFormatting:
+    def test_format_rows_aligns_columns(self):
+        text = harness.format_rows([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in harness.format_rows([], title="x")

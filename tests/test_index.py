@@ -1,0 +1,132 @@
+"""Unit tests for the PSPCIndex facade (build/query/save/verify)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import BuildConfig, PSPCIndex
+from repro.errors import IndexBuildError, QueryError
+from repro.graph.generators import barabasi_albert
+from repro.graph.traversal import spc_pair
+from repro.ordering.degree import degree_order
+
+
+class TestBuild:
+    def test_default_build(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        assert index.n == social_graph.n
+        assert index.config.builder == "pspc"
+        assert index.config.ordering == "degree"
+
+    def test_named_orderings(self, social_graph):
+        for name in ("degree", "hybrid"):
+            index = PSPCIndex.build(social_graph, ordering=name)
+            assert index.config.ordering == name
+            index.verify_against_bfs(samples=10)
+
+    def test_explicit_order_object(self, social_graph):
+        order = degree_order(social_graph)
+        index = PSPCIndex.build(social_graph, ordering=order)
+        assert index.order is order
+
+    def test_hpspc_builder(self, social_graph):
+        a = PSPCIndex.build(social_graph, builder="hpspc")
+        b = PSPCIndex.build(social_graph, builder="pspc")
+        assert a.labels == b.labels
+
+    def test_unknown_builder_rejected(self, social_graph):
+        with pytest.raises(IndexBuildError):
+            PSPCIndex.build(social_graph, builder="magic")
+
+    def test_threads_build_same_index(self, social_graph):
+        single = PSPCIndex.build(social_graph, threads=1)
+        multi = PSPCIndex.build(social_graph, threads=4)
+        assert single.labels == multi.labels
+
+    def test_order_phase_timed(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        assert index.stats.phase("order") >= 0.0
+        assert index.stats.phase("construction") > 0.0
+
+
+class TestQueryApi:
+    @pytest.fixture
+    def index(self, diamond):
+        return PSPCIndex.build(diamond)
+
+    def test_query_result(self, index):
+        result = index.query(0, 3)
+        assert (result.dist, result.count) == (2, 2)
+
+    def test_spc_and_distance_shortcuts(self, index):
+        assert index.spc(0, 3) == 2
+        assert index.distance(0, 3) == 2
+
+    def test_batch(self, index):
+        results = index.query_batch([(0, 1), (0, 3)])
+        assert [r.count for r in results] == [1, 2]
+
+    def test_batch_costs(self, index):
+        costs = index.query_batch_costs([(0, 3)])
+        assert costs[0] >= 1
+
+    def test_label_view(self, index):
+        entries = index.label(0)
+        assert any(e.dist == 0 and e.count == 1 for e in entries)
+
+    def test_size_helpers(self, index):
+        assert index.total_entries() > 0
+        assert index.size_mb() > 0.0
+
+    def test_repr(self, index):
+        assert "PSPCIndex" in repr(index)
+
+
+class TestVerification:
+    def test_verify_passes_on_correct_index(self, social_graph):
+        PSPCIndex.build(social_graph).verify_against_bfs(samples=30)
+
+    def test_verify_detects_corruption(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        # corrupt one non-self count
+        for v, lst in enumerate(index.labels.entries):
+            for i, (h, d, c) in enumerate(lst):
+                if d > 0:
+                    lst[i] = (h, d, c + 7)
+                    break
+            else:
+                continue
+            break
+        with pytest.raises(QueryError):
+            index.verify_against_bfs(samples=200)
+
+    def test_verify_requires_graph(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph)
+        index.save(tmp_path / "idx.pkl")
+        loaded = PSPCIndex.load(tmp_path / "idx.pkl")
+        with pytest.raises(QueryError):
+            loaded.verify_against_bfs()
+
+
+class TestPersistence:
+    def test_round_trip_preserves_answers(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph, num_landmarks=8)
+        path = tmp_path / "idx.pkl"
+        index.save(path)
+        loaded = PSPCIndex.load(path)
+        assert loaded.labels == index.labels
+        assert loaded.config == index.config
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            s, t = (int(x) for x in rng.integers(social_graph.n, size=2))
+            assert loaded.query(s, t) == index.query(s, t)
+
+    def test_loaded_index_answers_match_bfs(self, tmp_path):
+        graph = barabasi_albert(80, 2, seed=9)
+        PSPCIndex.build(graph).save(tmp_path / "i.pkl")
+        loaded = PSPCIndex.load(tmp_path / "i.pkl")
+        for s in range(0, 80, 7):
+            for t in range(0, 80, 11):
+                result = loaded.query(s, t)
+                assert (result.dist, result.count) == spc_pair(graph, s, t)

@@ -1,0 +1,84 @@
+"""End-to-end integration tests crossing subsystem boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications import enumerate_shortest_paths, top_k_nearest
+from repro.baselines import BidirectionalBFSCounter
+from repro.core import CompactLabelIndex, DynamicSPCIndex, PSPCIndex, audit_full
+from repro.graph import barabasi_albert, graph_stats, grid_road_network
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.ordering import hybrid_order
+from repro.reduction import ReducedSPCIndex
+
+
+class TestFullLifecycle:
+    """Generate -> persist -> reload -> order -> build -> reduce -> query."""
+
+    def test_social_pipeline(self, tmp_path):
+        graph = barabasi_albert(250, 3, seed=41)
+        path = tmp_path / "social.txt"
+        write_edge_list(graph, path, header="integration fixture")
+        reloaded = read_edge_list(path, relabel=False)
+        assert reloaded == graph
+
+        index = PSPCIndex.build(reloaded, ordering="degree", num_landmarks=25)
+        audit_full(index.labels, reloaded, query_samples=100)
+
+        compact = CompactLabelIndex.from_index(index.labels)
+        reduced = ReducedSPCIndex.build(reloaded)
+        oracle = BidirectionalBFSCounter(reloaded)
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            s, t = (int(x) for x in rng.integers(reloaded.n, size=2))
+            expected = oracle.query(s, t)
+            assert index.query(s, t) == expected
+            assert compact.query(s, t) == expected
+            assert reduced.query(s, t).count == expected.count
+
+    def test_road_pipeline(self):
+        graph = grid_road_network(12, 12, extra_edges=15, seed=2)
+        stats = graph_stats(graph, name="road")
+        assert stats.components == 1
+
+        order = hybrid_order(graph, delta=5)
+        index = PSPCIndex.build(graph, ordering=order)
+
+        # route planning: enumerate actual routes behind the counts
+        candidates = list(range(0, graph.n, 13))
+        best = top_k_nearest(index, 0, candidates, k=3)
+        assert best[0].vertex == 0
+        target = best[-1].vertex
+        routes = list(enumerate_shortest_paths(graph, index, 0, target))
+        assert len(routes) == index.spc(0, target)
+
+    def test_dynamic_world(self):
+        """A living graph: updates, queries and rebuilds interleaved."""
+        graph = barabasi_albert(120, 2, seed=43)
+        dyn = DynamicSPCIndex(graph, rebuild_threshold=3, ordering="degree")
+        oracle_pairs = [(0, 119), (5, 80), (33, 77)]
+
+        baseline = {pair: dyn.query(*pair) for pair in oracle_pairs}
+        dyn.add_edge(0, 119)
+        assert dyn.distance(0, 119) == 1
+        dyn.remove_edge(0, 119)
+        for pair in oracle_pairs:
+            restored = dyn.query(*pair)
+            assert (restored.dist, restored.count) == (
+                baseline[pair].dist,
+                baseline[pair].count,
+            )
+
+    def test_paper_defaults_end_to_end(self):
+        """The paper's headline configuration on one stand-in dataset."""
+        from repro.experiments.datasets import load_dataset, random_query_pairs
+
+        graph = load_dataset("FB")
+        hp = PSPCIndex.build(graph, builder="hpspc")
+        ps = PSPCIndex.build(graph, builder="pspc", num_landmarks=100, threads=2)
+        assert hp.labels == ps.labels
+        pairs = random_query_pairs(graph, 50, seed=3)
+        for s, t in pairs:
+            assert hp.query(s, t) == ps.query(s, t)

@@ -1,0 +1,135 @@
+"""Unit tests for graph I/O round-trips and format validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def sample() -> Graph:
+    return barabasi_albert(40, 2, seed=6)
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample, tmp_path):
+        # relabel=False preserves ids exactly; relabel=True only guarantees
+        # an isomorphic graph (first-seen id compaction).
+        path = tmp_path / "g.txt"
+        io.write_edge_list(sample, path)
+        assert io.read_edge_list(path, relabel=False) == sample
+        relabeled = io.read_edge_list(path, relabel=True)
+        assert relabeled.n == sample.n
+        assert relabeled.m == sample.m
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# snap header\n% konect header\n\n0 1\n1 2\n// trailing\n")
+        g = io.read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1590000000\n1 2 42\n")
+        assert io.read_edge_list(path).m == 2
+
+    def test_relabel_compacts_sparse_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1000 2000\n2000 3000\n")
+        g = io.read_edge_list(path, relabel=True)
+        assert g.n == 3
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n")
+        g = io.read_edge_list(path, relabel=False)
+        assert g.n == 6
+
+    def test_no_relabel_rejects_negative(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-3 5\n")
+        with pytest.raises(GraphFormatError):
+            io.read_edge_list(path, relabel=False)
+
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("42\n")
+        with pytest.raises(GraphFormatError):
+            io.read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            io.read_edge_list(path)
+
+    def test_header_written(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        io.write_edge_list(sample, path, header="my graph")
+        assert path.read_text().startswith("# my graph")
+
+
+class TestMetis:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.metis"
+        io.write_metis(sample, path)
+        assert io.read_metis(path) == sample
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            io.read_metis(path)
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")  # header says 3 vertices, 2 rows follow
+        with pytest.raises(GraphFormatError):
+            io.read_metis(path)
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError):
+            io.read_metis(path)
+
+    def test_neighbour_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n9\n1\n")
+        with pytest.raises(GraphFormatError):
+            io.read_metis(path)
+
+
+class TestBinaryFormats:
+    def test_npz_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.npz"
+        io.save_npz(sample, path)
+        assert io.load_npz(path) == sample
+
+    def test_npz_preserves_weights(self, tmp_path):
+        g = Graph(3, [(0, 1), (1, 2)], vertex_weights=[2, 3, 4])
+        path = tmp_path / "g.npz"
+        io.save_npz(g, path)
+        assert list(io.load_npz(path).vertex_weights) == [2, 3, 4]
+
+    def test_json_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.json"
+        io.save_json(sample, path)
+        assert io.load_json(path) == sample
+
+    def test_json_corrupt_rejected(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            io.load_json(path)
+
+    def test_json_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{"edges": []}')
+        with pytest.raises(GraphFormatError):
+            io.load_json(path)

@@ -1,0 +1,92 @@
+"""Unit tests for k-core decomposition and the core-fringe split."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.kcore import core_fringe, core_numbers, k_core_vertices
+from repro.graph.traversal import spc_pair
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self):
+        assert list(core_numbers(complete_graph(5))) == [4] * 5
+
+    def test_cycle_is_2_core(self):
+        assert list(core_numbers(cycle_graph(6))) == [2] * 6
+
+    def test_tree_is_1_core(self):
+        assert set(int(c) for c in core_numbers(random_tree(30, seed=1))) == {1}
+
+    def test_star_center_and_leaves(self):
+        cores = core_numbers(star_graph(6))
+        assert int(cores[0]) == 1
+        assert all(int(c) == 1 for c in cores[1:])
+
+    def test_matches_peeling_definition(self):
+        # every vertex of the k-core must have >= k neighbours inside it
+        g = barabasi_albert(100, 3, seed=5)
+        cores = core_numbers(g)
+        for k in range(1, int(cores.max()) + 1):
+            members = set(int(v) for v in k_core_vertices(g, k))
+            for v in members:
+                inside = sum(1 for w in g.neighbors(v) if int(w) in members)
+                assert inside >= k
+
+    def test_k_core_vertices_empty_when_k_too_large(self):
+        assert len(k_core_vertices(cycle_graph(5), 3)) == 0
+
+
+class TestCoreFringe:
+    def test_cycle_with_pendant_path(self):
+        # cycle 0..4 plus pendant path 4-5-6
+        g = Graph(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (4, 5), (5, 6)])
+        split = core_fringe(g)
+        assert split.core_graph.n == 5
+        assert split.fringe_size == 2
+        assert split.anchor[5] == 4
+        assert split.anchor[6] == 4
+        assert split.depth[6] == 2
+        assert split.parent[6] == 5
+
+    def test_core_vertices_anchor_themselves(self, diamond):
+        split = core_fringe(diamond)
+        assert split.fringe_size == 0
+        assert list(split.anchor) == [0, 1, 2, 3]
+        assert list(split.depth) == [0, 0, 0, 0]
+
+    def test_pure_tree_has_empty_core(self):
+        split = core_fringe(path_graph(6))
+        assert split.core_graph.n == 0
+        assert split.fringe_size == 6
+        # whole component anchors at a single root
+        assert len(set(int(a) for a in split.anchor)) == 1
+
+    def test_tree_depths_consistent_with_distances(self):
+        g = random_tree(40, seed=3)
+        split = core_fringe(g)
+        root = int(split.anchor[0])
+        for v in range(g.n):
+            assert int(split.anchor[v]) == root
+            assert int(split.depth[v]) == spc_pair(g, v, root)[0]
+
+    def test_core_of_old_round_trip(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (3, 5)])
+        split = core_fringe(g)
+        for core_id, old in enumerate(split.old_of_core):
+            assert int(split.core_of_old[old]) == core_id
+
+    def test_isolated_vertex_is_own_anchor(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 0)])
+        split = core_fringe(g)
+        assert int(split.anchor[3]) == 3
+        assert int(split.depth[3]) == 0

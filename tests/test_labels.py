@@ -1,0 +1,67 @@
+"""Unit tests for the LabelIndex storage layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labels import ENTRY_BYTES, LabelEntry, LabelIndex
+from repro.errors import IndexStateError
+from repro.ordering.base import VertexOrder
+
+
+@pytest.fixture
+def tiny_index() -> LabelIndex:
+    order = VertexOrder.from_order(np.array([1, 0, 2]), 3, strategy="t")
+    entries = [
+        [(0, 1, 1), (1, 0, 1)],   # vertex 0: hub v1 at rank 0, self at rank 1
+        [(0, 0, 1)],              # vertex 1: itself (rank 0)
+        [(0, 1, 1), (2, 0, 1)],   # vertex 2
+    ]
+    return LabelIndex(order, entries)
+
+
+class TestLabelIndex:
+    def test_label_decodes_hub_ids(self, tiny_index):
+        decoded = tiny_index.label(0)
+        assert decoded[0] == LabelEntry(hub=1, dist=1, count=1)
+        assert decoded[1] == LabelEntry(hub=0, dist=0, count=1)
+
+    def test_entry_as_tuple(self):
+        assert LabelEntry(3, 2, 5).as_tuple() == (3, 2, 5)
+
+    def test_sizes(self, tiny_index):
+        assert tiny_index.total_entries() == 5
+        assert tiny_index.label_size(1) == 1
+        assert tiny_index.max_label_size() == 2
+        assert tiny_index.average_label_size() == pytest.approx(5 / 3)
+        assert tiny_index.size_bytes() == 5 * ENTRY_BYTES
+        assert tiny_index.size_mb() == pytest.approx(5 * ENTRY_BYTES / 2**20)
+
+    def test_iter_entries(self, tiny_index):
+        rows = list(tiny_index.iter_entries())
+        assert (0, 0, 1, 1) in rows
+        assert len(rows) == 5
+
+    def test_mismatched_lengths_rejected(self):
+        order = VertexOrder.from_order(np.array([0, 1]), 2)
+        with pytest.raises(IndexStateError):
+            LabelIndex(order, [[]])
+
+    def test_default_weights_are_ones(self, tiny_index):
+        assert list(tiny_index.weight_by_rank) == [1, 1, 1]
+
+    def test_equality(self, tiny_index):
+        clone = LabelIndex(tiny_index.order, [list(lst) for lst in tiny_index.entries])
+        assert clone == tiny_index
+        clone.entries[0] = []
+        assert clone != tiny_index
+        assert tiny_index != 42
+
+    def test_save_load_round_trip(self, tiny_index, tmp_path):
+        path = tmp_path / "index.pkl"
+        tiny_index.save(path)
+        assert LabelIndex.load(path) == tiny_index
+
+    def test_repr(self, tiny_index):
+        assert "entries=5" in repr(tiny_index)

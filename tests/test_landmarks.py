@@ -1,0 +1,68 @@
+"""Unit tests for landmark-based filtering (Section III-H)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.landmarks import LandmarkIndex, build_landmark_index, select_landmarks
+from repro.core.pspc import build_pspc
+from repro.graph.traversal import bfs_distances
+from repro.ordering.degree import degree_order
+
+
+class TestSelection:
+    def test_picks_highest_degree(self, social_graph):
+        landmarks = select_landmarks(social_graph, 5)
+        degrees = social_graph.degrees()
+        threshold = sorted((int(d) for d in degrees), reverse=True)[4]
+        assert all(int(degrees[v]) >= threshold for v in landmarks)
+
+    def test_zero_landmarks(self, social_graph):
+        assert len(select_landmarks(social_graph, 0)) == 0
+
+    def test_count_clamped_to_n(self, triangle):
+        assert len(select_landmarks(triangle, 100)) == 3
+
+    def test_deterministic(self, social_graph):
+        a = select_landmarks(social_graph, 7)
+        b = select_landmarks(social_graph, 7)
+        assert np.array_equal(a, b)
+
+
+class TestLandmarkIndex:
+    def test_distances_exact(self, social_graph):
+        order = degree_order(social_graph)
+        lm = build_landmark_index(social_graph, order, 4)
+        for w in lm.landmarks:
+            expected = bfs_distances(social_graph, int(w))
+            for u in range(social_graph.n):
+                assert lm.distance(int(w), u) == int(expected[u])
+
+    def test_rank_lookup_agrees_with_vertex_lookup(self, social_graph):
+        order = degree_order(social_graph)
+        lm = build_landmark_index(social_graph, order, 4)
+        for w in lm.landmarks:
+            r = int(order.rank[int(w)])
+            assert lm.rank_is_landmark[r]
+            assert lm.distance_by_rank(r, 0) == lm.distance(int(w), 0)
+
+    def test_non_landmark_ranks_unmarked(self, social_graph):
+        order = degree_order(social_graph)
+        lm = build_landmark_index(social_graph, order, 3)
+        assert int(lm.rank_is_landmark.sum()) == 3
+
+    def test_size_accounting(self, social_graph):
+        order = degree_order(social_graph)
+        lm = build_landmark_index(social_graph, order, 4)
+        assert lm.num_landmarks == 4
+        assert lm.size_bytes() == 4 * social_graph.n * 4  # int32 tables
+
+
+class TestFilterEffect:
+    def test_reduces_scan_work(self, social_graph):
+        """Landmark queries skip label scans, so total work units drop."""
+        order = degree_order(social_graph)
+        _, plain = build_pspc(social_graph, order, num_landmarks=0)
+        _, filtered = build_pspc(social_graph, order, num_landmarks=15)
+        assert filtered.total_work < plain.total_work
+        assert filtered.landmark_hits > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the 1-shell reduction (Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.graph.generators import cycle_graph, path_graph, random_tree
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+from repro.reduction.one_shell import OneShellReduction
+
+
+def exhaustive_check(graph: Graph) -> None:
+    """Assert the reduction answers every pair exactly (BFS core oracle)."""
+    reduction = OneShellReduction(graph)
+    core = reduction.core_graph
+
+    def core_query(s: int, t: int) -> tuple[int, int]:
+        return spc_pair(core, s, t)
+
+    for s in range(graph.n):
+        for t in range(graph.n):
+            assert reduction.query_via(core_query, s, t) == spc_pair(graph, s, t), (s, t)
+
+
+class TestSplit:
+    def test_cycle_keeps_everything(self):
+        reduction = OneShellReduction(cycle_graph(7))
+        assert reduction.core_size == 7
+        assert reduction.fringe_size == 0
+
+    def test_tree_peels_everything(self):
+        reduction = OneShellReduction(random_tree(25, seed=2))
+        assert reduction.core_size == 0
+        assert reduction.fringe_size == 25
+
+    def test_lollipop(self):
+        # triangle 0-1-2 with tail 2-3-4
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        reduction = OneShellReduction(g)
+        assert reduction.core_size == 3
+        assert reduction.anchor(4) == 2
+        assert reduction.depth(4) == 2
+        assert reduction.core_id(3) == -1
+        assert reduction.core_id(0) >= 0
+
+
+class TestQueries:
+    def test_lollipop_exhaustive(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        exhaustive_check(g)
+
+    def test_two_trees_on_same_anchor(self):
+        # triangle with two separate branches hanging off vertex 0
+        g = Graph(7, [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 5), (5, 6)])
+        exhaustive_check(g)
+
+    def test_pure_tree_exhaustive(self):
+        exhaustive_check(random_tree(30, seed=4))
+
+    def test_path_graph_exhaustive(self):
+        exhaustive_check(path_graph(9))
+
+    def test_forest_cross_component_unreachable(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        exhaustive_check(g)
+
+    def test_mixed_graph_exhaustive(self, social_graph):
+        # BA graphs have m=3 so little fringe; attach explicit tendrils
+        edges = list(social_graph.edges())
+        n = social_graph.n
+        edges += [(0, n), (n, n + 1), (5, n + 2)]
+        g = Graph(n + 3, edges)
+        reduction = OneShellReduction(g)
+        assert reduction.fringe_size >= 3
+
+        def core_query(s, t):
+            return spc_pair(reduction.core_graph, s, t)
+
+        for s in [0, 5, n, n + 1, n + 2, 17]:
+            for t in [1, n, n + 1, n + 2, 33]:
+                assert reduction.query_via(core_query, s, t) == spc_pair(g, s, t)
+
+    def test_out_of_range_rejected(self, triangle):
+        reduction = OneShellReduction(triangle)
+        with pytest.raises(ReductionError):
+            reduction.resolve(0, 99)
+
+    def test_identity_query(self, triangle):
+        reduction = OneShellReduction(triangle)
+        assert reduction.resolve(1, 1) == (0, 1)

@@ -1,0 +1,64 @@
+"""Unit tests for the VertexOrder abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.graph.generators import path_graph
+from repro.ordering import ORDERINGS, get_ordering
+from repro.ordering.base import VertexOrder, identity_order, rank_of_order, validate_order
+
+
+class TestValidation:
+    def test_valid_permutation(self):
+        arr = validate_order(np.array([2, 0, 1]), 3)
+        assert list(arr) == [2, 0, 1]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(OrderingError):
+            validate_order(np.array([0, 1]), 3)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(OrderingError):
+            validate_order(np.array([0, 0, 2]), 3)
+
+    def test_rank_is_inverse(self):
+        order = np.array([3, 1, 0, 2])
+        rank = rank_of_order(order)
+        for pos, v in enumerate(order):
+            assert rank[v] == pos
+
+
+class TestVertexOrder:
+    def test_from_order_builds_rank(self):
+        vo = VertexOrder.from_order(np.array([1, 2, 0]), 3)
+        assert vo.n == 3
+        assert list(vo.rank) == [2, 0, 1]
+
+    def test_outranks(self):
+        vo = VertexOrder.from_order(np.array([1, 2, 0]), 3)
+        assert vo.outranks(1, 0)
+        assert not vo.outranks(0, 2)
+        assert not vo.outranks(1, 1)
+
+    def test_top(self):
+        vo = VertexOrder.from_order(np.array([4, 3, 2, 1, 0]), 5)
+        assert list(vo.top(2)) == [4, 3]
+
+    def test_identity_order(self):
+        vo = identity_order(path_graph(4))
+        assert list(vo.order) == [0, 1, 2, 3]
+        assert vo.strategy == "identity"
+
+
+class TestRegistry:
+    def test_all_registered_strategies_produce_permutations(self, social_graph):
+        for name in ORDERINGS:
+            vo = get_ordering(name)(social_graph)
+            assert sorted(int(v) for v in vo.order) == list(range(social_graph.n))
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(OrderingError, match="degree"):
+            get_ordering("nope")

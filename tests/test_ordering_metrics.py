@@ -1,0 +1,56 @@
+"""Unit tests for the order-quality diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import star_graph
+from repro.ordering.base import VertexOrder, identity_order
+from repro.ordering.degree import degree_order
+from repro.ordering.metrics import degree_rank_correlation, top_vertex_rank_profile
+
+import numpy as np
+
+
+class TestTopVertexRankProfile:
+    def test_star_hub_always_rank_zero(self):
+        g = star_graph(6)
+        vo = degree_order(g)
+        quality = top_vertex_rank_profile(g, vo, samples=30, seed=1)
+        # every leaf-to-leaf shortest path passes through the rank-0 hub
+        assert quality.mean_top_rank == 0.0
+        assert quality.samples > 0
+
+    def test_bad_order_scores_worse(self, social_graph):
+        good = degree_order(social_graph)
+        bad = VertexOrder.from_order(good.order[::-1].copy(), social_graph.n, "reversed")
+        q_good = top_vertex_rank_profile(social_graph, good, samples=60, seed=2)
+        q_bad = top_vertex_rank_profile(social_graph, bad, samples=60, seed=2)
+        assert q_good.mean_top_rank < q_bad.mean_top_rank
+
+    def test_strategy_reported(self, social_graph):
+        quality = top_vertex_rank_profile(social_graph, degree_order(social_graph), samples=5)
+        assert quality.strategy == "degree"
+
+
+class TestDegreeRankCorrelation:
+    def test_degree_order_is_perfectly_correlated(self, social_graph):
+        assert degree_rank_correlation(social_graph, degree_order(social_graph)) == pytest.approx(1.0)
+
+    def test_reversed_order_anticorrelated(self, social_graph):
+        good = degree_order(social_graph)
+        bad = VertexOrder.from_order(good.order[::-1].copy(), social_graph.n, "reversed")
+        assert degree_rank_correlation(social_graph, bad) == pytest.approx(-1.0)
+
+    def test_identity_on_regular_graph(self):
+        # all degrees equal -> degree ranks equal ids -> correlation 1 with identity
+        from repro.graph.generators import cycle_graph
+
+        g = cycle_graph(8)
+        assert degree_rank_correlation(g, identity_order(g)) == pytest.approx(1.0)
+
+    def test_tiny_graph_returns_one(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(1, [])
+        assert degree_rank_correlation(g, identity_order(g)) == 1.0

@@ -1,0 +1,120 @@
+"""Unit tests for the four ordering strategies of Section III-G."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.graph.generators import (
+    complete_graph,
+    grid_road_network,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.ordering.degree import degree_order
+from repro.ordering.hybrid import hybrid_order
+from repro.ordering.significant_path import significant_path_order
+from repro.ordering.tree_decomposition import mde_elimination, tree_decomposition_order
+
+
+class TestDegreeOrder:
+    def test_star_center_first(self):
+        vo = degree_order(star_graph(5))
+        assert int(vo.order[0]) == 0
+
+    def test_descending_degree(self, social_graph):
+        vo = degree_order(social_graph)
+        degrees = social_graph.degrees()
+        ordered = degrees[vo.order]
+        assert all(ordered[i] >= ordered[i + 1] for i in range(len(ordered) - 1))
+
+    def test_id_tie_break(self):
+        vo = degree_order(complete_graph(4))
+        assert list(vo.order) == [0, 1, 2, 3]
+
+    def test_deterministic(self, social_graph):
+        assert np.array_equal(degree_order(social_graph).order, degree_order(social_graph).order)
+
+
+class TestSignificantPathOrder:
+    def test_is_permutation(self, social_graph):
+        vo = significant_path_order(social_graph)
+        assert sorted(int(v) for v in vo.order) == list(range(social_graph.n))
+
+    def test_starts_with_max_degree(self, social_graph):
+        vo = significant_path_order(social_graph)
+        degrees = social_graph.degrees()
+        assert int(degrees[vo.order[0]]) == int(degrees.max())
+
+    def test_handles_disconnected_graph(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        vo = significant_path_order(g)
+        assert sorted(int(v) for v in vo.order) == list(range(6))
+
+    def test_handles_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])
+        vo = significant_path_order(g)
+        assert sorted(int(v) for v in vo.order) == [0, 1, 2, 3]
+
+    def test_path_graph_prefers_interior(self):
+        # on a path, the second hub should be an interior vertex of the
+        # significant path, not an endpoint
+        vo = significant_path_order(path_graph(9))
+        assert int(vo.order[0]) not in (0, 8)
+
+
+class TestTreeDecompositionOrder:
+    def test_elimination_covers_all_vertices(self, road_graph):
+        seq, width = mde_elimination(road_graph)
+        assert sorted(seq) == list(range(road_graph.n))
+        assert width >= 1
+
+    def test_path_graph_width_one(self):
+        _, width = mde_elimination(path_graph(10))
+        assert width == 1
+
+    def test_grid_width_at_least_rows(self):
+        _, width = mde_elimination(grid_road_network(4, 12))
+        assert width >= 3  # grid treewidth = min(rows, cols)
+
+    def test_order_reverses_elimination(self, road_graph):
+        seq, _ = mde_elimination(road_graph)
+        vo = tree_decomposition_order(road_graph)
+        assert list(vo.order) == seq[::-1]
+
+    def test_star_center_ranked_near_top(self):
+        # the centre survives until the final degree-1 tie, so it lands in
+        # the top two ranks; every other leaf is eliminated before it
+        vo = tree_decomposition_order(star_graph(6))
+        assert int(vo.rank[0]) <= 1
+
+
+class TestHybridOrder:
+    def test_negative_delta_rejected(self, social_graph):
+        with pytest.raises(OrderingError):
+            hybrid_order(social_graph, delta=-1)
+
+    def test_core_ranked_above_fringe(self, social_graph):
+        delta = 5
+        vo = hybrid_order(social_graph, delta=delta)
+        degrees = social_graph.degrees()
+        n_core = int((degrees > delta).sum())
+        assert all(int(degrees[v]) > delta for v in vo.order[:n_core])
+        assert all(int(degrees[v]) <= delta for v in vo.order[n_core:])
+
+    def test_delta_zero_keeps_connected_vertices_in_core(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        vo = hybrid_order(g, delta=0)
+        degrees = g.degrees()
+        assert all(int(degrees[v]) > 0 for v in vo.order[:3])
+        assert int(vo.order[3]) == 3  # the isolated vertex lands in the fringe
+
+    def test_huge_delta_degenerates_to_tree_decomposition(self, road_graph):
+        vo = hybrid_order(road_graph, delta=10_000)
+        td = tree_decomposition_order(road_graph)
+        assert list(vo.order) == list(td.order)
+
+    def test_strategy_records_delta(self, social_graph):
+        assert "delta=7" in hybrid_order(social_graph, delta=7).strategy

@@ -1,0 +1,117 @@
+"""Unit tests for execution backends and the speedup simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (
+    SerialBackend,
+    ThreadBackend,
+    build_speedup_curve,
+    query_speedup_curve,
+    simulated_build_units,
+    simulated_query_units,
+)
+from repro.core.pspc import build_pspc
+from repro.core.queries import query_costs
+from repro.errors import SchedulingError
+from repro.experiments.datasets import random_query_pairs
+from repro.ordering.degree import degree_order
+
+
+@pytest.fixture
+def built(social_graph):
+    order = degree_order(social_graph)
+    index, stats = build_pspc(social_graph, order)
+    return social_graph, order, index, stats
+
+
+class TestBackends:
+    def test_serial_preserves_order(self):
+        backend = SerialBackend()
+        assert backend.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+        backend.close()
+
+    def test_thread_backend_matches_serial(self):
+        backend = ThreadBackend(3)
+        try:
+            assert backend.map(lambda x: x * x, list(range(50))) == [x * x for x in range(50)]
+        finally:
+            backend.close()
+
+    def test_thread_backend_validates_count(self):
+        with pytest.raises(SchedulingError):
+            ThreadBackend(0)
+
+
+class TestBuildSimulation:
+    def test_speedup_monotone_without_overhead(self, built):
+        """With zero barrier cost, more threads can never hurt."""
+        _, order, _, stats = built
+        curve = build_speedup_curve(
+            stats, order, threads=(1, 2, 4, 8, 16, 20), sync_units_per_thread=0.0
+        )
+        values = list(curve.values())
+        assert curve[1] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_speedup_bounded_by_threads(self, built):
+        _, order, _, stats = built
+        curve = build_speedup_curve(stats, order, threads=(2, 4, 8))
+        for t, speedup in curve.items():
+            assert speedup <= t + 1e-9
+
+    def test_meaningful_parallelism(self, built):
+        _, order, _, stats = built
+        curve = build_speedup_curve(stats, order, threads=(20,), sync_units_per_thread=1.0)
+        assert curve[20] > 4.0  # the whole point of the paper
+
+    def test_default_overhead_bends_curve_below_linear(self, built):
+        """The default barrier cost makes 20 threads sublinear, as in Fig. 8."""
+        _, order, _, stats = built
+        realistic = build_speedup_curve(stats, order, threads=(20,))
+        ideal = build_speedup_curve(stats, order, threads=(20,), sync_units_per_thread=0.0)
+        assert realistic[20] < ideal[20]
+
+    def test_dynamic_at_least_static(self, built):
+        _, order, _, stats = built
+        for t in (4, 16):
+            dyn = simulated_build_units(stats, order, t, "dynamic")
+            sta = simulated_build_units(stats, order, t, "static")
+            assert dyn <= sta + 1e-9
+
+    def test_sync_cost_penalises_threads(self, built):
+        _, order, _, stats = built
+        cheap = simulated_build_units(stats, order, 20, sync_units_per_thread=0.0)
+        costly = simulated_build_units(stats, order, 20, sync_units_per_thread=1e6)
+        assert costly > cheap
+
+    def test_requires_recorded_work(self, social_graph):
+        order = degree_order(social_graph)
+        _, stats = build_pspc(social_graph, order, record_work=False)
+        with pytest.raises(SchedulingError):
+            simulated_build_units(stats, order, 4)
+
+
+class TestQuerySimulation:
+    def test_query_speedup_monotone(self, built):
+        graph, _, index, _ = built
+        pairs = random_query_pairs(graph, 300, seed=2)
+        costs = query_costs(index, pairs)
+        curve = query_speedup_curve(
+            costs, threads=(1, 2, 4, 8, 16, 20), sync_units_per_thread=0.0
+        )
+        values = list(curve.values())
+        assert curve[1] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_query_units_shrink_with_threads(self, built):
+        graph, _, index, _ = built
+        costs = query_costs(index, random_query_pairs(graph, 200, seed=3))
+        assert simulated_query_units(costs, 8) < simulated_query_units(costs, 1)
+
+    def test_near_linear_on_uniform_batch(self):
+        costs = [10] * 1000
+        curve = query_speedup_curve(costs, threads=(10,), sync_units_per_thread=0.0)
+        assert curve[10] == pytest.approx(10.0, rel=0.01)

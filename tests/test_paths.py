@@ -1,0 +1,80 @@
+"""Unit tests for index-guided shortest-path enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.paths import enumerate_shortest_paths, shortest_path_dag
+from repro.baselines.bfs_spc import OnlineBFSCounter
+from repro.core.index import PSPCIndex
+from repro.errors import QueryError
+from repro.graph.generators import barabasi_albert, cycle_graph, grid_road_network
+from repro.graph.graph import Graph
+
+
+def is_valid_path(graph: Graph, path: list[int]) -> bool:
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+class TestShortestPathDag:
+    def test_diamond_dag(self, diamond):
+        index = PSPCIndex.build(diamond)
+        dag = shortest_path_dag(diamond, index, 0, 3)
+        assert sorted(dag[0]) == [1, 2]
+        assert dag[1] == [3]
+        assert dag[2] == [3]
+
+    def test_unreachable_is_empty(self, two_components):
+        index = PSPCIndex.build(two_components)
+        assert shortest_path_dag(two_components, index, 0, 4) == {}
+
+
+class TestEnumeration:
+    def test_diamond_both_paths(self, diamond):
+        index = PSPCIndex.build(diamond)
+        paths = list(enumerate_shortest_paths(diamond, index, 0, 3))
+        assert sorted(paths) == [[0, 1, 3], [0, 2, 3]]
+
+    def test_identity_path(self, diamond):
+        index = PSPCIndex.build(diamond)
+        assert list(enumerate_shortest_paths(diamond, index, 2, 2)) == [[2]]
+
+    def test_count_matches_spc(self):
+        graph = barabasi_albert(80, 3, seed=15)
+        index = PSPCIndex.build(graph)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            s, t = (int(x) for x in rng.integers(graph.n, size=2))
+            expected = index.query(s, t)
+            paths = list(enumerate_shortest_paths(graph, index, s, t))
+            assert len(paths) == expected.count, (s, t)
+            for path in paths:
+                assert is_valid_path(graph, path)
+                assert len(path) == expected.dist + 1
+            assert len({tuple(p) for p in paths}) == len(paths)  # all distinct
+
+    def test_limit_truncates(self):
+        graph = grid_road_network(5, 5)
+        index = PSPCIndex.build(graph)
+        # corner to corner: C(8, 4) = 70 monotone lattice paths
+        all_paths = list(enumerate_shortest_paths(graph, index, 0, 24))
+        assert len(all_paths) == 70
+        limited = list(enumerate_shortest_paths(graph, index, 0, 24, limit=5))
+        assert len(limited) == 5
+        assert limited == all_paths[:5]
+
+    def test_unreachable_yields_nothing(self, two_components):
+        index = PSPCIndex.build(two_components)
+        assert list(enumerate_shortest_paths(two_components, index, 0, 4)) == []
+
+    def test_invalid_limit(self, diamond):
+        index = PSPCIndex.build(diamond)
+        with pytest.raises(QueryError):
+            list(enumerate_shortest_paths(diamond, index, 0, 3, limit=0))
+
+    def test_works_with_bfs_oracle(self):
+        graph = cycle_graph(8)
+        oracle = OnlineBFSCounter(graph)
+        paths = list(enumerate_shortest_paths(graph, oracle, 0, 4))
+        assert sorted(paths) == [[0, 1, 2, 3, 4], [0, 7, 6, 5, 4]]

@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+from repro.experiments.plots import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            {"FB": [(1, 1.0), (20, 18.0)], "GO": [(1, 1.0), (20, 19.0)]},
+            title="speedup",
+        )
+        assert "speedup" in chart
+        assert "F=FB" in chart and "G=GO" in chart
+        assert "F" in chart.replace("F=FB", "")
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({}, title="x")
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"a": [(1, 5.0), (2, 5.0)]})
+        assert "5.0" in chart
+
+    def test_axis_labels_span_data(self):
+        chart = line_chart({"a": [(1, 2.0), (10, 7.0)]})
+        assert "7.0" in chart
+        assert "2.0" in chart
+
+
+class TestBarChart:
+    ROWS = [
+        {"dataset": "FB", "hpspc_s": 0.8, "pspc_s": 0.9},
+        {"dataset": "IN", "hpspc_s": 18.0, "pspc_s": 11.0},
+    ]
+
+    def test_renders_bars_and_values(self):
+        chart = bar_chart(self.ROWS, "dataset", ["hpspc_s", "pspc_s"], title="fig5")
+        assert "fig5" in chart
+        assert "FB" in chart and "IN" in chart
+        assert "#" in chart
+        assert "18" in chart
+
+    def test_log_scale_monotone_bars(self):
+        chart = bar_chart(self.ROWS, "dataset", ["hpspc_s"])
+        lines = [l for l in chart.splitlines() if "|" in l]
+        fb_len = lines[0].count("#")
+        in_len = lines[1].count("#")
+        assert in_len > fb_len
+
+    def test_linear_scale(self):
+        chart = bar_chart(self.ROWS, "dataset", ["hpspc_s"], log=False)
+        assert "linear scale" in chart
+
+    def test_empty_rows(self):
+        assert "(no data)" in bar_chart([], "x", ["y"], title="t")
+
+    def test_zero_values_handled(self):
+        rows = [{"d": "a", "v": 0.0}, {"d": "b", "v": 3.0}]
+        chart = bar_chart(rows, "d", ["v"])
+        assert "0" in chart

@@ -1,0 +1,139 @@
+"""Unit tests for the propagation primitives (candidate gather/prune)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.landmarks import build_landmark_index
+from repro.core.propagation import (
+    IterationContext,
+    merge_bucket,
+    prune_candidates,
+    pull_candidates,
+    push_scatter,
+)
+from repro.graph.graph import Graph
+from repro.ordering.degree import degree_order
+
+
+@pytest.fixture
+def ctx_d1(diamond):
+    """Iteration d=1 context over the diamond with fresh self-labels."""
+    order = degree_order(diamond)
+    rank = order.rank
+    n = diamond.n
+    return IterationContext(
+        graph=diamond,
+        d=1,
+        rank=rank,
+        order_arr=order.order,
+        labels=[[(int(rank[u]), 0, 1)] for u in range(n)],
+        label_maps=[{int(rank[u]): 0} for u in range(n)],
+        current=[[(int(rank[u]), 1)] for u in range(n)],
+        landmarks=None,
+    )
+
+
+class TestPullCandidates:
+    def test_gathers_only_outranking_hubs(self, ctx_d1, diamond):
+        order = degree_order(diamond)
+        for u in range(diamond.n):
+            candidates, work, pruned = pull_candidates(ctx_d1, u)
+            for hub_rank in candidates:
+                assert hub_rank < int(order.rank[u])
+            assert work == diamond.degree(u)  # one unit per neighbour entry
+            assert len(candidates) + pruned == diamond.degree(u)
+
+    def test_counts_initially_one_per_edge(self, ctx_d1):
+        candidates, _, _ = pull_candidates(ctx_d1, 3)
+        assert all(c == 1 for c in candidates.values())
+
+    def test_merging_sums_counts(self, diamond):
+        # at d=2, vertex 3 receives hub(0) from both 1 and 2 -> merged count 2
+        order = degree_order(diamond)
+        rank = order.rank
+        rank0 = int(rank[0])
+        current = [[] for _ in range(4)]
+        current[1] = [(rank0, 1)]
+        current[2] = [(rank0, 1)]
+        ctx = IterationContext(
+            graph=diamond,
+            d=2,
+            rank=rank,
+            order_arr=order.order,
+            labels=[[(int(rank[u]), 0, 1)] for u in range(4)],
+            label_maps=[{int(rank[u]): 0} for u in range(4)],
+            current=current,
+            landmarks=None,
+        )
+        candidates, _, _ = pull_candidates(ctx, 3)
+        assert candidates.get(rank0) == 2
+
+    def test_weight_factor_applied_to_internal_vertex(self):
+        g = Graph(3, [(0, 1), (1, 2)], vertex_weights=[1, 7, 1])
+        order = degree_order(g)
+        rank = order.rank
+        rank0 = int(rank[0])
+        current = [[] for _ in range(3)]
+        current[1] = [(rank0, 1)]  # label (hub 0, d=1) fresh on vertex 1
+        ctx = IterationContext(
+            graph=g, d=2, rank=rank, order_arr=order.order,
+            labels=[[(int(rank[u]), 0, 1)] for u in range(3)],
+            label_maps=[{int(rank[u]): 0} for u in range(3)],
+            current=current, landmarks=None,
+        )
+        candidates, _, _ = pull_candidates(ctx, 2)
+        assert candidates.get(rank0) == 7  # vertex 1 became internal
+
+
+class TestPushScatter:
+    def test_push_matches_pull_multiset(self, ctx_d1, diamond):
+        buckets: list[list[tuple[int, int]]] = [[] for _ in range(diamond.n)]
+        for u in range(diamond.n):
+            push_scatter(ctx_d1, buckets, u)
+        for u in range(diamond.n):
+            pulled, _, _ = pull_candidates(ctx_d1, u)
+            merged, _, _ = merge_bucket(ctx_d1, u, buckets[u])
+            assert merged == pulled
+
+    def test_empty_current_is_free(self, ctx_d1, diamond):
+        ctx_d1.current[0] = []
+        buckets: list[list[tuple[int, int]]] = [[] for _ in range(diamond.n)]
+        assert push_scatter(ctx_d1, buckets, 0) == 0
+
+
+class TestPruneCandidates:
+    def test_accepts_fresh_distance_one(self, ctx_d1):
+        candidates, _, _ = pull_candidates(ctx_d1, 3)
+        accepted, _, pruned, _ = prune_candidates(ctx_d1, 3, candidates)
+        assert pruned == 0
+        assert [hub for hub, _ in accepted] == sorted(hub for hub, _ in accepted)
+
+    def test_prunes_known_shorter_distance(self, ctx_d1, diamond):
+        # pretend vertex 3 already has hub 0's label at distance 1
+        order = degree_order(diamond)
+        rank0 = int(order.rank[0])
+        ctx_d1.label_maps[3][rank0] = 1
+        ctx_d1.labels[3].append((rank0, 1, 1))
+        ctx = ctx_d1
+        ctx.d = 2
+        accepted, _, pruned, _ = prune_candidates(ctx, 3, {rank0: 1})
+        assert accepted == []
+        assert pruned == 1
+
+    def test_landmark_filter_answers_without_scanning(self, diamond):
+        order = degree_order(diamond)
+        landmarks = build_landmark_index(diamond, order, 2)
+        rank = order.rank
+        ctx = IterationContext(
+            graph=diamond, d=2, rank=rank, order_arr=order.order,
+            labels=[[(int(rank[u]), 0, 1)] for u in range(4)],
+            label_maps=[{int(rank[u]): 0} for u in range(4)],
+            current=[[] for _ in range(4)],
+            landmarks=landmarks,
+        )
+        top_rank = 0  # the highest-ranked vertex is a landmark by degree
+        u = int(order.order[3])
+        _, _, _, hits = prune_candidates(ctx, u, {top_rank: 1})
+        assert hits == 1

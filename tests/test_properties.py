@@ -1,0 +1,96 @@
+"""Unit tests for graph statistics (components, diameter, Table III stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    connected_components,
+    diameter_double_sweep,
+    diameter_exact,
+    graph_stats,
+    is_connected,
+    largest_component,
+)
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        assert int(connected_components(triangle).max()) == 0
+
+    def test_two_components(self, two_components):
+        comp = connected_components(two_components)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4]
+        assert comp[0] != comp[3]
+
+    def test_isolated_vertices_each_own_component(self):
+        comp = connected_components(Graph(3, []))
+        assert len(set(int(c) for c in comp)) == 3
+
+    def test_largest_component_extraction(self, two_components):
+        sub, old_of_new = largest_component(two_components)
+        assert sub.n == 3
+        assert sorted(int(v) for v in old_of_new) == [0, 1, 2]
+
+    def test_largest_component_of_empty_graph(self):
+        sub, mapping = largest_component(Graph(0, []))
+        assert sub.n == 0
+        assert len(mapping) == 0
+
+    def test_is_connected(self, triangle, two_components):
+        assert is_connected(triangle)
+        assert not is_connected(two_components)
+        assert is_connected(Graph(1, []))
+        assert is_connected(Graph(0, []))
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        assert diameter_exact(path_graph(7)) == 6
+
+    def test_cycle_exact(self):
+        assert diameter_exact(cycle_graph(10)) == 5
+
+    def test_complete_graph(self):
+        assert diameter_exact(complete_graph(5)) == 1
+
+    def test_double_sweep_is_lower_bound(self):
+        g = barabasi_albert(120, 2, seed=8)
+        assert diameter_double_sweep(g) <= diameter_exact(g)
+
+    def test_double_sweep_exact_on_path(self):
+        # double sweep is exact on trees
+        assert diameter_double_sweep(path_graph(9)) == 8
+
+    def test_disconnected_graph_uses_finite_distances(self, two_components):
+        assert diameter_exact(two_components) == 2
+
+
+class TestGraphStats:
+    def test_fields(self, diamond):
+        stats = graph_stats(diamond, name="diamond")
+        assert stats.name == "diamond"
+        assert stats.n == 4
+        assert stats.m == 4
+        assert stats.avg_degree == 2.0
+        assert stats.max_degree == 2
+        assert stats.components == 1
+
+    def test_as_row_shape(self, diamond):
+        row = graph_stats(diamond, name="d").as_row()
+        assert row[0] == "d"
+        assert row[1] == 4
+
+    def test_empty_graph_stats(self):
+        stats = graph_stats(Graph(0, []))
+        assert stats.n == 0
+        assert stats.max_degree == 0
+        assert stats.components == 0

@@ -1,0 +1,112 @@
+"""Unit tests for SPC query evaluation (Equations 1-2 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pspc import build_pspc
+from repro.core.queries import batch_query, query_costs, spc_query, spc_query_with_cost
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.graph.traversal import UNREACHABLE, spc_pair
+from repro.ordering.degree import degree_order
+
+
+@pytest.fixture
+def indexed(diamond):
+    index, _ = build_pspc(diamond, degree_order(diamond))
+    return diamond, index
+
+
+class TestSpcQuery:
+    def test_identity(self, indexed):
+        _, index = indexed
+        result = spc_query(index, 2, 2)
+        assert (result.dist, result.count) == (0, 1)
+        assert result.reachable
+
+    def test_adjacent(self, indexed):
+        _, index = indexed
+        assert (spc_query(index, 0, 1).dist, spc_query(index, 0, 1).count) == (1, 1)
+
+    def test_two_paths(self, indexed):
+        _, index = indexed
+        result = spc_query(index, 0, 3)
+        assert (result.dist, result.count) == (2, 2)
+
+    def test_symmetry(self, indexed):
+        graph, index = indexed
+        for s in range(graph.n):
+            for t in range(graph.n):
+                a = spc_query(index, s, t)
+                b = spc_query(index, t, s)
+                assert (a.dist, a.count) == (b.dist, b.count)
+
+    def test_unreachable(self, two_components):
+        index, _ = build_pspc(two_components, degree_order(two_components))
+        result = spc_query(index, 0, 4)
+        assert result.dist == UNREACHABLE
+        assert result.count == 0
+        assert not result.reachable
+
+    def test_out_of_range_rejected(self, indexed):
+        _, index = indexed
+        with pytest.raises(QueryError):
+            spc_query(index, 0, 99)
+        with pytest.raises(QueryError):
+            spc_query(index, -1, 0)
+
+    def test_matches_bfs_on_random_graph(self, social_graph):
+        index, _ = build_pspc(social_graph, degree_order(social_graph))
+        rng = np.random.default_rng(17)
+        for _ in range(100):
+            s, t = (int(x) for x in rng.integers(social_graph.n, size=2))
+            result = spc_query(index, s, t)
+            assert (result.dist, result.count) == spc_pair(social_graph, s, t)
+
+
+class TestQueryCosts:
+    def test_cost_positive(self, indexed):
+        _, index = indexed
+        _, cost = spc_query_with_cost(index, 0, 3)
+        assert cost >= 1
+
+    def test_cost_bounded_by_label_sizes(self, indexed):
+        _, index = indexed
+        _, cost = spc_query_with_cost(index, 0, 3)
+        assert cost <= index.label_size(0) + index.label_size(3)
+
+    def test_batch_helpers(self, indexed):
+        _, index = indexed
+        pairs = [(0, 3), (1, 2), (0, 0)]
+        results = batch_query(index, pairs)
+        costs = query_costs(index, pairs)
+        assert len(results) == len(costs) == 3
+        assert results[2].count == 1
+
+
+class TestWeightedQueries:
+    def test_hub_weight_scales_count(self):
+        # path 0-1-2 with vertex 1 representing 4 merged twins
+        g = Graph(3, [(0, 1), (1, 2)], vertex_weights=[1, 4, 1])
+        index, _ = build_pspc(g, degree_order(g))
+        result = spc_query(index, 0, 2)
+        assert (result.dist, result.count) == (2, 4)
+
+    def test_endpoint_weight_never_applies(self):
+        g = Graph(2, [(0, 1)], vertex_weights=[9, 9])
+        index, _ = build_pspc(g, degree_order(g))
+        assert spc_query(index, 0, 1).count == 1
+
+
+class TestParallelBatch:
+    def test_threaded_batch_matches_serial(self, social_graph):
+        from repro.core.pspc import build_pspc
+        from repro.ordering.degree import degree_order
+        import numpy as np
+
+        index, _ = build_pspc(social_graph, degree_order(social_graph))
+        rng = np.random.default_rng(6)
+        pairs = [(int(s), int(t)) for s, t in rng.integers(social_graph.n, size=(80, 2))]
+        assert batch_query(index, pairs, threads=4) == batch_query(index, pairs)

@@ -1,0 +1,92 @@
+"""Integration tests: the full reduction pipeline vs the unreduced index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import PSPCIndex
+from repro.graph.generators import barabasi_albert, caveman, random_tree, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+from repro.reduction.pipeline import ReducedSPCIndex
+
+
+def check_pairs(graph: Graph, reduced: ReducedSPCIndex, pairs) -> None:
+    for s, t in pairs:
+        got = reduced.query(s, t)
+        assert (got.dist, got.count) == spc_pair(graph, s, t), (s, t)
+
+
+class TestPipeline:
+    def test_full_pipeline_exact_on_social_graph(self, social_graph):
+        reduced = ReducedSPCIndex.build(social_graph)
+        rng = np.random.default_rng(0)
+        pairs = [(int(s), int(t)) for s, t in rng.integers(social_graph.n, size=(150, 2))]
+        check_pairs(social_graph, reduced, pairs)
+
+    def test_matches_unreduced_index(self, social_graph):
+        reduced = ReducedSPCIndex.build(social_graph)
+        plain = PSPCIndex.build(social_graph)
+        rng = np.random.default_rng(1)
+        for s, t in rng.integers(social_graph.n, size=(100, 2)):
+            assert reduced.query(int(s), int(t)).count == plain.query(int(s), int(t)).count
+
+    def test_stages_can_be_disabled(self, social_graph):
+        only_shell = ReducedSPCIndex.build(social_graph, use_equivalence=False)
+        only_equiv = ReducedSPCIndex.build(social_graph, use_one_shell=False)
+        neither = ReducedSPCIndex.build(
+            social_graph, use_one_shell=False, use_equivalence=False
+        )
+        assert only_shell.removed_by_equivalence == 0
+        assert only_equiv.removed_by_one_shell == 0
+        assert neither.indexed_vertices == social_graph.n
+        rng = np.random.default_rng(2)
+        pairs = [(int(s), int(t)) for s, t in rng.integers(social_graph.n, size=(60, 2))]
+        for variant in (only_shell, only_equiv, neither):
+            check_pairs(social_graph, variant, pairs)
+
+    def test_tree_with_twins(self):
+        # a star of stars: heavy 1-shell + heavy equivalence interplay
+        g = star_graph(8)
+        reduced = ReducedSPCIndex.build(g)
+        check_pairs(g, reduced, [(s, t) for s in range(g.n) for t in range(g.n)])
+
+    def test_pure_tree(self):
+        g = random_tree(40, seed=6)
+        reduced = ReducedSPCIndex.build(g)
+        assert reduced.indexed_vertices == 0  # everything answered by the fringe
+        check_pairs(g, reduced, [(s, t) for s in range(0, 40, 3) for t in range(0, 40, 5)])
+
+    def test_caveman_exhaustive(self):
+        g = caveman(3, 4)
+        reduced = ReducedSPCIndex.build(g)
+        check_pairs(g, reduced, [(s, t) for s in range(g.n) for t in range(g.n)])
+
+    def test_reduction_shrinks_index(self):
+        # BA graphs with pendant chains: both stages should bite
+        base = barabasi_albert(120, 2, seed=8)
+        edges = list(base.edges())
+        n = base.n
+        for i in range(20):  # attach 20 pendant vertices
+            edges.append((i * 3 % n, n + i))
+        g = Graph(n + 20, edges)
+        reduced = ReducedSPCIndex.build(g)
+        plain = PSPCIndex.build(g)
+        assert reduced.index.total_entries() < plain.total_entries()
+        assert reduced.removed_by_one_shell >= 20
+
+    def test_build_kwargs_forwarded(self, social_graph):
+        reduced = ReducedSPCIndex.build(social_graph, builder="hpspc", ordering="hybrid")
+        assert reduced.index.config.builder == "hpspc"
+        assert reduced.index.config.ordering == "hybrid"
+
+    def test_repr(self, social_graph):
+        assert "ReducedSPCIndex" in repr(ReducedSPCIndex.build(social_graph))
+
+    def test_batch_api(self, diamond):
+        reduced = ReducedSPCIndex.build(diamond)
+        results = reduced.query_batch([(0, 3), (1, 2)])
+        assert [r.count for r in results] == [2, 2]
+        assert reduced.spc(0, 3) == 2
+        assert reduced.distance(0, 3) == 2

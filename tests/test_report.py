@@ -1,0 +1,64 @@
+"""Unit tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.experiments.report import generate_report, load_results, rows_to_markdown
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig5_indexing_time.json").write_text(
+        json.dumps([{"dataset": "FB", "hpspc_s": 1.0, "pspc_s": 0.9}])
+    )
+    (tmp_path / "custom_experiment.json").write_text(json.dumps([{"x": 1}]))
+    (tmp_path / "notes.txt").write_text("ignored")
+    return tmp_path
+
+
+class TestLoadResults:
+    def test_loads_json_files_only(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"fig5_indexing_time", "custom_experiment"}
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_results(tmp_path / "nope")
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{oops")
+        with pytest.raises(DatasetError):
+            load_results(tmp_path)
+
+
+class TestMarkdown:
+    def test_table_shape(self):
+        md = rows_to_markdown([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        assert "(no rows)" in rows_to_markdown([])
+
+
+class TestGenerateReport:
+    def test_known_experiments_titled_and_ordered_first(self, results_dir):
+        report = generate_report(results_dir)
+        assert "Fig. 5 — indexing time (s)" in report
+        assert "custom_experiment" in report
+        assert report.index("Fig. 5") < report.index("custom_experiment")
+
+    def test_empty_directory_message(self, tmp_path):
+        report = generate_report(tmp_path)
+        assert "No recorded results" in report
+
+    def test_report_is_markdown_table(self, results_dir):
+        report = generate_report(results_dir)
+        assert "| dataset | hpspc_s | pspc_s |" in report

@@ -1,0 +1,100 @@
+"""Unit tests for schedule plans and makespan simulation (Section III-F)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import (
+    DynamicCostSchedule,
+    StaticNodeOrderSchedule,
+    cost_function_estimate,
+    get_schedule,
+)
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def skewed_costs() -> np.ndarray:
+    """A workload shaped like Example 3: early ranks cheap, middle heavy."""
+    rng = np.random.default_rng(4)
+    costs = rng.integers(1, 10, size=64).astype(np.float64)
+    costs[20:28] = 500.0
+    return costs
+
+
+class TestStaticSchedule:
+    def test_single_thread_is_total(self, skewed_costs):
+        plan = StaticNodeOrderSchedule()
+        assert plan.makespan(skewed_costs, 1) == pytest.approx(float(skewed_costs.sum()))
+
+    def test_makespan_at_least_mean_load(self, skewed_costs):
+        plan = StaticNodeOrderSchedule()
+        for t in (2, 4, 8):
+            assert plan.makespan(skewed_costs, t) >= float(skewed_costs.sum()) / t
+
+    def test_contiguous_blocks(self):
+        plan = StaticNodeOrderSchedule()
+        costs = np.array([10.0, 10.0, 1.0, 1.0])
+        # blocks [0,1] and [2,3] -> loads 20 and 2
+        assert plan.makespan(costs, 2) == 20.0
+
+    def test_more_threads_than_tasks(self):
+        plan = StaticNodeOrderSchedule()
+        assert plan.makespan(np.array([3.0, 7.0]), 5) == 7.0
+
+    def test_empty_costs(self):
+        assert StaticNodeOrderSchedule().makespan(np.array([]), 4) == 0.0
+
+    def test_invalid_threads(self, skewed_costs):
+        with pytest.raises(SchedulingError):
+            StaticNodeOrderSchedule().makespan(skewed_costs, 0)
+
+
+class TestDynamicSchedule:
+    def test_single_thread_is_total(self, skewed_costs):
+        plan = DynamicCostSchedule()
+        assert plan.makespan(skewed_costs, 1) == pytest.approx(float(skewed_costs.sum()))
+
+    def test_beats_or_ties_static(self, skewed_costs):
+        static = StaticNodeOrderSchedule()
+        dynamic = DynamicCostSchedule()
+        for t in (2, 4, 8, 16):
+            assert dynamic.makespan(skewed_costs, t) <= static.makespan(skewed_costs, t)
+
+    def test_perfect_balance_when_divisible(self):
+        plan = DynamicCostSchedule()
+        costs = np.full(16, 5.0)
+        assert plan.makespan(costs, 4) == 20.0
+
+    def test_lower_bound_is_max_task(self, skewed_costs):
+        plan = DynamicCostSchedule()
+        assert plan.makespan(skewed_costs, 64) >= float(skewed_costs.max())
+
+    def test_monotone_in_threads(self, skewed_costs):
+        plan = DynamicCostSchedule()
+        spans = [plan.makespan(skewed_costs, t) for t in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(spans, spans[1:]))
+
+    def test_priority_estimates_steer_order(self):
+        plan = DynamicCostSchedule()
+        costs = np.array([100.0, 1.0, 1.0, 1.0])
+        # misleading priority puts the giant task last -> worse balance
+        misleading = np.array([0.0, 3.0, 2.0, 1.0])
+        good = plan.makespan(costs, 2)
+        bad = plan.makespan(costs, 2, priority=misleading)
+        assert good <= bad
+
+
+class TestCostFunction:
+    def test_estimate_tracks_neighbor_labels(self):
+        sizes = np.array([10, 0, 5])
+        degrees = np.array([2, 1, 4])
+        est = cost_function_estimate(sizes, degrees)
+        assert est[0] > est[2] > est[1]
+
+    def test_registry(self):
+        assert get_schedule("static").name == "static"
+        assert get_schedule("dynamic").name == "dynamic"
+        with pytest.raises(SchedulingError):
+            get_schedule("quantum")

@@ -1,0 +1,54 @@
+"""Unit tests for BuildStats and PhaseTimer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import BuildStats, PhaseTimer
+
+
+class TestBuildStats:
+    def test_defaults(self):
+        stats = BuildStats()
+        assert stats.n_iterations == 0
+        assert stats.total_work == 0
+        assert stats.total_seconds == 0.0
+        assert stats.phase("anything") == 0.0
+
+    def test_total_work_sums_iterations(self):
+        stats = BuildStats()
+        stats.iteration_costs.append(np.array([1, 2, 3]))
+        stats.iteration_costs.append(np.array([4, 0, 0]))
+        assert stats.n_iterations == 2
+        assert stats.total_work == 10
+
+    def test_merge_phase_accumulates(self):
+        stats = BuildStats()
+        stats.merge_phase("order", 0.5)
+        stats.merge_phase("order", 0.25)
+        assert stats.phase("order") == 0.75
+        assert stats.total_seconds == 0.75
+
+    def test_phase_timer_records_elapsed(self):
+        stats = BuildStats()
+        with PhaseTimer(stats, "construction"):
+            sum(range(1000))
+        assert stats.phase("construction") > 0.0
+
+    def test_phase_timer_nests_additively(self):
+        stats = BuildStats()
+        with PhaseTimer(stats, "a"):
+            pass
+        first = stats.phase("a")
+        with PhaseTimer(stats, "a"):
+            pass
+        assert stats.phase("a") >= first
+
+    def test_phase_timer_records_on_exception(self):
+        stats = BuildStats()
+        try:
+            with PhaseTimer(stats, "x"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert stats.phase("x") > 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for the BFS oracles (distances and shortest-path counting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexError
+from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs_counting,
+    bfs_distances,
+    distance_pair,
+    spc_pair,
+)
+
+
+class TestBfsDistances:
+    def test_path_graph(self):
+        dist = bfs_distances(path_graph(5), 0)
+        assert list(dist) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self, two_components):
+        dist = bfs_distances(two_components, 0)
+        assert dist[3] == UNREACHABLE
+        assert dist[4] == UNREACHABLE
+
+    def test_source_out_of_range(self, triangle):
+        with pytest.raises(VertexError):
+            bfs_distances(triangle, 9)
+
+
+class TestBfsCounting:
+    def test_source_counts_itself_once(self, triangle):
+        dist, count = bfs_counting(triangle, 0)
+        assert dist[0] == 0
+        assert count[0] == 1
+
+    def test_diamond_counts_two_paths(self, diamond):
+        _, count = bfs_counting(diamond, 0)
+        assert count[3] == 2
+
+    def test_complete_graph_all_single_paths(self):
+        _, count = bfs_counting(complete_graph(5), 0)
+        assert count[1:] == [1, 1, 1, 1]
+
+    def test_star_paths_through_hub(self):
+        g = star_graph(4)
+        _, count = bfs_counting(g, 1)
+        assert count[2] == 1  # leaf-hub-leaf
+
+    def test_unreachable_count_zero(self, two_components):
+        _, count = bfs_counting(two_components, 0)
+        assert count[4] == 0
+
+    def test_counts_grow_combinatorially(self):
+        # 3-dimensional hypercube: spc(000, 111) == 3! == 6
+        edges = [(a, b) for a in range(8) for b in range(8) if bin(a ^ b).count("1") == 1 and a < b]
+        g = Graph(8, edges)
+        _, count = bfs_counting(g, 0)
+        assert count[7] == 6
+
+    def test_weighted_counting(self):
+        # 0-1-2 where internal vertex 1 stands for 3 merged twins
+        g = Graph(3, [(0, 1), (1, 2)], vertex_weights=[1, 3, 1])
+        _, count = bfs_counting(g, 0)
+        assert count[2] == 3
+        assert count[1] == 1  # endpoint weight never applies
+
+
+class TestSpcPair:
+    def test_identity_pair(self, triangle):
+        assert spc_pair(triangle, 1, 1) == (0, 1)
+
+    def test_matches_full_bfs(self, social_graph):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            s, t = (int(x) for x in rng.integers(social_graph.n, size=2))
+            dist, count = bfs_counting(social_graph, s)
+            assert spc_pair(social_graph, s, t) == (int(dist[t]), count[t])
+
+    def test_unreachable(self, two_components):
+        assert spc_pair(two_components, 0, 4) == (UNREACHABLE, 0)
+
+    def test_cycle_even_split(self):
+        assert spc_pair(cycle_graph(8), 0, 4) == (4, 2)
+
+    def test_distance_pair_wrapper(self, diamond):
+        assert distance_pair(diamond, 0, 3) == 2
+        assert distance_pair(diamond, 0, 0) == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the index auditors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import PSPCIndex
+from repro.core.verify import audit_canonical, audit_full, audit_queries, audit_structure
+from repro.errors import IndexStateError
+from repro.graph.generators import barabasi_albert, cycle_graph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def built(social_graph):
+    return social_graph, PSPCIndex.build(social_graph).labels
+
+
+class TestCleanIndexPasses:
+    def test_full_audit_on_social_graph(self, built):
+        graph, labels = built
+        audit_full(labels, graph, query_samples=100)
+
+    def test_full_audit_on_cycle(self):
+        graph = cycle_graph(9)
+        labels = PSPCIndex.build(graph).labels
+        audit_full(labels, graph, query_samples=None)  # all pairs
+
+    def test_weighted_graph_audit(self):
+        graph = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], vertex_weights=[1, 2, 1, 1])
+        labels = PSPCIndex.build(graph).labels
+        audit_full(labels, graph, query_samples=None)
+
+
+class TestCorruptionDetected:
+    def test_unsorted_labels(self, built):
+        _, labels = built
+        for lst in labels.entries:
+            if len(lst) >= 2:
+                lst[0], lst[1] = lst[1], lst[0]
+                break
+        with pytest.raises(IndexStateError, match="sorted"):
+            audit_structure(labels)
+
+    def test_missing_self_label(self, built):
+        _, labels = built
+        labels.entries[0] = [e for e in labels.entries[0] if e[1] != 0]
+        with pytest.raises(IndexStateError, match="self-label"):
+            audit_structure(labels)
+
+    def test_hub_rank_violation(self, built):
+        _, labels = built
+        top = int(labels.order.order[0])
+        labels.entries[top].append((labels.n - 1, 1, 1))
+        with pytest.raises(IndexStateError, match="outrank"):
+            audit_structure(labels)
+
+    def test_wrong_count_detected_by_canonical(self, built):
+        graph, labels = built
+        for lst in labels.entries:
+            for i, (h, d, c) in enumerate(lst):
+                if d > 0:
+                    lst[i] = (h, d, c + 1)
+                    break
+            else:
+                continue
+            break
+        with pytest.raises(IndexStateError, match="mismatch"):
+            audit_canonical(labels, graph)
+
+    def test_missing_entry_detected_by_canonical(self, built):
+        graph, labels = built
+        for lst in labels.entries:
+            if len(lst) > 1:
+                for i, (h, d, c) in enumerate(lst):
+                    if d > 0:
+                        del lst[i]
+                        break
+                else:
+                    continue
+                break
+        with pytest.raises(IndexStateError, match="mismatch"):
+            audit_canonical(labels, graph)
+
+    def test_query_audit_detects_distance_shift(self):
+        graph = barabasi_albert(60, 2, seed=19)
+        labels = PSPCIndex.build(graph).labels
+        for lst in labels.entries:
+            for i, (h, d, c) in enumerate(lst):
+                if d > 0:
+                    lst[i] = (h, d + 1, c)
+                    break
+            else:
+                continue
+            break
+        with pytest.raises(IndexStateError):
+            audit_queries(labels, graph, samples=None)
