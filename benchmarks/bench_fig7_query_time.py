@@ -3,12 +3,16 @@
 Paper shape: HP-SPC and PSPC answer in ~100 microseconds (they share the
 index structure, so we report one single-thread series), and the parallel
 query evaluation gives a near-linear batch speedup (the PSPC+ column).
+
+The second benchmark pits the vectorized ``query_batch`` engine kernel
+(compact store) against the seed per-pair tuple-merge loop on a 10k-pair
+workload — the store/engine refactor must win outright.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
-from repro.experiments.harness import exp_query_time
+from repro.experiments.harness import exp_query_batch, exp_query_time
 
 
 def test_fig7_query_time(benchmark, record):
@@ -20,3 +24,15 @@ def test_fig7_query_time(benchmark, record):
         # hub-label queries are microsecond-scale, far from BFS territory
         assert row["mean_us"] < 2000, f"{row['dataset']} query too slow"
         assert row["pspc_plus_mean_us"] < row["mean_us"]
+
+
+def test_fig7_vectorized_batch(benchmark, record):
+    rows = run_once(benchmark, lambda: exp_query_batch(n_queries=10_000))
+    record("fig7_query_batch", rows, "Fig. 7b: vectorized batch vs per-pair loop (us)")
+
+    for row in rows:
+        # the vectorized engine kernel must beat the per-pair Python merge
+        assert row["batch_us"] < row["loop_us"], (
+            f"{row['dataset']}: batch {row['batch_us']}us not faster than "
+            f"loop {row['loop_us']}us"
+        )

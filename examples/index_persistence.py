@@ -48,14 +48,21 @@ def main() -> None:
         assert (a.dist, a.count) == (b.dist, b.count)
         print(f"SPC({s}, {t}) = {a.count} paths of length {a.dist}  (both agree)")
 
-    # save the plain index and serve queries from the reloaded copy
+    # save the index and serve queries from the reloaded copy.  One
+    # versioned .npz format covers every store kind; the compact array
+    # store (the default) loads straight into the vectorized query engine.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "social.pspc"
         plain.save(path)
         served = PSPCIndex.load(path)
-        print(f"\nreloaded {path.name}: {served.total_entries()} entries")
+        print(
+            f"\nreloaded {path.name}: {served.total_entries()} entries, "
+            f"{served.store.kind} store, builder={served.stats.builder!r}"
+        )
         result = served.query(0, 399)
         print(f"served query SPC(0, 399) = {result.count} @ dist {result.dist}")
+        batch = served.query_batch([(0, 399), (400, 401), (5, 639)])
+        print(f"batch query counts: {[r.count for r in batch]}")
 
 
 if __name__ == "__main__":

@@ -23,9 +23,11 @@ Quickstart::
 
 from repro.core.compact import CompactLabelIndex
 from repro.core.dynamic import DynamicSPCIndex
+from repro.core.engine import QueryEngine
 from repro.core.index import BuildConfig, PSPCIndex
 from repro.core.labels import LabelEntry, LabelIndex
 from repro.core.queries import SPCResult
+from repro.core.store import LabelStore
 from repro.digraph.digraph import DiGraph
 from repro.digraph.index import DirectedSPCIndex
 from repro.errors import ReproError
@@ -41,6 +43,8 @@ __all__ = [
     "CompactLabelIndex",
     "DynamicSPCIndex",
     "DirectedSPCIndex",
+    "QueryEngine",
+    "LabelStore",
     "BuildConfig",
     "LabelIndex",
     "LabelEntry",

@@ -1,12 +1,18 @@
-"""Applications built on SPC: betweenness, group betweenness, top-k search."""
+"""Applications built on SPC: betweenness, group betweenness, top-k search.
 
-from repro.applications.betweenness import brandes_betweenness
+Every application that consumes an index routes its query workload through
+the batch engine (:meth:`~repro.core.index.PSPCIndex.query_batch`), so the
+vectorized compact-store kernel serves whole sweeps at once.
+"""
+
+from repro.applications.betweenness import brandes_betweenness, spc_betweenness
 from repro.applications.paths import enumerate_shortest_paths, shortest_path_dag
 from repro.applications.group_betweenness import group_betweenness, pairwise_matrices
 from repro.applications.topk import RankedCandidate, top_k_nearest
 
 __all__ = [
     "brandes_betweenness",
+    "spc_betweenness",
     "enumerate_shortest_paths",
     "shortest_path_dag",
     "group_betweenness",

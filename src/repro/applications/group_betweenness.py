@@ -63,18 +63,23 @@ def group_betweenness(
     new_of_old = {int(old): new for new, old in enumerate(old_of_new)}
     avoid_index = _index_for(avoid_graph, **build_kwargs)
 
+    # both pair sweeps go through the vectorized batch engine
+    pairs = [
+        (s, t) for i, s in enumerate(survivors) for t in survivors[i + 1 :]
+    ]
+    full_results = index.query_batch(pairs)
+    avoid_results = avoid_index.query_batch(
+        [(new_of_old[s], new_of_old[t]) for s, t in pairs]
+    )
     total = 0.0
-    for i, s in enumerate(survivors):
-        for t in survivors[i + 1 :]:
-            full = index.query(s, t)
-            if not full.reachable:
-                continue
-            avoided = avoid_index.query(new_of_old[s], new_of_old[t])
-            through = full.count
-            if avoided.dist != UNREACHABLE and avoided.dist == full.dist:
-                through -= avoided.count
-            if through:
-                total += through / full.count
+    for full, avoided in zip(full_results, avoid_results):
+        if not full.reachable:
+            continue
+        through = full.count
+        if avoided.dist != UNREACHABLE and avoided.dist == full.dist:
+            through -= avoided.count
+        if through:
+            total += through / full.count
     return total
 
 
@@ -91,10 +96,10 @@ def pairwise_matrices(
     k = len(members)
     dist = np.zeros((k, k), dtype=np.int64)
     sigma = np.zeros((k, k), dtype=np.float64)
-    for i, s in enumerate(members):
-        sigma[i, i] = 1.0
-        for j in range(i + 1, k):
-            result = index.query(s, members[j])
-            dist[i, j] = dist[j, i] = result.dist
-            sigma[i, j] = sigma[j, i] = float(result.count)
+    np.fill_diagonal(sigma, 1.0)
+    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    results = index.query_batch([(members[i], members[j]) for i, j in pairs])
+    for (i, j), result in zip(pairs, results):
+        dist[i, j] = dist[j, i] = result.dist
+        sigma[i, j] = sigma[j, i] = float(result.count)
     return dist, sigma

@@ -29,6 +29,20 @@ class _DistanceOracle(Protocol):
         ...
 
 
+def _distances_to(oracle: _DistanceOracle, vertices: list[int], t: int) -> list[int]:
+    """Distances ``dist(v, t)`` for many ``v``, batched through the engine.
+
+    One level of the DAG expansion asks for every frontier neighbour at
+    once; indexes exposing ``query_batch`` (the
+    :class:`~repro.core.engine.QueryEngine` consumers) answer the whole
+    level vectorized instead of one Python call per candidate edge.
+    """
+    batch = getattr(oracle, "query_batch", None)
+    if batch is not None:
+        return [r.dist for r in batch([(v, t) for v in vertices])]
+    return [oracle.query(v, t).dist for v in vertices]
+
+
 def shortest_path_dag(graph: Graph, oracle: _DistanceOracle, s: int, t: int) -> dict[int, list[int]]:
     """Successor lists of the ``s -> t`` shortest-path DAG.
 
@@ -42,16 +56,21 @@ def shortest_path_dag(graph: Graph, oracle: _DistanceOracle, s: int, t: int) -> 
     dag: dict[int, list[int]] = {}
     frontier = {s}
     remaining = base.dist
+    dist_cache: dict[int, int] = {}
     while remaining > 0:
+        # batch-resolve every unseen neighbour distance for this level
+        owners: list[tuple[int, int]] = [
+            (u, int(v)) for u in frontier for v in graph.neighbors(u)
+        ]
+        unseen = sorted({v for _, v in owners if v not in dist_cache})
+        dist_cache.update(zip(unseen, _distances_to(oracle, unseen, t)))
         next_frontier: set[int] = set()
         for u in frontier:
-            successors = []
-            for v in graph.neighbors(u):
-                v = int(v)
-                if oracle.query(v, t).dist == remaining - 1:
-                    successors.append(v)
-                    next_frontier.add(v)
-            dag[u] = successors
+            dag[u] = []
+        for u, v in owners:
+            if dist_cache[v] == remaining - 1:
+                dag[u].append(v)
+                next_frontier.add(v)
         frontier = next_frontier
         remaining -= 1
     return dag

@@ -24,6 +24,19 @@ class _SPCQueryable(Protocol):
         ...
 
 
+def _query_many(index: _SPCQueryable, pairs: list[tuple[int, int]]) -> list:
+    """Evaluate pairs through the index's batch engine when it has one.
+
+    :class:`~repro.core.index.PSPCIndex` serves batches through the
+    vectorized :class:`~repro.core.engine.QueryEngine` kernel; plain
+    oracles fall back to one call per pair.
+    """
+    batch = getattr(index, "query_batch", None)
+    if batch is not None:
+        return batch(pairs)
+    return [index.query(s, t) for s, t in pairs]
+
+
 @dataclass(frozen=True)
 class RankedCandidate:
     """One candidate with its distance and route multiplicity."""
@@ -47,11 +60,12 @@ def top_k_nearest(
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
-    ranked: list[RankedCandidate] = []
-    for c in candidates:
-        result = index.query(source, int(c))
-        if result.dist == UNREACHABLE:
-            continue
-        ranked.append(RankedCandidate(int(c), result.dist, result.count))
+    members = [int(c) for c in candidates]
+    results = _query_many(index, [(source, c) for c in members])
+    ranked = [
+        RankedCandidate(c, result.dist, result.count)
+        for c, result in zip(members, results)
+        if result.dist != UNREACHABLE
+    ]
     ranked.sort(key=lambda r: (r.dist, -r.count, r.vertex))
     return ranked[:k]

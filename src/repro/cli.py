@@ -3,7 +3,8 @@
 Subcommands
 -----------
 ``info``   — graph statistics for an edge-list file or named dataset.
-``build``  — build an index and save it to disk.
+``build``  — build an index and save it (one versioned ``.npz`` format;
+             compact array store by default, see ``--store``).
 ``query``  — answer SPC queries from a saved index.
 ``bench``  — run one of the paper's experiments and print its table.
 """
@@ -29,6 +30,7 @@ _EXPERIMENTS = {
     "fig5": lambda args: harness.exp_indexing_time(threads=args.threads),
     "fig6": lambda args: harness.exp_index_size(),
     "fig7": lambda args: harness.exp_query_time(threads=args.threads),
+    "fig7batch": lambda args: harness.exp_query_batch(),
     "fig8": lambda args: harness.exp_build_speedup(),
     "fig9": lambda args: harness.exp_query_speedup(),
     "fig10a": lambda args: harness.exp_ablation_landmarks(threads=args.threads),
@@ -75,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--paradigm", default="pull", choices=["pull", "push"])
     p_build.add_argument("--landmarks", type=int, default=0)
     p_build.add_argument("--threads", type=int, default=1)
+    p_build.add_argument(
+        "--store",
+        default="compact",
+        choices=["compact", "tuple"],
+        help="serving representation (compact numpy arrays by default)",
+    )
 
     p_query = sub.add_parser("query", help="query a saved index")
     p_query.add_argument("--index", required=True, help="index file from `build`")
@@ -116,11 +124,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         paradigm=args.paradigm,
         num_landmarks=args.landmarks,
         threads=args.threads,
+        store=args.store,
     )
     index.save(args.out)
     print(
         f"built {args.builder} index over {index.n} vertices: "
         f"{index.total_entries()} entries, {index.size_mb():.3f} MB, "
+        f"{index.store.kind} store, "
         f"{index.stats.total_seconds:.2f}s -> {args.out}"
     )
     return 0
@@ -154,7 +164,7 @@ def _plot_rows(experiment: str, rows: list[dict]) -> str:
     """Pick a chart type matching the experiment's figure in the paper."""
     from repro.experiments.plots import bar_chart, line_chart
 
-    if "speedup" in rows[0]:  # figs 8-9: one line per dataset
+    if "speedup" in rows[0] and "threads" in rows[0]:  # figs 8-9: one line per dataset
         series: dict[str, list[tuple[float, float]]] = {}
         for row in rows:
             series.setdefault(row["dataset"], []).append(

@@ -1,7 +1,29 @@
-"""Core PSPC machinery: labels, builders, queries, landmarks, scheduling."""
+"""Core PSPC machinery, organised as a store/engine architecture.
+
+Three layers serve every SPC query:
+
+* **Builders** (:mod:`~repro.core.pspc`, :mod:`~repro.core.hpspc`) produce
+  the canonical ESPC label set as a tuple-based
+  :class:`~repro.core.labels.LabelIndex`.
+* **Stores** hold the finished labels behind the
+  :class:`~repro.core.store.LabelStore` protocol: the tuple index for
+  construction and the overflow regime, and the numpy-packed
+  :class:`~repro.core.compact.CompactLabelIndex` as the default serving
+  representation.  One versioned ``.npz`` container (see
+  :mod:`repro.core.store`) persists every store kind.
+* **The engine** (:class:`~repro.core.engine.QueryEngine`) dispatches each
+  query to the kernel matching the store — the two-pointer tuple merge or
+  the vectorized array kernels, including a batch kernel that evaluates
+  thousands of pairs without per-pair Python overhead.
+
+:class:`~repro.core.index.PSPCIndex` is the facade gluing the layers
+together; landmarks, scheduling, parallel simulation and the auditors
+round out the subsystem.
+"""
 
 from repro.core.compact import CompactLabelIndex
 from repro.core.dynamic import DynamicSPCIndex
+from repro.core.engine import QueryEngine, query_batch_compact
 from repro.core.hpspc import build_hpspc, hpspc_index
 from repro.core.index import BuildConfig, PSPCIndex
 from repro.core.labels import ENTRY_BYTES, LabelEntry, LabelIndex
@@ -15,7 +37,14 @@ from repro.core.parallel import (
     simulated_query_units,
 )
 from repro.core.pspc import PARADIGMS, build_pspc, pspc_index
-from repro.core.queries import SPCResult, batch_query, query_costs, spc_query, spc_query_with_cost
+from repro.core.queries import (
+    SPCResult,
+    batch_query,
+    merge_labels,
+    query_costs,
+    spc_query,
+    spc_query_with_cost,
+)
 from repro.core.scheduling import (
     SCHEDULES,
     DynamicCostSchedule,
@@ -24,12 +53,24 @@ from repro.core.scheduling import (
     get_schedule,
 )
 from repro.core.stats import BuildStats, PhaseTimer
+from repro.core.store import (
+    FORMAT_VERSION,
+    LabelStore,
+    freeze_labels,
+    load_labels,
+)
 from repro.core.verify import audit_canonical, audit_full, audit_queries, audit_structure
 
 __all__ = [
     "PSPCIndex",
     "CompactLabelIndex",
     "DynamicSPCIndex",
+    "QueryEngine",
+    "query_batch_compact",
+    "LabelStore",
+    "FORMAT_VERSION",
+    "freeze_labels",
+    "load_labels",
     "audit_structure",
     "audit_canonical",
     "audit_queries",
@@ -44,6 +85,7 @@ __all__ = [
     "build_hpspc",
     "hpspc_index",
     "SPCResult",
+    "merge_labels",
     "spc_query",
     "spc_query_with_cost",
     "batch_query",

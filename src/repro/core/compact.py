@@ -1,16 +1,23 @@
-"""Compact, numpy-packed read-only label index.
+"""Compact, numpy-packed label store — the default serving representation.
 
 :class:`~repro.core.labels.LabelIndex` stores per-vertex lists of Python
 tuples — flexible during construction, heavy to hold and ship.
 :class:`CompactLabelIndex` freezes a finished index into four flat arrays
 (CSR-style): ``indptr``, ``hubs`` (int32), ``dists`` (int16) and ``counts``
-(int64), cutting memory by roughly an order of magnitude and making
-serialisation a single ``.npz``.
+(int64), cutting memory by roughly an order of magnitude and giving the
+vectorized query kernels in :mod:`repro.core.engine` contiguous arrays to
+operate on.  :meth:`~repro.core.index.PSPCIndex.build` freezes to this
+representation by default.
+
+Both classes implement the :class:`~repro.core.store.LabelStore` protocol
+(``label``/``label_slice``/``total_entries``/``size_mb``/``save``/``load``,
+plus equality), so they are interchangeable everywhere and can be asserted
+equivalent directly in tests.
 
 Counts are the one lossy corner: dense small-world graphs can produce path
 counts beyond ``2**63``.  Freezing such an index raises
 :class:`~repro.errors.IndexStateError` rather than silently truncating —
-keep the tuple-based index in that regime.
+the facade falls back to the tuple-based index in that regime.
 
 Queries return exactly the same results as the tuple index (asserted by
 tests); the merge runs over the packed arrays.
@@ -19,10 +26,11 @@ tests); the merge runs over the packed arrays.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.labels import LabelIndex
+from repro.core.labels import ENTRY_BYTES, LabelEntry, LabelIndex
 from repro.core.queries import SPCResult
 from repro.errors import IndexStateError, QueryError
 from repro.graph.traversal import UNREACHABLE
@@ -37,6 +45,9 @@ class CompactLabelIndex:
     """A frozen ESPC index over flat numpy arrays."""
 
     __slots__ = ("order", "indptr", "hubs", "dists", "counts", "weight_by_rank")
+
+    #: :class:`~repro.core.store.LabelStore` protocol: representation name.
+    kind = "compact"
 
     def __init__(
         self,
@@ -98,9 +109,53 @@ class CompactLabelIndex:
         """Number of indexed vertices."""
         return len(self.indptr) - 1
 
+    def label_slice(self, v: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(hubs, dists, counts)`` array views of vertex ``v``'s label."""
+        lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+        return self.hubs[lo:hi], self.dists[lo:hi], self.counts[lo:hi]
+
+    def label(self, v: int) -> list[LabelEntry]:
+        """Decoded label list of ``v`` with hubs as vertex ids (Table II view)."""
+        order = self.order.order
+        hubs, dists, counts = self.label_slice(v)
+        return [
+            LabelEntry(int(order[h]), int(d), int(c))
+            for h, d, c in zip(hubs, dists, counts)
+        ]
+
+    def label_size(self, v: int) -> int:
+        """Number of entries on vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
     def total_entries(self) -> int:
         """Number of label entries."""
         return len(self.hubs)
+
+    def average_label_size(self) -> float:
+        """Mean entries per vertex."""
+        return self.total_entries() / self.n if self.n else 0.0
+
+    def max_label_size(self) -> int:
+        """Largest per-vertex label list."""
+        return int(np.diff(self.indptr).max()) if self.n else 0
+
+    def iter_entries(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield ``(vertex, hub_rank, dist, count)`` for every entry."""
+        for v in range(self.n):
+            for i in range(int(self.indptr[v]), int(self.indptr[v + 1])):
+                yield v, int(self.hubs[i]), int(self.dists[i]), int(self.counts[i])
+
+    def size_bytes(self) -> int:
+        """Nominal index size using the compact binary encoding.
+
+        Uses the same :data:`~repro.core.labels.ENTRY_BYTES` unit as the
+        tuple store so Fig. 6 size figures are representation-independent.
+        """
+        return self.total_entries() * ENTRY_BYTES
+
+    def size_mb(self) -> float:
+        """Nominal index size in MB (the unit of the paper's Fig. 6)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
 
     def nbytes(self) -> int:
         """Actual memory held by the packed arrays."""
@@ -108,6 +163,9 @@ class CompactLabelIndex:
             self.indptr.nbytes + self.hubs.nbytes + self.dists.nbytes + self.counts.nbytes
         )
 
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def query(self, s: int, t: int) -> SPCResult:
         """Exact ``(distance, count)`` — identical to the tuple index."""
         n = self.n
@@ -153,36 +211,48 @@ class CompactLabelIndex:
         """Shortest-path distance (-1 if disconnected)."""
         return self.query(s, t).dist
 
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many pairs with the vectorized batch kernel."""
+        from repro.core.engine import QueryEngine  # local: engine imports this module
+
+        return QueryEngine(self).query_batch(pairs)
+
+    # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist as a single compressed ``.npz``."""
-        np.savez_compressed(
-            Path(path),
-            order=np.asarray(self.order.order),
-            strategy=np.array(self.order.strategy),
+        """Persist to the unified versioned ``.npz`` store format."""
+        from repro.core import store
+
+        arrays = store.order_arrays(self.order)
+        arrays.update(
             indptr=self.indptr,
             hubs=self.hubs,
             dists=self.dists,
             counts=self.counts,
             weight_by_rank=self.weight_by_rank,
         )
+        store.write_payload(
+            path, self.kind, arrays, meta={"strategy": self.order.strategy}
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "CompactLabelIndex":
         """Load an index written by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            order = VertexOrder.from_order(
-                data["order"], len(data["order"]), strategy=str(data["strategy"])
-            )
-            return cls(
-                order,
-                data["indptr"],
-                data["hubs"],
-                data["dists"],
-                data["counts"],
-                data["weight_by_rank"],
-            )
+        from repro.core import store
 
+        _, arrays, meta = store.read_payload(path, expect_kind=cls.kind)
+        order = store.restore_order(arrays, meta)
+        return cls(
+            order,
+            arrays["indptr"].astype(np.int64),
+            arrays["hubs"].astype(np.int32),
+            arrays["dists"].astype(np.int16),
+            arrays["counts"].astype(np.int64),
+            arrays["weight_by_rank"].astype(np.int64),
+        )
+
+    # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompactLabelIndex):
             return NotImplemented

@@ -2,33 +2,50 @@
 
 :class:`PSPCIndex` ties together the subsystems: it computes (or accepts) a
 vertex order, optionally runs the landmark phase, builds labels with either
-the PSPC propagation builder or the HP-SPC baseline, and serves queries.
-This is the class the examples, CLI and benchmark harness use.
+the PSPC propagation builder or the HP-SPC baseline, **freezes the result
+into the compact array store** (the default serving representation — see
+:mod:`repro.core.store`), and serves queries through a
+:class:`~repro.core.engine.QueryEngine`.  This is the class the examples,
+CLI and benchmark harness use.
+
+The freeze falls back to the tuple-based store automatically when path
+counts exceed ``int64`` (the existing overflow guard); query answers are
+identical either way, only speed and footprint differ.  Persistence uses
+the unified versioned ``.npz`` container, which round-trips the store, the
+:class:`BuildConfig` and the complete :class:`~repro.core.stats.BuildStats`
+payload.
 """
 
 from __future__ import annotations
 
-import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
+from repro.core import store as store_module
+from repro.core.compact import CompactLabelIndex
+from repro.core.engine import QueryEngine
 from repro.core.hpspc import build_hpspc
 from repro.core.labels import LabelEntry, LabelIndex
 from repro.core.parallel import ExecutionBackend, SerialBackend, ThreadBackend
 from repro.core.pspc import build_pspc
-from repro.core.queries import SPCResult, batch_query, query_costs, spc_query
+from repro.core.queries import SPCResult
 from repro.core.stats import BuildStats, PhaseTimer
-from repro.errors import IndexBuildError, QueryError
+from repro.errors import IndexBuildError, PersistenceError, QueryError
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_pair
 from repro.ordering import get_ordering
 from repro.ordering.base import VertexOrder
 
 __all__ = ["PSPCIndex", "BuildConfig"]
+
+#: ``kind`` of a full-index file in the unified persistence container.
+_INDEX_KIND = "index"
+#: Valid values for the ``store`` build parameter.
+_STORE_CHOICES = ("compact", "tuple")
 
 
 @dataclass(frozen=True)
@@ -41,13 +58,17 @@ class BuildConfig:
     num_landmarks: int = 0
     threads: int = 1
     record_work: bool = True
+    #: requested serving representation: ``"compact"`` (default) or ``"tuple"``.
+    store: str = "compact"
 
 
 class PSPCIndex:
     """A built shortest-path-counting index over one graph.
 
     Use :meth:`build` to construct; then :meth:`query`, :meth:`spc` and
-    :meth:`distance` answer point-to-point questions in microseconds.
+    :meth:`distance` answer point-to-point questions in microseconds, and
+    :meth:`query_batch` evaluates whole workloads through the vectorized
+    batch kernel.
 
     Examples
     --------
@@ -57,20 +78,26 @@ class PSPCIndex:
     2
     >>> index.distance(0, 3)
     3
+    >>> index.store.kind      # compact arrays serve queries by default
+    'compact'
     """
 
     def __init__(
         self,
-        labels: LabelIndex,
+        store: "store_module.LabelStore",
         config: BuildConfig,
         stats: BuildStats,
         graph: Graph | None = None,
     ) -> None:
-        self.labels = labels
+        #: the serving label store (compact by default; tuple in the
+        #: count-overflow regime or when requested explicitly).
+        self.store = store
+        self.engine = QueryEngine(store)
         self.config = config
         self.stats = stats
         #: the indexed graph; kept for verification, not needed for queries.
         self.graph = graph
+        self._labels_view: LabelIndex | None = store if isinstance(store, LabelIndex) else None
 
     # ------------------------------------------------------------------
     # construction
@@ -86,6 +113,7 @@ class PSPCIndex:
         threads: int = 1,
         record_work: bool = True,
         backend: ExecutionBackend | None = None,
+        store: str = "compact",
     ) -> "PSPCIndex":
         """Build an index.
 
@@ -110,9 +138,16 @@ class PSPCIndex:
             Record per-vertex work units for speedup simulation.
         backend:
             Explicit execution backend; overrides ``threads``.
+        store:
+            Serving representation: ``"compact"`` (default; falls back to
+            tuples when counts overflow int64) or ``"tuple"``.
         """
         if builder not in ("pspc", "hpspc"):
             raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
+        if store not in _STORE_CHOICES:
+            raise IndexBuildError(
+                f"unknown store {store!r}; expected one of {_STORE_CHOICES}"
+            )
         if isinstance(ordering, VertexOrder):
             order = ordering
             ordering_name = ordering.strategy
@@ -142,6 +177,10 @@ class PSPCIndex:
             if owns_backend and backend is not None:
                 backend.close()
         stats.merge_phase("order", order_seconds)
+        serving: "store_module.LabelStore" = labels
+        if store == "compact":
+            with PhaseTimer(stats, "freeze"):
+                serving = store_module.freeze_labels(labels)
         config = BuildConfig(
             builder=builder,
             ordering=ordering_name,
@@ -149,8 +188,9 @@ class PSPCIndex:
             num_landmarks=num_landmarks,
             threads=threads,
             record_work=record_work,
+            store=store,
         )
-        return cls(labels, config, stats, graph=graph)
+        return cls(serving, config, stats, graph=graph)
 
     # ------------------------------------------------------------------
     # queries
@@ -158,53 +198,67 @@ class PSPCIndex:
     @property
     def n(self) -> int:
         """Number of indexed vertices."""
-        return self.labels.n
+        return self.store.n
 
     @property
     def order(self) -> VertexOrder:
         """The total order the index was built under."""
-        return self.labels.order
+        return self.store.order
+
+    @property
+    def labels(self) -> LabelIndex:
+        """The tuple-based view of the labels (thawed lazily and cached).
+
+        Kept for construction-side consumers (audits, builder equality
+        assertions, the reductions).  The serving path is :attr:`store` +
+        :attr:`engine`; mutations of this view do not affect served queries
+        when the store is compact.
+        """
+        if self._labels_view is None:
+            self._labels_view = self.store.to_label_index()
+        return self._labels_view
 
     def query(self, s: int, t: int) -> SPCResult:
         """Full result: distance and shortest-path count for ``(s, t)``."""
-        return spc_query(self.labels, s, t)
+        return self.engine.query(s, t)
 
     def spc(self, s: int, t: int) -> int:
         """Number of shortest paths between ``s`` and ``t`` (0 if disconnected)."""
-        return self.query(s, t).count
+        return self.engine.query(s, t).count
 
     def distance(self, s: int, t: int) -> int:
         """Shortest-path distance (-1 if disconnected)."""
-        return self.query(s, t).dist
+        return self.engine.query(s, t).dist
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
-        """Evaluate many queries (sequentially; see Fig. 9 for the parallel model)."""
-        return batch_query(self.labels, pairs)
+        """Evaluate many queries (vectorized over the compact store)."""
+        return self.engine.query_batch(pairs)
 
     def query_batch_costs(self, pairs: Sequence[tuple[int, int]]) -> list[int]:
         """Per-query label-scan work units, for the query-speedup simulation."""
-        return query_costs(self.labels, pairs)
+        return self.engine.query_costs(pairs)
 
     def label(self, v: int) -> list[LabelEntry]:
         """Decoded label list of ``v`` — the paper's Table II view."""
-        return self.labels.label(v)
+        return self.store.label(v)
 
     # ------------------------------------------------------------------
     # reporting & verification
     # ------------------------------------------------------------------
     def size_mb(self) -> float:
         """Nominal index size in MB (Fig. 6 unit)."""
-        return self.labels.size_mb()
+        return self.store.size_mb()
 
     def total_entries(self) -> int:
         """Number of label entries in the index."""
-        return self.labels.total_entries()
+        return self.store.total_entries()
 
     def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
         """Cross-check random pairs against ground-truth BFS counting.
 
-        Raises :class:`~repro.errors.QueryError` on the first mismatch.
-        Requires the graph to still be attached to the index.
+        Exercises the *serving* path (store + engine).  Raises
+        :class:`~repro.errors.QueryError` on the first mismatch.  Requires
+        the graph to still be attached to the index.
         """
         if self.graph is None:
             raise QueryError("verification requires the index to retain its graph")
@@ -220,38 +274,98 @@ class PSPCIndex:
                 )
 
     # ------------------------------------------------------------------
-    # persistence
+    # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Serialise the index (labels + config + stats; not the graph)."""
-        payload = {
-            "labels_order": np.asarray(self.labels.order.order),
-            "labels_strategy": self.labels.order.strategy,
-            "labels_entries": self.labels.entries,
-            "weight_by_rank": np.asarray(self.labels.weight_by_rank),
-            "config": self.config,
-            "phase_seconds": self.stats.phase_seconds,
+        """Serialise the index (store + config + full stats; not the graph)."""
+        labels_store = self.store
+        meta: dict = {
+            "store_kind": labels_store.kind,
+            "strategy": labels_store.order.strategy,
+            "config": asdict(self.config),
+            "stats": {
+                "builder": self.stats.builder,
+                "phase_seconds": {k: float(v) for k, v in self.stats.phase_seconds.items()},
+                "iteration_labels": [int(x) for x in self.stats.iteration_labels],
+                "n_vertices": int(self.stats.n_vertices),
+                "total_entries": int(self.stats.total_entries),
+                "pruned_by_rank": int(self.stats.pruned_by_rank),
+                "pruned_by_query": int(self.stats.pruned_by_query),
+                "landmark_hits": int(self.stats.landmark_hits),
+                "num_landmarks": int(self.stats.num_landmarks),
+            },
         }
-        with Path(path).open("wb") as handle:
-            pickle.dump(payload, handle, protocol=5)
+        arrays = store_module.order_arrays(labels_store.order)
+        if isinstance(labels_store, CompactLabelIndex):
+            arrays.update(
+                indptr=labels_store.indptr,
+                hubs=labels_store.hubs,
+                dists=labels_store.dists,
+                counts=labels_store.counts,
+            )
+            meta["counts"] = "int64"
+        else:
+            packed, counts_encoding = store_module.pack_entry_lists(labels_store.entries)
+            arrays.update(packed)
+            meta["counts"] = counts_encoding
+        arrays["weight_by_rank"] = np.asarray(labels_store.weight_by_rank, dtype=np.int64)
+        if self.stats.iteration_costs:
+            arrays["iteration_costs"] = np.concatenate(self.stats.iteration_costs)
+            arrays["iteration_cost_lengths"] = np.asarray(
+                [len(c) for c in self.stats.iteration_costs], dtype=np.int64
+            )
+        store_module.write_payload(path, _INDEX_KIND, arrays, meta=meta)
 
     @classmethod
     def load(cls, path: str | Path) -> "PSPCIndex":
         """Load an index written by :meth:`save` (graph is not restored)."""
-        with Path(path).open("rb") as handle:
-            payload = pickle.load(handle)
-        order = VertexOrder.from_order(
-            payload["labels_order"],
-            len(payload["labels_order"]),
-            strategy=payload["labels_strategy"],
-        )
-        labels = LabelIndex(order, payload["labels_entries"], payload["weight_by_rank"])
-        stats = BuildStats(builder=payload["config"].builder)
-        stats.phase_seconds = dict(payload["phase_seconds"])
-        return cls(labels, payload["config"], stats, graph=None)
+        _, arrays, meta = store_module.read_payload(path, expect_kind=_INDEX_KIND)
+        try:
+            order = store_module.restore_order(arrays, meta)
+            weight_by_rank = arrays["weight_by_rank"].astype(np.int64)
+            store_kind = meta["store_kind"]
+            if store_kind == "compact":
+                serving: "store_module.LabelStore" = CompactLabelIndex(
+                    order,
+                    arrays["indptr"].astype(np.int64),
+                    arrays["hubs"].astype(np.int32),
+                    arrays["dists"].astype(np.int16),
+                    arrays["counts"].astype(np.int64),
+                    weight_by_rank,
+                )
+            elif store_kind == "tuple":
+                entries = store_module.unpack_entry_lists(
+                    arrays["indptr"],
+                    arrays["hubs"],
+                    arrays["dists"],
+                    arrays["counts"],
+                    str(meta.get("counts", "int64")),
+                )
+                serving = LabelIndex(order, entries, weight_by_rank)
+            else:
+                raise PersistenceError(f"unknown store kind {store_kind!r} in {path}")
+            config = BuildConfig(**meta["config"])
+            stats_meta = meta["stats"]
+            stats = BuildStats(builder=stats_meta["builder"])
+            stats.phase_seconds = dict(stats_meta["phase_seconds"])
+            stats.iteration_labels = list(stats_meta["iteration_labels"])
+            stats.n_vertices = int(stats_meta["n_vertices"])
+            stats.total_entries = int(stats_meta["total_entries"])
+            stats.pruned_by_rank = int(stats_meta["pruned_by_rank"])
+            stats.pruned_by_query = int(stats_meta["pruned_by_query"])
+            stats.landmark_hits = int(stats_meta["landmark_hits"])
+            stats.num_landmarks = int(stats_meta["num_landmarks"])
+            if "iteration_costs" in arrays:
+                flat = arrays["iteration_costs"].astype(np.int64)
+                offsets = np.cumsum(arrays["iteration_cost_lengths"])[:-1]
+                stats.iteration_costs = [c for c in np.split(flat, offsets)]
+        except (KeyError, TypeError) as exc:
+            raise PersistenceError(f"{path} is missing index payload fields: {exc}") from exc
+        return cls(serving, config, stats, graph=None)
 
     def __repr__(self) -> str:
         return (
             f"PSPCIndex(n={self.n}, builder={self.config.builder!r}, "
-            f"ordering={self.config.ordering!r}, entries={self.total_entries()})"
+            f"ordering={self.config.ordering!r}, store={self.store.kind!r}, "
+            f"entries={self.total_entries()})"
         )

@@ -18,7 +18,6 @@ HP-SPC baseline and the PSPC builder must produce identical
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -54,10 +53,15 @@ class LabelIndex:
 
     Instances are produced by the builders in :mod:`repro.core.hpspc` and
     :mod:`repro.core.pspc`; query evaluation lives in
-    :mod:`repro.core.queries`.
+    :mod:`repro.core.queries` (tuple kernel) and :mod:`repro.core.engine`
+    (store-agnostic dispatch).  This class is the ``"tuple"`` implementation
+    of the :class:`~repro.core.store.LabelStore` protocol.
     """
 
     __slots__ = ("order", "entries", "weight_by_rank")
+
+    #: :class:`~repro.core.store.LabelStore` protocol: representation name.
+    kind = "tuple"
 
     def __init__(
         self,
@@ -89,6 +93,13 @@ class LabelIndex:
         """Decoded label list of ``v`` with hubs as vertex ids (Table II view)."""
         order = self.order.order
         return [LabelEntry(int(order[h]), d, c) for h, d, c in self.entries[v]]
+
+    def label_slice(
+        self, v: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        """``(hubs, dists, counts)`` of vertex ``v``, each sorted by hub rank."""
+        lst = self.entries[v]
+        return [h for h, _, _ in lst], [d for _, d, _ in lst], [c for _, _, c in lst]
 
     def label_size(self, v: int) -> int:
         """Number of entries on vertex ``v``."""
@@ -140,25 +151,34 @@ class LabelIndex:
         )
 
     # ------------------------------------------------------------------
-    # persistence
+    # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Serialise to ``path`` (pickle protocol 5)."""
-        payload = {
-            "order": np.asarray(self.order.order),
-            "strategy": self.order.strategy,
-            "entries": self.entries,
-            "weight_by_rank": np.asarray(self.weight_by_rank),
-        }
-        with Path(path).open("wb") as handle:
-            pickle.dump(payload, handle, protocol=5)
+        """Serialise to the unified versioned ``.npz`` store format."""
+        from repro.core import store
+
+        arrays, counts_encoding = store.pack_entry_lists(self.entries)
+        arrays.update(store.order_arrays(self.order))
+        arrays["weight_by_rank"] = np.asarray(self.weight_by_rank, dtype=np.int64)
+        store.write_payload(
+            path,
+            self.kind,
+            arrays,
+            meta={"strategy": self.order.strategy, "counts": counts_encoding},
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "LabelIndex":
         """Load an index previously written by :meth:`save`."""
-        with Path(path).open("rb") as handle:
-            payload = pickle.load(handle)
-        order = VertexOrder.from_order(
-            payload["order"], len(payload["order"]), strategy=payload["strategy"]
+        from repro.core import store
+
+        _, arrays, meta = store.read_payload(path, expect_kind=cls.kind)
+        order = store.restore_order(arrays, meta)
+        entries = store.unpack_entry_lists(
+            arrays["indptr"],
+            arrays["hubs"],
+            arrays["dists"],
+            arrays["counts"],
+            str(meta.get("counts", "int64")),
         )
-        return cls(order, payload["entries"], payload["weight_by_rank"])
+        return cls(order, entries, arrays["weight_by_rank"])

@@ -1,10 +1,13 @@
-"""SPC query evaluation over a :class:`~repro.core.labels.LabelIndex`.
+"""The tuple-merge SPC query kernel (Equations (1) and (2) of the paper).
 
-Implements Equations (1) and (2) of the paper: scan ``L(s)`` and ``L(t)``
-(both sorted by hub rank) with a two-pointer merge, find the common hubs
-minimising ``dist(s, h) + dist(h, t)`` and sum ``count(s, h) * count(h, t)``
-over them.  Every shortest path is counted exactly once, at its unique
-highest-ranked vertex.
+:func:`merge_labels` scans two label lists (both sorted by hub rank) with a
+two-pointer merge, finds the common hubs minimising
+``dist(s, h) + dist(h, t)`` and sums ``count(s, h) * count(h, t)`` over
+them.  Every shortest path is counted exactly once, at its unique
+highest-ranked vertex.  The same kernel serves the undirected tuple store
+here and the directed in/out labels in :mod:`repro.digraph.labels`; the
+vectorized numpy counterpart over compact stores lives in
+:mod:`repro.core.engine`.
 
 For equivalence-reduced graphs the hub itself is an internal vertex of the
 joined path (unless it coincides with an endpoint), so its multiplicity
@@ -22,11 +25,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.labels import LabelIndex
 from repro.errors import QueryError
 from repro.graph.traversal import UNREACHABLE
 
-__all__ = ["SPCResult", "spc_query", "spc_query_with_cost", "batch_query", "query_costs"]
+__all__ = [
+    "SPCResult",
+    "merge_labels",
+    "spc_query",
+    "spc_query_with_cost",
+    "batch_query",
+    "query_costs",
+]
 
 
 @dataclass(frozen=True)
@@ -62,21 +74,25 @@ def spc_query(index: LabelIndex, s: int, t: int) -> SPCResult:
     return result
 
 
-def spc_query_with_cost(index: LabelIndex, s: int, t: int) -> tuple[SPCResult, int]:
-    """Like :func:`spc_query` but also reports the number of entries scanned.
+def merge_labels(
+    ls: Sequence[tuple[int, int, int]],
+    lt: Sequence[tuple[int, int, int]],
+    rank_s: int = -1,
+    rank_t: int = -1,
+    weights: np.ndarray | None = None,
+) -> tuple[int, int, int]:
+    """Two-pointer merge of two rank-sorted label lists.
 
-    The scan count is the abstract work unit used by the query-speedup
-    simulation (paper Fig. 9): it is exactly the number of two-pointer steps,
-    which is what dominates real query latency.
+    Returns ``(best_dist, count, steps)`` where ``best_dist`` is ``-1`` when
+    the lists share no hub, ``count`` sums the count products over the hubs
+    achieving ``best_dist``, and ``steps`` is the number of merge steps (the
+    abstract work unit of the Fig. 9 query-speedup simulation).
+
+    When ``weights`` is given (equivalence-reduced undirected graphs), a
+    hub's multiplicity scales its contribution unless the hub coincides
+    with an endpoint (``rank_s`` / ``rank_t``).  The directed variant
+    passes no weights.
     """
-    _check_pair(index, s, t)
-    if s == t:
-        return SPCResult(s, t, 0, 1), 1
-    ls = index.entries[s]
-    lt = index.entries[t]
-    rank_s = int(index.order.rank[s])
-    rank_t = int(index.order.rank[t])
-    weights = index.weight_by_rank
     i = j = 0
     len_s, len_t = len(ls), len(lt)
     best = -1
@@ -97,11 +113,31 @@ def spc_query_with_cost(index: LabelIndex, s: int, t: int) -> tuple[SPCResult, i
                 total = 0
             if dsum == best:
                 contribution = ls[i][2] * lt[j][2]
-                if hub_s != rank_s and hub_s != rank_t:
+                if weights is not None and hub_s != rank_s and hub_s != rank_t:
                     contribution *= int(weights[hub_s])
                 total += contribution
             i += 1
             j += 1
+    return best, total, steps
+
+
+def spc_query_with_cost(index: LabelIndex, s: int, t: int) -> tuple[SPCResult, int]:
+    """Like :func:`spc_query` but also reports the number of entries scanned.
+
+    The scan count is the abstract work unit used by the query-speedup
+    simulation (paper Fig. 9): it is exactly the number of two-pointer steps,
+    which is what dominates real query latency.
+    """
+    _check_pair(index, s, t)
+    if s == t:
+        return SPCResult(s, t, 0, 1), 1
+    best, total, steps = merge_labels(
+        index.entries[s],
+        index.entries[t],
+        int(index.order.rank[s]),
+        int(index.order.rank[t]),
+        index.weight_by_rank,
+    )
     if best < 0:
         return SPCResult(s, t, UNREACHABLE, 0), steps
     return SPCResult(s, t, best, total), steps

@@ -1,0 +1,321 @@
+"""The :class:`LabelStore` protocol and the unified persistence layer.
+
+Two label representations serve SPC queries:
+
+* :class:`~repro.core.labels.LabelIndex` — per-vertex lists of Python
+  tuples.  Flexible during construction, and exact for arbitrarily large
+  path counts (Python ints never overflow).
+* :class:`~repro.core.compact.CompactLabelIndex` — the same canonical label
+  set frozen into flat CSR-style numpy arrays.  Roughly an order of
+  magnitude lighter, and the representation the vectorized query kernels in
+  :mod:`repro.core.engine` operate on.
+
+Both implement the :class:`LabelStore` protocol defined here, so every
+consumer — the :class:`~repro.core.index.PSPCIndex` facade, the query
+engine, the CLI and the experiment harness — can hold "a store" without
+caring which representation is behind it.  :func:`freeze_labels` converts a
+freshly built tuple index into the compact serving form, falling back to
+tuples when path counts exceed ``int64`` (the one regime the packed arrays
+cannot represent).
+
+Persistence
+-----------
+Historically each representation had its own on-disk format (two pickle
+layouts plus one ad-hoc ``.npz``).  They are replaced by **one versioned
+``.npz`` container** written and read by this module:
+
+* every file stores a ``__meta__`` JSON blob with ``format``, ``version``
+  and ``kind`` fields plus format-specific metadata;
+* ``kind`` selects the payload schema: ``"tuple"`` / ``"compact"`` for bare
+  label stores, ``"directed"`` for the digraph variant, and ``"index"`` for
+  a full :class:`~repro.core.index.PSPCIndex` (store + build config + the
+  complete :class:`~repro.core.stats.BuildStats` payload);
+* path counts are stored as ``int64`` when they fit and transparently as
+  decimal strings otherwise, so even overflow-regime tuple indexes
+  round-trip exactly;
+* files never rely on pickle, so loading is safe on untrusted input.
+
+:func:`load_labels` dispatches on ``kind`` and returns whichever store
+class the file holds.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.errors import PersistenceError
+from repro.ordering.base import VertexOrder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compact import CompactLabelIndex
+    from repro.core.labels import LabelEntry, LabelIndex
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "LabelStore",
+    "STORE_KINDS",
+    "freeze_labels",
+    "load_labels",
+    "read_payload",
+    "write_payload",
+]
+
+#: Identifier written into every saved file; guards against foreign ``.npz``.
+FORMAT_NAME = "repro-labelstore"
+#: Current on-disk schema version.  Bump on incompatible layout changes.
+FORMAT_VERSION = 1
+#: Store kinds understood by :func:`load_labels` (``"index"`` and
+#: ``"directed"`` files are handled by their facades).
+STORE_KINDS = ("tuple", "compact")
+
+
+@runtime_checkable
+class LabelStore(Protocol):
+    """What every label representation must expose to serve SPC queries.
+
+    Both :class:`~repro.core.labels.LabelIndex` and
+    :class:`~repro.core.compact.CompactLabelIndex` satisfy this protocol;
+    the query engine and the :class:`~repro.core.index.PSPCIndex` facade
+    are written against it alone.
+    """
+
+    #: short name of the representation: ``"tuple"`` or ``"compact"``.
+    kind: str
+
+    @property
+    def order(self) -> VertexOrder:  # pragma: no cover - protocol
+        """The total vertex order the labels were built under."""
+        ...
+
+    @property
+    def weight_by_rank(self) -> np.ndarray:  # pragma: no cover - protocol
+        """Per-rank hub multiplicities (equivalence reduction support)."""
+        ...
+
+    @property
+    def n(self) -> int:  # pragma: no cover - protocol
+        """Number of indexed vertices."""
+        ...
+
+    def label_slice(self, v: int) -> tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """``(hubs, dists, counts)`` of vertex ``v``, each sorted by hub rank."""
+        ...  # pragma: no cover - protocol
+
+    def label(self, v: int) -> "list[LabelEntry]":  # pragma: no cover - protocol
+        """Decoded label list of ``v`` with hubs as vertex ids."""
+        ...
+
+    def label_size(self, v: int) -> int:  # pragma: no cover - protocol
+        """Number of entries on vertex ``v``."""
+        ...
+
+    def total_entries(self) -> int:  # pragma: no cover - protocol
+        """Total number of label entries."""
+        ...
+
+    def size_mb(self) -> float:  # pragma: no cover - protocol
+        """Nominal index size in MB (the paper's Fig. 6 unit)."""
+        ...
+
+    def save(self, path: str | Path) -> None:  # pragma: no cover - protocol
+        """Serialise to the unified versioned ``.npz`` format."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# low-level container I/O
+# ----------------------------------------------------------------------
+def write_payload(
+    path: str | Path,
+    kind: str,
+    arrays: dict[str, np.ndarray],
+    meta: dict | None = None,
+) -> None:
+    """Write one versioned ``.npz`` container.
+
+    ``arrays`` must hold plain numeric/string ndarrays (no object dtype —
+    the format is pickle-free by design).  ``meta`` is any JSON-serialisable
+    dict; ``format``/``version``/``kind`` are added automatically.
+
+    The file is written through an open handle so the exact ``path`` is
+    honoured (``np.savez`` would append ``.npz`` to bare filenames).
+    """
+    header = dict(meta or {})
+    header["format"] = FORMAT_NAME
+    header["version"] = FORMAT_VERSION
+    header["kind"] = kind
+    payload = {"__meta__": np.array(json.dumps(header))}
+    for key, value in arrays.items():
+        if key.startswith("__"):
+            raise PersistenceError(f"array key {key!r} collides with reserved names")
+        payload[key] = value
+    with Path(path).open("wb") as handle:
+        np.savez_compressed(handle, **payload)
+
+
+def read_payload(
+    path: str | Path, expect_kind: str | Sequence[str] | None = None
+) -> tuple[str, dict[str, np.ndarray], dict]:
+    """Read a container written by :func:`write_payload`.
+
+    Returns ``(kind, arrays, meta)``.  Raises
+    :class:`~repro.errors.PersistenceError` when the file is not a repro
+    container, was written by a newer format version, or (with
+    ``expect_kind``) holds a different kind of payload.
+    """
+    # member arrays decompress lazily, so the whole read sits inside one
+    # guard: np.load failures AND per-array surprises (e.g. object-dtype
+    # members, which allow_pickle=False rejects) all surface as
+    # PersistenceError, never a raw ValueError
+    try:
+        data = np.load(Path(path))
+        with data:
+            if "__meta__" not in data.files:
+                raise PersistenceError(
+                    f"{path} is not a repro label-store file (missing __meta__)"
+                )
+            try:
+                meta = json.loads(str(data["__meta__"][()]))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise PersistenceError(f"{path} has a corrupt metadata block") from exc
+            if not isinstance(meta, dict) or meta.get("format") != FORMAT_NAME:
+                raise PersistenceError(f"{path} is not a {FORMAT_NAME} file")
+            version = meta.get("version")
+            if not isinstance(version, int) or version > FORMAT_VERSION:
+                raise PersistenceError(
+                    f"{path} uses format version {version!r}; "
+                    f"this build reads up to version {FORMAT_VERSION}"
+                )
+            kind = meta.get("kind")
+            if expect_kind is not None:
+                expected = (expect_kind,) if isinstance(expect_kind, str) else tuple(expect_kind)
+                if kind not in expected:
+                    raise PersistenceError(
+                        f"{path} holds a {kind!r} payload; expected one of {expected}"
+                    )
+            arrays = {key: data[key] for key in data.files if key != "__meta__"}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
+    return str(kind), arrays, meta
+
+
+# ----------------------------------------------------------------------
+# count encoding: int64 fast path, decimal strings beyond
+# ----------------------------------------------------------------------
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode_counts(values: Iterable[int]) -> tuple[np.ndarray, str]:
+    """Encode path counts as ``(array, encoding)``.
+
+    ``encoding`` is ``"int64"`` when every count fits, else ``"str"`` and
+    the array holds decimal strings — lossless for arbitrarily large Python
+    ints while keeping the container pickle-free.
+    """
+    vals = [int(v) for v in values]
+    if all(_INT64_MIN <= v <= _INT64_MAX for v in vals):
+        return np.asarray(vals, dtype=np.int64), "int64"
+    return np.asarray([str(v) for v in vals], dtype=np.str_), "str"
+
+
+def decode_counts(array: np.ndarray, encoding: str) -> list[int]:
+    """Invert :func:`encode_counts` back to a list of Python ints."""
+    if encoding == "int64":
+        return [int(v) for v in array]
+    if encoding == "str":
+        return [int(v) for v in array]
+    raise PersistenceError(f"unknown count encoding {encoding!r}")
+
+
+# ----------------------------------------------------------------------
+# entry-list packing shared by the tuple store and the directed variant
+# ----------------------------------------------------------------------
+def pack_entry_lists(
+    entries: Sequence[Sequence[tuple[int, int, int]]],
+) -> tuple[dict[str, np.ndarray], str]:
+    """Pack per-vertex ``(hub, dist, count)`` lists into flat arrays.
+
+    Returns ``(arrays, counts_encoding)`` with keys ``indptr``, ``hubs``,
+    ``dists`` and ``counts``.
+    """
+    lengths = [len(lst) for lst in entries]
+    indptr = np.zeros(len(entries) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    hubs = np.asarray(
+        [h for lst in entries for h, _, _ in lst] or [], dtype=np.int64
+    )
+    dists = np.asarray(
+        [d for lst in entries for _, d, _ in lst] or [], dtype=np.int64
+    )
+    counts, encoding = encode_counts(c for lst in entries for _, _, c in lst)
+    return {"indptr": indptr, "hubs": hubs, "dists": dists, "counts": counts}, encoding
+
+
+def unpack_entry_lists(
+    indptr: np.ndarray,
+    hubs: np.ndarray,
+    dists: np.ndarray,
+    counts: np.ndarray,
+    counts_encoding: str,
+) -> list[list[tuple[int, int, int]]]:
+    """Invert :func:`pack_entry_lists` back to per-vertex tuple lists."""
+    hub_list = [int(h) for h in hubs]
+    dist_list = [int(d) for d in dists]
+    count_list = decode_counts(counts, counts_encoding)
+    entries: list[list[tuple[int, int, int]]] = []
+    for v in range(len(indptr) - 1):
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        entries.append(list(zip(hub_list[lo:hi], dist_list[lo:hi], count_list[lo:hi])))
+    return entries
+
+
+def order_arrays(order: VertexOrder) -> dict[str, np.ndarray]:
+    """The arrays persisting a :class:`~repro.ordering.base.VertexOrder`."""
+    return {"order": np.asarray(order.order, dtype=np.int64)}
+
+
+def restore_order(arrays: dict[str, np.ndarray], meta: dict) -> VertexOrder:
+    """Rebuild the vertex order saved by :func:`order_arrays`."""
+    order = arrays["order"]
+    return VertexOrder.from_order(
+        order, len(order), strategy=str(meta.get("strategy", "custom"))
+    )
+
+
+# ----------------------------------------------------------------------
+# freeze / load dispatch
+# ----------------------------------------------------------------------
+def freeze_labels(labels: "LabelIndex | CompactLabelIndex") -> "LabelStore":
+    """Return the compact serving form of ``labels`` when representable.
+
+    A tuple index whose counts exceed ``int64`` cannot be packed; it is
+    returned unchanged (the engine then serves it with the tuple kernel).
+    Already-compact stores pass through untouched.
+    """
+    from repro.core.compact import CompactLabelIndex
+    from repro.errors import IndexStateError
+
+    if isinstance(labels, CompactLabelIndex):
+        return labels
+    try:
+        return CompactLabelIndex.from_index(labels)
+    except IndexStateError:
+        return labels
+
+
+def load_labels(path: str | Path) -> "LabelStore":
+    """Load any bare label store, returning the representation it holds."""
+    from repro.core.compact import CompactLabelIndex
+    from repro.core.labels import LabelIndex
+
+    kind, _, _ = read_payload(path, expect_kind=STORE_KINDS)
+    if kind == "compact":
+        return CompactLabelIndex.load(path)
+    return LabelIndex.load(path)

@@ -3,7 +3,7 @@
 from repro.digraph.digraph import DiGraph
 from repro.digraph.hpspc import build_hpspc_directed
 from repro.digraph.index import DirectedSPCIndex, degree_order_directed
-from repro.digraph.labels import DirectedLabelIndex, spc_query_directed
+from repro.digraph.labels import DirectedLabelIndex, batch_query_directed, spc_query_directed
 from repro.digraph.pspc import build_pspc_directed
 from repro.digraph.traversal import (
     bfs_counting_directed,
@@ -19,6 +19,7 @@ __all__ = [
     "build_hpspc_directed",
     "build_pspc_directed",
     "spc_query_directed",
+    "batch_query_directed",
     "bfs_counting_directed",
     "bfs_distances_directed",
     "spc_pair_directed",

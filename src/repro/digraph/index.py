@@ -1,6 +1,15 @@
-"""Facade for directed SPC indexes."""
+"""Facade for directed SPC indexes.
+
+Rides on the shared store layer: queries go through the common merge
+kernel (see :mod:`repro.digraph.labels`) and :meth:`DirectedSPCIndex.save`
+/ :meth:`DirectedSPCIndex.load` use the unified versioned ``.npz``
+container from :mod:`repro.core.store`.
+"""
 
 from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -8,7 +17,7 @@ from repro.core.queries import SPCResult
 from repro.core.stats import BuildStats
 from repro.digraph.digraph import DiGraph
 from repro.digraph.hpspc import build_hpspc_directed
-from repro.digraph.labels import DirectedLabelIndex, spc_query_directed
+from repro.digraph.labels import DirectedLabelIndex, batch_query_directed, spc_query_directed
 from repro.digraph.pspc import build_pspc_directed
 from repro.digraph.traversal import spc_pair_directed
 from repro.errors import IndexBuildError, QueryError
@@ -75,6 +84,21 @@ class DirectedSPCIndex:
     def distance(self, s: int, t: int) -> int:
         """Directed distance (-1 if unreachable)."""
         return self.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many directed queries in input order."""
+        return batch_query_directed(self.labels, pairs)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the directed labels (unified ``.npz``; graph not saved)."""
+        self.labels.save(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DirectedSPCIndex":
+        """Load labels written by :meth:`save` (graph is not restored)."""
+        labels = DirectedLabelIndex.load(path)
+        return cls(labels, BuildStats(builder="loaded"), graph=None)
 
     def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
         """Cross-check random directed pairs against the BFS oracle."""

@@ -10,21 +10,27 @@ highest-ranked vertex on the path).  ``SPC(s, t)`` scans
 ``Lout(s) x Lin(t)`` for the common hubs minimising
 ``dist(s -> h) + dist(h -> t)`` and sums the count products — Equations (1)
 and (2), directed form.
+
+The directed variant rides on the same store/engine layer as the
+undirected index: the merge runs through the shared
+:func:`~repro.core.queries.merge_labels` kernel, and persistence uses the
+unified versioned ``.npz`` container of :mod:`repro.core.store` (kind
+``"directed"``) instead of a private pickle layout.
 """
 
 from __future__ import annotations
 
-import pickle
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.queries import SPCResult
+from repro.core.queries import SPCResult, merge_labels
 from repro.errors import IndexStateError, QueryError
 from repro.graph.traversal import UNREACHABLE
 from repro.ordering.base import VertexOrder
 
-__all__ = ["DirectedLabelIndex", "spc_query_directed"]
+__all__ = ["DirectedLabelIndex", "spc_query_directed", "batch_query_directed"]
 
 Entry = tuple[int, int, int]  # (hub_rank, dist, count)
 
@@ -33,6 +39,9 @@ class DirectedLabelIndex:
     """The directed 2-hop ESPC index (in-labels and out-labels)."""
 
     __slots__ = ("order", "entries_in", "entries_out")
+
+    #: store-layer payload kind (see :mod:`repro.core.store`).
+    kind = "directed"
 
     def __init__(
         self,
@@ -86,30 +95,59 @@ class DirectedLabelIndex:
         return f"DirectedLabelIndex(n={self.n}, entries={self.total_entries()})"
 
     # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
+    # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Serialise to ``path`` (pickle protocol 5)."""
-        payload = {
-            "order": np.asarray(self.order.order),
-            "strategy": self.order.strategy,
-            "entries_in": self.entries_in,
-            "entries_out": self.entries_out,
-        }
-        with Path(path).open("wb") as handle:
-            pickle.dump(payload, handle, protocol=5)
+        """Serialise to the unified versioned ``.npz`` store format."""
+        from repro.core import store
+
+        packed_in, enc_in = store.pack_entry_lists(self.entries_in)
+        packed_out, enc_out = store.pack_entry_lists(self.entries_out)
+        arrays = store.order_arrays(self.order)
+        arrays.update({f"{key}_in": value for key, value in packed_in.items()})
+        arrays.update({f"{key}_out": value for key, value in packed_out.items()})
+        store.write_payload(
+            path,
+            self.kind,
+            arrays,
+            meta={
+                "strategy": self.order.strategy,
+                "counts_in": enc_in,
+                "counts_out": enc_out,
+            },
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "DirectedLabelIndex":
         """Load an index written by :meth:`save`."""
-        with Path(path).open("rb") as handle:
-            payload = pickle.load(handle)
-        order = VertexOrder.from_order(
-            payload["order"], len(payload["order"]), strategy=payload["strategy"]
+        from repro.core import store
+
+        _, arrays, meta = store.read_payload(path, expect_kind=cls.kind)
+        order = store.restore_order(arrays, meta)
+        entries_in = store.unpack_entry_lists(
+            arrays["indptr_in"],
+            arrays["hubs_in"],
+            arrays["dists_in"],
+            arrays["counts_in"],
+            str(meta.get("counts_in", "int64")),
         )
-        return cls(order, payload["entries_in"], payload["entries_out"])
+        entries_out = store.unpack_entry_lists(
+            arrays["indptr_out"],
+            arrays["hubs_out"],
+            arrays["dists_out"],
+            arrays["counts_out"],
+            str(meta.get("counts_out", "int64")),
+        )
+        return cls(order, entries_in, entries_out)
 
 
 def spc_query_directed(index: DirectedLabelIndex, s: int, t: int) -> SPCResult:
-    """Exact directed ``(distance, count)`` for the pair ``s -> t``."""
+    """Exact directed ``(distance, count)`` for the pair ``s -> t``.
+
+    Evaluation runs through the shared two-pointer kernel
+    :func:`~repro.core.queries.merge_labels` — the directed form of
+    Equations (1) and (2) differs only in which label lists are joined.
+    """
     n = index.n
     if not 0 <= s < n:
         raise QueryError(f"source vertex {s} out of range for index over {n} vertices")
@@ -117,27 +155,14 @@ def spc_query_directed(index: DirectedLabelIndex, s: int, t: int) -> SPCResult:
         raise QueryError(f"target vertex {t} out of range for index over {n} vertices")
     if s == t:
         return SPCResult(s, t, 0, 1)
-    lo = index.entries_out[s]
-    li = index.entries_in[t]
-    i = j = 0
-    best = -1
-    total = 0
-    while i < len(lo) and j < len(li):
-        hub_o = lo[i][0]
-        hub_i = li[j][0]
-        if hub_o < hub_i:
-            i += 1
-        elif hub_o > hub_i:
-            j += 1
-        else:
-            dsum = lo[i][1] + li[j][1]
-            if best < 0 or dsum < best:
-                best = dsum
-                total = 0
-            if dsum == best:
-                total += lo[i][2] * li[j][2]
-            i += 1
-            j += 1
+    best, total, _ = merge_labels(index.entries_out[s], index.entries_in[t])
     if best < 0:
         return SPCResult(s, t, UNREACHABLE, 0)
     return SPCResult(s, t, best, total)
+
+
+def batch_query_directed(
+    index: DirectedLabelIndex, pairs: Sequence[tuple[int, int]]
+) -> list[SPCResult]:
+    """Evaluate a batch of directed queries in input order."""
+    return [spc_query_directed(index, int(s), int(t)) for s, t in pairs]

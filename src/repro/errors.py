@@ -17,6 +17,7 @@ __all__ = [
     "IndexError_",
     "IndexBuildError",
     "IndexStateError",
+    "PersistenceError",
     "QueryError",
     "ReductionError",
     "SchedulingError",
@@ -59,6 +60,10 @@ class IndexBuildError(IndexError_):
 
 class IndexStateError(IndexError_):
     """An operation requires a built index but none is available."""
+
+
+class PersistenceError(IndexError_):
+    """A saved index file is missing, corrupt, or of an unknown format."""
 
 
 class QueryError(IndexError_):

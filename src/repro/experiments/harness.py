@@ -34,6 +34,7 @@ __all__ = [
     "exp_indexing_time",
     "exp_index_size",
     "exp_query_time",
+    "exp_query_batch",
     "exp_build_speedup",
     "exp_query_speedup",
     "exp_ablation_landmarks",
@@ -196,7 +197,7 @@ def exp_query_time(
         pairs = random_query_pairs(graph, n_queries, seed=7)
         start = time.perf_counter()
         for s, t in pairs:
-            spc_query(index.labels, s, t)
+            index.query(s, t)
         elapsed = time.perf_counter() - start
         mean_us = elapsed / n_queries * 1e6
         costs = index.query_batch_costs(pairs)
@@ -209,6 +210,46 @@ def exp_query_time(
                 "mean_us": round(mean_us, 2),
                 "pspc_plus_mean_us": round(mean_us * target / base, 2),
                 "threads": threads,
+            }
+        )
+    return rows
+
+
+def exp_query_batch(
+    keys: Sequence[str] = ("FB", "GO"),
+    n_queries: int = 10_000,
+) -> list[dict]:
+    """Vectorized ``query_batch`` vs the per-pair tuple-merge loop.
+
+    The per-pair column replays the pre-store-layer serving path (a Python
+    two-pointer merge over the tuple labels for every pair); the batch
+    column answers the same workload in one call to the vectorized engine
+    kernel over the compact store.
+    """
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        pairs = random_query_pairs(graph, n_queries, seed=7)
+        tuple_labels = index.labels  # the seed representation
+
+        start = time.perf_counter()
+        loop_results = [spc_query(tuple_labels, s, t) for s, t in pairs]
+        loop_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch_results = index.query_batch(pairs)
+        batch_seconds = time.perf_counter() - start
+
+        if batch_results != loop_results:
+            raise AssertionError(f"batch kernel diverged from tuple merge on {key}")
+        rows.append(
+            {
+                "dataset": key,
+                "queries": n_queries,
+                "loop_us": round(loop_seconds / n_queries * 1e6, 2),
+                "batch_us": round(batch_seconds / n_queries * 1e6, 2),
+                "speedup": round(loop_seconds / batch_seconds, 2),
             }
         )
     return rows
@@ -353,7 +394,7 @@ def exp_delta_effect(
             index, _ = _build(graph, "pspc", cache_key=key, ordering=order)
             start = time.perf_counter()
             for s, t in pairs:
-                spc_query(index.labels, s, t)
+                index.query(s, t)
             query_us = (time.perf_counter() - start) / n_queries * 1e6
             rows.append(
                 {

@@ -72,20 +72,20 @@ class Graph:
     # ------------------------------------------------------------------
     def _canonical_pairs(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
         """Return a deduplicated ``(k, 2)`` array of undirected edges ``u < v``."""
-        rows = []
-        for u, v in edges:
-            u = int(u)
-            v = int(v)
-            if not 0 <= u < self._n:
-                raise VertexError(u, self._n)
-            if not 0 <= v < self._n:
-                raise VertexError(v, self._n)
-            if u == v:
-                continue
-            rows.append((u, v) if u < v else (v, u))
-        if not rows:
+        if isinstance(edges, np.ndarray) and edges.ndim == 2 and edges.shape[1] == 2:
+            arr = edges.astype(np.int64, copy=False)
+        else:
+            rows = [(int(u), int(v)) for u, v in edges]
+            arr = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+        if arr.size:
+            bad = (arr < 0) | (arr >= self._n)
+            if bad.any():
+                flat = arr[bad]
+                raise VertexError(int(flat[0]), self._n)
+            arr = arr[arr[:, 0] != arr[:, 1]]  # drop self-loops
+            arr = np.sort(arr, axis=1)  # canonical u < v
+        if not arr.size:
             return np.empty((0, 2), dtype=np.int64)
-        arr = np.array(rows, dtype=np.int64)
         return np.unique(arr, axis=0)
 
     def _build_csr(self, pairs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -120,6 +120,20 @@ class Graph:
         g._n = len(indptr) - 1
         g._indptr = indptr
         g._indices = indices
+        g._weights = weights
+        return g
+
+    @classmethod
+    def _from_pairs(cls, n: int, pairs: np.ndarray, weights: np.ndarray) -> "Graph":
+        """Internal trusted constructor from canonical ``u < v`` unique pairs.
+
+        Skips the canonicalisation pass; callers (:meth:`subgraph`,
+        :meth:`relabeled`) guarantee the invariants because they derive the
+        pairs from an already-canonical CSR structure.
+        """
+        g = cls.__new__(cls)
+        g._n = int(n)
+        g._indptr, g._indices = g._build_csr(pairs)
         g._weights = weights
         return g
 
@@ -208,18 +222,20 @@ class Graph:
         keep_arr = np.asarray(list(keep), dtype=np.int64)
         if len(np.unique(keep_arr)) != len(keep_arr):
             raise GraphError("subgraph vertex list contains duplicates")
+        if keep_arr.size:
+            bad = (keep_arr < 0) | (keep_arr >= self._n)
+            if bad.any():
+                raise VertexError(int(keep_arr[bad][0]), self._n)
         new_of_old = np.full(self._n, -1, dtype=np.int64)
-        for new, old in enumerate(keep_arr):
-            self._check_vertex(int(old))
-            new_of_old[old] = new
-        edges = []
-        for old_u in keep_arr:
-            new_u = new_of_old[old_u]
-            for old_v in self.neighbors(int(old_u)):
-                new_v = new_of_old[old_v]
-                if new_v >= 0 and new_u < new_v:
-                    edges.append((int(new_u), int(new_v)))
-        sub = Graph(len(keep_arr), edges, vertex_weights=self._weights[keep_arr])
+        new_of_old[keep_arr] = np.arange(len(keep_arr), dtype=np.int64)
+        # vectorized over the full CSR: each undirected edge appears twice,
+        # keeping new_u < new_v selects surviving edges exactly once
+        heads = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._indptr))
+        new_u = new_of_old[heads]
+        new_v = new_of_old[self._indices]
+        mask = (new_u >= 0) & (new_v >= 0) & (new_u < new_v)
+        pairs = np.stack([new_u[mask], new_v[mask]], axis=1)
+        sub = Graph._from_pairs(len(keep_arr), pairs, self._weights[keep_arr])
         return sub, keep_arr
 
     def relabeled(self, new_of_old: Sequence[int]) -> "Graph":
@@ -232,10 +248,17 @@ class Graph:
             np.sort(perm), np.arange(self._n)
         ):
             raise GraphError("relabeling must be a permutation of 0..n-1")
-        edges = [(int(perm[u]), int(perm[v])) for u, v in self.edges()]
+        # vectorized: take each undirected edge once (u < v in old ids),
+        # rename both endpoints and restore the u < v canonical form
+        heads = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._indptr))
+        tails = self._indices.astype(np.int64)
+        once = heads < tails
+        a = perm[heads[once]]
+        b = perm[tails[once]]
+        pairs = np.stack([np.minimum(a, b), np.maximum(a, b)], axis=1)
         weights = np.empty(self._n, dtype=np.int64)
         weights[perm] = self._weights
-        return Graph(self._n, edges, vertex_weights=weights)
+        return Graph._from_pairs(self._n, pairs, weights)
 
     # ------------------------------------------------------------------
     # dunder protocol

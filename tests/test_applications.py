@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.applications.betweenness import brandes_betweenness
+from repro.applications.betweenness import brandes_betweenness, spc_betweenness
 from repro.applications.group_betweenness import group_betweenness, pairwise_matrices
 from repro.applications.topk import top_k_nearest
 from repro.baselines.bfs_spc import OnlineBFSCounter
@@ -66,6 +66,38 @@ class TestBrandes:
         g = star_graph(5)
         bc = brandes_betweenness(g, normalized=True)
         assert bc[0] == pytest.approx(1.0)
+
+
+class TestSPCBetweenness:
+    """The index-query route must reproduce Brandes exactly."""
+
+    def test_matches_brandes_small(self, diamond):
+        index = PSPCIndex.build(diamond)
+        assert np.allclose(spc_betweenness(index), brandes_betweenness(diamond))
+
+    def test_matches_brandes_random(self):
+        g = barabasi_albert(60, 2, seed=18)
+        index = PSPCIndex.build(g)
+        assert np.allclose(spc_betweenness(index), brandes_betweenness(g))
+
+    def test_matches_brandes_disconnected(self, two_components):
+        index = PSPCIndex.build(two_components)
+        assert np.allclose(
+            spc_betweenness(index), brandes_betweenness(two_components)
+        )
+
+    def test_sampled_pairs_partial_sum(self, diamond):
+        index = PSPCIndex.build(diamond)
+        # vertex 1 sits on one of the two shortest 0-3 paths
+        bc = spc_betweenness(index, pairs=[(0, 3)])
+        assert bc[1] == pytest.approx(0.5)
+        assert bc[2] == pytest.approx(0.5)
+        assert bc[0] == bc[3] == 0.0
+
+    def test_normalization(self):
+        g = star_graph(5)
+        index = PSPCIndex.build(g)
+        assert spc_betweenness(index, normalized=True)[0] == pytest.approx(1.0)
 
 
 class TestGroupBetweenness:

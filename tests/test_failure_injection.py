@@ -45,20 +45,57 @@ class TestCorruptIndexFiles:
             PSPCIndex.load(path)
 
     def test_label_index_with_tampered_order(self, built):
+        from repro.core import store
+
         _, index, tmp_path = built
-        path = tmp_path / "l.pkl"
+        path = tmp_path / "l.npz"
         index.labels.save(path)
-        with path.open("rb") as handle:
-            payload = pickle.load(handle)
-        payload["order"] = payload["order"][:-1]  # no longer a permutation
-        with path.open("wb") as handle:
-            pickle.dump(payload, handle)
+        kind, arrays, meta = store.read_payload(path)
+        arrays["order"] = arrays["order"][:-1]  # no longer a permutation
+        store.write_payload(path, kind, arrays, meta=meta)
         from repro.errors import ReproError
 
         # either the permutation check (OrderingError) or the label-list
         # length check (IndexStateError) must fire — both are ReproErrors
         with pytest.raises(ReproError):
             LabelIndex.load(path)
+
+    def test_foreign_npz_rejected(self, built):
+        from repro.errors import PersistenceError
+
+        _, _, tmp_path = built
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, order=np.arange(3))
+        with pytest.raises(PersistenceError):
+            PSPCIndex.load(path)
+
+    def test_object_array_member_rejected(self, built):
+        # a pickled (object-dtype) payload array must surface as
+        # PersistenceError, not the raw allow_pickle ValueError
+        import json
+
+        from repro.core import store
+        from repro.errors import PersistenceError
+
+        _, _, tmp_path = built
+        path = tmp_path / "obj.npz"
+        meta = json.dumps(
+            {"format": store.FORMAT_NAME, "version": store.FORMAT_VERSION, "kind": "tuple"}
+        )
+        np.savez_compressed(
+            path, __meta__=np.array(meta), bad=np.array([{"a": 1}], dtype=object)
+        )
+        with pytest.raises(PersistenceError):
+            store.read_payload(path)
+
+    def test_wrong_kind_rejected(self, built):
+        from repro.errors import PersistenceError
+
+        _, index, tmp_path = built
+        path = tmp_path / "labels.npz"
+        index.labels.save(path)  # a bare "tuple" store, not a full index file
+        with pytest.raises(PersistenceError):
+            PSPCIndex.load(path)
 
 
 class TestCorruptGraphFiles:
@@ -80,10 +117,12 @@ class TestCorruptGraphFiles:
 
 
 class TestCompactRobustness:
-    def test_compact_npz_missing_key(self, tmp_path):
+    def test_compact_npz_missing_meta(self, tmp_path):
+        from repro.errors import PersistenceError
+
         path = tmp_path / "c.npz"
         np.savez_compressed(path, order=np.arange(3))
-        with pytest.raises(KeyError):
+        with pytest.raises(PersistenceError):
             CompactLabelIndex.load(path)
 
     def test_freeze_of_hand_built_index_round_trips(self):

@@ -87,8 +87,18 @@ class TestVerification:
     def test_verify_passes_on_correct_index(self, social_graph):
         PSPCIndex.build(social_graph).verify_against_bfs(samples=30)
 
-    def test_verify_detects_corruption(self, social_graph):
+    def test_verify_detects_corruption_compact_store(self, social_graph):
         index = PSPCIndex.build(social_graph)
+        assert index.store.kind == "compact"
+        # corrupt one non-self count in the serving arrays
+        nonself = np.flatnonzero(index.store.dists > 0)
+        index.store.counts[nonself[0]] += 7
+        with pytest.raises(QueryError):
+            index.verify_against_bfs(samples=200)
+
+    def test_verify_detects_corruption_tuple_store(self, social_graph):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        assert index.store.kind == "tuple"
         # corrupt one non-self count
         for v, lst in enumerate(index.labels.entries):
             for i, (h, d, c) in enumerate(lst):

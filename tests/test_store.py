@@ -1,0 +1,205 @@
+"""Store-layer tests: protocol parity, persistence, representation equivalence.
+
+Covers the satellite requirements of the store/engine refactor:
+
+* save/load round-trips across both store kinds, including the int64
+  count-overflow fallback path;
+* cross-representation equivalence ``LabelIndex <-> CompactLabelIndex`` on
+  every bundled generator;
+* the full-stats round-trip through the unified ``.npz`` index format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import store
+from repro.core.compact import CompactLabelIndex
+from repro.core.index import PSPCIndex
+from repro.core.labels import LabelIndex
+from repro.errors import PersistenceError
+from repro.graph.generators import (
+    barabasi_albert,
+    grid_road_network,
+    powerlaw_cluster,
+    watts_strogatz,
+)
+
+#: One small instance per bundled generator family.
+GENERATORS = {
+    "barabasi_albert": lambda: barabasi_albert(120, 3, seed=5),
+    "watts_strogatz": lambda: watts_strogatz(90, 6, 0.2, seed=6),
+    "powerlaw_cluster": lambda: powerlaw_cluster(110, 3, 0.5, seed=7),
+    "grid_road_network": lambda: grid_road_network(9, 9, extra_edges=8, seed=8),
+}
+
+
+class TestProtocol:
+    def test_both_stores_satisfy_protocol(self, social_graph):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        compact = CompactLabelIndex.from_index(index.labels)
+        for candidate in (index.labels, compact):
+            assert isinstance(candidate, store.LabelStore)
+
+    def test_kinds(self, social_graph):
+        tuple_index = PSPCIndex.build(social_graph, store="tuple")
+        compact_index = PSPCIndex.build(social_graph)  # default
+        assert tuple_index.store.kind == "tuple"
+        assert compact_index.store.kind == "compact"
+
+    def test_label_slice_agrees(self, social_graph):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        compact = CompactLabelIndex.from_index(index.labels)
+        for v in range(0, social_graph.n, 11):
+            hubs_t, dists_t, counts_t = index.labels.label_slice(v)
+            hubs_c, dists_c, counts_c = compact.label_slice(v)
+            assert list(hubs_c) == hubs_t
+            assert list(dists_c) == dists_t
+            assert list(counts_c) == counts_t
+
+    def test_decoded_label_view_agrees(self, social_graph):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        compact = CompactLabelIndex.from_index(index.labels)
+        for v in range(0, social_graph.n, 13):
+            assert compact.label(v) == index.labels.label(v)
+
+    def test_size_reports_agree(self, social_graph):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        compact = CompactLabelIndex.from_index(index.labels)
+        assert compact.size_mb() == index.labels.size_mb()
+        assert compact.total_entries() == index.labels.total_entries()
+        assert compact.max_label_size() == index.labels.max_label_size()
+        assert compact.average_label_size() == index.labels.average_label_size()
+        assert list(compact.iter_entries()) == list(index.labels.iter_entries())
+
+
+class TestFreeze:
+    def test_freeze_prefers_compact(self, social_graph):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        frozen = store.freeze_labels(index.labels)
+        assert isinstance(frozen, CompactLabelIndex)
+        assert frozen.to_label_index() == index.labels
+
+    def test_freeze_falls_back_on_overflow(self, two_components):
+        index = PSPCIndex.build(two_components, store="tuple")
+        index.labels.entries[1][0] = (0, 1, 2**80)  # beyond int64
+        fallen_back = store.freeze_labels(index.labels)
+        assert fallen_back is index.labels
+
+    def test_build_overflow_fallback_path(self, monkeypatch, two_components):
+        # force the freeze to fail as it would on a >int64 count
+        from repro.errors import IndexStateError
+
+        def boom(_index):
+            raise IndexStateError("count exceeds int64")
+
+        monkeypatch.setattr(CompactLabelIndex, "from_index", staticmethod(boom))
+        index = PSPCIndex.build(two_components)  # store="compact" requested
+        assert index.store.kind == "tuple"
+        assert index.query(0, 2).dist == 2
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCrossRepresentation:
+    def test_equivalent_on_generator(self, name):
+        graph = GENERATORS[name]()
+        index = PSPCIndex.build(graph, store="tuple")
+        compact = CompactLabelIndex.from_index(index.labels)
+        assert compact.to_label_index() == index.labels
+        rng = np.random.default_rng(17)
+        pairs = [(int(a), int(b)) for a, b in rng.integers(graph.n, size=(150, 2))]
+        tuple_results = [index.query(s, t) for s, t in pairs]
+        assert [compact.query(s, t) for s, t in pairs] == tuple_results
+        assert compact.query_batch(pairs) == tuple_results
+
+
+class TestStorePersistence:
+    def test_tuple_round_trip(self, social_graph, tmp_path):
+        labels = PSPCIndex.build(social_graph, store="tuple").labels
+        path = tmp_path / "labels.npz"
+        labels.save(path)
+        assert LabelIndex.load(path) == labels
+        # kind-dispatching loader returns the same representation
+        loaded = store.load_labels(path)
+        assert isinstance(loaded, LabelIndex) and loaded == labels
+
+    def test_compact_round_trip(self, social_graph, tmp_path):
+        compact = PSPCIndex.build(social_graph).store
+        path = tmp_path / "compact.npz"
+        compact.save(path)
+        assert CompactLabelIndex.load(path) == compact
+        loaded = store.load_labels(path)
+        assert isinstance(loaded, CompactLabelIndex) and loaded == compact
+
+    def test_overflow_counts_round_trip(self, two_components, tmp_path):
+        labels = PSPCIndex.build(two_components, store="tuple").labels
+        labels.entries[1][0] = (0, 1, 2**100 + 7)  # force the str encoding
+        path = tmp_path / "big.npz"
+        labels.save(path)
+        loaded = LabelIndex.load(path)
+        assert loaded == labels
+        assert loaded.entries[1][0][2] == 2**100 + 7
+
+    def test_index_file_round_trips_overflow_fallback(self, two_components, tmp_path):
+        index = PSPCIndex.build(two_components, store="tuple")
+        index.labels.entries[1][0] = (0, 1, 2**90)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PSPCIndex.load(path)
+        assert loaded.store.kind == "tuple"
+        assert loaded.labels.entries[1][0][2] == 2**90
+
+    def test_mismatched_kind_rejected(self, social_graph, tmp_path):
+        compact = PSPCIndex.build(social_graph).store
+        path = tmp_path / "compact.npz"
+        compact.save(path)
+        with pytest.raises(PersistenceError):
+            LabelIndex.load(path)
+
+    def test_future_version_rejected(self, social_graph, tmp_path):
+        labels = PSPCIndex.build(social_graph, store="tuple").labels
+        path = tmp_path / "labels.npz"
+        labels.save(path)
+        kind, arrays, meta = store.read_payload(path)
+        meta["version"] = store.FORMAT_VERSION + 1
+
+        import json
+
+        payload = {"__meta__": np.array(json.dumps(meta))}
+        payload.update(arrays)
+        with path.open("wb") as handle:
+            np.savez_compressed(handle, **payload)
+        with pytest.raises(PersistenceError):
+            LabelIndex.load(path)
+
+
+class TestIndexStatsRoundTrip:
+    def test_full_stats_survive(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph, num_landmarks=8)
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PSPCIndex.load(path)
+        original = index.stats
+        restored = loaded.stats
+        assert restored.builder == original.builder
+        assert restored.phase_seconds == pytest.approx(original.phase_seconds)
+        assert restored.iteration_labels == original.iteration_labels
+        assert restored.n_vertices == original.n_vertices
+        assert restored.total_entries == original.total_entries
+        assert restored.pruned_by_rank == original.pruned_by_rank
+        assert restored.pruned_by_query == original.pruned_by_query
+        assert restored.landmark_hits == original.landmark_hits
+        assert restored.num_landmarks == original.num_landmarks
+        assert len(restored.iteration_costs) == len(original.iteration_costs)
+        for got, expected in zip(restored.iteration_costs, original.iteration_costs):
+            assert np.array_equal(got, expected)
+        assert restored.total_work == original.total_work
+
+    def test_config_round_trips(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph, store="tuple", paradigm="push")
+        path = tmp_path / "idx.npz"
+        index.save(path)
+        loaded = PSPCIndex.load(path)
+        assert loaded.config == index.config
+        assert loaded.store.kind == "tuple"
