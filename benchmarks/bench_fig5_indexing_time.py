@@ -4,12 +4,25 @@ Paper shape to reproduce: single-thread PSPC beats HP-SPC on most datasets
 (the paper reports 7 of 10, ~18% faster on average), and PSPC+ (20 threads,
 here simulated from recorded work units) beats both by an order of
 magnitude.
+
+A second benchmark profiles the same fig5-style builds through both label
+construction engines and records the ``BENCH_build.json`` baseline at the
+repository root, pinning the build-path perf trajectory: the vectorized
+frontier kernels must hold a >=3x single-thread speedup over the reference
+loops on the largest bundled dataset.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 from conftest import run_once
-from repro.experiments.harness import exp_indexing_time
+from repro.experiments.harness import exp_build_engines, exp_indexing_time
+
+#: Committed build-time baseline (see test_fig5_build_engines).
+BENCH_BUILD_PATH = Path(__file__).resolve().parent.parent / "BENCH_build.json"
 
 
 def test_fig5_indexing_time(benchmark, record):
@@ -22,3 +35,30 @@ def test_fig5_indexing_time(benchmark, record):
     assert wins >= 6, f"PSPC won only {wins}/10 datasets"
     # PSPC+ always beats single-thread PSPC
     assert all(r["pspc_plus_s"] < r["pspc_s"] for r in rows)
+
+
+def test_fig5_build_engines(benchmark, record):
+    rows = run_once(benchmark, exp_build_engines)
+    record("fig5_build_engines", rows, "Fig. 5 (build engines): indexing time (s)")
+
+    assert len(rows) == 10
+    # both engines must produce the canonical index everywhere
+    assert all(r["identical"] for r in rows)
+    # acceptance gate: >=3x single-thread build speedup on the largest dataset
+    largest = max(rows, key=lambda r: r["V"])
+    assert largest["speedup"] >= 3.0, largest
+
+    BENCH_BUILD_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "fig5_build_engines",
+                "unit": "seconds (single-thread wall clock, incl. order + landmarks)",
+                "python": platform.python_version(),
+                "largest_dataset": largest["dataset"],
+                "largest_speedup": largest["speedup"],
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

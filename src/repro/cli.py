@@ -27,7 +27,10 @@ __all__ = ["main", "build_parser"]
 
 _EXPERIMENTS = {
     "table3": lambda args: harness.exp_table3_datasets(),
-    "fig5": lambda args: harness.exp_indexing_time(threads=args.threads),
+    "fig5": lambda args: harness.exp_indexing_time(
+        threads=args.threads, engine=args.engine
+    ),
+    "fig5build": lambda args: harness.exp_build_engines(),
     "fig6": lambda args: harness.exp_index_size(),
     "fig7": lambda args: harness.exp_query_time(threads=args.threads),
     "fig7batch": lambda args: harness.exp_query_batch(),
@@ -83,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["compact", "tuple"],
         help="serving representation (compact numpy arrays by default)",
     )
+    p_build.add_argument(
+        "--engine",
+        default="vectorized",
+        choices=["vectorized", "reference"],
+        help="label-construction engine (vectorized array kernels by default; "
+        "reference runs the exact per-vertex loops)",
+    )
 
     p_query = sub.add_parser("query", help="query a saved index")
     p_query.add_argument("--index", required=True, help="index file from `build`")
@@ -91,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="run a paper experiment")
     p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
     p_bench.add_argument("--threads", type=int, default=harness.DEFAULT_THREADS)
+    p_bench.add_argument(
+        "--engine",
+        default="reference",
+        choices=["vectorized", "reference"],
+        help="build engine for experiments that construct indexes "
+        "(fig5; reference keeps the paper-faithful loop timings)",
+    )
     p_bench.add_argument(
         "--plot", action="store_true", help="render the rows as an ASCII chart"
     )
@@ -125,12 +142,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
         num_landmarks=args.landmarks,
         threads=args.threads,
         store=args.store,
+        engine=args.engine,
     )
     index.save(args.out)
+    # report the engine that actually ran (overflow/threads can reroute,
+    # and the hpspc baseline has none)
+    engine_note = f"{index.config.engine} engine, " if index.config.engine else ""
     print(
         f"built {args.builder} index over {index.n} vertices: "
         f"{index.total_entries()} entries, {index.size_mb():.3f} MB, "
-        f"{index.store.kind} store, "
+        f"{index.store.kind} store, {engine_note}"
         f"{index.stats.total_seconds:.2f}s -> {args.out}"
     )
     return 0

@@ -93,13 +93,19 @@ class CompactLabelIndex:
         )
 
     def to_label_index(self) -> LabelIndex:
-        """Thaw back into the tuple-based representation."""
+        """Thaw back into the tuple-based representation.
+
+        Decodes the packed columns with three bulk ``tolist`` calls and
+        zips per-vertex slices — no per-entry numpy scalar unwrapping, so
+        thawing a vectorized build to the tuple store stays cheap.
+        """
+        hubs = self.hubs.tolist()
+        dists = self.dists.tolist()
+        counts = self.counts.tolist()
+        bounds = self.indptr.tolist()
         entries = [
-            [
-                (int(self.hubs[i]), int(self.dists[i]), int(self.counts[i]))
-                for i in range(int(self.indptr[v]), int(self.indptr[v + 1]))
-            ]
-            for v in range(self.n)
+            list(zip(hubs[lo:hi], dists[lo:hi], counts[lo:hi]))
+            for lo, hi in zip(bounds, bounds[1:])
         ]
         return LabelIndex(self.order, entries, self.weight_by_rank)
 

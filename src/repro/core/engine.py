@@ -38,26 +38,13 @@ from repro.core.compact import CompactLabelIndex
 from repro.core.labels import LabelIndex
 from repro.core.queries import SPCResult, merge_labels, spc_query, spc_query_with_cost
 from repro.errors import QueryError
-from repro.graph.traversal import UNREACHABLE
+from repro.graph.traversal import UNREACHABLE, slice_positions
 
 __all__ = ["QueryEngine", "query_batch_compact"]
 
 _INT64_MAX = np.iinfo(np.int64).max
 #: Products/sums in the vectorized kernel must stay below this bound.
 _SAFE_LIMIT = 2**62
-
-
-def _slice_positions(lo: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Positions into a packed array for many ``[lo, lo+length)`` slices."""
-    total = int(lengths.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    starts = np.cumsum(lengths) - lengths  # exclusive prefix sum
-    return (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(starts, lengths)
-        + np.repeat(lo, lengths)
-    )
 
 
 def _batch_is_safe(store: CompactLabelIndex, n_pairs: int) -> bool:
@@ -124,8 +111,8 @@ def _batch_chunk(
     lo_t = indptr[t]
     len_t = indptr[t + 1] - lo_t
 
-    pos_s = _slice_positions(lo_s, len_s)
-    pos_t = _slice_positions(lo_t, len_t)
+    pos_s = slice_positions(lo_s, len_s)
+    pos_t = slice_positions(lo_t, len_t)
     pid_s = np.repeat(np.arange(num, dtype=np.int64), len_s)
     pid_t = np.repeat(np.arange(num, dtype=np.int64), len_t)
     keys_s = pid_s * n + store.hubs[pos_s]

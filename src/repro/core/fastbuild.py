@@ -1,0 +1,575 @@
+"""Vectorized PSPC build engine: array-based distance iterations over CSR.
+
+The reference builder (:mod:`repro.core.pspc`) runs every distance iteration
+as per-vertex Python tasks over dicts and tuple lists — exact, and the
+instrument behind the paper's work-unit simulations, but slow.  This module
+re-expresses one barrier-synchronised iteration (Section III-D/E) as a
+handful of whole-frontier numpy kernels:
+
+1. **pull-gather** — every frontier label crosses every incident edge in one
+   ``np.repeat`` fan-out through the graph's ``indptr``/``indices`` (the
+   same :func:`~repro.graph.traversal.slice_positions` idiom the query
+   engine uses for batch label slicing);
+2. **Label Merging** — candidate increments are summed per ``(dest, hub)``
+   key with one sort + ``np.add.reduceat``;
+3. **pruning rules** — the rank rule (Lemma 3) is a boolean mask, and the
+   query rule (Lemma 4) is evaluated batch-wise against the frozen compact
+   label arrays of iterations ``<= d-1``, scanning every candidate's hub
+   list in lockstep rounds with vectorized early exit (landmark hubs
+   short-circuit through
+   :meth:`~repro.core.landmarks.LandmarkIndex.distance_batch`);
+4. **commit** — accepted labels merge into growable CSR-style arrays that
+   are already in the compact store's dtypes, so the final freeze is a
+   no-copy handoff to :class:`~repro.core.compact.CompactLabelIndex`.
+
+Both propagation paradigms collapse onto the same kernel here: on an
+undirected graph, push's scatter is exactly the transpose of pull's gather,
+and the merged candidate multiset (and therefore the index) is identical.
+The ``paradigm`` argument is still honoured for stats labelling.
+
+The output is bit-identical to the reference builder (and hence to HP-SPC)
+for every graph whose path counts fit ``int64``: same labels, same pruning
+counters, same per-iteration label counts.  A conservative overflow guard
+runs before each iteration's merge; when counts could leave the ``int64``
+range the partial arrays are discarded and the exact reference loops
+(Python ints) take over transparently — mirroring the serving layer's
+compact-to-tuple fallback.
+
+Work accounting matches the reference **pull** engine entry for entry —
+gathered labels, merged candidates and the exact number of label entries
+the pruning scan touches before its early exit are all charged to the
+destination task — so the speedup simulations replay identically.  The one
+divergence is ``paradigm="push"``: the reference push engine charges
+scatter work to the *source* task, while this engine always records the
+pull-shaped profile; paper-faithful push work units therefore still come
+from ``engine="reference"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compact import CompactLabelIndex
+from repro.core.labels import LabelIndex
+from repro.core.landmarks import LandmarkIndex, build_landmark_index
+from repro.core.pspc import PARADIGMS, build_pspc
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.errors import IndexBuildError
+from repro.graph.graph import Graph
+from repro.graph.traversal import slice_positions
+from repro.ordering.base import VertexOrder
+
+__all__ = ["ENGINES", "build_pspc_vectorized"]
+
+#: Supported label-construction engines (selected via ``BuildConfig.engine``).
+ENGINES = ("vectorized", "reference")
+
+#: Accumulated int64 products/sums must stay below this conservative bound.
+_SAFE_LIMIT = 2**62
+
+#: Memory budget for the dense top-rank distance table the query rule
+#: probes first (64 MB caps it at ~32 rows on a million-vertex graph while
+#: covering every rank on the bundled benchmark sizes).
+_TABLE_BUDGET_BYTES = 64 * 2**20
+
+#: Label Merging switches from sort+reduceat to one dense ``np.bincount``
+#: over the (dest, hub) key space when ``n**2`` stays within this many
+#: cells (64 MB of float64 accumulators).
+_DENSE_MERGE_CELLS = 2**23
+
+#: ``np.bincount`` accumulates in float64; sums must stay exactly
+#: representable.
+_FLOAT_EXACT_LIMIT = 2**53
+
+
+
+class _ExactCountsNeeded(Exception):
+    """Path counts may exceed int64; the reference builder must take over."""
+
+
+def build_pspc_vectorized(
+    graph: Graph,
+    order: VertexOrder,
+    paradigm: str = "pull",
+    num_landmarks: int = 0,
+    record_work: bool = True,
+    max_iterations: int | None = None,
+) -> tuple[CompactLabelIndex | LabelIndex, BuildStats]:
+    """Build the canonical ESPC index with whole-frontier array kernels.
+
+    Returns ``(store, stats)`` where ``store`` is a
+    :class:`~repro.core.compact.CompactLabelIndex` on the fast path, or a
+    tuple-based :class:`~repro.core.labels.LabelIndex` when the int64
+    overflow guard rerouted the build through the reference engine.
+    """
+    if paradigm not in PARADIGMS:
+        raise IndexBuildError(
+            f"unknown propagation paradigm {paradigm!r}; expected one of {PARADIGMS}"
+        )
+    if order.n != graph.n:
+        raise IndexBuildError(
+            f"order covers {order.n} vertices but graph has {graph.n}"
+        )
+    stats = BuildStats(
+        builder=f"pspc-{paradigm}", engine="vectorized", n_vertices=graph.n
+    )
+
+    landmarks: LandmarkIndex | None = None
+    if num_landmarks > 0:
+        with PhaseTimer(stats, "landmarks"):
+            landmarks = build_landmark_index(graph, order, num_landmarks)
+        stats.num_landmarks = landmarks.num_landmarks
+
+    try:
+        with PhaseTimer(stats, "construction"):
+            index = _propagate_arrays(
+                graph, order, landmarks, stats, record_work, max_iterations
+            )
+    except _ExactCountsNeeded:
+        # Counts can overflow the packed arrays: discard the partial build
+        # and rerun through the exact Python-int reference loops, handing
+        # over the landmark tables (and their measured cost) rather than
+        # rebuilding them.  The facade's freeze then falls back to the
+        # tuple store as before.
+        index, ref_stats = build_pspc(
+            graph,
+            order,
+            paradigm=paradigm,
+            num_landmarks=num_landmarks,
+            record_work=record_work,
+            max_iterations=max_iterations,
+            landmark_index=landmarks,
+        )
+        ref_stats.merge_phase("landmarks", stats.phase("landmarks"))
+        return index, ref_stats
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+class _GrowableLabels:
+    """Capacity-doubled backing buffers for the accumulated label arrays.
+
+    Two buffer sets ping-pong: each iteration's merge reads the live set and
+    writes the combined result into the spare, so the final freeze can hand
+    plain ``[:size]`` views to the compact store without re-packing.
+
+    Besides the compact store's three columns, a fourth column keeps the
+    globally sorted ``vertex * n + hub`` key of every entry.  It makes the
+    per-iteration merge a pair of ``searchsorted`` calls and lets the query
+    rule binary-search "is hub ``x`` on vertex ``u``'s list?" directly in
+    the flat arrays — the vectorized stand-in for the reference engine's
+    per-vertex hash maps.
+    """
+
+    __slots__ = ("hubs", "dists", "counts", "keys", "size")
+
+    def __init__(self, capacity: int) -> None:
+        self.hubs = np.empty(capacity, dtype=np.int32)
+        self.dists = np.empty(capacity, dtype=np.int16)
+        self.counts = np.empty(capacity, dtype=np.int64)
+        self.keys = np.empty(capacity, dtype=np.int64)
+        self.size = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self.hubs)
+
+    def views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live ``(hubs, dists, counts)`` prefixes."""
+        return self.hubs[: self.size], self.dists[: self.size], self.counts[: self.size]
+
+
+class _GrowableScan:
+    """Ping-pong buffers for the *insertion-order* label view.
+
+    The query rule scans a hub's list in the reference engine's insertion
+    order — distance-major, hub-rank within a distance — because witnesses
+    cluster at the front of that order (short distances make small sums).
+    Keeping this second, append-ordered copy of ``(hub, dist)`` is what
+    lets the lockstep scan terminate as early as the reference loop does,
+    and makes the recorded scan work match it entry for entry.
+    """
+
+    __slots__ = ("hubs", "dists", "size")
+
+    def __init__(self, capacity: int) -> None:
+        self.hubs = np.empty(capacity, dtype=np.int32)
+        self.dists = np.empty(capacity, dtype=np.int16)
+        self.size = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self.hubs)
+
+
+def _propagate_arrays(
+    graph: Graph,
+    order: VertexOrder,
+    landmarks: LandmarkIndex | None,
+    stats: BuildStats,
+    record_work: bool,
+    max_iterations: int | None,
+) -> CompactLabelIndex:
+    n = graph.n
+    rank = order.rank
+    order_arr = order.order
+    weights = graph.vertex_weights
+    weight_by_rank = weights[order_arr].astype(np.int64)
+    max_weight = int(weights.max()) if n else 1
+    weighted = graph.is_weighted  # multiplicity factors are all 1 otherwise
+
+    # L_0: every vertex is its own hub at distance 0 with one (empty) path.
+    live = _GrowableLabels(max(2 * n, 16))
+    live.hubs[:n] = rank
+    live.dists[:n] = 0
+    live.counts[:n] = 1
+    live.keys[:n] = np.arange(n, dtype=np.int64) * n + rank
+    live.size = n
+    spare = _GrowableLabels(live.capacity)
+    lab_indptr = np.arange(n + 1, dtype=np.int64)
+
+    # the same labels again in insertion order (identical at L_0)
+    scan_live = _GrowableScan(live.capacity)
+    scan_live.hubs[:n] = rank
+    scan_live.dists[:n] = 0
+    scan_live.size = n
+    scan_spare = _GrowableScan(live.capacity)
+
+    # frontier (labels created in the previous iteration), CSR by vertex
+    # with hubs strictly increasing inside each row — the invariant every
+    # kernel below relies on.
+    cur_indptr = np.arange(n + 1, dtype=np.int64)
+    cur_hubs = rank.astype(np.int64)
+    cur_counts = np.ones(n, dtype=np.int64)
+
+    # dense dist(x, u) table over the top `table_rows` hub ranks — the
+    # query rule's fast path.  Top-ranked hubs dominate every label list
+    # (the observation behind the paper's landmark filter), so almost all
+    # probes become one O(1) gather; only deeper hubs fall back to binary
+    # search in the label keys.  Maintained for free from accepted labels.
+    table_rows = min(n, _TABLE_BUDGET_BYTES // max(2 * n, 1))
+    top_dist = np.full((table_rows, n), -1, dtype=np.int16)
+    if table_rows:
+        top_self = np.flatnonzero(rank < table_rows)
+        top_dist[rank[top_self], top_self] = 0
+
+    # one directed edge (dst, src) per CSR slot, fixed for the whole build
+    heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    tails = graph.indices.astype(np.int64)
+
+    d = 0
+    while len(cur_hubs):
+        d += 1
+        if max_iterations is not None and d > max_iterations:
+            raise IndexBuildError(
+                f"PSPC did not converge within {max_iterations} iterations"
+            )
+
+        # (1) pull-gather: fan every frontier label out across its edges
+        cur_len = np.diff(cur_indptr)
+        active = cur_len[tails] > 0
+        e_dst = heads[active]
+        e_src = tails[active]
+        per_edge = cur_len[e_src]
+        g_dst = np.repeat(e_dst, per_edge)
+        g_pos = slice_positions(cur_indptr[e_src], per_edge)
+        g_hub = cur_hubs[g_pos]
+        gather_per_dst = np.bincount(g_dst, minlength=n)
+
+        # int64 guard: the deepest per-(dst, hub) merge sums at most the
+        # destination's gathered entries, each at most count * weight.
+        fan_in = int(gather_per_dst.max()) if len(g_dst) else 1
+        max_count = int(cur_counts.max()) if len(cur_counts) else 0
+        merge_bound = max_count * max_weight * max(fan_in, 1)
+        if merge_bound >= _SAFE_LIMIT:
+            raise _ExactCountsNeeded
+
+        # (2) rank rule (Lemma 3): the hub must outrank the destination
+        keep = g_hub < rank[g_dst]
+        stats.pruned_by_rank += int(len(keep) - keep.sum())
+        k_dst = g_dst[keep]
+        k_hub = g_hub[keep]
+        k_cnt = cur_counts[g_pos[keep]]
+
+        if weighted:
+            # the propagating vertex becomes internal to the extended path
+            # — contributing its multiplicity — unless it is the hub itself
+            k_src = np.repeat(e_src, per_edge)[keep]
+            factor = np.where(k_hub == rank[k_src], 1, weights[k_src])
+            inc = k_cnt * factor
+        else:
+            inc = k_cnt
+
+        # (3) Label Merging: sum increments per (dst, hub) key — one dense
+        # bincount over the key space when it fits (and float64 stays
+        # exact), sort+reduceat otherwise
+        key = k_dst * n + k_hub
+        if len(key) == 0:
+            cand_dst = cand_hub = cand_cnt = np.empty(0, dtype=np.int64)
+        elif (
+            n * n <= _DENSE_MERGE_CELLS
+            and n * n <= 8 * len(key)  # dense scan must stay amortised
+            and merge_bound < _FLOAT_EXACT_LIMIT
+        ):
+            sums = np.bincount(key, weights=inc)
+            cand_key = np.flatnonzero(sums)
+            cand_cnt = sums[cand_key].astype(np.int64)
+            cand_dst = cand_key // n
+            cand_hub = cand_key % n
+        else:
+            sort = np.argsort(key, kind="stable")
+            skey = key[sort]
+            boundary = np.empty(len(skey), dtype=bool)
+            boundary[0] = True
+            np.not_equal(skey[1:], skey[:-1], out=boundary[1:])
+            seg_start = np.flatnonzero(boundary)
+            cand_key = skey[seg_start]
+            cand_cnt = np.add.reduceat(inc[sort], seg_start)
+            cand_dst = cand_key // n
+            cand_hub = cand_key % n
+
+        # (4) query rule (Lemma 4) against the frozen labels through d-1
+        pruned, probe_per_dst, lm_hits = _query_rule(
+            lab_indptr, live, scan_live, top_dist, cand_dst, cand_hub,
+            order_arr, landmarks, d, n, record_work,
+        )
+        stats.pruned_by_query += int(pruned.sum())
+        stats.landmark_hits += lm_hits
+        accepted = ~pruned
+        acc_dst = cand_dst[accepted]
+        acc_hub = cand_hub[accepted]
+        acc_cnt = cand_cnt[accepted]
+
+        if record_work:
+            # identical to the reference pull engine's exact accounting:
+            # gathered entries + one unit per merged candidate + the
+            # entries the pruning scan actually touched
+            costs = gather_per_dst.astype(np.int64)
+            costs += np.bincount(cand_dst, minlength=n)
+            costs += probe_per_dst
+            stats.iteration_costs.append(costs)
+        stats.iteration_labels.append(len(acc_dst))
+
+        # barrier commit: merge the accepted labels into the frozen arrays
+        grown = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(acc_dst, minlength=n), out=grown[1:])
+        live, spare = _merge_accepted(
+            n, live, spare, acc_dst, acc_hub, acc_cnt, d
+        )
+        scan_live, scan_spare = _append_scan(
+            lab_indptr, grown, scan_live, scan_spare, acc_dst, acc_hub, d
+        )
+        lab_indptr = lab_indptr + grown
+        if table_rows:
+            in_table = acc_hub < table_rows
+            top_dist[acc_hub[in_table], acc_dst[in_table]] = d
+
+        # the accepted entries, ordered by (dst, hub), are the new frontier
+        cur_indptr = grown
+        cur_hubs = acc_hub
+        cur_counts = acc_cnt
+
+    hubs, dists, counts = live.views()
+    return CompactLabelIndex(order, lab_indptr, hubs, dists, counts, weight_by_rank)
+
+
+def _query_rule(
+    lab_indptr: np.ndarray,
+    live: _GrowableLabels,
+    scan: _GrowableScan,
+    top_dist: np.ndarray,
+    cand_dst: np.ndarray,
+    cand_hub: np.ndarray,
+    order_arr: np.ndarray,
+    landmarks: LandmarkIndex | None,
+    d: int,
+    n: int,
+    record_work: bool,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Batch Lemma 4: is some common hub witnessing a path shorter than ``d``?
+
+    Returns ``(pruned mask, probe work per destination, landmark hits)``.
+    Landmark hubs answer from the exact distance tables in one gather.  The
+    rest replay the reference engine's scan — walk the *hub's* short label
+    list in insertion order, stopping at the first witness — in lockstep
+    rounds: round ``r`` probes the ``r``-th entry of every still-undecided
+    candidate's hub list and candidates retire the moment a witness
+    appears, the vectorized form of the reference scan's early ``break``.
+    A probe of entry ``x`` asks "is hub ``x`` labelled on ``u``, and how
+    far?": ranks covered by ``top_dist`` answer with one O(1) gather,
+    deeper ranks binary-search their ``u * n + x`` key in the sorted
+    label-key column.  Candidates are processed longest-hub-list-first so
+    the active set stays a prefix — rounds without a witness do no
+    compaction at all.
+
+    Probe work per destination counts the entries actually scanned (full
+    lists for accepted candidates, up to the first witness otherwise).
+    Because the scan order matches the reference loop exactly, so do the
+    recorded work units.
+    """
+    num = len(cand_dst)
+    pruned = np.zeros(num, dtype=bool)
+    probe_per_dst = np.zeros(n, dtype=np.int64)
+    if num == 0:
+        return pruned, probe_per_dst, 0
+
+    lm_hits = 0
+    if landmarks is not None:
+        is_lm = landmarks.rank_is_landmark[cand_hub]
+        lm_hits = int(is_lm.sum())
+        if lm_hits:
+            lm_dist = landmarks.distance_batch(cand_hub[is_lm], cand_dst[is_lm])
+            pruned[is_lm] = lm_dist < d
+        rest = np.flatnonzero(~is_lm)
+    else:
+        rest = np.arange(num, dtype=np.int64)
+    if len(rest) == 0:
+        return pruned, probe_per_dst, lm_hits
+
+    scan_hubs = scan.hubs
+    scan_dists = scan.dists
+    lab_dists = live.dists[: live.size]
+    keys = live.keys[: live.size]
+    table_rows = len(top_dist)
+    full_table = table_rows >= n
+    r_dst = cand_dst[rest]
+    hub_vertex = order_arr[cand_hub[rest]]
+    lo_t = lab_indptr[hub_vertex]
+    len_t = lab_indptr[hub_vertex + 1] - lo_t
+
+    by_len = np.argsort(-len_t, kind="stable")
+    act_id = by_len                 # candidate index into `rest`, len-desc
+    act_lo = lo_t[by_len]
+    act_len = len_t[by_len]
+    act_dst = r_dst[by_len]
+    witness_round = np.full(len(rest), -1, dtype=np.int64)
+    r = 0
+    while True:
+        # lists still holding an r-th entry form a prefix (length-sorted)
+        cutoff = len(act_len) - int(np.searchsorted(act_len[::-1], r, side="right"))
+        if cutoff == 0:
+            break
+        if cutoff < len(act_len):
+            act_id = act_id[:cutoff]
+            act_lo = act_lo[:cutoff]
+            act_len = act_len[:cutoff]
+            act_dst = act_dst[:cutoff]
+        pos = act_lo + r
+        x = scan_hubs[pos]
+        dwx = scan_dists[pos].astype(np.int32)
+        if full_table:
+            dxu = top_dist[x, act_dst]
+            witness = (dxu >= 0) & (dxu + dwx < d)
+        else:
+            witness = np.zeros(len(pos), dtype=bool)
+            in_table = x < table_rows
+            ti = np.flatnonzero(in_table)
+            if len(ti):
+                dxu = top_dist[x[ti], act_dst[ti]]
+                witness[ti] = (dxu >= 0) & (dxu + dwx[ti] < d)
+            di = np.flatnonzero(~in_table)
+            if len(di):
+                probe_key = act_dst[di] * n + x[di]
+                loc = np.searchsorted(keys, probe_key)
+                in_bounds = loc < len(keys)
+                hit = di[in_bounds]
+                loc = loc[in_bounds]
+                found = keys[loc] == probe_key[in_bounds]
+                hit = hit[found]
+                loc = loc[found]
+                witness[hit] = (
+                    lab_dists[loc].astype(np.int32) + dwx[hit] < d
+                )
+        found_ids = np.flatnonzero(witness)
+        if len(found_ids):
+            witness_round[act_id[found_ids]] = r
+            survive = ~witness
+            act_id = act_id[survive]
+            act_lo = act_lo[survive]
+            act_len = act_len[survive]
+            act_dst = act_dst[survive]
+        r += 1
+
+    got_witness = witness_round >= 0
+    pruned[rest[got_witness]] = True
+    if record_work:  # the scatter-add is pure accounting — skip it otherwise
+        scanned = np.where(got_witness, witness_round + 1, len_t)
+        np.add.at(probe_per_dst, r_dst, scanned)
+    return pruned, probe_per_dst, lm_hits
+
+
+def _merge_accepted(
+    n: int,
+    live: _GrowableLabels,
+    spare: _GrowableLabels,
+    acc_dst: np.ndarray,
+    acc_hub: np.ndarray,
+    acc_cnt: np.ndarray,
+    d: int,
+) -> tuple[_GrowableLabels, _GrowableLabels]:
+    """Merge distance-``d`` labels into the (vertex, hub)-sorted arrays.
+
+    Both inputs are sorted by ``vertex * n + hub`` and their key sets are
+    disjoint (an already-labelled hub is always query-pruned), so the merged
+    position of every entry is its own index plus a ``searchsorted`` count
+    of the other side — no comparison loop, no re-sort.
+    """
+    fresh = len(acc_dst)
+    if fresh == 0:
+        return live, spare
+    old = live.size
+    hubs, dists, counts = live.views()
+    old_key = live.keys[:old]
+    acc_key = acc_dst * n + acc_hub
+    pos_old = np.arange(old, dtype=np.int64) + np.searchsorted(acc_key, old_key)
+    pos_new = np.arange(fresh, dtype=np.int64) + np.searchsorted(old_key, acc_key)
+
+    total = old + fresh
+    if spare.capacity < total:
+        spare = _GrowableLabels(max(total, 2 * live.capacity))
+    spare.hubs[pos_old] = hubs
+    spare.hubs[pos_new] = acc_hub
+    spare.dists[pos_old] = dists
+    spare.dists[pos_new] = d
+    spare.counts[pos_old] = counts
+    spare.counts[pos_new] = acc_cnt
+    spare.keys[pos_old] = old_key
+    spare.keys[pos_new] = acc_key
+    spare.size = total
+    return spare, live
+
+
+def _append_scan(
+    indptr: np.ndarray,
+    grown: np.ndarray,
+    live: _GrowableScan,
+    spare: _GrowableScan,
+    acc_dst: np.ndarray,
+    acc_hub: np.ndarray,
+    d: int,
+) -> tuple[_GrowableScan, _GrowableScan]:
+    """Append distance-``d`` labels to the insertion-order label view.
+
+    Within each vertex the old entries keep their order and the fresh ones
+    follow, so positions are pure offset arithmetic: an old entry shifts by
+    the number of fresh entries on earlier vertices (``grown``), and the
+    ``k``-th fresh entry overall lands at ``indptr[v + 1] + k`` — its
+    vertex's old end plus every fresh entry at or before it.
+    """
+    fresh = len(acc_dst)
+    if fresh == 0:
+        return live, spare
+    old = live.size
+    total = old + fresh
+    if spare.capacity < total:
+        spare = _GrowableScan(max(total, 2 * live.capacity))
+    pos_old = np.arange(old, dtype=np.int64) + np.repeat(
+        grown[:-1], np.diff(indptr)
+    )
+    pos_new = indptr[acc_dst + 1] + np.arange(fresh, dtype=np.int64)
+    spare.hubs[pos_old] = live.hubs[:old]
+    spare.hubs[pos_new] = acc_hub
+    spare.dists[pos_old] = live.dists[:old]
+    spare.dists[pos_new] = d
+    spare.size = total
+    return spare, live

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core import store as store_module
 from repro.core.compact import CompactLabelIndex
 from repro.core.engine import QueryEngine
+from repro.core.fastbuild import ENGINES, build_pspc_vectorized
 from repro.core.hpspc import build_hpspc
 from repro.core.labels import LabelEntry, LabelIndex
 from repro.core.parallel import ExecutionBackend, SerialBackend, ThreadBackend
@@ -60,6 +61,9 @@ class BuildConfig:
     record_work: bool = True
     #: requested serving representation: ``"compact"`` (default) or ``"tuple"``.
     store: str = "compact"
+    #: label-construction engine: ``"vectorized"`` (default; whole-frontier
+    #: array kernels) or ``"reference"`` (per-vertex loops, exact work units).
+    engine: str = "vectorized"
 
 
 class PSPCIndex:
@@ -114,6 +118,7 @@ class PSPCIndex:
         record_work: bool = True,
         backend: ExecutionBackend | None = None,
         store: str = "compact",
+        engine: str = "vectorized",
     ) -> "PSPCIndex":
         """Build an index.
 
@@ -141,12 +146,26 @@ class PSPCIndex:
         store:
             Serving representation: ``"compact"`` (default; falls back to
             tuples when counts overflow int64) or ``"tuple"``.
+        engine:
+            Label-construction engine for PSPC: ``"vectorized"`` (default)
+            builds with whole-frontier array kernels and hands the compact
+            arrays straight to the store; ``"reference"`` runs the exact
+            per-vertex task loops (needed for paper-faithful work-unit
+            simulations).  Both produce the identical index.  Task-level
+            parallelism only exists on the reference path, so requesting
+            ``threads > 1`` or an explicit ``backend`` selects it — the
+            recorded config always names the engine that actually ran
+            (``""`` for the HP-SPC builder, which has no engine concept).
         """
         if builder not in ("pspc", "hpspc"):
             raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
         if store not in _STORE_CHOICES:
             raise IndexBuildError(
                 f"unknown store {store!r}; expected one of {_STORE_CHOICES}"
+            )
+        if engine not in ENGINES:
+            raise IndexBuildError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
         if isinstance(ordering, VertexOrder):
             order = ordering
@@ -162,7 +181,19 @@ class PSPCIndex:
         owns_backend = False
         if builder == "hpspc":
             labels, stats = build_hpspc(graph, order)
+        elif engine == "vectorized" and backend is None and threads <= 1:
+            # whole-frontier array kernels, inherently single-threaded
+            # (falls back to the reference loops on potential count overflow)
+            labels, stats = build_pspc_vectorized(
+                graph,
+                order,
+                paradigm=paradigm,
+                num_landmarks=num_landmarks,
+                record_work=record_work,
+            )
         else:
+            # reference task loops — also chosen when the caller asked for
+            # task-level parallelism, which only exists here
             if backend is None and threads > 1:
                 backend = ThreadBackend(threads)
                 owns_backend = True
@@ -180,7 +211,10 @@ class PSPCIndex:
         serving: "store_module.LabelStore" = labels
         if store == "compact":
             with PhaseTimer(stats, "freeze"):
+                # a vectorized build is already compact: no-copy passthrough
                 serving = store_module.freeze_labels(labels)
+        elif isinstance(labels, CompactLabelIndex):
+            serving = labels.to_label_index()
         config = BuildConfig(
             builder=builder,
             ordering=ordering_name,
@@ -189,6 +223,9 @@ class PSPCIndex:
             threads=threads,
             record_work=record_work,
             store=store,
+            # the engine that actually ran: "" for HP-SPC, "reference" when
+            # threads/backend or the overflow fallback rerouted the build
+            engine=stats.engine,
         )
         return cls(serving, config, stats, graph=graph)
 
@@ -285,6 +322,7 @@ class PSPCIndex:
             "config": asdict(self.config),
             "stats": {
                 "builder": self.stats.builder,
+                "engine": self.stats.engine,
                 "phase_seconds": {k: float(v) for k, v in self.stats.phase_seconds.items()},
                 "iteration_labels": [int(x) for x in self.stats.iteration_labels],
                 "n_vertices": int(self.stats.n_vertices),
@@ -344,9 +382,19 @@ class PSPCIndex:
                 serving = LabelIndex(order, entries, weight_by_rank)
             else:
                 raise PersistenceError(f"unknown store kind {store_kind!r} in {path}")
-            config = BuildConfig(**meta["config"])
+            config_meta = dict(meta["config"])
+            # files written before the engine split were built by the only
+            # engine that existed — don't let the dataclass default claim
+            # a vectorized build (HP-SPC never had an engine at all)
+            config_meta.setdefault(
+                "engine", "" if config_meta.get("builder") == "hpspc" else "reference"
+            )
+            config = BuildConfig(**config_meta)
             stats_meta = meta["stats"]
-            stats = BuildStats(builder=stats_meta["builder"])
+            stats = BuildStats(
+                builder=stats_meta["builder"],
+                engine=str(stats_meta.get("engine", "")),
+            )
             stats.phase_seconds = dict(stats_meta["phase_seconds"])
             stats.iteration_labels = list(stats_meta["iteration_labels"])
             stats.n_vertices = int(stats_meta["n_vertices"])

@@ -44,22 +44,42 @@ class LandmarkIndex:
 
     ``dist(w, u)`` lookups cost one array access.  ``rank_is_landmark`` is a
     boolean mask over *ranks* so the builder's hot loop can test membership
-    without translating ranks back to vertex ids.
+    without translating ranks back to vertex ids, and the tables are also
+    stacked into one 2-D array so the vectorized build engine can answer a
+    whole batch of pruning queries with a single fancy-indexing gather
+    (:meth:`distance_batch`).
     """
 
-    __slots__ = ("landmarks", "_table_of_vertex", "rank_is_landmark", "_table_of_rank")
+    __slots__ = (
+        "landmarks",
+        "_table_of_vertex",
+        "rank_is_landmark",
+        "_table_of_rank",
+        "_row_of_rank",
+        "_stacked",
+    )
 
     def __init__(self, graph: Graph, landmarks: np.ndarray, order: VertexOrder) -> None:
         self.landmarks = landmarks
+        # one stacked allocation holds every table; the per-vertex and
+        # per-rank lookup dicts hold row views of it, not copies
+        self._stacked = (
+            np.stack([bfs_distances(graph, int(w)) for w in landmarks])
+            if len(landmarks)
+            else np.zeros((0, order.n), dtype=np.int32)
+        )
         self._table_of_vertex: dict[int, np.ndarray] = {
-            int(w): bfs_distances(graph, int(w)) for w in landmarks
+            int(w): self._stacked[row] for row, w in enumerate(landmarks)
         }
         self.rank_is_landmark = np.zeros(order.n, dtype=bool)
         self._table_of_rank: dict[int, np.ndarray] = {}
-        for w in landmarks:
+        #: row of the stacked table for each rank (-1 for non-landmarks).
+        self._row_of_rank = np.full(order.n, -1, dtype=np.int64)
+        for row, w in enumerate(landmarks):
             r = int(order.rank[int(w)])
             self.rank_is_landmark[r] = True
-            self._table_of_rank[r] = self._table_of_vertex[int(w)]
+            self._table_of_rank[r] = self._stacked[row]
+            self._row_of_rank[r] = row
 
     @property
     def num_landmarks(self) -> int:
@@ -73,6 +93,16 @@ class LandmarkIndex:
     def distance_by_rank(self, hub_rank: int, u: int) -> int:
         """Exact distance from the landmark at ``hub_rank`` to ``u``."""
         return int(self._table_of_rank[hub_rank][u])
+
+    def distance_batch(self, hub_ranks: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """Exact distances for many ``(landmark rank, vertex)`` pairs at once.
+
+        Every element of ``hub_ranks`` must satisfy ``rank_is_landmark``;
+        the answer is one gather from the stacked distance tables, which is
+        what makes landmark pruning O(1)-per-candidate on the vectorized
+        build path too.
+        """
+        return self._stacked[self._row_of_rank[hub_ranks], vertices]
 
     def size_bytes(self) -> int:
         """Memory footprint of the distance tables (int32 entries)."""

@@ -45,6 +45,14 @@ class IterationContext:
     Within an iteration, tasks only read these structures and return their
     results; mutation happens after the barrier in the driver.  That is the
     paper's dependency argument (Theorem 3) in code form.
+
+    ``rank_list``/``weight_list``/``order_list`` are plain-``int`` copies of
+    the corresponding arrays.  The task loops index them instead of the
+    numpy arrays: scalar ndarray indexing allocates a numpy scalar per hit,
+    which the ``int(...)`` casts then unwrap — a real cost at per-entry
+    frequency.  The driver passes one set for the whole build; they default
+    to ``None`` and are derived on construction so hand-built contexts in
+    tests keep working.
     """
 
     graph: Graph
@@ -58,6 +66,20 @@ class IterationContext:
     #: labels created in iteration ``d - 1`` as ``(hub_rank, count)`` pairs.
     current: list[list[tuple[int, int]]]
     landmarks: LandmarkIndex | None = None
+    #: ``rank`` as a list of Python ints (hot-loop local binding).
+    rank_list: list[int] | None = None
+    #: per-vertex multiplicities as Python ints.
+    weight_list: list[int] | None = None
+    #: ``order_arr`` as Python ints (rank -> vertex id).
+    order_list: list[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank_list is None:
+            self.rank_list = self.rank.tolist()
+        if self.weight_list is None:
+            self.weight_list = self.graph.vertex_weights.tolist()
+        if self.order_list is None:
+            self.order_list = self.order_arr.tolist()
 
 
 @dataclass
@@ -79,20 +101,19 @@ def pull_candidates(ctx: IterationContext, u: int) -> tuple[dict[int, int], int,
     ``hub_rank -> aggregated count`` — the aggregation *is* Label Merging.
     """
     graph = ctx.graph
-    rank_u = int(ctx.rank[u])
-    weights = graph.vertex_weights
-    rank = ctx.rank
+    rank = ctx.rank_list
+    weights = ctx.weight_list
+    rank_u = rank[u]
     current = ctx.current
     candidates: dict[int, int] = {}
     work = 0
     pruned_rank = 0
-    for v in graph.neighbors(u):
-        v = int(v)
+    for v in graph.neighbors(u).tolist():
         entries = current[v]
         if not entries:
             continue
-        weight_v = int(weights[v])
-        rank_v = int(rank[v])
+        weight_v = weights[v]
+        rank_v = rank[v]
         work += len(entries)
         for hub_rank, count in entries:
             if hub_rank >= rank_u:
@@ -118,21 +139,25 @@ def push_scatter(
 
     Appends ``(hub_rank, count * factor)`` pairs to each neighbour's bucket
     and returns the work units consumed.  The multiplicity factor is applied
-    at the source (``u`` becomes internal when the path is extended).
+    at the source (``u`` becomes internal when the path is extended), and —
+    because it only depends on the source — the factored pairs are built
+    once and shared by every neighbour's bucket instead of being recomputed
+    per neighbour per label.
     """
     entries = ctx.current[u]
     if not entries:
         return 0
-    weights = ctx.graph.vertex_weights
-    weight_u = int(weights[u])
-    rank_u = int(ctx.rank[u])
+    weight_u = ctx.weight_list[u]
+    rank_u = ctx.rank_list[u]
+    scaled = [
+        (hub_rank, count if hub_rank == rank_u else count * weight_u)
+        for hub_rank, count in entries
+    ]
+    per_neighbor = len(scaled)
     work = 0
-    for v in ctx.graph.neighbors(u):
-        bucket = buckets[int(v)]
-        for hub_rank, count in entries:
-            factor = weight_u if hub_rank != rank_u else 1
-            bucket.append((hub_rank, count * factor))
-            work += 1
+    for v in ctx.graph.neighbors(u).tolist():
+        buckets[v].extend(scaled)
+        work += per_neighbor
     return work
 
 
@@ -140,7 +165,7 @@ def merge_bucket(
     ctx: IterationContext, u: int, bucket: list[tuple[int, int]]
 ) -> tuple[dict[int, int], int, int]:
     """Phase 2 of push: merge a destination's bucket with rank pruning."""
-    rank_u = int(ctx.rank[u])
+    rank_u = ctx.rank_list[u]
     candidates: dict[int, int] = {}
     pruned_rank = 0
     for hub_rank, count in bucket:
@@ -170,7 +195,7 @@ def prune_candidates(
     """
     d = ctx.d
     labels = ctx.labels
-    order_arr = ctx.order_arr
+    order_list = ctx.order_list
     u_map = ctx.label_maps[u]
     u_map_get = u_map.get
     landmarks = ctx.landmarks
@@ -188,7 +213,7 @@ def prune_candidates(
                 pruned_query += 1
                 continue
         else:
-            hub_vertex = int(order_arr[hub_rank])
+            hub_vertex = order_list[hub_rank]
             pruned = False
             for other_rank, other_dist, _ in labels[hub_vertex]:
                 work += 1

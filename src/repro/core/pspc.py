@@ -17,6 +17,12 @@ exact work units of every per-vertex task of every iteration in
 :class:`~repro.core.stats.BuildStats`, which the simulation layer
 (:mod:`repro.core.parallel`) replays through schedule plans to produce the
 paper's speedup figures.
+
+This module is the **reference** build engine.  The production path is the
+vectorized engine in :mod:`repro.core.fastbuild`, which replaces the
+per-vertex task loops with whole-frontier numpy kernels and produces the
+bit-identical index; this one remains the exact-work instrument (and the
+arbitrarily-large-count fallback) behind the figures.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ def build_pspc(
     backend: ExecutionBackend | None = None,
     record_work: bool = True,
     max_iterations: int | None = None,
+    landmark_index: LandmarkIndex | None = None,
 ) -> tuple[LabelIndex, BuildStats]:
     """Build the canonical ESPC index by parallel label propagation.
 
@@ -74,6 +81,11 @@ def build_pspc(
         Safety cap on distance iterations; ``None`` means the natural
         stopping point (no fresh labels).  Exceeding the cap raises
         :class:`~repro.errors.IndexBuildError`.
+    landmark_index:
+        Reuse an already-built landmark index instead of running the
+        landmark BFS phase again (the vectorized engine passes its tables
+        through here on the overflow fallback); ignored when
+        ``num_landmarks`` is 0.
 
     Returns
     -------
@@ -88,12 +100,15 @@ def build_pspc(
             f"order covers {order.n} vertices but graph has {graph.n}"
         )
     backend = backend or SerialBackend()
-    stats = BuildStats(builder=f"pspc-{paradigm}", n_vertices=graph.n)
+    stats = BuildStats(builder=f"pspc-{paradigm}", engine="reference", n_vertices=graph.n)
 
     landmarks: LandmarkIndex | None = None
     if num_landmarks > 0:
-        with PhaseTimer(stats, "landmarks"):
-            landmarks = build_landmark_index(graph, order, num_landmarks)
+        if landmark_index is not None:
+            landmarks = landmark_index
+        else:
+            with PhaseTimer(stats, "landmarks"):
+                landmarks = build_landmark_index(graph, order, num_landmarks)
         stats.num_landmarks = landmarks.num_landmarks
 
     with PhaseTimer(stats, "construction"):
@@ -121,13 +136,18 @@ def _propagate(
     n = graph.n
     rank = order.rank
     order_arr = order.order
+    # one plain-int copy for the whole build; every iteration context shares
+    # it so the task loops never unwrap numpy scalars in their hot paths
+    rank_list = rank.tolist()
+    weight_list = graph.vertex_weights.tolist()
+    order_list = order_arr.tolist()
 
     # L_0: every vertex is its own hub at distance 0 with one (empty) path.
     labels: list[list[tuple[int, int, int]]] = [
-        [(int(rank[u]), 0, 1)] for u in range(n)
+        [(rank_list[u], 0, 1)] for u in range(n)
     ]
-    label_maps: list[dict[int, int]] = [{int(rank[u]): 0} for u in range(n)]
-    current: list[list[tuple[int, int]]] = [[(int(rank[u]), 1)] for u in range(n)]
+    label_maps: list[dict[int, int]] = [{rank_list[u]: 0} for u in range(n)]
+    current: list[list[tuple[int, int]]] = [[(rank_list[u], 1)] for u in range(n)]
 
     d = 0
     while any(current):
@@ -145,6 +165,9 @@ def _propagate(
             label_maps=label_maps,
             current=current,
             landmarks=landmarks,
+            rank_list=rank_list,
+            weight_list=weight_list,
+            order_list=order_list,
         )
         if paradigm == "pull":
             results = _run_pull_iteration(ctx, backend)

@@ -9,7 +9,11 @@ Two consumers:
   a schedule plan (see :mod:`repro.core.scheduling`).
 
 A *work unit* is one candidate examined or one label entry scanned during a
-pruning query — the operations that dominate construction time.
+pruning query — the operations that dominate construction time.  Both build
+engines record the same exact units for pull propagation; for push the
+vectorized engine (:mod:`repro.core.fastbuild`) keeps the pull-shaped
+profile (scatter work charged to the destination), so paper-faithful push
+work units come from reference builds.
 """
 
 from __future__ import annotations
@@ -28,6 +32,10 @@ class BuildStats:
     """Everything the builders record about one index construction."""
 
     builder: str = ""
+    #: label-construction engine: ``"vectorized"`` (array kernels),
+    #: ``"reference"`` (per-vertex loops with exact work accounting) or
+    #: ``""`` for builders predating the distinction (HP-SPC, old files).
+    engine: str = ""
     #: wall-clock seconds per phase: "order", "landmarks", "construction".
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: one int64 array per distance iteration; ``iteration_costs[d][u]`` is

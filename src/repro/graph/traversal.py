@@ -22,6 +22,7 @@ from repro.graph.graph import Graph
 
 __all__ = [
     "UNREACHABLE",
+    "slice_positions",
     "bfs_distances",
     "bfs_counting",
     "spc_pair",
@@ -32,27 +33,52 @@ __all__ = [
 UNREACHABLE = -1
 
 
+def slice_positions(lo: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Positions into a packed array for many ``[lo, lo+length)`` slices.
+
+    The shared CSR fan-out idiom: the vectorized BFS below, the query
+    engine's batch kernel and the vectorized index builder all gather many
+    variable-length row slices of a flat array with it.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(lengths) - lengths  # exclusive prefix sum
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(starts, lengths)
+        + np.repeat(lo, lengths)
+    )
+
+
 def bfs_distances(graph: Graph, source: int) -> np.ndarray:
     """Exact BFS distances from ``source``.
 
     Returns an ``int32`` array with :data:`UNREACHABLE` (-1) for vertices in
-    other connected components.
+    other connected components.  Runs level-synchronously with array
+    operations — each round expands the whole frontier through the CSR
+    structure at once — so the landmark phase stays cheap next to the
+    vectorized index construction it supports.
     """
     graph._check_vertex(source)
     dist = np.full(graph.n, UNREACHABLE, dtype=np.int32)
     dist[source] = 0
-    frontier = [source]
+    frontier = np.asarray([source], dtype=np.int64)
     indptr, indices = graph.indptr, graph.indices
     d = 0
-    while frontier:
+    while len(frontier):
         d += 1
-        nxt: list[int] = []
-        for u in frontier:
-            for v in indices[indptr[u] : indptr[u + 1]]:
-                if dist[v] == UNREACHABLE:
-                    dist[v] = d
-                    nxt.append(int(v))
-        frontier = nxt
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        pos = slice_positions(starts, counts)
+        if len(pos) == 0:
+            break
+        neighbors = indices[pos]
+        fresh = neighbors[dist[neighbors] == UNREACHABLE]
+        if len(fresh) == 0:
+            break
+        frontier = np.unique(fresh).astype(np.int64)
+        dist[frontier] = d
     return dist
 
 

@@ -1,0 +1,222 @@
+"""Cross-engine equivalence suite for the vectorized build path.
+
+The repository's central invariant, extended to the new engine: for a fixed
+total order the vectorized frontier-kernel builder must produce the
+bit-identical canonical ESPC index the reference per-vertex loops produce —
+on every bundled generator, under both propagation paradigms, with and
+without the landmark filter, on vertex-weighted and reduction-derived
+graphs, and across the int64-overflow fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fastbuild import ENGINES, build_pspc_vectorized
+from repro.core.index import PSPCIndex
+from repro.core.pspc import build_pspc
+from repro.core.store import freeze_labels
+from repro.errors import IndexBuildError
+from repro.graph.generators import (
+    barabasi_albert,
+    grid_road_network,
+    powerlaw_cluster,
+    watts_strogatz,
+)
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_pair
+from repro.ordering.degree import degree_order
+from repro.reduction.pipeline import ReducedSPCIndex
+
+#: One small instance per bundled generator family (mirrors test_store).
+GENERATORS = {
+    "barabasi_albert": lambda: barabasi_albert(120, 3, seed=5),
+    "watts_strogatz": lambda: watts_strogatz(90, 6, 0.2, seed=6),
+    "powerlaw_cluster": lambda: powerlaw_cluster(110, 3, 0.5, seed=7),
+    "grid_road_network": lambda: grid_road_network(9, 9, extra_edges=8, seed=8),
+}
+
+
+def diamond_chain(k: int) -> tuple[Graph, int]:
+    """``k`` diamonds in series: ``spc(0, end) == 2**k`` (overflow driver)."""
+    edges = []
+    prev = 0
+    next_id = 1
+    for _ in range(k):
+        a, b, end = next_id, next_id + 1, next_id + 2
+        next_id += 3
+        edges += [(prev, a), (prev, b), (a, end), (b, end)]
+        prev = end
+    return Graph(next_id, edges), prev
+
+
+@pytest.mark.parametrize("num_landmarks", [0, 4], ids=["nolm", "lm4"])
+@pytest.mark.parametrize("paradigm", ["pull", "push"])
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCrossEngineEquivalence:
+    def test_identical_index_and_counters(self, name, paradigm, num_landmarks):
+        graph = GENERATORS[name]()
+        order = degree_order(graph)
+        ref, ref_stats = build_pspc(
+            graph, order, paradigm=paradigm, num_landmarks=num_landmarks
+        )
+        vec, vec_stats = build_pspc_vectorized(
+            graph, order, paradigm=paradigm, num_landmarks=num_landmarks
+        )
+        assert vec == freeze_labels(ref)
+        # pruning-rule activity is counted identically, not just the output
+        assert vec_stats.pruned_by_rank == ref_stats.pruned_by_rank
+        assert vec_stats.pruned_by_query == ref_stats.pruned_by_query
+        assert vec_stats.landmark_hits == ref_stats.landmark_hits
+        assert vec_stats.iteration_labels == ref_stats.iteration_labels
+        assert vec_stats.total_entries == ref_stats.total_entries
+
+
+class TestWorkAccounting:
+    def test_pull_work_units_match_reference_exactly(self, social_graph):
+        order = degree_order(social_graph)
+        _, ref_stats = build_pspc(social_graph, order, paradigm="pull")
+        _, vec_stats = build_pspc_vectorized(social_graph, order, paradigm="pull")
+        assert len(vec_stats.iteration_costs) == len(ref_stats.iteration_costs)
+        for vec_costs, ref_costs in zip(
+            vec_stats.iteration_costs, ref_stats.iteration_costs
+        ):
+            assert np.array_equal(vec_costs, ref_costs)
+
+    def test_landmarks_reduce_recorded_work(self, social_graph):
+        order = degree_order(social_graph)
+        _, plain = build_pspc_vectorized(social_graph, order, num_landmarks=0)
+        _, filtered = build_pspc_vectorized(social_graph, order, num_landmarks=15)
+        assert filtered.total_work < plain.total_work
+
+    def test_record_work_optional(self, social_graph):
+        order = degree_order(social_graph)
+        _, stats = build_pspc_vectorized(social_graph, order, record_work=False)
+        assert stats.iteration_costs == []
+        assert stats.iteration_labels
+
+    def test_engine_tagged(self, social_graph):
+        order = degree_order(social_graph)
+        _, stats = build_pspc_vectorized(social_graph, order)
+        assert stats.engine == "vectorized"
+        _, stats = build_pspc(social_graph, order)
+        assert stats.engine == "reference"
+
+
+class TestWeightedAndReduced:
+    def test_weighted_graph_identical(self):
+        graph = Graph(
+            5,
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+            vertex_weights=[1, 2, 1, 3, 1],
+        )
+        order = degree_order(graph)
+        ref, _ = build_pspc(graph, order)
+        vec, _ = build_pspc_vectorized(graph, order)
+        assert vec == freeze_labels(ref)
+
+    def test_reduction_pipeline_identical_answers(self, social_graph):
+        vec = ReducedSPCIndex.build(social_graph, engine="vectorized")
+        ref = ReducedSPCIndex.build(social_graph, engine="reference")
+        # the reduced core is vertex-weighted, exercising the factor path
+        assert vec.index.labels == ref.index.labels
+        rng = np.random.default_rng(23)
+        for _ in range(50):
+            s, t = (int(x) for x in rng.integers(social_graph.n, size=2))
+            assert vec.query(s, t) == ref.query(s, t)
+
+    def test_answers_match_bfs_ground_truth(self, road_graph):
+        index = PSPCIndex.build(road_graph)  # vectorized default
+        assert index.config.engine == "vectorized"
+        for s in range(0, road_graph.n, 7):
+            for t in range(0, road_graph.n, 11):
+                result = index.query(s, t)
+                assert (result.dist, result.count) == spc_pair(road_graph, s, t)
+
+
+class TestOverflowFallback:
+    def test_falls_back_to_reference_and_tuple_store(self):
+        graph, end = diamond_chain(70)  # 2**70 shortest paths: beyond int64
+        index = PSPCIndex.build(graph)
+        assert index.store.kind == "tuple"
+        assert index.stats.engine == "reference"  # fallback took over
+        assert index.spc(0, end) == 2**70
+        reference = PSPCIndex.build(graph, engine="reference", store="tuple")
+        assert index.labels == reference.labels
+
+    def test_no_fallback_below_the_guard(self):
+        graph, end = diamond_chain(20)  # 2**20 fits comfortably
+        index = PSPCIndex.build(graph)
+        assert index.store.kind == "compact"
+        assert index.stats.engine == "vectorized"
+        assert index.spc(0, end) == 2**20
+
+
+class TestFacade:
+    def test_engine_choices_exposed_and_validated(self, social_graph):
+        assert set(ENGINES) == {"vectorized", "reference"}
+        with pytest.raises(IndexBuildError):
+            PSPCIndex.build(social_graph, engine="warp")
+
+    def test_engine_recorded_in_config_and_round_tripped(self, social_graph, tmp_path):
+        for engine in ENGINES:
+            index = PSPCIndex.build(social_graph, engine=engine)
+            assert index.config.engine == engine
+            path = tmp_path / f"{engine}.npz"
+            index.save(path)
+            loaded = PSPCIndex.load(path)
+            assert loaded.config.engine == engine
+            assert loaded.stats.engine == index.stats.engine
+            assert loaded.store == index.store
+
+    def test_config_records_engine_that_ran(self, social_graph):
+        # task-level parallelism only exists on the reference path, so
+        # threads > 1 (or an explicit backend) selects and records it
+        threaded = PSPCIndex.build(social_graph, threads=4)
+        assert threaded.config.engine == "reference"
+        assert threaded.stats.engine == "reference"
+        # the sequential HP-SPC baseline has no engine concept at all
+        hpspc = PSPCIndex.build(social_graph, builder="hpspc")
+        assert hpspc.config.engine == ""
+        assert hpspc.stats.engine == ""
+
+    def test_pre_engine_file_does_not_claim_vectorized(self, social_graph, tmp_path):
+        from repro.core import store as store_module
+
+        path = tmp_path / "old.npz"
+        PSPCIndex.build(social_graph, engine="reference").save(path)
+        kind, arrays, meta = store_module.read_payload(path)
+        del meta["config"]["engine"]  # simulate a pre-split file
+        del meta["stats"]["engine"]
+        store_module.write_payload(path, kind, arrays, meta=meta)
+        loaded = PSPCIndex.load(path)
+        assert loaded.config.engine == "reference"
+        assert loaded.stats.engine == ""
+
+    def test_vectorized_build_serves_compact_store_directly(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        assert index.store.kind == "compact"
+        assert index.engine.kind == "compact"
+
+    def test_tuple_store_requested_from_vectorized_build(self, social_graph):
+        tuple_index = PSPCIndex.build(social_graph, store="tuple")
+        compact_index = PSPCIndex.build(social_graph)
+        assert tuple_index.store.kind == "tuple"
+        assert tuple_index.labels == compact_index.store.to_label_index()
+
+    def test_validation_mirrors_reference(self, social_graph, paper_order):
+        order = degree_order(social_graph)
+        with pytest.raises(IndexBuildError):
+            build_pspc_vectorized(social_graph, order, paradigm="teleport")
+        with pytest.raises(IndexBuildError):
+            build_pspc_vectorized(social_graph, paper_order)
+        with pytest.raises(IndexBuildError):
+            build_pspc_vectorized(social_graph, order, max_iterations=1)
+
+    def test_empty_and_trivial_graphs(self):
+        for graph in (Graph(0, []), Graph(1, []), Graph(3, [])):
+            order = degree_order(graph)
+            vec, _ = build_pspc_vectorized(graph, order)
+            ref, _ = build_pspc(graph, order)
+            assert vec == freeze_labels(ref)

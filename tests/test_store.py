@@ -88,14 +88,16 @@ class TestFreeze:
         assert fallen_back is index.labels
 
     def test_build_overflow_fallback_path(self, monkeypatch, two_components):
-        # force the freeze to fail as it would on a >int64 count
+        # force the freeze to fail as it would on a >int64 count; the
+        # freeze step only exists on the reference engine (a vectorized
+        # build is born compact and falls back before freezing instead)
         from repro.errors import IndexStateError
 
         def boom(_index):
             raise IndexStateError("count exceeds int64")
 
         monkeypatch.setattr(CompactLabelIndex, "from_index", staticmethod(boom))
-        index = PSPCIndex.build(two_components)  # store="compact" requested
+        index = PSPCIndex.build(two_components, engine="reference")
         assert index.store.kind == "tuple"
         assert index.query(0, 2).dist == 2
 
