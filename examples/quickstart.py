@@ -1,10 +1,17 @@
-"""Quickstart: build an SPC index and answer point-to-point queries.
+"""Quickstart: one API — build_index, open_index, QueryService.
+
+Every counter kind in the library — the PSPC index, the HP-SPC baseline,
+the reduced/directed/dynamic variants and the index-free BFS counters — is
+built through one registry call, persists to one versioned ``.npz`` format,
+and serves through one batched facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PSPCIndex
-from repro.baselines import OnlineBFSCounter
+import tempfile
+from pathlib import Path
+
+from repro import BuildConfig, QueryService, SPCounter, build_index, method_names, open_index
 from repro.graph import barabasi_albert
 
 
@@ -13,28 +20,48 @@ def main() -> None:
     #    scale-free network standing in for a social graph)
     graph = barabasi_albert(2000, 5, seed=7)
     print(f"graph: {graph}")
+    print(f"registered counter methods: {', '.join(method_names())}")
 
-    # 2. build the index: degree ordering + 100 landmarks is the paper's
-    #    default configuration.  After building, the labels are frozen into
-    #    the compact numpy store — the default serving representation.
-    index = PSPCIndex.build(graph, ordering="degree", num_landmarks=100)
+    # 2. build through the unified facade: one BuildConfig drives every
+    #    method.  Degree ordering + 100 landmarks is the paper's default
+    #    PSPC configuration.
+    config = BuildConfig(ordering="degree", num_landmarks=100)
+    index = build_index(graph, method="pspc", config=config)
+    assert isinstance(index, SPCounter)
     print(f"index: {index.total_entries()} label entries, {index.size_mb():.2f} MB")
-    print(f"serving store: {index.store.kind}")
-    print(f"build phases (s): {index.stats.phase_seconds}")
 
     # 3. ask queries: distance AND number of shortest paths, in microseconds
     for s, t in [(3, 721), (0, 1999), (42, 43)]:
         result = index.query(s, t)
         print(f"SPC({s}, {t}) = {result.count} shortest paths of length {result.dist}")
 
-    # 4. whole workloads go through the vectorized batch kernel — far
-    #    cheaper than a Python loop over pairs
-    batch = index.query_batch([(3, 721), (0, 1999), (42, 43)])
-    print(f"batch of {len(batch)} queries answered in one engine call")
+    # 4. persistence round-trips through one versioned container for every
+    #    kind — open_index sniffs the payload and returns the right class
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "social.npz"
+        index.save(path)
+        reopened = open_index(path)
+        assert type(reopened).__name__ == "PSPCIndex"
+        assert reopened.query(3, 721) == index.query(3, 721)
+        print(f"saved and reopened via open_index: {reopened!r}")
 
-    # 5. sanity: the index agrees with a from-scratch BFS
-    oracle = OnlineBFSCounter(graph)
-    assert index.query(3, 721) == oracle.query(3, 721)
+    # 5. serve workloads through the admission-batched QueryService: the
+    #    whole batch flushes through ONE vectorized kernel call per
+    #    batch_size queries, with per-batch latency stats
+    workload = [(3, 721), (0, 1999), (42, 43)] * 200
+    with QueryService(index, batch_size=256) as service:
+        results = service.query_batch(workload)
+        stats = service.stats()
+    print(
+        f"QueryService answered {stats['queries']} queries in "
+        f"{stats['batches']} kernel calls "
+        f"(mean flush {stats['mean_flush_us']:.0f} us)"
+    )
+
+    # 6. the same facade builds the index-free oracle — handy for
+    #    cross-checking (and the registry accepts your own methods too)
+    oracle = build_index(graph, method="bfs")
+    assert results[0] == oracle.query(3, 721)
     print("index agrees with the BFS oracle")
 
 

@@ -1,29 +1,52 @@
 """repro — a reproduction of PSPC (ICDE 2023): parallel shortest-path counting.
 
-Public API highlights:
+One API serves every counter kind (:mod:`repro.api`):
 
-* :class:`repro.PSPCIndex` — build and query a 2-hop ESPC index;
-* :mod:`repro.graph` — CSR graphs, generators, I/O, traversal oracles;
-* :mod:`repro.ordering` — degree / significant-path / tree-decomposition /
-  hybrid vertex orders;
-* :mod:`repro.reduction` — 1-shell and neighbourhood-equivalence reductions;
-* :mod:`repro.applications` — group betweenness, Brandes betweenness, top-k;
-* :mod:`repro.experiments` — dataset registry and the table/figure harness.
+* :func:`repro.build_index` — construct any registered method (``pspc``,
+  ``hpspc``, ``reduced``, ``directed``, ``dynamic``, ``bfs``,
+  ``bidirectional``) from one :class:`repro.BuildConfig`; new methods plug
+  in via :func:`repro.register_method`;
+* :func:`repro.open_index` — reopen any saved counter; the versioned
+  ``.npz`` payload kind selects the right class;
+* :class:`repro.QueryService` — the serving layer: admission
+  micro-batching over any counter's ``query_batch``, one vectorized kernel
+  call per batch;
+* :class:`repro.SPCounter` — the protocol all of the above implement
+  (``n``, ``query``, ``spc``, ``distance``, ``query_batch``, ``save``,
+  ``stats``, ``size_bytes``).
 
 Quickstart::
 
-    from repro import PSPCIndex
+    from repro import BuildConfig, QueryService, build_index, open_index
     from repro.graph import barabasi_albert
 
     graph = barabasi_albert(1000, 5, seed=7)
-    index = PSPCIndex.build(graph, ordering="degree", num_landmarks=32)
-    result = index.query(3, 721)
-    print(result.dist, result.count)
+    index = build_index(graph, method="pspc", config=BuildConfig(num_landmarks=32))
+    index.save("social.npz")
+
+    index = open_index("social.npz")
+    with QueryService(index, batch_size=512) as service:
+        results = service.query_batch([(3, 721), (0, 999)])
+
+Underneath: :mod:`repro.graph` (CSR graphs, generators, I/O, oracles),
+:mod:`repro.ordering` (vertex orders), :mod:`repro.reduction` (1-shell and
+equivalence reductions), :mod:`repro.applications` (betweenness, top-k,
+path enumeration) and :mod:`repro.experiments` (the table/figure harness).
 """
 
+from repro.api import (
+    QueryService,
+    SPCounter,
+    build_index,
+    get_method,
+    method_names,
+    open_index,
+    register_method,
+)
 from repro.core.compact import CompactLabelIndex
 from repro.core.dynamic import DynamicSPCIndex
 from repro.core.engine import QueryEngine
+from repro.core.hpspc import HPSPCIndex
 from repro.core.index import BuildConfig, PSPCIndex
 from repro.core.labels import LabelEntry, LabelIndex
 from repro.core.queries import SPCResult
@@ -35,10 +58,18 @@ from repro.graph.graph import Graph
 from repro.ordering.base import VertexOrder
 from repro.reduction.pipeline import ReducedSPCIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "build_index",
+    "open_index",
+    "register_method",
+    "get_method",
+    "method_names",
+    "QueryService",
+    "SPCounter",
     "PSPCIndex",
+    "HPSPCIndex",
     "ReducedSPCIndex",
     "CompactLabelIndex",
     "DynamicSPCIndex",

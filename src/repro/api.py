@@ -1,0 +1,631 @@
+"""One SPCounter API: the unified facade over every index kind.
+
+The paper's value proposition is a single abstraction — a 2-hop ESPC label
+answering distance **and** shortest-path-count queries — but the library
+grew six divergent entry points (PSPC, HP-SPC, reduced, directed, dynamic,
+and the BFS baselines) with inconsistent build/query/persistence
+conventions.  This module is the one public surface tying them back
+together:
+
+* :class:`SPCounter` — the protocol every index and baseline implements:
+  ``n``, ``query``, ``spc``, ``distance``, ``query_batch``, ``save``,
+  ``stats`` and ``size_bytes``.
+* **The method registry** — :func:`register_method` plus the built-ins
+  (``pspc``, ``hpspc``, ``reduced``, ``directed``, ``dynamic``, ``bfs``,
+  ``bidirectional``), so :func:`build_index` constructs any counter
+  uniformly from one :class:`~repro.core.index.BuildConfig`.
+* :func:`open_index` — sniffs the versioned ``.npz`` payload kind and
+  returns the matching facade class, whatever ``save`` wrote it.
+* :class:`QueryService` — the serving layer: admission micro-batching over
+  any counter's ``query_batch``, flushing through one vectorized kernel
+  call per batch with per-batch latency statistics.
+
+Quickstart::
+
+    from repro.api import BuildConfig, QueryService, build_index, open_index
+
+    index = build_index(graph, method="pspc", config=BuildConfig(num_landmarks=100))
+    index.save("social.npz")
+
+    index = open_index("social.npz")          # any kind, right class back
+    with QueryService(index, batch_size=512) as service:
+        results = service.query_batch(workload)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from threading import Condition
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.baselines.bfs_spc import OnlineBFSCounter
+from repro.baselines.bidirectional import BidirectionalBFSCounter
+from repro.core import store as store_module
+from repro.core.dynamic import DynamicSPCIndex
+from repro.core.hpspc import HPSPCIndex
+from repro.core.index import BuildConfig, PSPCIndex
+from repro.core.queries import SPCResult
+from repro.core.stats import BuildStats
+from repro.digraph.digraph import DiGraph
+from repro.digraph.index import DirectedSPCIndex
+from repro.errors import IndexBuildError, PersistenceError, QueryError
+from repro.graph.graph import Graph
+from repro.reduction.pipeline import ReducedSPCIndex
+
+__all__ = [
+    "BuildConfig",
+    "MethodSpec",
+    "PendingQuery",
+    "QueryService",
+    "SPCounter",
+    "build_index",
+    "get_method",
+    "method_names",
+    "open_index",
+    "register_method",
+]
+
+
+# ----------------------------------------------------------------------
+# the counter protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class SPCounter(Protocol):
+    """What every shortest-path-counting front-end must expose.
+
+    Implemented by :class:`~repro.core.index.PSPCIndex`,
+    :class:`~repro.core.hpspc.HPSPCIndex`,
+    :class:`~repro.reduction.pipeline.ReducedSPCIndex`,
+    :class:`~repro.digraph.index.DirectedSPCIndex`,
+    :class:`~repro.core.dynamic.DynamicSPCIndex` and the BFS baselines.
+    Loading back is a classmethod (``load``) on each concrete class;
+    :func:`open_index` dispatches to the right one from the payload kind.
+    """
+
+    @property
+    def n(self) -> int:  # pragma: no cover - protocol
+        """Number of vertices served."""
+        ...
+
+    @property
+    def stats(self) -> BuildStats:  # pragma: no cover - protocol
+        """Construction statistics (trivial for the index-free baselines)."""
+        ...
+
+    def query(self, s: int, t: int) -> SPCResult:  # pragma: no cover - protocol
+        """Exact ``(distance, count)`` for one pair."""
+        ...
+
+    def spc(self, s: int, t: int) -> int:  # pragma: no cover - protocol
+        """Number of shortest paths (0 if disconnected)."""
+        ...
+
+    def distance(self, s: int, t: int) -> int:  # pragma: no cover - protocol
+        """Shortest-path distance (-1 if disconnected)."""
+        ...
+
+    def query_batch(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[SPCResult]:  # pragma: no cover - protocol
+        """Evaluate many pairs in input order."""
+        ...
+
+    def save(self, path: str | Path) -> None:  # pragma: no cover - protocol
+        """Serialise to the unified versioned ``.npz`` container."""
+        ...
+
+    def size_bytes(self) -> int:  # pragma: no cover - protocol
+        """Size of the serving structures in bytes."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# the method registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MethodSpec:
+    """One registered way of turning a graph into an :class:`SPCounter`."""
+
+    name: str
+    build: Callable[[object, BuildConfig], SPCounter]
+    description: str = ""
+    #: expects a :class:`~repro.digraph.digraph.DiGraph` substrate.
+    directed: bool = False
+    #: ``save`` writes a payload :func:`open_index` can reopen.
+    persistable: bool = True
+
+
+_METHODS: dict[str, MethodSpec] = {}
+
+
+def register_method(
+    name: str,
+    build: Callable[[object, BuildConfig], SPCounter] | None = None,
+    *,
+    description: str = "",
+    directed: bool = False,
+    persistable: bool = True,
+    overwrite: bool = False,
+):
+    """Register a counter-construction method under ``name``.
+
+    Usable directly (``register_method("mine", builder_fn)``) or as a
+    decorator (``@register_method("mine")``).  The builder receives
+    ``(graph, config)`` and returns an :class:`SPCounter`.  Re-registering
+    an existing name raises unless ``overwrite=True`` — shadowing a
+    built-in silently is how serving fleets end up with two meanings of
+    ``"pspc"``.
+    """
+
+    def _register(fn: Callable[[object, BuildConfig], SPCounter]):
+        if name in _METHODS and not overwrite:
+            raise IndexBuildError(
+                f"method {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _METHODS[name] = MethodSpec(
+            name=name,
+            build=fn,
+            description=description,
+            directed=directed,
+            persistable=persistable,
+        )
+        return fn
+
+    if build is None:
+        return _register
+    return _register(build)
+
+
+def method_names() -> list[str]:
+    """All registered method names, sorted."""
+    return sorted(_METHODS)
+
+
+def get_method(name: str) -> MethodSpec:
+    """Look up a registered method; raise with the valid names otherwise."""
+    try:
+        return _METHODS[name]
+    except KeyError:
+        known = ", ".join(method_names())
+        raise IndexBuildError(
+            f"unknown method {name!r}; registered methods: {known}"
+        ) from None
+
+
+def build_index(
+    graph: Graph | DiGraph,
+    method: str | None = None,
+    config: BuildConfig | None = None,
+    **overrides: object,
+) -> SPCounter:
+    """Build any registered counter kind from one declarative config.
+
+    ``config`` defaults to :class:`~repro.core.index.BuildConfig`; keyword
+    ``overrides`` replace individual knobs (``build_index(g, method="pspc",
+    num_landmarks=100)``), and an explicit ``method`` argument wins over
+    ``config.method``.  The substrate must match the method:
+    ``method="directed"`` needs a :class:`~repro.digraph.digraph.DiGraph`,
+    every other built-in a :class:`~repro.graph.graph.Graph`.
+    """
+    cfg = config if config is not None else BuildConfig()
+    if method is not None:
+        overrides = {**overrides, "method": method}
+    if overrides:
+        try:
+            cfg = replace(cfg, **overrides)  # type: ignore[arg-type]
+        except TypeError as exc:
+            valid = ", ".join(sorted(BuildConfig.__dataclass_fields__))
+            raise IndexBuildError(
+                f"unknown build option: {exc}; BuildConfig knobs are: {valid}"
+            ) from None
+    spec = get_method(cfg.method)
+    if spec.directed and not isinstance(graph, DiGraph):
+        raise IndexBuildError(
+            f"method {spec.name!r} indexes directed graphs; got {type(graph).__name__} "
+            f"(build a repro.DiGraph, or pick an undirected method)"
+        )
+    if not spec.directed and isinstance(graph, DiGraph):
+        raise IndexBuildError(
+            f"method {spec.name!r} indexes undirected graphs; got a DiGraph "
+            f"(use method='directed', or symmetrise the graph first)"
+        )
+    return spec.build(graph, cfg)
+
+
+# ----------------------------------------------------------------------
+# built-in methods
+# ----------------------------------------------------------------------
+def _build_pspc(graph: Graph, config: BuildConfig) -> PSPCIndex:
+    return PSPCIndex.build(
+        graph,
+        ordering=config.ordering,
+        builder=config.builder,
+        paradigm=config.paradigm,
+        num_landmarks=config.num_landmarks,
+        threads=config.threads,
+        record_work=config.record_work,
+        store=config.store,
+        engine=config.engine,
+    )
+
+
+def _build_hpspc(graph: Graph, config: BuildConfig) -> HPSPCIndex:
+    return HPSPCIndex.build(graph, ordering=config.ordering, store=config.store)
+
+
+def _build_reduced(graph: Graph, config: BuildConfig) -> ReducedSPCIndex:
+    return ReducedSPCIndex.build(
+        graph,
+        use_one_shell=config.use_one_shell,
+        use_equivalence=config.use_equivalence,
+        ordering=config.ordering,
+        builder=config.builder,
+        paradigm=config.paradigm,
+        num_landmarks=config.num_landmarks,
+        threads=config.threads,
+        record_work=config.record_work,
+        store=config.store,
+        engine=config.engine,
+    )
+
+
+def _build_directed(graph: DiGraph, config: BuildConfig) -> DirectedSPCIndex:
+    if config.ordering != "degree":
+        raise IndexBuildError(
+            "the directed method computes its own total-degree order; "
+            "pass ordering='degree' (or a VertexOrder to DirectedSPCIndex.build)"
+        )
+    return DirectedSPCIndex.build(
+        graph, builder=config.builder, num_landmarks=config.num_landmarks
+    )
+
+
+def _build_dynamic(graph: Graph, config: BuildConfig) -> DynamicSPCIndex:
+    return DynamicSPCIndex(
+        graph,
+        rebuild_threshold=config.rebuild_threshold,
+        ordering=config.ordering,
+        builder=config.builder,
+        paradigm=config.paradigm,
+        num_landmarks=config.num_landmarks,
+        threads=config.threads,
+        record_work=config.record_work,
+        store=config.store,
+        engine=config.engine,
+    )
+
+
+register_method(
+    "pspc", _build_pspc,
+    description="parallel propagation ESPC index (the paper's PSPC)",
+)
+register_method(
+    "hpspc", _build_hpspc,
+    description="sequential hub-pushing baseline (HP-SPC, SIGMOD'20)",
+)
+register_method(
+    "reduced", _build_reduced,
+    description="1-shell + equivalence reductions, index on the residual core",
+)
+register_method(
+    "directed", _build_directed,
+    description="directed two-label (Lin/Lout) ESPC index", directed=True,
+)
+register_method(
+    "dynamic", _build_dynamic,
+    description="write-buffered index over a mutable edge set, always exact",
+)
+register_method(
+    "bfs", lambda graph, config: OnlineBFSCounter(graph),
+    description="index-free oracle: one truncated BFS per query",
+)
+register_method(
+    "bidirectional", lambda graph, config: BidirectionalBFSCounter(graph),
+    description="index-free meet-in-the-middle BFS counter",
+)
+
+
+# ----------------------------------------------------------------------
+# open_index: payload-kind sniffing
+# ----------------------------------------------------------------------
+def _open_bare_store(path: str | Path, meta: dict) -> PSPCIndex:
+    """Wrap a bare label-store file in a queryable index facade."""
+    serving = store_module.load_labels(path)
+    stats = BuildStats(builder="loaded", n_vertices=serving.n)
+    stats.total_entries = serving.total_entries()
+    return PSPCIndex(serving, BuildConfig(), stats, graph=None)
+
+
+def _open_counter(path: str | Path, meta: dict) -> SPCounter:
+    method = str(meta.get("method", ""))
+    cls = {"bfs": OnlineBFSCounter, "bidirectional": BidirectionalBFSCounter}.get(method)
+    if cls is None:
+        raise PersistenceError(
+            f"{path} holds a counter payload of unknown method {method!r}"
+        )
+    return cls.load(path)
+
+
+_OPENERS: dict[str, Callable[[str | Path, dict], SPCounter]] = {
+    "index": lambda path, meta: PSPCIndex.load(path),
+    "hpspc": lambda path, meta: HPSPCIndex.load(path),
+    "directed": lambda path, meta: DirectedSPCIndex.load(path),
+    "dynamic": lambda path, meta: DynamicSPCIndex.load(path),
+    "reduced": lambda path, meta: ReducedSPCIndex.load(path),
+    "counter": _open_counter,
+    "tuple": _open_bare_store,
+    "compact": _open_bare_store,
+}
+
+
+def open_index(path: str | Path) -> SPCounter:
+    """Open any saved counter, returning the class that wrote it.
+
+    Sniffs the ``kind`` field of the versioned ``.npz`` container (without
+    decompressing the label arrays) and dispatches to the matching
+    ``load``: full PSPC/HP-SPC indexes, directed indexes, dynamic and
+    reduced recipes, baseline counters, and bare tuple/compact label stores
+    (wrapped in a :class:`~repro.core.index.PSPCIndex` facade).
+    """
+    kind, meta = store_module.peek_meta(path)
+    opener = _OPENERS.get(kind)
+    if opener is None:
+        known = ", ".join(sorted(_OPENERS))
+        raise PersistenceError(
+            f"{path} holds a payload of unknown kind {kind!r}; "
+            f"this build opens: {known}"
+        )
+    return opener(path, meta)
+
+
+# ----------------------------------------------------------------------
+# the serving layer: admission-batched query service
+# ----------------------------------------------------------------------
+class PendingQuery:
+    """A submitted query awaiting its batch; resolved by the next flush."""
+
+    __slots__ = ("s", "t", "_service", "_value", "_error")
+
+    def __init__(self, service: "QueryService", s: int, t: int) -> None:
+        self.s = s
+        self.t = t
+        self._service = service
+        self._value: SPCResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the batch holding this query has been flushed."""
+        return self._value is not None or self._error is not None
+
+    def result(self, timeout: float | None = None) -> SPCResult:
+        """Block until the batch flushes and return this query's answer.
+
+        Waiting past the service's admission deadline triggers the flush
+        itself, so a caller never stalls longer than ``max_wait`` plus one
+        kernel call; ``timeout`` (seconds) bounds the total wait and raises
+        :class:`~repro.errors.QueryError` when exceeded.  A kernel failure
+        during the flush re-raises here for every query of the batch.
+        """
+        service = self._service
+        give_up = None if timeout is None else time.perf_counter() + timeout
+        with service._cv:
+            while not self.done:
+                now = time.perf_counter()
+                if give_up is not None and now >= give_up:
+                    raise QueryError(
+                        f"query ({self.s}, {self.t}) timed out after {timeout}s "
+                        f"waiting for its batch"
+                    )
+                deadline = service._deadline
+                if deadline is not None and now >= deadline:
+                    try:
+                        service._flush_locked("timeout")
+                    except BaseException:
+                        # our own handle carries the failure; fall through
+                        # to raise it (other waiters are woken with theirs)
+                        pass
+                    continue
+                waits = [w for w in (deadline, give_up) if w is not None]
+                service._cv.wait(timeout=min(waits) - now if waits else None)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class QueryService:
+    """Admission micro-batching over any counter's ``query_batch``.
+
+    Point submissions (:meth:`submit` / :meth:`query`) accumulate until
+    either ``batch_size`` queries are pending or the oldest has waited
+    ``max_wait`` seconds, then the whole batch flushes through **one**
+    vectorized kernel call; bulk workloads (:meth:`query_batch`) are sliced
+    into exactly ``ceil(n / batch_size)`` kernel invocations.  Answers are
+    identical to per-pair :meth:`SPCounter.query` calls in every regime —
+    the service changes latency shape, never results.
+
+    Thread-safe; per-batch latency statistics via :meth:`stats`.
+
+    Examples
+    --------
+    >>> from repro.graph import cycle_graph
+    >>> from repro.core.index import PSPCIndex
+    >>> service = QueryService(PSPCIndex.build(cycle_graph(6)), batch_size=2)
+    >>> [r.count for r in service.query_batch([(0, 3), (1, 4), (2, 5)])]
+    [2, 2, 2]
+    >>> service.stats()["batches"]
+    2
+    """
+
+    def __init__(
+        self,
+        counter: SPCounter,
+        batch_size: int = 64,
+        max_wait: float = 0.002,
+    ) -> None:
+        if batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        if max_wait < 0:
+            raise QueryError(f"max_wait must be >= 0, got {max_wait}")
+        self.counter = counter
+        self.batch_size = int(batch_size)
+        self.max_wait = float(max_wait)
+        self._cv = Condition()
+        self._pending: list[PendingQuery] = []
+        self._deadline: float | None = None
+        self._closed = False
+        # accounting (mutated under the lock)
+        self._queries = 0
+        self._batches = 0
+        self._flush_reasons = {"full": 0, "timeout": 0, "manual": 0, "bulk": 0}
+        self._flush_seconds: list[float] = []
+        self._flushed_queries = 0
+
+    # ------------------------------------------------------------------
+    # point path: submit / query
+    # ------------------------------------------------------------------
+    def submit(self, s: int, t: int) -> PendingQuery:
+        """Enqueue one query; returns a handle whose ``result()`` blocks.
+
+        Reaching ``batch_size`` pending queries flushes immediately; an
+        unfilled batch flushes when its oldest entry has waited
+        ``max_wait`` (driven by whichever ``result()`` call observes the
+        deadline).
+        """
+        with self._cv:
+            if self._closed:
+                raise QueryError("QueryService is closed")
+            handle = PendingQuery(self, int(s), int(t))
+            self._pending.append(handle)
+            self._queries += 1
+            if self._deadline is None:
+                self._deadline = time.perf_counter() + self.max_wait
+            if len(self._pending) >= self.batch_size:
+                self._flush_locked("full")
+        return handle
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """Submit one query and wait for its batch — the low-QPS path."""
+        return self.submit(s, t).result()
+
+    # ------------------------------------------------------------------
+    # bulk path
+    # ------------------------------------------------------------------
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Answer a whole workload in ``ceil(n / batch_size)`` kernel calls.
+
+        Flushes any point-path stragglers first so batches stay aligned,
+        then slices ``pairs`` into admission-sized chunks, each evaluated
+        by one call into the counter's batch kernel.
+        """
+        workload = [(int(s), int(t)) for s, t in pairs]
+        if not workload:
+            return []
+        with self._cv:
+            if self._closed:
+                raise QueryError("QueryService is closed")
+        self.flush()
+        results: list[SPCResult] = []
+        # kernels run outside the lock: a long bulk sweep must not stall
+        # concurrent submit()/result() point traffic past its max_wait
+        for start in range(0, len(workload), self.batch_size):
+            chunk = workload[start : start + self.batch_size]
+            results.extend(self._run_kernel(chunk, "bulk"))
+        return results
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Flush pending point queries now; returns how many were answered."""
+        with self._cv:
+            if not self._pending:
+                return 0
+            return self._flush_locked("manual")
+
+    def _flush_locked(self, reason: str) -> int:
+        """Evaluate and resolve the pending batch (caller holds the lock)."""
+        batch = self._pending
+        if not batch:
+            return 0
+        self._pending = []
+        self._deadline = None
+        try:
+            answers = self._run_kernel([(h.s, h.t) for h in batch], reason)
+        except BaseException as exc:
+            # never strand a co-batched waiter: every handle of the failed
+            # batch carries the kernel error, and result() re-raises it
+            for handle in batch:
+                handle._error = exc
+            self._cv.notify_all()
+            raise
+        for handle, answer in zip(batch, answers):
+            handle._value = answer
+        self._cv.notify_all()
+        return len(batch)
+
+    def _run_kernel(self, chunk: list[tuple[int, int]], reason: str) -> list[SPCResult]:
+        """One timed invocation of the underlying batch kernel.
+
+        Callable with or without the service lock held (the condition's
+        lock is re-entrant); only the accounting is done under it.
+        """
+        start = time.perf_counter()
+        answers = self.counter.query_batch(chunk)
+        elapsed = time.perf_counter() - start
+        with self._cv:
+            self._batches += 1
+            self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + 1
+            self._flush_seconds.append(elapsed)
+            self._flushed_queries += len(chunk)
+            if reason == "bulk":
+                self._queries += len(chunk)
+        return answers
+
+    # ------------------------------------------------------------------
+    # reporting & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Point queries waiting for their batch."""
+        with self._cv:
+            return len(self._pending)
+
+    def stats(self) -> dict:
+        """Serving statistics: batch shape and per-batch flush latency."""
+        with self._cv:
+            flushes = self._flush_seconds
+            mean_batch = self._flushed_queries / self._batches if self._batches else 0.0
+            return {
+                "queries": self._queries,
+                "batches": self._batches,
+                "pending": len(self._pending),
+                "mean_batch_size": round(mean_batch, 2),
+                "full_flushes": self._flush_reasons.get("full", 0),
+                "timeout_flushes": self._flush_reasons.get("timeout", 0),
+                "manual_flushes": self._flush_reasons.get("manual", 0),
+                "bulk_flushes": self._flush_reasons.get("bulk", 0),
+                "mean_flush_us": round(sum(flushes) / len(flushes) * 1e6, 2) if flushes else 0.0,
+                "max_flush_us": round(max(flushes) * 1e6, 2) if flushes else 0.0,
+            }
+
+    def close(self) -> None:
+        """Flush stragglers and refuse further submissions."""
+        with self._cv:
+            self._flush_locked("manual")
+            self._closed = True
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(counter={type(self.counter).__name__}, "
+            f"batch_size={self.batch_size}, max_wait={self.max_wait}, "
+            f"batches={self._batches}, queries={self._queries})"
+        )

@@ -31,22 +31,31 @@ from repro.graph.traversal import UNREACHABLE
 __all__ = ["group_betweenness", "pairwise_matrices"]
 
 
-def _index_for(graph: Graph, **build_kwargs: object) -> PSPCIndex:
-    return PSPCIndex.build(graph, **build_kwargs)  # type: ignore[arg-type]
+def _index_for(graph: Graph, method: str = "pspc", **build_kwargs: object):
+    """Build the SPC front-end through the unified method registry.
+
+    Any registered undirected method works — ``"pspc"`` (default),
+    ``"hpspc"``, ``"bidirectional"``, ... — so the application scales from
+    index-backed serving down to index-free oracles with one knob.
+    """
+    from repro.api import build_index
+
+    return build_index(graph, method=method, **build_kwargs)  # type: ignore[arg-type]
 
 
 def group_betweenness(
     graph: Graph,
     group: Sequence[int],
     index: PSPCIndex | None = None,
+    method: str = "pspc",
     **build_kwargs: object,
 ) -> float:
     """Exact group betweenness of ``group`` in ``graph``.
 
     Sums ``spc_C(s, t) / spc(s, t)`` over unordered pairs with both
-    endpoints outside ``group``.  ``index`` (over the full graph) is built on
-    demand when not supplied; the avoidance index over ``G - C`` is always
-    built here.
+    endpoints outside ``group``.  ``index`` (over the full graph, any
+    :class:`~repro.api.SPCounter`) is built on demand via ``method`` when
+    not supplied; the avoidance index over ``G - C`` is always built here.
     """
     group_set = set(int(v) for v in group)
     if not group_set:
@@ -54,14 +63,14 @@ def group_betweenness(
     for v in group_set:
         graph._check_vertex(v)
     if index is None:
-        index = _index_for(graph, **build_kwargs)
+        index = _index_for(graph, method=method, **build_kwargs)
     elif index.n != graph.n:
         raise QueryError("index does not match the queried graph")
 
     survivors = [v for v in range(graph.n) if v not in group_set]
     avoid_graph, old_of_new = graph.subgraph(survivors)
     new_of_old = {int(old): new for new, old in enumerate(old_of_new)}
-    avoid_index = _index_for(avoid_graph, **build_kwargs)
+    avoid_index = _index_for(avoid_graph, method=method, **build_kwargs)
 
     # both pair sweeps go through the vectorized batch engine
     pairs = [

@@ -1,6 +1,12 @@
 """Index-free baselines used as oracles and comparators."""
 
+from repro.baselines.base import GraphBackedCounter
 from repro.baselines.bfs_spc import OnlineBFSCounter
 from repro.baselines.bidirectional import BidirectionalBFSCounter, bidirectional_spc
 
-__all__ = ["OnlineBFSCounter", "BidirectionalBFSCounter", "bidirectional_spc"]
+__all__ = [
+    "GraphBackedCounter",
+    "OnlineBFSCounter",
+    "BidirectionalBFSCounter",
+    "bidirectional_spc",
+]

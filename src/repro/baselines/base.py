@@ -1,0 +1,108 @@
+"""Shared scaffolding for the graph-backed (index-free) counters.
+
+The BFS baselines answer every query from the graph itself, so the full
+:class:`~repro.api.SPCounter` surface — batching, stats, size accounting
+and unified ``.npz`` persistence (payload kind ``"counter"``, with the
+concrete method recorded in metadata so :func:`repro.api.open_index` can
+restore the right subclass) — lives here once.  Subclasses provide the
+``method`` tag and the per-pair :meth:`query` kernel.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.core import store as store_module
+from repro.core.queries import SPCResult
+from repro.core.stats import BuildStats
+from repro.errors import PersistenceError
+from repro.graph.graph import Graph
+
+__all__ = ["GraphBackedCounter", "COUNTER_KIND"]
+
+#: ``kind`` of a baseline-counter file in the unified persistence container.
+COUNTER_KIND = "counter"
+
+
+class GraphBackedCounter:
+    """Base class: an SPC counter served straight from its graph."""
+
+    #: registry tag of the concrete baseline (``"bfs"``, ``"bidirectional"``).
+    method = ""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._stats = BuildStats(builder=self.method, n_vertices=graph.n)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The served graph."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Number of vertices served."""
+        return self._graph.n
+
+    @property
+    def stats(self) -> BuildStats:
+        """Trivial build statistics (baselines have no build phase)."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> SPCResult:  # pragma: no cover - abstract
+        """Exact distance and count for one pair (subclass kernel)."""
+        raise NotImplementedError
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest paths between ``s`` and ``t``."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Shortest-path distance (-1 if disconnected)."""
+        return self.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate a batch of queries, one traversal each."""
+        return [self.query(int(s), int(t)) for s, t in pairs]
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Bytes of the serving structure — here, the graph CSR arrays."""
+        graph = self._graph
+        return int(
+            graph.indptr.nbytes + graph.indices.nbytes + graph.vertex_weights.nbytes
+        )
+
+    def size_mb(self) -> float:
+        """Serving-structure size in MB."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+    # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the graph (the baseline's entire state)."""
+        store_module.write_payload(
+            path,
+            COUNTER_KIND,
+            store_module.graph_arrays(self._graph),
+            meta={"method": self.method},
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GraphBackedCounter":
+        """Load a counter written by :meth:`save`."""
+        _, arrays, meta = store_module.read_payload(path, expect_kind=COUNTER_KIND)
+        method = meta.get("method")
+        if method != cls.method:
+            raise PersistenceError(
+                f"{path} holds a {method!r} counter, not {cls.method!r} "
+                f"(open it with repro.api.open_index)"
+            )
+        return cls(store_module.restore_graph(arrays))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, m={self._graph.m})"

@@ -5,43 +5,26 @@ Answers every query from scratch with a pruned single-source BFS
 are measured against: exact by construction, no preprocessing, but three to
 five orders of magnitude slower per query on the benchmark graphs — which is
 the whole motivation for the ESPC index (Section I).
+
+Batching, persistence and the rest of the :class:`~repro.api.SPCounter`
+surface come from :class:`~repro.baselines.base.GraphBackedCounter`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
+from repro.baselines.base import GraphBackedCounter
 from repro.core.queries import SPCResult
-from repro.graph.graph import Graph
 from repro.graph.traversal import spc_pair
 
 __all__ = ["OnlineBFSCounter"]
 
 
-class OnlineBFSCounter:
+class OnlineBFSCounter(GraphBackedCounter):
     """Index-free SPC "index": each query is one truncated BFS."""
 
-    def __init__(self, graph: Graph) -> None:
-        self._graph = graph
-
-    @property
-    def n(self) -> int:
-        """Number of vertices served."""
-        return self._graph.n
+    method = "bfs"
 
     def query(self, s: int, t: int) -> SPCResult:
         """Exact distance and count via BFS."""
         dist, count = spc_pair(self._graph, s, t)
         return SPCResult(s, t, dist, count)
-
-    def spc(self, s: int, t: int) -> int:
-        """Number of shortest paths between ``s`` and ``t``."""
-        return self.query(s, t).count
-
-    def distance(self, s: int, t: int) -> int:
-        """Shortest-path distance (-1 if disconnected)."""
-        return self.query(s, t).dist
-
-    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
-        """Evaluate a batch of queries, one BFS each."""
-        return [self.query(s, t) for s, t in pairs]

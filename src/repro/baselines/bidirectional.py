@@ -16,8 +16,7 @@ weight (it is internal unless it coincides with an endpoint).
 
 from __future__ import annotations
 
-from typing import Sequence
-
+from repro.baselines.base import GraphBackedCounter
 from repro.core.queries import SPCResult
 from repro.graph.graph import Graph
 from repro.graph.traversal import UNREACHABLE
@@ -91,30 +90,12 @@ def bidirectional_spc(graph: Graph, s: int, t: int) -> tuple[int, int]:
     return UNREACHABLE, 0
 
 
-class BidirectionalBFSCounter:
+class BidirectionalBFSCounter(GraphBackedCounter):
     """Index-free SPC via bidirectional BFS, with the standard query API."""
 
-    def __init__(self, graph: Graph) -> None:
-        self._graph = graph
-
-    @property
-    def n(self) -> int:
-        """Number of vertices served."""
-        return self._graph.n
+    method = "bidirectional"
 
     def query(self, s: int, t: int) -> SPCResult:
         """Exact distance and count for one pair."""
         dist, count = bidirectional_spc(self._graph, s, t)
         return SPCResult(s, t, dist, count)
-
-    def spc(self, s: int, t: int) -> int:
-        """Number of shortest paths between ``s`` and ``t``."""
-        return self.query(s, t).count
-
-    def distance(self, s: int, t: int) -> int:
-        """Shortest-path distance (-1 if disconnected)."""
-        return self.query(s, t).dist
-
-    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
-        """Evaluate a batch of queries."""
-        return [self.query(s, t) for s, t in pairs]

@@ -2,24 +2,33 @@
 
 Subcommands
 -----------
-``info``   — graph statistics for an edge-list file or named dataset.
-``build``  — build an index and save it (one versioned ``.npz`` format;
-             compact array store by default, see ``--store``).
-``query``  — answer SPC queries from a saved index.
-``bench``  — run one of the paper's experiments and print its table.
+``info``        — graph statistics for an edge-list file or named dataset.
+``build``       — build any registered counter method (``--method``) and
+                  save it (one versioned ``.npz`` format for every kind).
+``query``       — answer SPC queries from a saved index of any kind
+                  (:func:`repro.api.open_index` sniffs the payload).
+``serve-bench`` — drive a workload through the admission-batched
+                  :class:`repro.api.QueryService` and report latency stats.
+``bench``       — run one of the paper's experiments and print its table.
+``audit``       — validate a saved index against its graph.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
-from repro.core.index import PSPCIndex
+import numpy as np
+
+from repro.api import QueryService, build_index, method_names, open_index
+from repro.core.labels import LabelIndex
+from repro.digraph.index import DirectedSPCIndex
 from repro.errors import ReproError
 from repro.experiments import harness
 from repro.experiments.datasets import dataset_names, load_dataset
-from repro.graph.io import read_edge_list
+from repro.graph.io import read_edge_list, read_edge_list_directed
 from repro.graph.properties import graph_stats
 from repro.ordering import ORDERINGS
 
@@ -42,6 +51,7 @@ _EXPERIMENTS = {
     "fig11": lambda args: harness.exp_delta_effect(threads=args.threads),
     "fig12": lambda args: harness.exp_landmark_count(threads=args.threads),
     "fig13": lambda args: harness.exp_time_breakdown(),
+    "serve": lambda args: harness.exp_query_service(),
 }
 
 
@@ -51,6 +61,14 @@ def _load_graph(args: argparse.Namespace):
     if args.graph:
         return read_edge_list(Path(args.graph))
     raise ReproError("provide --graph FILE or --dataset KEY")
+
+
+def _load_directed_graph(args: argparse.Namespace):
+    if args.graph:
+        return read_edge_list_directed(Path(args.graph))
+    raise ReproError(
+        "directed indexes need --graph FILE (the named datasets are undirected)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,9 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="print graph statistics")
     add_graph_args(p_info)
 
-    p_build = sub.add_parser("build", help="build an SPC index")
+    p_build = sub.add_parser("build", help="build any SPC counter kind")
     add_graph_args(p_build)
     p_build.add_argument("--out", required=True, help="output index file")
+    p_build.add_argument(
+        "--method",
+        default="pspc",
+        choices=method_names(),
+        help="counter kind from the repro.api method registry",
+    )
     p_build.add_argument("--ordering", default="degree", choices=sorted(ORDERINGS))
     p_build.add_argument("--builder", default="pspc", choices=["pspc", "hpspc"])
     p_build.add_argument("--paradigm", default="pull", choices=["pull", "push"])
@@ -93,10 +117,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="label-construction engine (vectorized array kernels by default; "
         "reference runs the exact per-vertex loops)",
     )
+    p_build.add_argument(
+        "--no-one-shell",
+        action="store_true",
+        help="method=reduced: skip the 1-shell peel stage",
+    )
+    p_build.add_argument(
+        "--no-equivalence",
+        action="store_true",
+        help="method=reduced: skip the neighbourhood-equivalence stage",
+    )
+    p_build.add_argument(
+        "--rebuild-threshold",
+        type=int,
+        default=16,
+        help="method=dynamic: buffered updates before a full label rebuild",
+    )
 
-    p_query = sub.add_parser("query", help="query a saved index")
+    p_query = sub.add_parser("query", help="query a saved index (any kind)")
     p_query.add_argument("--index", required=True, help="index file from `build`")
     p_query.add_argument("pairs", nargs="+", help="queries as s,t (e.g. 3,17)")
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="drive a workload through the batched QueryService and report stats",
+    )
+    add_graph_args(p_serve)
+    p_serve.add_argument(
+        "--index", help="saved index of any kind (alternative to --graph/--dataset)"
+    )
+    p_serve.add_argument(
+        "--method",
+        default="pspc",
+        choices=method_names(),
+        help="counter to build when no --index is given",
+    )
+    p_serve.add_argument("--queries", type=int, default=10_000)
+    p_serve.add_argument("--batch-size", type=int, default=512)
+    p_serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="admission deadline for unfilled batches (milliseconds)",
+    )
+    p_serve.add_argument("--seed", type=int, default=7)
 
     p_bench = sub.add_parser("bench", help="run a paper experiment")
     p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
@@ -133,9 +197,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    index = PSPCIndex.build(
+    graph = (
+        _load_directed_graph(args) if args.method == "directed" else _load_graph(args)
+    )
+    counter = build_index(
         graph,
+        method=args.method,
         ordering=args.ordering,
         builder=args.builder,
         paradigm=args.paradigm,
@@ -143,32 +210,86 @@ def _cmd_build(args: argparse.Namespace) -> int:
         threads=args.threads,
         store=args.store,
         engine=args.engine,
+        use_one_shell=not args.no_one_shell,
+        use_equivalence=not args.no_equivalence,
+        rebuild_threshold=args.rebuild_threshold,
     )
-    index.save(args.out)
-    # report the engine that actually ran (overflow/threads can reroute,
-    # and the hpspc baseline has none)
-    engine_note = f"{index.config.engine} engine, " if index.config.engine else ""
+    counter.save(args.out)
+    entries = getattr(counter, "total_entries", None)
+    entries_note = f"{entries()} entries, " if callable(entries) else ""
     print(
-        f"built {args.builder} index over {index.n} vertices: "
-        f"{index.total_entries()} entries, {index.size_mb():.3f} MB, "
-        f"{index.store.kind} store, {engine_note}"
-        f"{index.stats.total_seconds:.2f}s -> {args.out}"
+        f"built {args.method} counter over {counter.n} vertices: "
+        f"{entries_note}{counter.size_mb():.3f} MB, "
+        f"{counter.stats.total_seconds:.2f}s -> {args.out}"
     )
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    index = PSPCIndex.load(args.index)
-    rows = []
-    for pair in args.pairs:
+def _parse_pairs(texts: list[str]) -> list[tuple[int, int]]:
+    pairs = []
+    for pair in texts:
         try:
             s_text, t_text = pair.split(",")
-            s, t = int(s_text), int(t_text)
+            pairs.append((int(s_text), int(t_text)))
         except ValueError:
             raise ReproError(f"bad query {pair!r}; expected s,t") from None
-        result = index.query(s, t)
-        rows.append({"s": s, "t": t, "dist": result.dist, "count": result.count})
+    return pairs
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    counter = open_index(args.index)
+    rows = [
+        {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count}
+        for r in counter.query_batch(_parse_pairs(args.pairs))
+    ]
     print(harness.format_rows(rows, title="SPC queries"))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.index:
+        counter = open_index(args.index)
+    else:
+        graph = (
+            _load_directed_graph(args)
+            if args.method == "directed"
+            else _load_graph(args)
+        )
+        counter = build_index(graph, method=args.method)
+    rng = np.random.default_rng(args.seed)
+    pairs = [
+        (int(s), int(t)) for s, t in rng.integers(counter.n, size=(args.queries, 2))
+    ]
+
+    start = time.perf_counter()
+    direct = counter.query_batch(pairs)
+    direct_seconds = time.perf_counter() - start
+
+    with QueryService(
+        counter, batch_size=args.batch_size, max_wait=args.max_wait_ms / 1000.0
+    ) as service:
+        start = time.perf_counter()
+        served = service.query_batch(pairs)
+        service_seconds = time.perf_counter() - start
+        if served != direct:
+            raise ReproError("QueryService answers diverged from direct query_batch")
+        stats = service.stats()
+    rows = [
+        {
+            "queries": args.queries,
+            "batch_size": args.batch_size,
+            "batches": stats["batches"],
+            "direct_us": round(direct_seconds / args.queries * 1e6, 2),
+            "service_us": round(service_seconds / args.queries * 1e6, 2),
+            "mean_flush_us": stats["mean_flush_us"],
+            "max_flush_us": stats["max_flush_us"],
+        }
+    ]
+    print(harness.format_rows(rows, title="serve-bench (QueryService)"))
+    print(
+        f"answers identical to per-pair queries; "
+        f"{stats['batches']} kernel calls for {args.queries} queries"
+    )
     return 0
 
 
@@ -201,20 +322,31 @@ def _plot_rows(experiment: str, rows: list[dict]) -> str:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from repro.core.verify import audit_canonical, audit_queries, audit_structure
+    from repro.core.verify import audit_canonical, audit_structure, verify_counter
 
-    graph = _load_graph(args)
-    index = PSPCIndex.load(args.index)
-    if index.n != graph.n:
+    counter = open_index(args.index)
+    graph = (
+        _load_directed_graph(args)
+        if isinstance(counter, DirectedSPCIndex)
+        else _load_graph(args)
+    )
+    if counter.n != graph.n:
         raise ReproError(
-            f"index covers {index.n} vertices but the graph has {graph.n}"
+            f"index covers {counter.n} vertices but the graph has {graph.n}"
         )
-    audit_structure(index.labels)
-    print("structure audit: ok")
-    if args.deep:
-        audit_canonical(index.labels, graph)
-        print("canonical-entry audit: ok")
-    audit_queries(index.labels, graph, samples=args.samples)
+    labels = getattr(counter, "labels", None)
+    if isinstance(labels, LabelIndex):
+        audit_structure(labels)
+        print("structure audit: ok")
+        if args.deep:
+            audit_canonical(labels, graph)
+            print("canonical-entry audit: ok")
+    elif args.deep:
+        raise ReproError(
+            "--deep audits label entries and needs a label-backed index "
+            "(pspc/hpspc payloads)"
+        )
+    verify_counter(counter, graph, samples=args.samples)
     print(f"query audit ({args.samples} random pairs): ok")
     return 0
 
@@ -227,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "build": _cmd_build,
         "query": _cmd_query,
+        "serve-bench": _cmd_serve_bench,
         "bench": _cmd_bench,
         "audit": _cmd_audit,
     }

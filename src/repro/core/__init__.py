@@ -24,7 +24,7 @@ round out the subsystem.
 from repro.core.compact import CompactLabelIndex
 from repro.core.dynamic import DynamicSPCIndex
 from repro.core.engine import QueryEngine, query_batch_compact
-from repro.core.hpspc import build_hpspc, hpspc_index
+from repro.core.hpspc import HPSPCIndex, build_hpspc, hpspc_index
 from repro.core.index import BuildConfig, PSPCIndex
 from repro.core.labels import ENTRY_BYTES, LabelEntry, LabelIndex
 from repro.core.landmarks import LandmarkIndex, build_landmark_index, select_landmarks
@@ -58,11 +58,19 @@ from repro.core.store import (
     LabelStore,
     freeze_labels,
     load_labels,
+    peek_meta,
 )
-from repro.core.verify import audit_canonical, audit_full, audit_queries, audit_structure
+from repro.core.verify import (
+    audit_canonical,
+    audit_full,
+    audit_queries,
+    audit_structure,
+    verify_counter,
+)
 
 __all__ = [
     "PSPCIndex",
+    "HPSPCIndex",
     "CompactLabelIndex",
     "DynamicSPCIndex",
     "QueryEngine",
@@ -71,10 +79,12 @@ __all__ = [
     "FORMAT_VERSION",
     "freeze_labels",
     "load_labels",
+    "peek_meta",
     "audit_structure",
     "audit_canonical",
     "audit_queries",
     "audit_full",
+    "verify_counter",
     "BuildConfig",
     "LabelIndex",
     "LabelEntry",

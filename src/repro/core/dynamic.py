@@ -25,13 +25,20 @@ future contributor does not "optimise" correctness away.
 
 from __future__ import annotations
 
-from repro.baselines.bidirectional import bidirectional_spc
+from pathlib import Path
+from typing import Sequence
+
+from repro.core import store as store_module
 from repro.core.index import PSPCIndex
 from repro.core.queries import SPCResult
-from repro.errors import GraphError
+from repro.core.stats import BuildStats
+from repro.errors import GraphError, PersistenceError
 from repro.graph.graph import Graph
 
 __all__ = ["DynamicSPCIndex"]
+
+#: ``kind`` of a dynamic-index file in the unified persistence container.
+_DYNAMIC_KIND = "dynamic"
 
 
 class DynamicSPCIndex:
@@ -136,6 +143,11 @@ class DynamicSPCIndex:
     def query(self, s: int, t: int) -> SPCResult:
         """Exact distance and count on the *current* graph."""
         if self.dirty:
+            # deferred import: repro.core must not depend on repro.baselines
+            # at import time (the baselines' persistence rides on this
+            # package's store layer)
+            from repro.baselines.bidirectional import bidirectional_spc
+
             dist, count = bidirectional_spc(self._graph, s, t)
             return SPCResult(s, t, dist, count)
         return self._index.query(s, t)
@@ -147,6 +159,67 @@ class DynamicSPCIndex:
     def distance(self, s: int, t: int) -> int:
         """Shortest-path distance on the current graph (-1 if disconnected)."""
         return self.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many queries; vectorized when clean, exact fallback when dirty."""
+        if self.dirty:
+            return [self.query(int(s), int(t)) for s, t in pairs]
+        return self._index.query_batch(pairs)
+
+    # ------------------------------------------------------------------
+    # reporting (the SPCounter surface)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> BuildStats:
+        """Build statistics of the *current* label index."""
+        return self._index.stats
+
+    def size_bytes(self) -> int:
+        """Nominal label-index size in bytes (excludes the write buffer)."""
+        return self._index.size_bytes()
+
+    def size_mb(self) -> float:
+        """Nominal label-index size in MB."""
+        return self._index.size_mb()
+
+    # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the *current* graph plus the rebuild recipe.
+
+        A dynamic index is a mutable substrate, so the payload stores the
+        graph (with every buffered update already applied) and the build
+        parameters rather than a label snapshot that the next ``add_edge``
+        would invalidate; :meth:`load` rebuilds the labels, so a freshly
+        loaded index starts clean at label speed with identical answers.
+        """
+        for key, value in self._build_kwargs.items():
+            if not isinstance(value, (str, int, float, bool)):
+                raise PersistenceError(
+                    f"cannot persist dynamic index: build parameter {key!r} "
+                    f"({type(value).__name__}) is not JSON-serialisable"
+                )
+        arrays = store_module.graph_arrays(self._graph)
+        meta = {
+            "rebuild_threshold": self._rebuild_threshold,
+            "build_kwargs": dict(self._build_kwargs),
+        }
+        store_module.write_payload(path, _DYNAMIC_KIND, arrays, meta=meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DynamicSPCIndex":
+        """Load an index written by :meth:`save` (labels are rebuilt)."""
+        _, arrays, meta = store_module.read_payload(path, expect_kind=_DYNAMIC_KIND)
+        try:
+            graph = store_module.restore_graph(arrays)
+            threshold = int(meta["rebuild_threshold"])
+            build_kwargs = dict(meta.get("build_kwargs", {}))
+        except (KeyError, TypeError) as exc:
+            raise PersistenceError(
+                f"{path} is missing dynamic payload fields: {exc}"
+            ) from exc
+        return cls(graph, rebuild_threshold=threshold, **build_kwargs)
 
     def __repr__(self) -> str:
         state = f"dirty, {self._pending} pending" if self.dirty else "clean"

@@ -194,20 +194,32 @@ class QueryEngine:
     2
     """
 
-    __slots__ = ("store", "_compact")
+    __slots__ = ("store", "_compact", "point_calls", "batch_calls")
 
     def __init__(self, store: "LabelIndex | CompactLabelIndex") -> None:
         self.store = store
         self._compact = isinstance(store, CompactLabelIndex)
+        #: per-pair kernel invocations served (observability for the
+        #: batched serving layer: a healthy :class:`repro.api.QueryService`
+        #: keeps ``batch_calls`` high and ``point_calls`` near zero).
+        self.point_calls = 0
+        #: batch kernel invocations served.
+        self.batch_calls = 0
 
     @property
     def kind(self) -> str:
         """Kernel family in use: ``"compact"`` (vectorized) or ``"tuple"``."""
         return "compact" if self._compact else "tuple"
 
+    @property
+    def n(self) -> int:
+        """Number of vertices the underlying store serves."""
+        return self.store.n
+
     # ------------------------------------------------------------------
     def query(self, s: int, t: int) -> SPCResult:
         """Exact ``(distance, count)`` for one pair."""
+        self.point_calls += 1
         if self._compact:
             return self.store.query(s, t)
         return spc_query(self.store, s, t)
@@ -222,6 +234,7 @@ class QueryEngine:
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
         """Evaluate many pairs; vectorized on compact stores."""
+        self.batch_calls += 1
         if self._compact:
             return query_batch_compact(self.store, pairs)
         return [spc_query(self.store, int(a), int(b)) for a, b in pairs]

@@ -17,23 +17,41 @@ added and the BFS continues.  This is why ``L_i`` depends on ``L_{<i}``
 
 Counting supports vertex multiplicities (equivalence-reduced graphs): a path
 contributes the product of its internal vertices' weights.
+
+:class:`HPSPCIndex` is the facade over this builder: it owns the vertex
+order, freezes the finished labels into the default compact serving store,
+serves queries through the shared :class:`~repro.core.engine.QueryEngine`,
+and persists to the unified versioned ``.npz`` container (payload kind
+``"hpspc"``) — the piece the function-based entry points never had.  The
+old callables (:func:`build_hpspc`, :func:`hpspc_index`) remain as thin
+deprecated shims.
 """
 
 from __future__ import annotations
 
-from repro.core.labels import LabelIndex
+import time
+import warnings
+from pathlib import Path
+from typing import Sequence
+
+from repro.core import store as store_module
+from repro.core.engine import QueryEngine
+from repro.core.labels import LabelEntry, LabelIndex
+from repro.core.queries import SPCResult
 from repro.core.stats import BuildStats, PhaseTimer
+from repro.errors import IndexBuildError, PersistenceError, QueryError
 from repro.graph.graph import Graph
 from repro.ordering.base import VertexOrder
 
-__all__ = ["build_hpspc", "hpspc_index"]
+__all__ = ["HPSPCIndex", "build_hpspc", "hpspc_index"]
 
 
-def build_hpspc(graph: Graph, order: VertexOrder) -> tuple[LabelIndex, BuildStats]:
-    """Build the canonical ESPC index with the sequential HP-SPC algorithm.
+def _build_hpspc_labels(graph: Graph, order: VertexOrder) -> tuple[LabelIndex, BuildStats]:
+    """Raw HP-SPC label construction (internal; no deprecation warning).
 
-    Returns the index and its :class:`~repro.core.stats.BuildStats` (a single
-    "construction" phase; HP-SPC has no landmark phase).
+    Returns the tuple-label index and its
+    :class:`~repro.core.stats.BuildStats` (a single "construction" phase;
+    HP-SPC has no landmark phase).
     """
     stats = BuildStats(builder="hpspc", n_vertices=graph.n)
     with PhaseTimer(stats, "construction"):
@@ -42,10 +60,196 @@ def build_hpspc(graph: Graph, order: VertexOrder) -> tuple[LabelIndex, BuildStat
     return index, stats
 
 
+def build_hpspc(graph: Graph, order: VertexOrder) -> tuple[LabelIndex, BuildStats]:
+    """Deprecated: use :meth:`HPSPCIndex.build` or
+    ``repro.api.build_index(graph, method="hpspc")`` instead."""
+    warnings.warn(
+        "build_hpspc is deprecated; use HPSPCIndex.build or "
+        "repro.api.build_index(graph, method='hpspc')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_hpspc_labels(graph, order)
+
+
 def hpspc_index(graph: Graph, order: VertexOrder) -> LabelIndex:
-    """Convenience wrapper returning only the index."""
-    index, _ = build_hpspc(graph, order)
+    """Deprecated: use :meth:`HPSPCIndex.build` or
+    ``repro.api.build_index(graph, method="hpspc")`` instead."""
+    warnings.warn(
+        "hpspc_index is deprecated; use HPSPCIndex.build or "
+        "repro.api.build_index(graph, method='hpspc')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    index, _ = _build_hpspc_labels(graph, order)
     return index
+
+
+class HPSPCIndex:
+    """A built HP-SPC index with the standard counter surface.
+
+    The sequential-baseline counterpart of
+    :class:`~repro.core.index.PSPCIndex`: same serving layer (compact store
+    by default, queries through the shared engine), same unified ``.npz``
+    persistence (payload kind ``"hpspc"``), but labels built by the
+    order-dependent HP-SPC loop instead of the PSPC propagation.
+
+    Examples
+    --------
+    >>> from repro.graph import cycle_graph
+    >>> index = HPSPCIndex.build(cycle_graph(6))
+    >>> index.spc(0, 3)
+    2
+    """
+
+    #: ``kind`` of an HP-SPC index file in the unified persistence container.
+    _PAYLOAD_KIND = "hpspc"
+
+    def __init__(
+        self,
+        store: "store_module.LabelStore",
+        stats: BuildStats,
+        ordering: str,
+        graph: Graph | None = None,
+    ) -> None:
+        self.store = store
+        self.engine = QueryEngine(store)
+        self.stats = stats
+        #: name of the ordering strategy the index was built under.
+        self.ordering = ordering
+        #: the indexed graph; kept for verification, not needed for queries.
+        self.graph = graph
+        self._labels_view: LabelIndex | None = store if isinstance(store, LabelIndex) else None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        ordering: str | VertexOrder = "degree",
+        store: str = "compact",
+    ) -> "HPSPCIndex":
+        """Build an HP-SPC index over ``graph``.
+
+        ``ordering`` is a strategy name or a pre-computed
+        :class:`~repro.ordering.base.VertexOrder`; ``store`` selects the
+        serving representation (``"compact"`` default, with the usual
+        automatic tuple fallback when counts overflow ``int64``).
+        """
+        from repro.ordering import get_ordering
+
+        if store not in ("compact", "tuple"):
+            raise IndexBuildError(
+                f"unknown store {store!r}; expected 'compact' or 'tuple'"
+            )
+        if isinstance(ordering, VertexOrder):
+            order = ordering
+            ordering_name = ordering.strategy
+            order_seconds = 0.0
+        else:
+            strategy = get_ordering(ordering)
+            start = time.perf_counter()
+            order = strategy(graph)
+            order_seconds = time.perf_counter() - start
+            ordering_name = ordering
+        labels, stats = _build_hpspc_labels(graph, order)
+        stats.merge_phase("order", order_seconds)
+        serving: "store_module.LabelStore" = labels
+        if store == "compact":
+            with PhaseTimer(stats, "freeze"):
+                serving = store_module.freeze_labels(labels)
+        return cls(serving, stats, ordering_name, graph=graph)
+
+    # ------------------------------------------------------------------
+    # queries (the SPCounter surface)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return self.store.n
+
+    @property
+    def order(self) -> VertexOrder:
+        """The total order the index was built under."""
+        return self.store.order
+
+    @property
+    def labels(self) -> LabelIndex:
+        """The tuple-based view of the labels (thawed lazily and cached)."""
+        if self._labels_view is None:
+            self._labels_view = self.store.to_label_index()
+        return self._labels_view
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """Full result: distance and shortest-path count for ``(s, t)``."""
+        return self.engine.query(s, t)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest paths between ``s`` and ``t`` (0 if disconnected)."""
+        return self.engine.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Shortest-path distance (-1 if disconnected)."""
+        return self.engine.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many queries (vectorized over the compact store)."""
+        return self.engine.query_batch(pairs)
+
+    def label(self, v: int) -> list[LabelEntry]:
+        """Decoded label list of ``v`` — the paper's Table II view."""
+        return self.store.label(v)
+
+    # ------------------------------------------------------------------
+    # reporting & verification
+    # ------------------------------------------------------------------
+    def total_entries(self) -> int:
+        """Number of label entries in the index."""
+        return self.store.total_entries()
+
+    def size_bytes(self) -> int:
+        """Nominal index size in bytes (compact binary encoding)."""
+        return self.store.size_bytes()
+
+    def size_mb(self) -> float:
+        """Nominal index size in MB (Fig. 6 unit)."""
+        return self.store.size_mb()
+
+    def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
+        """Cross-check random pairs against ground-truth BFS counting."""
+        from repro.core.verify import verify_counter
+
+        if self.graph is None:
+            raise QueryError("verification requires the index to retain its graph")
+        verify_counter(self, self.graph, samples=samples, seed=seed)
+
+    # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise the index (store + ordering + stats; not the graph)."""
+        arrays, meta = store_module.pack_store(self.store)
+        meta["ordering"] = self.ordering
+        meta["stats"] = self.stats.to_meta()
+        store_module.write_payload(path, self._PAYLOAD_KIND, arrays, meta=meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HPSPCIndex":
+        """Load an index written by :meth:`save` (graph is not restored)."""
+        _, arrays, meta = store_module.read_payload(path, expect_kind=cls._PAYLOAD_KIND)
+        try:
+            serving = store_module.unpack_store(arrays, meta, path)
+            stats = BuildStats.from_meta(meta.get("stats", {}))
+            ordering = str(meta.get("ordering", "custom"))
+        except (KeyError, TypeError) as exc:
+            raise PersistenceError(f"{path} is missing hpspc payload fields: {exc}") from exc
+        return cls(serving, stats, ordering, graph=None)
+
+    def __repr__(self) -> str:
+        return (
+            f"HPSPCIndex(n={self.n}, ordering={self.ordering!r}, "
+            f"store={self.store.kind!r}, entries={self.total_entries()})"
+        )
 
 
 def _construct(graph: Graph, order: VertexOrder, stats: BuildStats) -> LabelIndex:

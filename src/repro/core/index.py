@@ -29,7 +29,7 @@ from repro.core import store as store_module
 from repro.core.compact import CompactLabelIndex
 from repro.core.engine import QueryEngine
 from repro.core.fastbuild import ENGINES, build_pspc_vectorized
-from repro.core.hpspc import build_hpspc
+from repro.core.hpspc import _build_hpspc_labels
 from repro.core.labels import LabelEntry, LabelIndex
 from repro.core.parallel import ExecutionBackend, SerialBackend, ThreadBackend
 from repro.core.pspc import build_pspc
@@ -37,7 +37,6 @@ from repro.core.queries import SPCResult
 from repro.core.stats import BuildStats, PhaseTimer
 from repro.errors import IndexBuildError, PersistenceError, QueryError
 from repro.graph.graph import Graph
-from repro.graph.traversal import spc_pair
 from repro.ordering import get_ordering
 from repro.ordering.base import VertexOrder
 
@@ -51,8 +50,17 @@ _STORE_CHOICES = ("compact", "tuple")
 
 @dataclass(frozen=True)
 class BuildConfig:
-    """Declarative description of how an index was (or should be) built."""
+    """Declarative description of how a counter was (or should be) built.
 
+    One config drives every registered method of the unified API
+    (:func:`repro.api.build_index`): the core PSPC/HP-SPC knobs, plus the
+    reduction toggles consumed by the ``"reduced"`` method and the write
+    buffer size consumed by the ``"dynamic"`` method.  Methods ignore knobs
+    that do not apply to them (the baselines use none).
+    """
+
+    #: registry method name (see :data:`repro.api.method_names`).
+    method: str = "pspc"
     builder: str = "pspc"
     ordering: str = "degree"
     paradigm: str = "pull"
@@ -64,6 +72,12 @@ class BuildConfig:
     #: label-construction engine: ``"vectorized"`` (default; whole-frontier
     #: array kernels) or ``"reference"`` (per-vertex loops, exact work units).
     engine: str = "vectorized"
+    #: ``"reduced"`` method: peel the 1-shell before indexing.
+    use_one_shell: bool = True
+    #: ``"reduced"`` method: merge neighbourhood-equivalent vertices.
+    use_equivalence: bool = True
+    #: ``"dynamic"`` method: buffered updates before a full label rebuild.
+    rebuild_threshold: int = 16
 
 
 class PSPCIndex:
@@ -180,7 +194,7 @@ class PSPCIndex:
 
         owns_backend = False
         if builder == "hpspc":
-            labels, stats = build_hpspc(graph, order)
+            labels, stats = _build_hpspc_labels(graph, order)
         elif engine == "vectorized" and backend is None and threads <= 1:
             # whole-frontier array kernels, inherently single-threaded
             # (falls back to the reference loops on potential count overflow)
@@ -282,6 +296,10 @@ class PSPCIndex:
     # ------------------------------------------------------------------
     # reporting & verification
     # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Nominal index size in bytes (compact binary encoding)."""
+        return self.store.size_bytes()
+
     def size_mb(self) -> float:
         """Nominal index size in MB (Fig. 6 unit)."""
         return self.store.size_mb()
@@ -293,60 +311,25 @@ class PSPCIndex:
     def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
         """Cross-check random pairs against ground-truth BFS counting.
 
-        Exercises the *serving* path (store + engine).  Raises
+        Exercises the *serving* path (store + engine) through the shared
+        :func:`~repro.core.verify.verify_counter`.  Raises
         :class:`~repro.errors.QueryError` on the first mismatch.  Requires
         the graph to still be attached to the index.
         """
+        from repro.core.verify import verify_counter
+
         if self.graph is None:
             raise QueryError("verification requires the index to retain its graph")
-        rng = np.random.default_rng(seed)
-        for _ in range(samples):
-            s, t = (int(x) for x in rng.integers(self.n, size=2))
-            expected = spc_pair(self.graph, s, t)
-            got = self.query(s, t)
-            if (got.dist, got.count) != expected:
-                raise QueryError(
-                    f"index disagrees with BFS on ({s}, {t}): "
-                    f"index=({got.dist}, {got.count}), bfs={expected}"
-                )
+        verify_counter(self, self.graph, samples=samples, seed=seed)
 
     # ------------------------------------------------------------------
     # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
         """Serialise the index (store + config + full stats; not the graph)."""
-        labels_store = self.store
-        meta: dict = {
-            "store_kind": labels_store.kind,
-            "strategy": labels_store.order.strategy,
-            "config": asdict(self.config),
-            "stats": {
-                "builder": self.stats.builder,
-                "engine": self.stats.engine,
-                "phase_seconds": {k: float(v) for k, v in self.stats.phase_seconds.items()},
-                "iteration_labels": [int(x) for x in self.stats.iteration_labels],
-                "n_vertices": int(self.stats.n_vertices),
-                "total_entries": int(self.stats.total_entries),
-                "pruned_by_rank": int(self.stats.pruned_by_rank),
-                "pruned_by_query": int(self.stats.pruned_by_query),
-                "landmark_hits": int(self.stats.landmark_hits),
-                "num_landmarks": int(self.stats.num_landmarks),
-            },
-        }
-        arrays = store_module.order_arrays(labels_store.order)
-        if isinstance(labels_store, CompactLabelIndex):
-            arrays.update(
-                indptr=labels_store.indptr,
-                hubs=labels_store.hubs,
-                dists=labels_store.dists,
-                counts=labels_store.counts,
-            )
-            meta["counts"] = "int64"
-        else:
-            packed, counts_encoding = store_module.pack_entry_lists(labels_store.entries)
-            arrays.update(packed)
-            meta["counts"] = counts_encoding
-        arrays["weight_by_rank"] = np.asarray(labels_store.weight_by_rank, dtype=np.int64)
+        arrays, meta = store_module.pack_store(self.store)
+        meta["config"] = asdict(self.config)
+        meta["stats"] = self.stats.to_meta()
         if self.stats.iteration_costs:
             arrays["iteration_costs"] = np.concatenate(self.stats.iteration_costs)
             arrays["iteration_cost_lengths"] = np.asarray(
@@ -359,29 +342,7 @@ class PSPCIndex:
         """Load an index written by :meth:`save` (graph is not restored)."""
         _, arrays, meta = store_module.read_payload(path, expect_kind=_INDEX_KIND)
         try:
-            order = store_module.restore_order(arrays, meta)
-            weight_by_rank = arrays["weight_by_rank"].astype(np.int64)
-            store_kind = meta["store_kind"]
-            if store_kind == "compact":
-                serving: "store_module.LabelStore" = CompactLabelIndex(
-                    order,
-                    arrays["indptr"].astype(np.int64),
-                    arrays["hubs"].astype(np.int32),
-                    arrays["dists"].astype(np.int16),
-                    arrays["counts"].astype(np.int64),
-                    weight_by_rank,
-                )
-            elif store_kind == "tuple":
-                entries = store_module.unpack_entry_lists(
-                    arrays["indptr"],
-                    arrays["hubs"],
-                    arrays["dists"],
-                    arrays["counts"],
-                    str(meta.get("counts", "int64")),
-                )
-                serving = LabelIndex(order, entries, weight_by_rank)
-            else:
-                raise PersistenceError(f"unknown store kind {store_kind!r} in {path}")
+            serving = store_module.unpack_store(arrays, meta, path)
             config_meta = dict(meta["config"])
             # files written before the engine split were built by the only
             # engine that existed — don't let the dataclass default claim
@@ -390,19 +351,7 @@ class PSPCIndex:
                 "engine", "" if config_meta.get("builder") == "hpspc" else "reference"
             )
             config = BuildConfig(**config_meta)
-            stats_meta = meta["stats"]
-            stats = BuildStats(
-                builder=stats_meta["builder"],
-                engine=str(stats_meta.get("engine", "")),
-            )
-            stats.phase_seconds = dict(stats_meta["phase_seconds"])
-            stats.iteration_labels = list(stats_meta["iteration_labels"])
-            stats.n_vertices = int(stats_meta["n_vertices"])
-            stats.total_entries = int(stats_meta["total_entries"])
-            stats.pruned_by_rank = int(stats_meta["pruned_by_rank"])
-            stats.pruned_by_query = int(stats_meta["pruned_by_query"])
-            stats.landmark_hits = int(stats_meta["landmark_hits"])
-            stats.num_landmarks = int(stats_meta["num_landmarks"])
+            stats = BuildStats.from_meta(meta["stats"])
             if "iteration_costs" in arrays:
                 flat = arrays["iteration_costs"].astype(np.int64)
                 offsets = np.cumsum(arrays["iteration_cost_lengths"])[:-1]

@@ -118,7 +118,16 @@ def build_pspc(
 
 
 def pspc_index(graph: Graph, order: VertexOrder, **kwargs: object) -> LabelIndex:
-    """Convenience wrapper returning only the index."""
+    """Deprecated: use :meth:`repro.core.index.PSPCIndex.build` or
+    ``repro.api.build_index(graph, method="pspc")`` instead."""
+    import warnings
+
+    warnings.warn(
+        "pspc_index is deprecated; use PSPCIndex.build or "
+        "repro.api.build_index(graph, method='pspc')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     index, _ = build_pspc(graph, order, **kwargs)  # type: ignore[arg-type]
     return index
 

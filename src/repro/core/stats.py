@@ -77,6 +77,42 @@ class BuildStats:
         """Accumulate ``seconds`` into phase ``name``."""
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
+    # ------------------------------------------------------------------
+    # persistence (the JSON side of the unified .npz container; the bulky
+    # iteration_costs arrays travel as npz members, handled by the facades)
+    # ------------------------------------------------------------------
+    def to_meta(self) -> dict:
+        """JSON-serialisable payload of every scalar/list field."""
+        return {
+            "builder": self.builder,
+            "engine": self.engine,
+            "phase_seconds": {k: float(v) for k, v in self.phase_seconds.items()},
+            "iteration_labels": [int(x) for x in self.iteration_labels],
+            "n_vertices": int(self.n_vertices),
+            "total_entries": int(self.total_entries),
+            "pruned_by_rank": int(self.pruned_by_rank),
+            "pruned_by_query": int(self.pruned_by_query),
+            "landmark_hits": int(self.landmark_hits),
+            "num_landmarks": int(self.num_landmarks),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "BuildStats":
+        """Invert :meth:`to_meta` (tolerates fields missing in old files)."""
+        stats = cls(
+            builder=str(meta.get("builder", "")),
+            engine=str(meta.get("engine", "")),
+        )
+        stats.phase_seconds = dict(meta.get("phase_seconds", {}))
+        stats.iteration_labels = list(meta.get("iteration_labels", []))
+        stats.n_vertices = int(meta.get("n_vertices", 0))
+        stats.total_entries = int(meta.get("total_entries", 0))
+        stats.pruned_by_rank = int(meta.get("pruned_by_rank", 0))
+        stats.pruned_by_query = int(meta.get("pruned_by_query", 0))
+        stats.landmark_hits = int(meta.get("landmark_hits", 0))
+        stats.num_landmarks = int(meta.get("num_landmarks", 0))
+        return stats
+
 
 class PhaseTimer:
     """Context manager accumulating wall-clock time into a stats phase.

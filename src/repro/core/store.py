@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkabl
 import numpy as np
 
 from repro.errors import PersistenceError
+from repro.graph.graph import Graph
 from repro.ordering.base import VertexOrder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,8 +62,13 @@ __all__ = [
     "LabelStore",
     "STORE_KINDS",
     "freeze_labels",
+    "graph_arrays",
     "load_labels",
+    "pack_store",
+    "peek_meta",
     "read_payload",
+    "restore_graph",
+    "unpack_store",
     "write_payload",
 ]
 
@@ -159,6 +165,43 @@ def write_payload(
         np.savez_compressed(handle, **payload)
 
 
+def _validated_meta(data: "np.lib.npyio.NpzFile", path: str | Path) -> dict:
+    """Parse and validate the ``__meta__`` header of an open container."""
+    if "__meta__" not in data.files:
+        raise PersistenceError(
+            f"{path} is not a repro label-store file (missing __meta__)"
+        )
+    try:
+        meta = json.loads(str(data["__meta__"][()]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise PersistenceError(f"{path} has a corrupt metadata block") from exc
+    if not isinstance(meta, dict) or meta.get("format") != FORMAT_NAME:
+        raise PersistenceError(f"{path} is not a {FORMAT_NAME} file")
+    version = meta.get("version")
+    if not isinstance(version, int) or version > FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} uses format version {version!r}; "
+            f"this build reads up to version {FORMAT_VERSION}"
+        )
+    return meta
+
+
+def peek_meta(path: str | Path) -> tuple[str, dict]:
+    """Read only the ``(kind, meta)`` header of a container.
+
+    Npz members decompress lazily, so this never touches the label arrays —
+    it is how :func:`repro.api.open_index` sniffs which facade class a file
+    belongs to before handing it to the right loader.
+    """
+    try:
+        data = np.load(Path(path))
+        with data:
+            meta = _validated_meta(data, path)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
+    return str(meta.get("kind")), meta
+
+
 def read_payload(
     path: str | Path, expect_kind: str | Sequence[str] | None = None
 ) -> tuple[str, dict[str, np.ndarray], dict]:
@@ -176,22 +219,7 @@ def read_payload(
     try:
         data = np.load(Path(path))
         with data:
-            if "__meta__" not in data.files:
-                raise PersistenceError(
-                    f"{path} is not a repro label-store file (missing __meta__)"
-                )
-            try:
-                meta = json.loads(str(data["__meta__"][()]))
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                raise PersistenceError(f"{path} has a corrupt metadata block") from exc
-            if not isinstance(meta, dict) or meta.get("format") != FORMAT_NAME:
-                raise PersistenceError(f"{path} is not a {FORMAT_NAME} file")
-            version = meta.get("version")
-            if not isinstance(version, int) or version > FORMAT_VERSION:
-                raise PersistenceError(
-                    f"{path} uses format version {version!r}; "
-                    f"this build reads up to version {FORMAT_VERSION}"
-                )
+            meta = _validated_meta(data, path)
             kind = meta.get("kind")
             if expect_kind is not None:
                 expected = (expect_kind,) if isinstance(expect_kind, str) else tuple(expect_kind)
@@ -287,6 +315,91 @@ def restore_order(arrays: dict[str, np.ndarray], meta: dict) -> VertexOrder:
     return VertexOrder.from_order(
         order, len(order), strategy=str(meta.get("strategy", "custom"))
     )
+
+
+def pack_store(store: "LabelStore") -> tuple[dict[str, np.ndarray], dict]:
+    """Pack any label store into ``(arrays, meta)`` payload fragments.
+
+    The shared serialisation core behind every index facade
+    (:class:`~repro.core.index.PSPCIndex`,
+    :class:`~repro.core.hpspc.HPSPCIndex`): order, label arrays (compact
+    passthrough or packed tuple lists) and the per-rank hub weights, plus
+    the ``store_kind``/``strategy``/``counts`` metadata :func:`unpack_store`
+    needs to invert the encoding.
+    """
+    from repro.core.compact import CompactLabelIndex
+
+    arrays = order_arrays(store.order)
+    meta: dict = {"store_kind": store.kind, "strategy": store.order.strategy}
+    if isinstance(store, CompactLabelIndex):
+        arrays.update(
+            indptr=store.indptr,
+            hubs=store.hubs,
+            dists=store.dists,
+            counts=store.counts,
+        )
+        meta["counts"] = "int64"
+    else:
+        packed, counts_encoding = pack_entry_lists(store.entries)
+        arrays.update(packed)
+        meta["counts"] = counts_encoding
+    arrays["weight_by_rank"] = np.asarray(store.weight_by_rank, dtype=np.int64)
+    return arrays, meta
+
+
+def unpack_store(arrays: dict[str, np.ndarray], meta: dict, path: str | Path = "") -> "LabelStore":
+    """Invert :func:`pack_store` back into the store kind the payload holds."""
+    from repro.core.compact import CompactLabelIndex
+    from repro.core.labels import LabelIndex
+
+    order = restore_order(arrays, meta)
+    weight_by_rank = arrays["weight_by_rank"].astype(np.int64)
+    store_kind = meta.get("store_kind")
+    if store_kind == "compact":
+        return CompactLabelIndex(
+            order,
+            arrays["indptr"].astype(np.int64),
+            arrays["hubs"].astype(np.int32),
+            arrays["dists"].astype(np.int16),
+            arrays["counts"].astype(np.int64),
+            weight_by_rank,
+        )
+    if store_kind == "tuple":
+        entries = unpack_entry_lists(
+            arrays["indptr"],
+            arrays["hubs"],
+            arrays["dists"],
+            arrays["counts"],
+            str(meta.get("counts", "int64")),
+        )
+        return LabelIndex(order, entries, weight_by_rank)
+    raise PersistenceError(f"unknown store kind {store_kind!r} in {path or 'payload'}")
+
+
+# ----------------------------------------------------------------------
+# graph payloads (counters that must carry their substrate: baselines,
+# the dynamic write buffer, the reduction pipeline)
+# ----------------------------------------------------------------------
+def graph_arrays(graph: Graph) -> dict[str, np.ndarray]:
+    """The arrays persisting a :class:`~repro.graph.graph.Graph`."""
+    heads = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr))
+    tails = graph.indices.astype(np.int64)
+    once = heads < tails  # each undirected edge appears twice in CSR
+    edges = np.stack([heads[once], tails[once]], axis=1)
+    return {
+        "graph_edges": edges,
+        "graph_weights": graph.vertex_weights.astype(np.int64),
+    }
+
+
+def restore_graph(arrays: dict[str, np.ndarray]) -> Graph:
+    """Rebuild the graph saved by :func:`graph_arrays`."""
+    try:
+        weights = arrays["graph_weights"].astype(np.int64)
+        edges = arrays["graph_edges"].astype(np.int64).reshape(-1, 2)
+    except KeyError as exc:
+        raise PersistenceError(f"payload is missing graph arrays: {exc}") from exc
+    return Graph(len(weights), edges, vertex_weights=weights)
 
 
 # ----------------------------------------------------------------------

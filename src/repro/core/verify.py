@@ -11,6 +11,12 @@ Three levels, each usable independently:
 * :func:`audit_queries` — end-to-end: every (sampled) pair's query answer
   equals the BFS oracle.
 
+On top of the label-level auditors, :func:`verify_counter` is the
+representation-agnostic check: it drives the *serving* path of any
+:class:`~repro.api.SPCounter` (undirected or directed) against the matching
+BFS oracle — the one verifier every facade's ``verify_against_bfs``
+delegates to.
+
 The auditors raise :class:`~repro.errors.IndexStateError` with a precise
 message on the first violation, so they double as debugging tools for
 anyone extending the builders.
@@ -22,11 +28,51 @@ import numpy as np
 
 from repro.core.labels import LabelIndex
 from repro.core.queries import spc_query
-from repro.errors import IndexStateError
+from repro.errors import IndexStateError, QueryError
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_pair
 
-__all__ = ["audit_structure", "audit_canonical", "audit_queries", "audit_full"]
+__all__ = [
+    "audit_structure",
+    "audit_canonical",
+    "audit_queries",
+    "audit_full",
+    "verify_counter",
+]
+
+
+def verify_counter(counter, graph, samples: int = 50, seed: int = 0) -> None:
+    """Cross-check random pairs of any SPC counter against the BFS oracle.
+
+    Works on every :class:`~repro.api.SPCounter` implementation — the
+    undirected facades and baselines with a :class:`~repro.graph.graph.Graph`,
+    and :class:`~repro.digraph.index.DirectedSPCIndex` with a
+    :class:`~repro.digraph.digraph.DiGraph` (the oracle is picked from the
+    substrate type).  Exercises the serving path (store + engine/kernel) and
+    raises :class:`~repro.errors.QueryError` on the first mismatch.
+    """
+    from repro.digraph.digraph import DiGraph
+    from repro.digraph.traversal import spc_pair_directed
+
+    if graph is None:
+        raise QueryError("verification requires a graph to compare against")
+    if counter.n != graph.n:
+        raise QueryError(
+            f"counter serves {counter.n} vertices but the graph has {graph.n}"
+        )
+    directed = isinstance(graph, DiGraph)
+    oracle = spc_pair_directed if directed else spc_pair
+    rng = np.random.default_rng(seed)
+    for _ in range(samples):
+        s, t = (int(x) for x in rng.integers(counter.n, size=2))
+        expected = oracle(graph, s, t)
+        got = counter.query(s, t)
+        if (got.dist, got.count) != expected:
+            kind = "directed index" if directed else "index"
+            raise QueryError(
+                f"{kind} disagrees with BFS on ({s}, {t}): "
+                f"index=({got.dist}, {got.count}), bfs={expected}"
+            )
 
 
 def audit_structure(index: LabelIndex) -> None:

@@ -19,7 +19,6 @@ from repro.digraph.digraph import DiGraph
 from repro.digraph.hpspc import build_hpspc_directed
 from repro.digraph.labels import DirectedLabelIndex, batch_query_directed, spc_query_directed
 from repro.digraph.pspc import build_pspc_directed
-from repro.digraph.traversal import spc_pair_directed
 from repro.errors import IndexBuildError, QueryError
 from repro.ordering.base import VertexOrder
 
@@ -89,6 +88,18 @@ class DirectedSPCIndex:
         """Evaluate many directed queries in input order."""
         return batch_query_directed(self.labels, pairs)
 
+    def total_entries(self) -> int:
+        """Total entries across both label directions."""
+        return self.labels.total_entries()
+
+    def size_bytes(self) -> int:
+        """Nominal index size in bytes (compact entry encoding)."""
+        return self.labels.size_bytes()
+
+    def size_mb(self) -> float:
+        """Nominal index size in MB."""
+        return self.labels.size_mb()
+
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
         """Persist the directed labels (unified ``.npz``; graph not saved)."""
@@ -102,18 +113,11 @@ class DirectedSPCIndex:
 
     def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
         """Cross-check random directed pairs against the BFS oracle."""
+        from repro.core.verify import verify_counter
+
         if self.graph is None:
             raise QueryError("verification requires the index to retain its graph")
-        rng = np.random.default_rng(seed)
-        for _ in range(samples):
-            s, t = (int(x) for x in rng.integers(self.n, size=2))
-            expected = spc_pair_directed(self.graph, s, t)
-            got = self.query(s, t)
-            if (got.dist, got.count) != expected:
-                raise QueryError(
-                    f"directed index disagrees with BFS on ({s}, {t}): "
-                    f"index=({got.dist}, {got.count}), bfs={expected}"
-                )
+        verify_counter(self, self.graph, samples=samples, seed=seed)
 
     def __repr__(self) -> str:
         return f"DirectedSPCIndex(n={self.n}, entries={self.labels.total_entries()})"

@@ -69,6 +69,16 @@ class DirectedLabelIndex:
             len(lst) for lst in self.entries_out
         )
 
+    def size_bytes(self) -> int:
+        """Nominal index size using the shared compact entry encoding."""
+        from repro.core.labels import ENTRY_BYTES
+
+        return self.total_entries() * ENTRY_BYTES
+
+    def size_mb(self) -> float:
+        """Nominal index size in MB (the paper's Fig. 6 unit)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
     def label_in(self, v: int) -> list[tuple[int, int, int]]:
         """``Lin(v)`` decoded with hubs as vertex ids."""
         order = self.order.order

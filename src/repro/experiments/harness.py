@@ -36,6 +36,7 @@ __all__ = [
     "exp_index_size",
     "exp_query_time",
     "exp_query_batch",
+    "exp_query_service",
     "exp_build_speedup",
     "exp_query_speedup",
     "exp_ablation_landmarks",
@@ -305,6 +306,55 @@ def exp_query_batch(
                 "loop_us": round(loop_seconds / n_queries * 1e6, 2),
                 "batch_us": round(batch_seconds / n_queries * 1e6, 2),
                 "speedup": round(loop_seconds / batch_seconds, 2),
+            }
+        )
+    return rows
+
+
+def exp_query_service(
+    keys: Sequence[str] = ("FB", "GO"),
+    n_queries: int = 10_000,
+    batch_size: int = 512,
+    max_wait: float = 0.002,
+) -> list[dict]:
+    """Admission-batched :class:`~repro.api.QueryService` vs direct batching.
+
+    Runs the same workload through one direct ``query_batch`` call and
+    through the service's ``ceil(n / batch_size)`` admission-sized kernel
+    flushes (asserting identical answers), reporting the per-query cost of
+    each path, the batch count, and the service's per-batch flush latency —
+    the serving-layer view of the Fig. 7b experiment.
+    """
+    from repro.api import QueryService
+
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        pairs = random_query_pairs(graph, n_queries, seed=7)
+
+        start = time.perf_counter()
+        direct_results = index.query_batch(pairs)
+        direct_seconds = time.perf_counter() - start
+
+        service = QueryService(index, batch_size=batch_size, max_wait=max_wait)
+        start = time.perf_counter()
+        service_results = service.query_batch(pairs)
+        service_seconds = time.perf_counter() - start
+
+        if service_results != direct_results:
+            raise AssertionError(f"QueryService diverged from direct batching on {key}")
+        stats = service.stats()
+        rows.append(
+            {
+                "dataset": key,
+                "queries": n_queries,
+                "batch_size": batch_size,
+                "batches": stats["batches"],
+                "direct_us": round(direct_seconds / n_queries * 1e6, 2),
+                "service_us": round(service_seconds / n_queries * 1e6, 2),
+                "mean_flush_us": stats["mean_flush_us"],
+                "max_flush_us": stats["max_flush_us"],
             }
         )
     return rows

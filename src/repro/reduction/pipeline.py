@@ -10,16 +10,23 @@ only the index footprint and build time change.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
+from repro.core import store as store_module
 from repro.core.index import PSPCIndex
 from repro.core.queries import SPCResult
+from repro.core.stats import BuildStats
+from repro.errors import PersistenceError
 from repro.graph.graph import Graph
 from repro.graph.traversal import UNREACHABLE
 from repro.reduction.equivalence import EquivalenceReduction
 from repro.reduction.one_shell import OneShellReduction
 
 __all__ = ["ReducedSPCIndex"]
+
+#: ``kind`` of a reduced-index file in the unified persistence container.
+_REDUCED_KIND = "reduced"
 
 
 class ReducedSPCIndex:
@@ -31,11 +38,14 @@ class ReducedSPCIndex:
         one_shell: OneShellReduction | None,
         equivalence: EquivalenceReduction | None,
         index: PSPCIndex,
+        build_kwargs: dict | None = None,
     ) -> None:
         self._graph = graph
         self._one_shell = one_shell
         self._equivalence = equivalence
         self.index = index
+        #: recorded so :meth:`save` can persist the rebuild recipe.
+        self._build_kwargs = dict(build_kwargs or {})
 
     @classmethod
     def build(
@@ -55,7 +65,7 @@ class ReducedSPCIndex:
         equivalence = EquivalenceReduction(inner) if use_equivalence else None
         final = equivalence.reduced_graph if equivalence else inner
         index = PSPCIndex.build(final, **build_kwargs)  # type: ignore[arg-type]
-        return cls(graph, one_shell, equivalence, index)
+        return cls(graph, one_shell, equivalence, index, build_kwargs=build_kwargs)
 
     # ------------------------------------------------------------------
     @property
@@ -78,9 +88,64 @@ class ReducedSPCIndex:
         """Vertices merged away by the equivalence stage (0 when disabled)."""
         return self._equivalence.removed if self._equivalence else 0
 
+    @property
+    def stats(self) -> BuildStats:
+        """Build statistics of the inner label index."""
+        return self.index.stats
+
+    def size_bytes(self) -> int:
+        """Label-index size in bytes (excludes the O(n) reduction mappings)."""
+        return self.index.size_bytes()
+
     def size_mb(self) -> float:
         """Label-index size (excludes the O(n) reduction mappings)."""
         return self.index.size_mb()
+
+    # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the original graph plus the reduction/build recipe.
+
+        The reduction stages are deterministic functions of the graph, so
+        the payload stores the *original* substrate and the pipeline
+        parameters; :meth:`load` replays the reductions and rebuilds the
+        inner index, giving bit-identical answers without a bespoke
+        serialisation of the mapping structures.
+        """
+        for key, value in self._build_kwargs.items():
+            if not isinstance(value, (str, int, float, bool)):
+                raise PersistenceError(
+                    f"cannot persist reduced index: build parameter {key!r} "
+                    f"({type(value).__name__}) is not JSON-serialisable"
+                )
+        arrays = store_module.graph_arrays(self._graph)
+        meta = {
+            "use_one_shell": self._one_shell is not None,
+            "use_equivalence": self._equivalence is not None,
+            "build_kwargs": dict(self._build_kwargs),
+        }
+        store_module.write_payload(path, _REDUCED_KIND, arrays, meta=meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReducedSPCIndex":
+        """Load an index written by :meth:`save` (reductions are replayed)."""
+        _, arrays, meta = store_module.read_payload(path, expect_kind=_REDUCED_KIND)
+        try:
+            graph = store_module.restore_graph(arrays)
+            use_one_shell = bool(meta["use_one_shell"])
+            use_equivalence = bool(meta["use_equivalence"])
+            build_kwargs = dict(meta.get("build_kwargs", {}))
+        except (KeyError, TypeError) as exc:
+            raise PersistenceError(
+                f"{path} is missing reduced payload fields: {exc}"
+            ) from exc
+        return cls.build(
+            graph,
+            use_one_shell=use_one_shell,
+            use_equivalence=use_equivalence,
+            **build_kwargs,
+        )
 
     # ------------------------------------------------------------------
     def _core_query(self, s: int, t: int) -> tuple[int, int]:

@@ -7,6 +7,11 @@ import pytest
 
 from repro.core.hpspc import build_hpspc, hpspc_index
 from repro.core.queries import spc_query
+
+# this module deliberately exercises the deprecated function-based builder
+# surface (kept as shims for compatibility); the facade path is covered by
+# test_api.py, and the shims' warning itself is asserted there
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_pair

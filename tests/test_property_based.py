@@ -9,11 +9,16 @@ the propagation paradigm and the landmark filter.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.hpspc import hpspc_index
 from repro.core.pspc import pspc_index
 from repro.core.queries import spc_query
+
+# property tests target the raw label builders through their deprecated
+# shims (the invariants are about the builders, not the facades)
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_pair
 from repro.ordering.base import VertexOrder

@@ -23,6 +23,10 @@ from repro.graph.traversal import spc_pair
 from repro.ordering.degree import degree_order
 from repro.ordering.hybrid import hybrid_order
 
+# this module deliberately exercises the deprecated function-based builder
+# shims (`pspc_index`/`hpspc_index`); the facade path lives in test_api.py
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestEquivalenceWithBaseline:
     """The repository's central invariant: PSPC builds the HP-SPC index."""
