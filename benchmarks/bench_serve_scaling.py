@@ -1,0 +1,32 @@
+"""Serve scaling — WorkerPool batch throughput vs worker count.
+
+Not a paper figure: this benchmark tracks the PR-4 serving subsystem
+(shared-memory segments + spawn-based worker pool) against the PR-3
+single-process ``QueryService`` baseline on the fig7-style random
+workload.  Answers are asserted identical inside the harness; the rows
+land in ``BENCH_serve.json`` at the repo root.
+
+Scaling is only meaningful with real cores: on a single-CPU host the
+worker rows measure dispatch overhead, so the speedup assertion is gated
+on ``cpu_count``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from conftest import run_once
+from repro.experiments.harness import exp_serve_scaling
+
+
+def test_serve_scaling(benchmark, record):
+    rows = run_once(benchmark, lambda: exp_serve_scaling(keys=("FB",)))
+    record("serve_scaling", rows, "serve: WorkerPool throughput vs workers (qps)")
+
+    by_workers = {row["workers"]: row for row in rows}
+    assert {0, 1, 2, 4} <= set(by_workers)
+    for row in rows:
+        assert row["qps"] > 0
+    if multiprocessing.cpu_count() >= 4:
+        # real cores available: four workers must beat one clearly
+        assert by_workers[4]["speedup"] >= 1.2, rows

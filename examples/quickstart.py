@@ -64,6 +64,37 @@ def main() -> None:
     assert results[0] == oracle.query(3, 721)
     print("index agrees with the BFS oracle")
 
+    # 7. async serving: AsyncQueryService admission-batches thousands of
+    #    concurrent awaiters into one kernel call per batch.  workers=N
+    #    publishes the compact arrays to shared memory and shards every
+    #    batch across N spawned processes (real cores, no GIL); the same
+    #    engine powers the HTTP endpoint:
+    #
+    #        python -m repro build --dataset FB --no-compress --out fb.npz
+    #        python -m repro serve fb.npz --workers 4 --port 8080
+    #        curl 'http://127.0.0.1:8080/query?s=3&t=721'
+    import asyncio
+
+    from repro import AsyncQueryService
+
+    async def serve_async():
+        async with AsyncQueryService(index, batch_size=256, cache_size=1024) as service:
+            answers = await asyncio.gather(
+                *(service.submit(s, t) for s, t in workload)
+            )
+            # once a batch has flushed, hot repeated pairs skip the kernel
+            for _ in range(100):
+                await service.submit(3, 721)
+            return list(answers), service.stats()
+
+    async_answers, async_stats = asyncio.run(serve_async())
+    assert async_answers == results
+    print(
+        f"AsyncQueryService answered {async_stats['queries']} submits "
+        f"in {async_stats['batches']} kernel calls "
+        f"({async_stats['cache_hits']} LRU cache hits)"
+    )
+
 
 if __name__ == "__main__":
     main()

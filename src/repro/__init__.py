@@ -11,6 +11,11 @@ One API serves every counter kind (:mod:`repro.api`):
 * :class:`repro.QueryService` — the serving layer: admission
   micro-batching over any counter's ``query_batch``, one vectorized kernel
   call per batch;
+* :mod:`repro.serve` — the multi-process serving subsystem:
+  :class:`repro.ShmIndexSegment` publishes the compact arrays to shared
+  memory, :class:`repro.WorkerPool` shards batches across spawn-based
+  worker processes, and :class:`repro.AsyncQueryService` is the asyncio
+  admission batcher on top (``python -m repro serve`` adds HTTP);
 * :class:`repro.SPCounter` — the protocol all of the above implement
   (``n``, ``query``, ``spc``, ``distance``, ``query_batch``, ``save``,
   ``stats``, ``size_bytes``).
@@ -60,6 +65,20 @@ from repro.reduction.pipeline import ReducedSPCIndex
 
 __version__ = "1.1.0"
 
+#: the multi-process serving surface, re-exported lazily (PEP 562) so a
+#: plain `import repro` stays free of asyncio/multiprocessing imports
+_SERVE_EXPORTS = ("AsyncQueryService", "ShmIndexSegment", "WorkerPool")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from repro import api
+
+        value = getattr(api, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 __all__ = [
     "build_index",
     "open_index",
@@ -67,6 +86,9 @@ __all__ = [
     "get_method",
     "method_names",
     "QueryService",
+    "AsyncQueryService",
+    "WorkerPool",
+    "ShmIndexSegment",
     "SPCounter",
     "PSPCIndex",
     "HPSPCIndex",

@@ -44,6 +44,7 @@ from repro.baselines.bfs_spc import OnlineBFSCounter
 from repro.baselines.bidirectional import BidirectionalBFSCounter
 from repro.core import store as store_module
 from repro.core.dynamic import DynamicSPCIndex
+from repro.core.engine import validate_vertex
 from repro.core.hpspc import HPSPCIndex
 from repro.core.index import BuildConfig, PSPCIndex
 from repro.core.queries import SPCResult
@@ -53,19 +54,39 @@ from repro.digraph.index import DirectedSPCIndex
 from repro.errors import IndexBuildError, PersistenceError, QueryError
 from repro.graph.graph import Graph
 from repro.reduction.pipeline import ReducedSPCIndex
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import FlushStats
 
 __all__ = [
+    "AsyncQueryService",
     "BuildConfig",
     "MethodSpec",
     "PendingQuery",
     "QueryService",
     "SPCounter",
+    "ShmIndexSegment",
+    "WorkerPool",
     "build_index",
     "get_method",
     "method_names",
     "open_index",
     "register_method",
 ]
+
+#: serve-layer classes re-exported lazily (PEP 562): `import repro.api`
+#: must not drag in asyncio/multiprocessing for consumers that only build
+#: and query — the repro.serve submodules load on first attribute access.
+_SERVE_EXPORTS = ("AsyncQueryService", "ShmIndexSegment", "WorkerPool")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        import repro.serve
+
+        value = getattr(repro.serve, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -330,15 +351,15 @@ register_method(
 # ----------------------------------------------------------------------
 # open_index: payload-kind sniffing
 # ----------------------------------------------------------------------
-def _open_bare_store(path: str | Path, meta: dict) -> PSPCIndex:
+def _open_bare_store(path: str | Path, meta: dict, mmap: bool) -> PSPCIndex:
     """Wrap a bare label-store file in a queryable index facade."""
-    serving = store_module.load_labels(path)
+    serving = store_module.load_labels(path, mmap=mmap)
     stats = BuildStats(builder="loaded", n_vertices=serving.n)
     stats.total_entries = serving.total_entries()
     return PSPCIndex(serving, BuildConfig(), stats, graph=None)
 
 
-def _open_counter(path: str | Path, meta: dict) -> SPCounter:
+def _open_counter(path: str | Path, meta: dict, mmap: bool) -> SPCounter:
     method = str(meta.get("method", ""))
     cls = {"bfs": OnlineBFSCounter, "bidirectional": BidirectionalBFSCounter}.get(method)
     if cls is None:
@@ -348,19 +369,34 @@ def _open_counter(path: str | Path, meta: dict) -> SPCounter:
     return cls.load(path)
 
 
-_OPENERS: dict[str, Callable[[str | Path, dict], SPCounter]] = {
-    "index": lambda path, meta: PSPCIndex.load(path),
-    "hpspc": lambda path, meta: HPSPCIndex.load(path),
-    "directed": lambda path, meta: DirectedSPCIndex.load(path),
-    "dynamic": lambda path, meta: DynamicSPCIndex.load(path),
-    "reduced": lambda path, meta: ReducedSPCIndex.load(path),
+def _open_directed_compact(path: str | Path, meta: dict, mmap: bool) -> DirectedSPCIndex:
+    """Wrap a bare directed-compact store file in the directed facade.
+
+    The labels stay packed (the facade serves the flat arrays directly):
+    thawing to tuple lists would materialise every entry as Python
+    objects and defeat ``mmap=True`` for exactly the multi-GB files the
+    lazy open exists for.
+    """
+    from repro.digraph.labels import CompactDirectedLabelIndex
+
+    labels = CompactDirectedLabelIndex.load(path, mmap=mmap)
+    return DirectedSPCIndex(labels, BuildStats(builder="loaded"), graph=None)
+
+
+_OPENERS: dict[str, Callable[[str | Path, dict, bool], SPCounter]] = {
+    "index": lambda path, meta, mmap: PSPCIndex.load(path, mmap=mmap),
+    "hpspc": lambda path, meta, mmap: HPSPCIndex.load(path, mmap=mmap),
+    "directed": lambda path, meta, mmap: DirectedSPCIndex.load(path),
+    "directed-compact": _open_directed_compact,
+    "dynamic": lambda path, meta, mmap: DynamicSPCIndex.load(path),
+    "reduced": lambda path, meta, mmap: ReducedSPCIndex.load(path),
     "counter": _open_counter,
     "tuple": _open_bare_store,
     "compact": _open_bare_store,
 }
 
 
-def open_index(path: str | Path) -> SPCounter:
+def open_index(path: str | Path, mmap: bool = False) -> SPCounter:
     """Open any saved counter, returning the class that wrote it.
 
     Sniffs the ``kind`` field of the versioned ``.npz`` container (without
@@ -368,6 +404,13 @@ def open_index(path: str | Path) -> SPCounter:
     ``load``: full PSPC/HP-SPC indexes, directed indexes, dynamic and
     reduced recipes, baseline counters, and bare tuple/compact label stores
     (wrapped in a :class:`~repro.core.index.PSPCIndex` facade).
+
+    ``mmap=True`` memory-maps compact label arrays straight out of files
+    written with ``compress=False`` instead of reading them eagerly — a
+    multi-GB serving index then opens lazily (read-only CLI paths and the
+    shared-memory publisher use this).  Kinds that must materialise Python
+    structures anyway (tuple stores, recipes, baselines) and compressed
+    files fall back to the eager read transparently.
     """
     kind, meta = store_module.peek_meta(path)
     opener = _OPENERS.get(kind)
@@ -377,7 +420,7 @@ def open_index(path: str | Path) -> SPCounter:
             f"{path} holds a payload of unknown kind {kind!r}; "
             f"this build opens: {known}"
         )
-    return opener(path, meta)
+    return opener(path, meta, mmap)
 
 
 # ----------------------------------------------------------------------
@@ -446,6 +489,12 @@ class QueryService:
     identical to per-pair :meth:`SPCounter.query` calls in every regime —
     the service changes latency shape, never results.
 
+    ``cache_size > 0`` adds an LRU point-query cache: repeated ``(s, t)``
+    submissions short-circuit the kernel entirely (hit/miss counters in
+    :meth:`stats`); the bulk path bypasses it.  The cache assumes a frozen
+    index — when serving a mutable counter (``DynamicSPCIndex``), either
+    leave it disabled or call :meth:`clear_cache` after every update.
+
     Thread-safe; per-batch latency statistics via :meth:`stats`.
 
     Examples
@@ -464,6 +513,7 @@ class QueryService:
         counter: SPCounter,
         batch_size: int = 64,
         max_wait: float = 0.002,
+        cache_size: int = 0,
     ) -> None:
         if batch_size < 1:
             raise QueryError(f"batch_size must be >= 1, got {batch_size}")
@@ -476,12 +526,11 @@ class QueryService:
         self._pending: list[PendingQuery] = []
         self._deadline: float | None = None
         self._closed = False
-        # accounting (mutated under the lock)
-        self._queries = 0
-        self._batches = 0
-        self._flush_reasons = {"full": 0, "timeout": 0, "manual": 0, "bulk": 0}
-        self._flush_seconds: list[float] = []
-        self._flushed_queries = 0
+        #: optional LRU point-query cache: repeated (s, t) pairs resolve
+        #: without touching the kernel (capacity 0 disables)
+        self._cache: LRUCache[tuple[int, int], SPCResult] = LRUCache(cache_size)
+        #: flush accounting shared with the async twin (mutated under the lock)
+        self._metrics = FlushStats()
 
     # ------------------------------------------------------------------
     # point path: submit / query
@@ -493,13 +542,24 @@ class QueryService:
         unfilled batch flushes when its oldest entry has waited
         ``max_wait`` (driven by whichever ``result()`` call observes the
         deadline).
+
+        Vertex ids are validated before admission (mirroring the async
+        twin): one malformed submission fails alone instead of poisoning
+        the co-batched queries of other threads.
         """
+        n = self.counter.n
+        s = validate_vertex(s, n)
+        t = validate_vertex(t, n)
         with self._cv:
             if self._closed:
                 raise QueryError("QueryService is closed")
-            handle = PendingQuery(self, int(s), int(t))
+            handle = PendingQuery(self, s, t)
+            self._metrics.queries += 1
+            cached = self._cache.get((handle.s, handle.t))
+            if cached is not None:
+                handle._value = cached
+                return handle
             self._pending.append(handle)
-            self._queries += 1
             if self._deadline is None:
                 self._deadline = time.perf_counter() + self.max_wait
             if len(self._pending) >= self.batch_size:
@@ -563,6 +623,7 @@ class QueryService:
             raise
         for handle, answer in zip(batch, answers):
             handle._value = answer
+            self._cache.put((handle.s, handle.t), answer)
         self._cv.notify_all()
         return len(batch)
 
@@ -576,12 +637,7 @@ class QueryService:
         answers = self.counter.query_batch(chunk)
         elapsed = time.perf_counter() - start
         with self._cv:
-            self._batches += 1
-            self._flush_reasons[reason] = self._flush_reasons.get(reason, 0) + 1
-            self._flush_seconds.append(elapsed)
-            self._flushed_queries += len(chunk)
-            if reason == "bulk":
-                self._queries += len(chunk)
+            self._metrics.record_flush(reason, elapsed, len(chunk))
         return answers
 
     # ------------------------------------------------------------------
@@ -596,26 +652,33 @@ class QueryService:
     def stats(self) -> dict:
         """Serving statistics: batch shape and per-batch flush latency."""
         with self._cv:
-            flushes = self._flush_seconds
-            mean_batch = self._flushed_queries / self._batches if self._batches else 0.0
-            return {
-                "queries": self._queries,
-                "batches": self._batches,
-                "pending": len(self._pending),
-                "mean_batch_size": round(mean_batch, 2),
-                "full_flushes": self._flush_reasons.get("full", 0),
-                "timeout_flushes": self._flush_reasons.get("timeout", 0),
-                "manual_flushes": self._flush_reasons.get("manual", 0),
-                "bulk_flushes": self._flush_reasons.get("bulk", 0),
-                "mean_flush_us": round(sum(flushes) / len(flushes) * 1e6, 2) if flushes else 0.0,
-                "max_flush_us": round(max(flushes) * 1e6, 2) if flushes else 0.0,
-            }
+            return self._metrics.snapshot(len(self._pending), self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached point answer (after mutating the counter)."""
+        with self._cv:
+            self._cache.clear()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (submissions now raise)."""
+        with self._cv:
+            return self._closed
 
     def close(self) -> None:
-        """Flush stragglers and refuse further submissions."""
+        """Flush stragglers and refuse further submissions (idempotent).
+
+        Guarantees a pending sub-batch is never silently lost: whatever
+        was submitted but not yet flushed is evaluated here, so dropping
+        the service (via the context manager) resolves every outstanding
+        :class:`PendingQuery` without waiting out ``max_wait``.
+        """
         with self._cv:
-            self._flush_locked("manual")
+            # refuse new submissions *before* the final flush: a kernel
+            # failure here must not leave a service the caller believes
+            # closed still accepting traffic
             self._closed = True
+            self._flush_locked("manual")
 
     def __enter__(self) -> "QueryService":
         return self
@@ -627,5 +690,5 @@ class QueryService:
         return (
             f"QueryService(counter={type(self.counter).__name__}, "
             f"batch_size={self.batch_size}, max_wait={self.max_wait}, "
-            f"batches={self._batches}, queries={self._queries})"
+            f"batches={self._metrics.batches}, queries={self._metrics.queries})"
         )

@@ -7,6 +7,8 @@ Subcommands
                   save it (one versioned ``.npz`` format for every kind).
 ``query``       — answer SPC queries from a saved index of any kind
                   (:func:`repro.api.open_index` sniffs the payload).
+``serve``       — serve a saved index over HTTP: asyncio front-end plus a
+                  shared-memory worker pool (``--workers N``).
 ``serve-bench`` — drive a workload through the admission-batched
                   :class:`repro.api.QueryService` and report latency stats.
 ``bench``       — run one of the paper's experiments and print its table.
@@ -52,6 +54,7 @@ _EXPERIMENTS = {
     "fig12": lambda args: harness.exp_landmark_count(threads=args.threads),
     "fig13": lambda args: harness.exp_time_breakdown(),
     "serve": lambda args: harness.exp_query_service(),
+    "serve-scaling": lambda args: harness.exp_serve_scaling(),
 }
 
 
@@ -133,10 +136,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="method=dynamic: buffered updates before a full label rebuild",
     )
+    p_build.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="write the index uncompressed so read-only consumers can "
+        "memory-map the label arrays (larger file, lazy open)",
+    )
 
     p_query = sub.add_parser("query", help="query a saved index (any kind)")
     p_query.add_argument("--index", required=True, help="index file from `build`")
     p_query.add_argument("pairs", nargs="+", help="queries as s,t (e.g. 3,17)")
+
+    p_http = sub.add_parser(
+        "serve",
+        help="serve a saved index over HTTP (asyncio + shared-memory workers)",
+    )
+    p_http.add_argument("index", help="index file from `build` (any kind)")
+    p_http.add_argument("--host", default="127.0.0.1")
+    p_http.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p_http.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="spawned worker processes attached to the shared-memory "
+        "segment (0 serves in-process)",
+    )
+    p_http.add_argument("--batch-size", type=int, default=64)
+    p_http.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="admission deadline for unfilled batches (milliseconds)",
+    )
+    p_http.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU point-query cache entries (0 disables)",
+    )
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -214,7 +251,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
         use_equivalence=not args.no_equivalence,
         rebuild_threshold=args.rebuild_threshold,
     )
-    counter.save(args.out)
+    if args.no_compress:
+        import inspect
+
+        if "compress" not in inspect.signature(counter.save).parameters:
+            raise ReproError(
+                f"method {args.method!r} does not support --no-compress "
+                "(only label-array payloads can be written uncompressed)"
+            )
+        counter.save(args.out, compress=False)
+    else:
+        counter.save(args.out)
     entries = getattr(counter, "total_entries", None)
     entries_note = f"{entries()} entries, " if callable(entries) else ""
     print(
@@ -237,13 +284,34 @@ def _parse_pairs(texts: list[str]) -> list[tuple[int, int]]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    counter = open_index(args.index)
+    # read-only path: lazy-open label arrays when the file allows it
+    counter = open_index(args.index, mmap=True)
     rows = [
         {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count}
         for r in counter.query_batch(_parse_pairs(args.pairs))
     ]
     print(harness.format_rows(rows, title="SPC queries"))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.http import run_server
+
+    counter = open_index(args.index, mmap=True)
+    print(
+        f"loaded {type(counter).__name__} over {counter.n} vertices from "
+        f"{args.index}; workers={args.workers}",
+        flush=True,
+    )
+    return run_server(
+        counter,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_wait=args.max_wait_ms / 1000.0,
+        cache_size=args.cache_size,
+    )
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -324,7 +392,7 @@ def _plot_rows(experiment: str, rows: list[dict]) -> str:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.core.verify import audit_canonical, audit_structure, verify_counter
 
-    counter = open_index(args.index)
+    counter = open_index(args.index, mmap=True)
     graph = (
         _load_directed_graph(args)
         if isinstance(counter, DirectedSPCIndex)
@@ -359,6 +427,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "build": _cmd_build,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
         "bench": _cmd_bench,
         "audit": _cmd_audit,

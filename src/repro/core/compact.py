@@ -226,8 +226,12 @@ class CompactLabelIndex:
     # ------------------------------------------------------------------
     # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Persist to the unified versioned ``.npz`` store format."""
+    def save(self, path: str | Path, compress: bool = True) -> None:
+        """Persist to the unified versioned ``.npz`` store format.
+
+        ``compress=False`` writes the members uncompressed so :meth:`load`
+        can memory-map the label arrays (``mmap=True``).
+        """
         from repro.core import store
 
         arrays = store.order_arrays(self.order)
@@ -239,23 +243,29 @@ class CompactLabelIndex:
             weight_by_rank=self.weight_by_rank,
         )
         store.write_payload(
-            path, self.kind, arrays, meta={"strategy": self.order.strategy}
+            path, self.kind, arrays, meta={"strategy": self.order.strategy},
+            compress=compress,
         )
 
     @classmethod
-    def load(cls, path: str | Path) -> "CompactLabelIndex":
-        """Load an index written by :meth:`save`."""
+    def load(cls, path: str | Path, mmap: bool = False) -> "CompactLabelIndex":
+        """Load an index written by :meth:`save`.
+
+        ``mmap=True`` maps the label arrays read-only out of an
+        uncompressed file instead of copying them into memory (compressed
+        files fall back to the eager read).
+        """
         from repro.core import store
 
-        _, arrays, meta = store.read_payload(path, expect_kind=cls.kind)
+        _, arrays, meta = store.read_payload(path, expect_kind=cls.kind, mmap=mmap)
         order = store.restore_order(arrays, meta)
         return cls(
             order,
-            arrays["indptr"].astype(np.int64),
-            arrays["hubs"].astype(np.int32),
-            arrays["dists"].astype(np.int16),
-            arrays["counts"].astype(np.int64),
-            arrays["weight_by_rank"].astype(np.int64),
+            arrays["indptr"].astype(np.int64, copy=False),
+            arrays["hubs"].astype(np.int32, copy=False),
+            arrays["dists"].astype(np.int16, copy=False),
+            arrays["counts"].astype(np.int64, copy=False),
+            arrays["weight_by_rank"].astype(np.int64, copy=False),
         )
 
     # ------------------------------------------------------------------

@@ -40,7 +40,20 @@ from repro.core.queries import SPCResult, merge_labels, spc_query, spc_query_wit
 from repro.errors import QueryError
 from repro.graph.traversal import UNREACHABLE, slice_positions
 
-__all__ = ["QueryEngine", "query_batch_compact"]
+__all__ = ["QueryEngine", "query_batch_compact", "validate_pairs", "validate_vertex"]
+
+
+def validate_vertex(v: int, n: int) -> int:
+    """Range-check one vertex id against an index over ``n`` vertices.
+
+    The shared pre-admission check of both query services (sync and
+    async): one malformed submission must fail alone, with the same
+    message everywhere, before it can join a batch.
+    """
+    v = int(v)
+    if not 0 <= v < n:
+        raise QueryError(f"vertex {v} out of range for index over {n} vertices")
+    return v
 
 _INT64_MAX = np.iinfo(np.int64).max
 #: Products/sums in the vectorized kernel must stay below this bound.
@@ -67,6 +80,34 @@ def _batch_is_safe(store: CompactLabelIndex, n_pairs: int) -> bool:
 _BATCH_CHUNK = 512
 
 
+def validate_pairs(pairs: Sequence[tuple[int, int]], n: int) -> np.ndarray:
+    """Canonicalise a query batch to an int64 ``(B, 2)`` array.
+
+    The one shared validation for every batch entry point (the engine
+    kernel here, the worker pool's dispatch side): shape and vertex-range
+    violations raise :class:`~repro.errors.QueryError` with identical
+    messages everywhere, never a raw numpy error.
+    """
+    try:
+        pairs_arr = np.asarray(
+            pairs if isinstance(pairs, np.ndarray) else list(pairs), dtype=np.int64
+        )
+    except (TypeError, ValueError, OverflowError) as exc:
+        # OverflowError: a vertex id beyond int64 is out of range for any
+        # index, but must still surface as QueryError, not a numpy error
+        raise QueryError(f"batch must be a sequence of (s, t) pairs: {exc}") from None
+    if pairs_arr.size == 0:
+        return pairs_arr.reshape(0, 2)
+    if pairs_arr.ndim != 2 or pairs_arr.shape[1] != 2:
+        raise QueryError(
+            f"batch must be a sequence of (s, t) pairs, got shape {pairs_arr.shape}"
+        )
+    if int(pairs_arr.min()) < 0 or int(pairs_arr.max()) >= n:
+        bad = pairs_arr[(pairs_arr < 0) | (pairs_arr >= n)][0]
+        raise QueryError(f"vertex {int(bad)} out of range for index over {n} vertices")
+    return pairs_arr
+
+
 def query_batch_compact(
     store: CompactLabelIndex, pairs: Sequence[tuple[int, int]]
 ) -> list[SPCResult]:
@@ -75,16 +116,9 @@ def query_batch_compact(
     Falls back to the exact per-pair kernel when int64 overflow is
     possible; answers are always identical to the tuple-merge path.
     """
-    pairs_arr = np.asarray(pairs if isinstance(pairs, np.ndarray) else list(pairs))
-    if pairs_arr.size == 0:
+    pairs_arr = validate_pairs(pairs, store.n)
+    if len(pairs_arr) == 0:
         return []
-    if pairs_arr.ndim != 2 or pairs_arr.shape[1] != 2:
-        raise QueryError(f"batch must be a sequence of (s, t) pairs, got shape {pairs_arr.shape}")
-    pairs_arr = pairs_arr.astype(np.int64, copy=False)
-    n = store.n
-    if int(pairs_arr.min()) < 0 or int(pairs_arr.max()) >= n:
-        bad = pairs_arr[(pairs_arr < 0) | (pairs_arr >= n)][0]
-        raise QueryError(f"vertex {int(bad)} out of range for index over {n} vertices")
     if not _batch_is_safe(store, len(pairs_arr)):
         return [store.query(int(a), int(b)) for a, b in pairs_arr]
     # decide the weighted path once per batch, not per chunk (O(n) scan)

@@ -226,17 +226,21 @@ class HPSPCIndex:
     # ------------------------------------------------------------------
     # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, compress: bool = True) -> None:
         """Serialise the index (store + ordering + stats; not the graph)."""
         arrays, meta = store_module.pack_store(self.store)
         meta["ordering"] = self.ordering
         meta["stats"] = self.stats.to_meta()
-        store_module.write_payload(path, self._PAYLOAD_KIND, arrays, meta=meta)
+        store_module.write_payload(
+            path, self._PAYLOAD_KIND, arrays, meta=meta, compress=compress
+        )
 
     @classmethod
-    def load(cls, path: str | Path) -> "HPSPCIndex":
+    def load(cls, path: str | Path, mmap: bool = False) -> "HPSPCIndex":
         """Load an index written by :meth:`save` (graph is not restored)."""
-        _, arrays, meta = store_module.read_payload(path, expect_kind=cls._PAYLOAD_KIND)
+        _, arrays, meta = store_module.read_payload(
+            path, expect_kind=cls._PAYLOAD_KIND, mmap=mmap
+        )
         try:
             serving = store_module.unpack_store(arrays, meta, path)
             stats = BuildStats.from_meta(meta.get("stats", {}))

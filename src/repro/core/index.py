@@ -325,8 +325,13 @@ class PSPCIndex:
     # ------------------------------------------------------------------
     # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Serialise the index (store + config + full stats; not the graph)."""
+    def save(self, path: str | Path, compress: bool = True) -> None:
+        """Serialise the index (store + config + full stats; not the graph).
+
+        ``compress=False`` writes the members uncompressed so :meth:`load`
+        can memory-map the label arrays (``mmap=True``) — the layout for
+        serving indexes too large to decompress eagerly.
+        """
         arrays, meta = store_module.pack_store(self.store)
         meta["config"] = asdict(self.config)
         meta["stats"] = self.stats.to_meta()
@@ -335,12 +340,18 @@ class PSPCIndex:
             arrays["iteration_cost_lengths"] = np.asarray(
                 [len(c) for c in self.stats.iteration_costs], dtype=np.int64
             )
-        store_module.write_payload(path, _INDEX_KIND, arrays, meta=meta)
+        store_module.write_payload(path, _INDEX_KIND, arrays, meta=meta, compress=compress)
 
     @classmethod
-    def load(cls, path: str | Path) -> "PSPCIndex":
-        """Load an index written by :meth:`save` (graph is not restored)."""
-        _, arrays, meta = store_module.read_payload(path, expect_kind=_INDEX_KIND)
+    def load(cls, path: str | Path, mmap: bool = False) -> "PSPCIndex":
+        """Load an index written by :meth:`save` (graph is not restored).
+
+        ``mmap=True`` opens the label arrays lazily when the file was
+        written with ``compress=False``.
+        """
+        _, arrays, meta = store_module.read_payload(
+            path, expect_kind=_INDEX_KIND, mmap=mmap
+        )
         try:
             serving = store_module.unpack_store(arrays, meta, path)
             config_meta = dict(meta["config"])

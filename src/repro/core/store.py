@@ -142,12 +142,18 @@ def write_payload(
     kind: str,
     arrays: dict[str, np.ndarray],
     meta: dict | None = None,
+    compress: bool = True,
 ) -> None:
     """Write one versioned ``.npz`` container.
 
     ``arrays`` must hold plain numeric/string ndarrays (no object dtype —
     the format is pickle-free by design).  ``meta`` is any JSON-serialisable
     dict; ``format``/``version``/``kind`` are added automatically.
+
+    ``compress=False`` stores the members uncompressed (zip ``STORED``),
+    trading disk space for the ability to memory-map the label arrays
+    straight out of the file on load (see :func:`read_payload`'s ``mmap``) —
+    the layout of choice for multi-GB serving indexes.
 
     The file is written through an open handle so the exact ``path`` is
     honoured (``np.savez`` would append ``.npz`` to bare filenames).
@@ -161,8 +167,9 @@ def write_payload(
         if key.startswith("__"):
             raise PersistenceError(f"array key {key!r} collides with reserved names")
         payload[key] = value
+    writer = np.savez_compressed if compress else np.savez
     with Path(path).open("wb") as handle:
-        np.savez_compressed(handle, **payload)
+        writer(handle, **payload)
 
 
 def _validated_meta(data: "np.lib.npyio.NpzFile", path: str | Path) -> dict:
@@ -202,8 +209,77 @@ def peek_meta(path: str | Path) -> tuple[str, dict]:
     return str(meta.get("kind")), meta
 
 
+def _mmap_member_array(
+    path: Path, info: zipfile.ZipInfo
+) -> np.ndarray | None:
+    """Memory-map one uncompressed ``.npy`` member of a zip container.
+
+    Zip ``STORED`` members keep their bytes contiguous in the archive, so
+    the array data can be mapped in place: seek to the member's local
+    header, skip it, parse the ``.npy`` header, and hand the remaining
+    extent to ``np.memmap``.  Returns ``None`` whenever the member cannot
+    be mapped (compressed, Fortran-ordered, 0-d, or an unknown ``.npy``
+    version) — the caller falls back to an eager read.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    header_readers = {
+        (1, 0): np.lib.format.read_array_header_1_0,
+        (2, 0): np.lib.format.read_array_header_2_0,
+    }
+    with path.open("rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) < 30 or local[:4] != b"PK\x03\x04":
+            return None
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(handle)
+            reader = header_readers.get(version)
+            if reader is None:
+                return None
+            shape, fortran, dtype = reader(handle)
+        except ValueError:
+            return None
+        offset = handle.tell()
+    if fortran or dtype.hasobject or not shape:
+        return None
+    if 0 in shape:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
+
+
+def _mmap_arrays(path: Path, names: Sequence[str]) -> dict[str, np.ndarray] | None:
+    """Map every named member of an uncompressed container lazily.
+
+    All-or-nothing: if any member cannot be mapped the whole attempt is
+    abandoned (mixing lazy and eager members would make the memory profile
+    unpredictable) and the caller reads eagerly instead.
+    """
+    wanted = {f"{name}.npy": name for name in names}
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            members = {info.filename: info for info in archive.infolist()}
+    except (OSError, zipfile.BadZipFile):
+        return None
+    for filename, name in wanted.items():
+        info = members.get(filename)
+        if info is None:
+            return None
+        mapped = _mmap_member_array(path, info)
+        if mapped is None:
+            return None
+        arrays[name] = mapped
+    return arrays
+
+
 def read_payload(
-    path: str | Path, expect_kind: str | Sequence[str] | None = None
+    path: str | Path,
+    expect_kind: str | Sequence[str] | None = None,
+    mmap: bool = False,
 ) -> tuple[str, dict[str, np.ndarray], dict]:
     """Read a container written by :func:`write_payload`.
 
@@ -211,13 +287,21 @@ def read_payload(
     :class:`~repro.errors.PersistenceError` when the file is not a repro
     container, was written by a newer format version, or (with
     ``expect_kind``) holds a different kind of payload.
+
+    ``mmap=True`` opens the label arrays lazily as read-only memory maps
+    when the file was written uncompressed (``compress=False``): a
+    multi-GB index then costs page-cache faults instead of an upfront
+    decompress-and-copy, which is what lets a serving parent open a large
+    index before publishing it to shared memory.  Compressed files fall
+    back to the normal eager read transparently.
     """
     # member arrays decompress lazily, so the whole read sits inside one
     # guard: np.load failures AND per-array surprises (e.g. object-dtype
     # members, which allow_pickle=False rejects) all surface as
     # PersistenceError, never a raw ValueError
+    file_path = Path(path)
     try:
-        data = np.load(Path(path))
+        data = np.load(file_path)
         with data:
             meta = _validated_meta(data, path)
             kind = meta.get("kind")
@@ -227,7 +311,12 @@ def read_payload(
                     raise PersistenceError(
                         f"{path} holds a {kind!r} payload; expected one of {expected}"
                     )
-            arrays = {key: data[key] for key in data.files if key != "__meta__"}
+            names = [key for key in data.files if key != "__meta__"]
+            arrays = None
+            if mmap:
+                arrays = _mmap_arrays(file_path, names)
+            if arrays is None:
+                arrays = {key: data[key] for key in names}
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
     return str(kind), arrays, meta
@@ -322,15 +411,22 @@ def pack_store(store: "LabelStore") -> tuple[dict[str, np.ndarray], dict]:
 
     The shared serialisation core behind every index facade
     (:class:`~repro.core.index.PSPCIndex`,
-    :class:`~repro.core.hpspc.HPSPCIndex`): order, label arrays (compact
-    passthrough or packed tuple lists) and the per-rank hub weights, plus
-    the ``store_kind``/``strategy``/``counts`` metadata :func:`unpack_store`
-    needs to invert the encoding.
+    :class:`~repro.core.hpspc.HPSPCIndex`) **and** the shared-memory
+    segment manifests: order, label arrays (compact passthrough, packed
+    tuple lists, or the directed two-label arrays) and the per-rank hub
+    weights, plus the ``store_kind``/``strategy``/``counts`` metadata
+    :func:`unpack_store` needs to invert the encoding.
     """
     from repro.core.compact import CompactLabelIndex
+    from repro.digraph.labels import CompactDirectedLabelIndex
 
     arrays = order_arrays(store.order)
     meta: dict = {"store_kind": store.kind, "strategy": store.order.strategy}
+    if isinstance(store, CompactDirectedLabelIndex):
+        for side in ("in", "out"):
+            for field in ("indptr", "hubs", "dists", "counts"):
+                arrays[f"{field}_{side}"] = getattr(store, f"{field}_{side}")
+        return arrays, meta
     if isinstance(store, CompactLabelIndex):
         arrays.update(
             indptr=store.indptr,
@@ -347,21 +443,38 @@ def pack_store(store: "LabelStore") -> tuple[dict[str, np.ndarray], dict]:
     return arrays, meta
 
 
-def unpack_store(arrays: dict[str, np.ndarray], meta: dict, path: str | Path = "") -> "LabelStore":
+def unpack_store(arrays: dict[str, np.ndarray], meta: dict, path: str | Path = ""):
     """Invert :func:`pack_store` back into the store kind the payload holds."""
     from repro.core.compact import CompactLabelIndex
     from repro.core.labels import LabelIndex
+    from repro.digraph.labels import CompactDirectedLabelIndex
 
     order = restore_order(arrays, meta)
-    weight_by_rank = arrays["weight_by_rank"].astype(np.int64)
     store_kind = meta.get("store_kind")
+    if store_kind == "directed-compact":
+        return CompactDirectedLabelIndex(
+            order,
+            *(
+                arrays[f"{field}_{side}"].astype(dtype, copy=False)
+                for side in ("in", "out")
+                for field, dtype in (
+                    ("indptr", np.int64),
+                    ("hubs", np.int32),
+                    ("dists", np.int16),
+                    ("counts", np.int64),
+                )
+            ),
+        )
+    weight_by_rank = arrays["weight_by_rank"].astype(np.int64, copy=False)
     if store_kind == "compact":
+        # copy=False keeps memory-mapped (and shared-memory) label arrays
+        # zero-copy when they already carry the canonical dtypes
         return CompactLabelIndex(
             order,
-            arrays["indptr"].astype(np.int64),
-            arrays["hubs"].astype(np.int32),
-            arrays["dists"].astype(np.int16),
-            arrays["counts"].astype(np.int64),
+            arrays["indptr"].astype(np.int64, copy=False),
+            arrays["hubs"].astype(np.int32, copy=False),
+            arrays["dists"].astype(np.int16, copy=False),
+            arrays["counts"].astype(np.int64, copy=False),
             weight_by_rank,
         )
     if store_kind == "tuple":
@@ -423,12 +536,17 @@ def freeze_labels(labels: "LabelIndex | CompactLabelIndex") -> "LabelStore":
         return labels
 
 
-def load_labels(path: str | Path) -> "LabelStore":
-    """Load any bare label store, returning the representation it holds."""
+def load_labels(path: str | Path, mmap: bool = False) -> "LabelStore":
+    """Load any bare label store, returning the representation it holds.
+
+    ``mmap=True`` opens compact stores lazily when the file is
+    uncompressed (see :func:`read_payload`); tuple stores always
+    materialise their entry lists.
+    """
     from repro.core.compact import CompactLabelIndex
     from repro.core.labels import LabelIndex
 
     kind, _, _ = read_payload(path, expect_kind=STORE_KINDS)
     if kind == "compact":
-        return CompactLabelIndex.load(path)
+        return CompactLabelIndex.load(path, mmap=mmap)
     return LabelIndex.load(path)

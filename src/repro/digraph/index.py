@@ -17,7 +17,12 @@ from repro.core.queries import SPCResult
 from repro.core.stats import BuildStats
 from repro.digraph.digraph import DiGraph
 from repro.digraph.hpspc import build_hpspc_directed
-from repro.digraph.labels import DirectedLabelIndex, batch_query_directed, spc_query_directed
+from repro.digraph.labels import (
+    CompactDirectedLabelIndex,
+    DirectedLabelIndex,
+    batch_query_directed,
+    spc_query_directed,
+)
 from repro.digraph.pspc import build_pspc_directed
 from repro.errors import IndexBuildError, QueryError
 from repro.ordering.base import VertexOrder
@@ -44,7 +49,15 @@ class DirectedSPCIndex:
     (1, 0)
     """
 
-    def __init__(self, labels: DirectedLabelIndex, stats: BuildStats, graph: DiGraph | None) -> None:
+    def __init__(
+        self,
+        labels: DirectedLabelIndex | CompactDirectedLabelIndex,
+        stats: BuildStats,
+        graph: DiGraph | None,
+    ) -> None:
+        #: the serving labels — tuple lists from a build, or the flat
+        #: compact arrays when reopened from a ``directed-compact`` file
+        #: (kept packed: thawing would materialise every entry as tuples)
         self.labels = labels
         self.stats = stats
         self.graph = graph
@@ -74,6 +87,8 @@ class DirectedSPCIndex:
 
     def query(self, s: int, t: int) -> SPCResult:
         """Directed distance and shortest-path count for ``s -> t``."""
+        if isinstance(self.labels, CompactDirectedLabelIndex):
+            return self.labels.query(s, t)
         return spc_query_directed(self.labels, s, t)
 
     def spc(self, s: int, t: int) -> int:
@@ -86,6 +101,8 @@ class DirectedSPCIndex:
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
         """Evaluate many directed queries in input order."""
+        if isinstance(self.labels, CompactDirectedLabelIndex):
+            return self.labels.query_batch(pairs)
         return batch_query_directed(self.labels, pairs)
 
     def total_entries(self) -> int:
@@ -101,9 +118,9 @@ class DirectedSPCIndex:
         return self.labels.size_mb()
 
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, compress: bool = True) -> None:
         """Persist the directed labels (unified ``.npz``; graph not saved)."""
-        self.labels.save(path)
+        self.labels.save(path, compress=compress)
 
     @classmethod
     def load(cls, path: str | Path) -> "DirectedSPCIndex":

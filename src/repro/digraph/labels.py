@@ -30,7 +30,12 @@ from repro.errors import IndexStateError, QueryError
 from repro.graph.traversal import UNREACHABLE
 from repro.ordering.base import VertexOrder
 
-__all__ = ["DirectedLabelIndex", "spc_query_directed", "batch_query_directed"]
+__all__ = [
+    "CompactDirectedLabelIndex",
+    "DirectedLabelIndex",
+    "spc_query_directed",
+    "batch_query_directed",
+]
 
 Entry = tuple[int, int, int]  # (hub_rank, dist, count)
 
@@ -107,7 +112,7 @@ class DirectedLabelIndex:
     # ------------------------------------------------------------------
     # persistence (unified versioned .npz — see repro.core.store)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, compress: bool = True) -> None:
         """Serialise to the unified versioned ``.npz`` store format."""
         from repro.core import store
 
@@ -125,6 +130,7 @@ class DirectedLabelIndex:
                 "counts_in": enc_in,
                 "counts_out": enc_out,
             },
+            compress=compress,
         )
 
     @classmethod
@@ -149,6 +155,213 @@ class DirectedLabelIndex:
             str(meta.get("counts_out", "int64")),
         )
         return cls(order, entries_in, entries_out)
+
+
+class CompactDirectedLabelIndex:
+    """The directed two-label index frozen into flat numpy arrays.
+
+    The directed twin of :class:`~repro.core.compact.CompactLabelIndex`:
+    ``Lin`` and ``Lout`` each become a CSR-style triple of ``hubs`` (int32),
+    ``dists`` (int16) and ``counts`` (int64) arrays plus an ``indptr`` cut
+    array.  Flat arrays are what the shared-memory serving segments
+    (:mod:`repro.serve.shm`) can expose zero-copy to worker processes —
+    the tuple-list representation cannot cross a process boundary without
+    a full pickle round-trip.
+
+    Queries answer identically to :func:`spc_query_directed` over the
+    tuple-based :class:`DirectedLabelIndex` (asserted by tests); only the
+    storage differs.
+    """
+
+    __slots__ = (
+        "order",
+        "indptr_in", "hubs_in", "dists_in", "counts_in",
+        "indptr_out", "hubs_out", "dists_out", "counts_out",
+    )
+
+    #: store-layer payload kind (shared-memory manifests carry it).
+    kind = "directed-compact"
+
+    def __init__(
+        self,
+        order: VertexOrder,
+        indptr_in: np.ndarray,
+        hubs_in: np.ndarray,
+        dists_in: np.ndarray,
+        counts_in: np.ndarray,
+        indptr_out: np.ndarray,
+        hubs_out: np.ndarray,
+        dists_out: np.ndarray,
+        counts_out: np.ndarray,
+    ) -> None:
+        self.order = order
+        self.indptr_in = indptr_in
+        self.hubs_in = hubs_in
+        self.dists_in = dists_in
+        self.counts_in = counts_in
+        self.indptr_out = indptr_out
+        self.hubs_out = hubs_out
+        self.dists_out = dists_out
+        self.counts_out = counts_out
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, index: DirectedLabelIndex) -> "CompactDirectedLabelIndex":
+        """Freeze a tuple-based directed index into flat arrays.
+
+        Raises :class:`~repro.errors.IndexStateError` when any path count
+        exceeds ``int64`` (the packed representation cannot hold it).
+        """
+        from repro.core import store
+
+        packed = {}
+        for side, entries in (("in", index.entries_in), ("out", index.entries_out)):
+            arrays, encoding = store.pack_entry_lists(entries)
+            if encoding != "int64":
+                raise IndexStateError(
+                    f"directed L{side} counts exceed int64; keep the tuple-based "
+                    "DirectedLabelIndex for this graph"
+                )
+            packed[side] = arrays
+        return cls(
+            index.order,
+            packed["in"]["indptr"],
+            packed["in"]["hubs"].astype(np.int32),
+            packed["in"]["dists"].astype(np.int16),
+            packed["in"]["counts"],
+            packed["out"]["indptr"],
+            packed["out"]["hubs"].astype(np.int32),
+            packed["out"]["dists"].astype(np.int16),
+            packed["out"]["counts"],
+        )
+
+    def to_directed_index(self) -> DirectedLabelIndex:
+        """Thaw back into the tuple-based representation."""
+        from repro.core import store
+
+        entries_in = store.unpack_entry_lists(
+            self.indptr_in, self.hubs_in, self.dists_in, self.counts_in, "int64"
+        )
+        entries_out = store.unpack_entry_lists(
+            self.indptr_out, self.hubs_out, self.dists_out, self.counts_out, "int64"
+        )
+        return DirectedLabelIndex(self.order, entries_in, entries_out)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices."""
+        return len(self.indptr_in) - 1
+
+    def total_entries(self) -> int:
+        """Total entries across both label directions."""
+        return len(self.hubs_in) + len(self.hubs_out)
+
+    def size_bytes(self) -> int:
+        """Nominal index size using the shared compact entry encoding."""
+        from repro.core.labels import ENTRY_BYTES
+
+        return self.total_entries() * ENTRY_BYTES
+
+    def size_mb(self) -> float:
+        """Nominal index size in MB (the paper's Fig. 6 unit)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+    def nbytes(self) -> int:
+        """Actual memory held by the packed arrays."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in self.__slots__
+            if name != "order"
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> SPCResult:
+        """Exact directed ``(distance, count)`` — identical to the tuple index."""
+        n = self.n
+        if not 0 <= s < n:
+            raise QueryError(f"source vertex {s} out of range for index over {n} vertices")
+        if not 0 <= t < n:
+            raise QueryError(f"target vertex {t} out of range for index over {n} vertices")
+        if s == t:
+            return SPCResult(s, t, 0, 1)
+        lo_s, hi_s = int(self.indptr_out[s]), int(self.indptr_out[s + 1])
+        lo_t, hi_t = int(self.indptr_in[t]), int(self.indptr_in[t + 1])
+        common, idx_s, idx_t = np.intersect1d(
+            self.hubs_out[lo_s:hi_s],
+            self.hubs_in[lo_t:hi_t],
+            assume_unique=True,
+            return_indices=True,
+        )
+        if len(common) == 0:
+            return SPCResult(s, t, UNREACHABLE, 0)
+        dsum = (
+            self.dists_out[lo_s:hi_s][idx_s].astype(np.int64)
+            + self.dists_in[lo_t:hi_t][idx_t].astype(np.int64)
+        )
+        best = int(dsum.min())
+        # Python-int accumulation: count products can exceed int64 even
+        # when every stored count fits (same discipline as the undirected
+        # compact point kernel)
+        total = 0
+        for k in np.flatnonzero(dsum == best):
+            total += int(self.counts_out[lo_s:hi_s][idx_s[k]]) * int(
+                self.counts_in[lo_t:hi_t][idx_t[k]]
+            )
+        return SPCResult(s, t, best, total)
+
+    def spc(self, s: int, t: int) -> int:
+        """Number of shortest directed paths ``s -> t``."""
+        return self.query(s, t).count
+
+    def distance(self, s: int, t: int) -> int:
+        """Directed distance (-1 if unreachable)."""
+        return self.query(s, t).dist
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate many directed queries in input order."""
+        return [self.query(int(s), int(t)) for s, t in pairs]
+
+    # ------------------------------------------------------------------
+    # persistence (unified versioned .npz — see repro.core.store)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path, compress: bool = True) -> None:
+        """Serialise via the shared :func:`~repro.core.store.pack_store`."""
+        from repro.core import store
+
+        arrays, meta = store.pack_store(self)
+        store.write_payload(path, self.kind, arrays, meta=meta, compress=compress)
+
+    @classmethod
+    def load(cls, path: str | Path, mmap: bool = False) -> "CompactDirectedLabelIndex":
+        """Load an index written by :meth:`save`."""
+        from repro.core import store
+
+        _, arrays, meta = store.read_payload(path, expect_kind=cls.kind, mmap=mmap)
+        restored = store.unpack_store(arrays, meta, path)
+        if not isinstance(restored, cls):  # pragma: no cover - schema guard
+            raise IndexStateError(f"{path} did not restore a {cls.__name__}")
+        return restored
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactDirectedLabelIndex):
+            return NotImplemented
+        return np.array_equal(self.order.order, other.order.order) and all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in self.__slots__
+            if name != "order"
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactDirectedLabelIndex(n={self.n}, entries={self.total_entries()})"
+        )
 
 
 def spc_query_directed(index: DirectedLabelIndex, s: int, t: int) -> SPCResult:

@@ -21,6 +21,7 @@ __all__ = [
     "QueryError",
     "ReductionError",
     "SchedulingError",
+    "ServeError",
     "DatasetError",
 ]
 
@@ -76,6 +77,10 @@ class ReductionError(ReproError):
 
 class SchedulingError(ReproError):
     """A schedule plan was configured with invalid parameters."""
+
+
+class ServeError(ReproError):
+    """The multi-process serving layer failed (shm segment, worker pool)."""
 
 
 class DatasetError(ReproError):

@@ -37,6 +37,7 @@ __all__ = [
     "exp_query_time",
     "exp_query_batch",
     "exp_query_service",
+    "exp_serve_scaling",
     "exp_build_speedup",
     "exp_query_speedup",
     "exp_ablation_landmarks",
@@ -357,6 +358,97 @@ def exp_query_service(
                 "max_flush_us": stats["max_flush_us"],
             }
         )
+    return rows
+
+
+def exp_serve_scaling(
+    keys: Sequence[str] = ("FB",),
+    n_queries: int = 20_000,
+    workers: Sequence[int] = (1, 2, 4),
+    repeats: int = 3,
+) -> list[dict]:
+    """Batch-query throughput of the :class:`~repro.serve.pool.WorkerPool`
+    vs worker count, against the PR-3 single-process service baseline.
+
+    For each dataset the fig7-style random workload is answered three ways,
+    always asserting identical results:
+
+    * ``workers=0`` rows — the synchronous :class:`~repro.api.QueryService`
+      baseline (one process, admission-sized kernel calls);
+    * ``workers=N`` rows — the same workload sharded across N spawn-based
+      processes attached to one shared-memory segment.
+
+    ``qps`` is end-to-end throughput (queries / wall-clock second, best of
+    ``repeats`` runs so process-scheduling noise does not mask scaling);
+    ``speedup`` is relative to the 1-worker pool row.  Real scaling needs
+    real cores: on a single-CPU host the pool rows only measure dispatch
+    overhead (the ``cpus`` column records what the host offered).
+    """
+    import multiprocessing
+
+    from repro.api import QueryService
+    from repro.serve.pool import WorkerPool
+    from repro.serve.shm import ShmIndexSegment
+
+    cpus = multiprocessing.cpu_count()
+    rows = []
+    for key in keys:
+        graph = load_dataset(key)
+        index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+        pairs = random_query_pairs(graph, n_queries, seed=7)
+        expected = index.query_batch(pairs)
+
+        with QueryService(index, batch_size=512) as service:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                served = service.query_batch(pairs)
+                best = min(best, time.perf_counter() - start)
+            if served != expected:
+                raise AssertionError(f"QueryService diverged on {key}")
+        rows.append(
+            {
+                "dataset": key,
+                "workers": 0,
+                "queries": n_queries,
+                "qps": round(n_queries / best),
+                "speedup": None,
+                "cpus": cpus,
+            }
+        )
+
+        # one shm publish per dataset, shared across pool sizes: the
+        # measured variable is worker count, not segment-copy cost
+        segment = ShmIndexSegment.publish(index)
+        try:
+            base_seconds = None
+            for count in workers:
+                with WorkerPool(segment=segment, workers=count) as pool:
+                    pool.query_batch(pairs[:64])  # warm the workers
+                    best = float("inf")
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        answers = pool.query_batch(pairs)
+                        best = min(best, time.perf_counter() - start)
+                    if answers != expected:
+                        raise AssertionError(
+                            f"WorkerPool diverged on {key} at {count} workers"
+                        )
+                if base_seconds is None:
+                    base_seconds = best
+                rows.append(
+                    {
+                        "dataset": key,
+                        "workers": count,
+                        "queries": n_queries,
+                        "qps": round(n_queries / best),
+                        "speedup": round(base_seconds / best, 2),
+                        "cpus": cpus,
+                    }
+                )
+        finally:
+            segment.close()
+            segment.unlink()
     return rows
 
 

@@ -1,0 +1,54 @@
+"""repro.serve — the multi-process serving subsystem.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.serve.shm` — :class:`ShmIndexSegment` publishes a frozen
+  compact index (undirected or directed) into one named shared-memory
+  block; workers attach read-only views **without copying** the label
+  arrays.
+* :mod:`repro.serve.pool` — :class:`WorkerPool` shards each query batch
+  contiguously across N spawn-based worker processes, reassembles answers
+  in order, detects crashes and respawns each slot once.
+* :mod:`repro.serve.async_service` — :class:`AsyncQueryService`, the
+  asyncio twin of :class:`repro.api.QueryService`: admission batching for
+  thousands of concurrent awaiters, flushing one kernel call per batch
+  onto the pool (or a counter directly when ``workers=0``).
+
+:mod:`repro.serve.http` puts a stdlib-only HTTP endpoint on top, exposed
+as ``python -m repro serve <index.npz> --workers N --port P``.
+
+Exports resolve lazily (PEP 562): ``import repro`` must not pay for
+asyncio/multiprocessing machinery that only servers use — the submodule
+loads on first attribute access.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+#: export name -> defining submodule (resolved on first access)
+_LAZY_EXPORTS = {
+    "AsyncQueryService": "repro.serve.async_service",
+    "HttpFrontend": "repro.serve.http",
+    "run_server": "repro.serve.http",
+    "LRUCache": "repro.serve.cache",
+    "FlushStats": "repro.serve.metrics",
+    "SEGMENT_PREFIX": "repro.serve.shm",
+    "ShmIndexSegment": "repro.serve.shm",
+    "WorkerPool": "repro.serve.pool",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,269 @@
+"""Asyncio admission-batched query service — the async twin of
+:class:`repro.api.QueryService`.
+
+``await submit(s, t)`` parks the caller on a future while queries
+accumulate; when ``batch_size`` are pending (or the oldest has waited
+``max_wait`` seconds) the whole batch flushes through **one** kernel call,
+dispatched off the event loop with ``loop.run_in_executor`` so thousands of
+concurrent awaiters cost one vectorized merge per batch and the loop never
+blocks.  The kernel target is either a counter's ``query_batch`` directly
+(``workers=0``) or a :class:`~repro.serve.pool.WorkerPool` sharding each
+batch across spawn-based processes attached to the shared-memory segment.
+
+Same invariant as the synchronous service: answers are identical to
+per-pair ``query`` calls in every regime — admission batching and process
+sharding change latency shape, never results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Sequence
+
+from repro.core.engine import validate_vertex
+from repro.core.queries import SPCResult
+from repro.errors import QueryError, ServeError
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import FlushStats
+from repro.serve.pool import WorkerPool
+
+__all__ = ["AsyncQueryService"]
+
+
+class AsyncQueryService:
+    """Admission micro-batching over an event loop.
+
+    Parameters mirror :class:`repro.api.QueryService` (``batch_size``,
+    ``max_wait``, ``cache_size``) plus the dispatch target: ``workers=0``
+    (default) flushes straight onto ``counter.query_batch`` in an executor
+    thread; ``workers=N`` publishes the counter to shared memory and
+    shards every flush across a spawned :class:`WorkerPool` (owned by the
+    service and closed by :meth:`aclose`).  An externally managed pool can
+    be passed via ``pool=`` instead.
+
+    Not thread-safe — one event loop drives it (the kernels themselves run
+    in executor threads; the pool serialises overlapping flushes).
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.graph import cycle_graph
+    >>> from repro.core.index import PSPCIndex
+    >>> async def demo():
+    ...     async with AsyncQueryService(PSPCIndex.build(cycle_graph(6))) as svc:
+    ...         return [r.count for r in await asyncio.gather(
+    ...             svc.submit(0, 3), svc.submit(1, 4))]
+    >>> asyncio.run(demo())
+    [2, 2]
+    """
+
+    def __init__(
+        self,
+        counter=None,
+        *,
+        workers: int = 0,
+        pool: WorkerPool | None = None,
+        batch_size: int = 64,
+        max_wait: float = 0.002,
+        cache_size: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        if max_wait < 0:
+            raise QueryError(f"max_wait must be >= 0, got {max_wait}")
+        if workers < 0:
+            raise ServeError(f"workers must be >= 0, got {workers}")
+        if counter is None and pool is None:
+            raise ServeError("AsyncQueryService needs a counter or a WorkerPool")
+        self.counter = counter
+        self.batch_size = int(batch_size)
+        self.max_wait = float(max_wait)
+        self._owns_pool = False
+        if pool is not None:
+            self.pool: WorkerPool | None = pool
+        elif workers > 0:
+            self.pool = WorkerPool(counter, workers=workers)
+            self._owns_pool = True
+        else:
+            self.pool = None
+        target = self.pool or counter
+        self._dispatch = target.query_batch
+        self._n = int(getattr(target, "n", 0))
+        self._pending: list[tuple[int, int, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._flush_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self._cache: LRUCache[tuple[int, int], SPCResult] = LRUCache(cache_size)
+        #: flush accounting shared with the sync twin (loop-thread only)
+        self._metrics = FlushStats()
+
+    # ------------------------------------------------------------------
+    # point path
+    # ------------------------------------------------------------------
+    async def submit(self, s: int, t: int) -> SPCResult:
+        """Enqueue one query and await its batch's answer.
+
+        Cache hits (when ``cache_size > 0``) resolve immediately without
+        touching a kernel; everything else flushes with its batch.  Vertex
+        ids are validated *here*, before admission: one malformed request
+        must fail alone, never poison the co-batched queries of other
+        concurrent callers.
+        """
+        if self._closed:
+            raise QueryError("AsyncQueryService is closed")
+        s = validate_vertex(s, self._n)
+        t = validate_vertex(t, self._n)
+        self._metrics.queries += 1
+        cached = self._cache.get((s, t))
+        if cached is not None:
+            return cached
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((s, t, future))
+        if len(self._pending) >= self.batch_size:
+            self._start_flush("full")
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_wait, self._deadline_expired)
+        return await future
+
+    def _deadline_expired(self) -> None:
+        self._timer = None
+        if self._pending:
+            self._start_flush("timeout")
+
+    def _start_flush(self, reason: str) -> None:
+        """Detach the pending batch and evaluate it in a background task."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = self._pending
+        if not batch:
+            return
+        self._pending = []
+        task = asyncio.get_running_loop().create_task(self._flush(batch, reason))
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _flush(self, batch: list[tuple[int, int, asyncio.Future]], reason: str) -> None:
+        pairs = [(s, t) for s, t, _ in batch]
+        try:
+            answers = await self._run_kernel(pairs, reason)
+        except BaseException as exc:  # noqa: BLE001 - delivered to every waiter
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (s, t, future), answer in zip(batch, answers):
+            self._cache.put((s, t), answer)
+            if not future.done():
+                future.set_result(answer)
+
+    async def _run_kernel(self, pairs: list[tuple[int, int]], reason: str) -> list[SPCResult]:
+        """One timed kernel call, dispatched off the event loop."""
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        answers = await loop.run_in_executor(None, self._dispatch, pairs)
+        elapsed = time.perf_counter() - start
+        self._metrics.record_flush(reason, elapsed, len(pairs))
+        return answers
+
+    # ------------------------------------------------------------------
+    # bulk path
+    # ------------------------------------------------------------------
+    async def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Answer a whole workload in admission-sized kernel calls.
+
+        Point-path stragglers are flushed first so batches stay aligned;
+        the bulk chunks bypass the LRU cache (it exists for hot repeated
+        point pairs, not for sweeps).  Chunks are ``batch_size`` pairs when
+        dispatching onto a counter directly and ``batch_size * workers``
+        over a pool — each pool dispatch shards across all workers, so
+        admission-sized chunks would leave N-1 workers idle per call.
+        """
+        if self._closed:
+            raise QueryError("AsyncQueryService is closed")
+        workload = [
+            (validate_vertex(s, self._n), validate_vertex(t, self._n))
+            for s, t in pairs
+        ]
+        if not workload:
+            return []
+        await self.flush()
+        chunk_size = self.batch_size * (self.pool.workers if self.pool else 1)
+        results: list[SPCResult] = []
+        for start in range(0, len(workload), chunk_size):
+            chunk = workload[start : start + chunk_size]
+            results.extend(await self._run_kernel(chunk, "bulk"))
+        return results
+
+    # ------------------------------------------------------------------
+    # flushing & lifecycle
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop every cached point answer (after mutating the counter).
+
+        The LRU cache assumes a frozen index; services over a mutable
+        counter should leave caching disabled or clear it on every update.
+        """
+        self._cache.clear()
+
+    async def flush(self) -> int:
+        """Flush pending point queries now; returns how many were started."""
+        count = len(self._pending)
+        if count:
+            self._start_flush("manual")
+        await asyncio.gather(*tuple(self._flush_tasks), return_exceptions=True)
+        return count
+
+    @property
+    def pending(self) -> int:
+        """Point queries waiting for their batch."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`aclose` has run."""
+        return self._closed
+
+    def stats(self) -> dict:
+        """Serving statistics (same shape as the sync service, plus pool/cache)."""
+        report = self._metrics.snapshot(len(self._pending), self._cache)
+        if self.pool is not None:
+            report["pool"] = self.pool.stats()
+        return report
+
+    async def aclose(self) -> None:
+        """Flush stragglers, wait out in-flight batches, stop an owned pool.
+
+        Mirrors the sync service's ``close()``: a pending sub-batch is
+        never silently lost — it flushes here, and submissions after
+        ``aclose`` raise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._pending:
+            batch = self._pending
+            self._pending = []
+            await self._flush(batch, "manual")
+        await asyncio.gather(*tuple(self._flush_tasks), return_exceptions=True)
+        if self._owns_pool and self.pool is not None:
+            await asyncio.get_running_loop().run_in_executor(None, self.pool.close)
+
+    async def __aenter__(self) -> "AsyncQueryService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        target = type(self.pool or self.counter).__name__
+        return (
+            f"AsyncQueryService(target={target}, batch_size={self.batch_size}, "
+            f"max_wait={self.max_wait}, batches={self._metrics.batches}, "
+            f"queries={self._metrics.queries})"
+        )

@@ -1,0 +1,89 @@
+"""A small LRU cache for point-query results.
+
+Shared by the synchronous :class:`repro.api.QueryService` and the
+asynchronous :class:`repro.serve.async_service.AsyncQueryService`: repeated
+``(s, t)`` pairs short-circuit the batch kernel entirely, which matters for
+skewed serving workloads where a handful of hot pairs dominate traffic.
+
+Not thread-safe by itself — callers serialise access (the sync service
+under its condition lock, the async service on the event loop thread).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping evicting the least-recently-used entry.
+
+    ``capacity <= 0`` disables the cache: every lookup misses and nothing
+    is stored, so services can hold one unconditional cache object instead
+    of branching on "caching enabled".
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[K, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key``, marking it most-recently-used on a hit.
+
+        A disabled cache (``capacity <= 0``) counts neither hits nor
+        misses — its stats stay at zero instead of reporting every query
+        as a miss.
+        """
+        if self.capacity <= 0:
+            return default
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters and current occupancy."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(capacity={self.capacity}, entries={len(self._data)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

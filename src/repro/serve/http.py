@@ -1,0 +1,274 @@
+"""A stdlib-only asyncio HTTP endpoint over :class:`AsyncQueryService`.
+
+No web framework: requests are parsed straight off the asyncio stream —
+enough HTTP/1.1 for a serving sidecar and for loopback smoke tests.
+
+Routes
+------
+``GET /query?s=&t=``   one point query through the admission batcher
+``POST /query_batch``  body ``{"pairs": [[s, t], ...]}`` through the bulk path
+``GET /stats``         service + worker-pool statistics
+``GET /healthz``       liveness: vertex count, workers, pid
+
+Exposed on the command line as ``python -m repro serve <index.npz>
+--workers N --port P`` (see :func:`run_server`); every connection is
+answered and closed (``Connection: close``), keeping the loop free of
+keep-alive bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import QueryError, ReproError, ServeError
+from repro.serve.async_service import AsyncQueryService
+
+__all__ = ["HttpFrontend", "run_server"]
+
+#: Largest accepted request body (the batch endpoint), in bytes.
+_MAX_BODY = 32 * 1024 * 1024
+
+#: Seconds an open connection may take to deliver a complete request;
+#: idle and half-open sockets are dropped instead of pinning a task+fd
+#: on the long-running server.
+_READ_TIMEOUT = 30.0
+
+
+class _HttpError(Exception):
+    """An error that maps to a specific HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpFrontend:
+    """Route HTTP requests on one listening socket into a service."""
+
+    def __init__(self, service: AsyncQueryService) -> None:
+        self.service = service
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: parse, dispatch, answer, close."""
+        try:
+            status, body = await asyncio.wait_for(
+                self._handle(reader), timeout=_READ_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            status, body = 400, {"error": f"request not completed within {_READ_TIMEOUT:.0f}s"}
+        except _HttpError as exc:
+            status, body = exc.status, {"error": str(exc)}
+        except ServeError as exc:
+            # infrastructure fault (crashed pool, closed segment), not a
+            # malformed request: alerting must see a 5xx
+            status, body = 500, {"error": str(exc)}
+        except (QueryError, ReproError) as exc:
+            status, body = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - surface, never kill the loop
+            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        payload = json.dumps(body).encode()
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode()
+            + payload
+        )
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover - client gone
+            pass
+
+    async def _handle(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("latin-1").strip()
+            if not header:
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, f"bad Content-Length {value.strip()!r}") from None
+                if content_length < 0:
+                    raise _HttpError(400, f"bad Content-Length {content_length}")
+        if content_length > _MAX_BODY:
+            raise _HttpError(413, f"body of {content_length} bytes exceeds {_MAX_BODY}")
+        body = await reader.readexactly(content_length) if content_length else b""
+        self.requests += 1
+        url = urlsplit(target)
+        return await self._route(method.upper(), url.path, parse_qs(url.query), body)
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, query: dict, body: bytes
+    ) -> tuple[int, dict]:
+        if path == "/query":
+            if method != "GET":
+                raise _HttpError(405, "/query is GET")
+            return await self._query(query)
+        if path == "/query_batch":
+            if method != "POST":
+                raise _HttpError(405, "/query_batch is POST")
+            return await self._query_batch(body)
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "/stats is GET")
+            # pool.stats() contends the dispatch lock, which a running
+            # batch holds for its whole kernel call — wait in an executor
+            # thread, never on the event loop
+            stats = await asyncio.get_running_loop().run_in_executor(
+                None, self.service.stats
+            )
+            return 200, stats
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "/healthz is GET")
+            pool = self.service.pool
+            return 200, {
+                "status": "ok",
+                "n": int(getattr(self.service.pool or self.service.counter, "n", 0)),
+                "workers": pool.workers if pool is not None else 0,
+                "requests": self.requests,
+                "pid": os.getpid(),
+            }
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    def _int_param(self, query: dict, name: str) -> int:
+        values = query.get(name)
+        if not values:
+            raise _HttpError(400, f"missing query parameter {name!r}")
+        try:
+            return int(values[0])
+        except ValueError:
+            raise _HttpError(400, f"parameter {name!r} must be an integer") from None
+
+    async def _query(self, query: dict) -> tuple[int, dict]:
+        s = self._int_param(query, "s")
+        t = self._int_param(query, "t")
+        result = await self.service.submit(s, t)
+        return 200, {"s": result.s, "t": result.t, "dist": result.dist, "count": result.count}
+
+    async def _query_batch(self, body: bytes) -> tuple[int, dict]:
+        try:
+            decoded = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from None
+        pairs = decoded.get("pairs") if isinstance(decoded, dict) else None
+        if not isinstance(pairs, list) or not all(
+            isinstance(p, (list, tuple)) and len(p) == 2 for p in pairs
+        ):
+            raise _HttpError(400, 'body must be {"pairs": [[s, t], ...]}')
+        try:
+            workload = [(int(s), int(t)) for s, t in pairs]
+        except (TypeError, ValueError):
+            raise _HttpError(400, "pair endpoints must be integers") from None
+        results = await self.service.query_batch(workload)
+        return 200, {
+            "results": [
+                {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count} for r in results
+            ]
+        }
+
+
+async def serve(
+    service: AsyncQueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: "asyncio.Future | None" = None,
+    stop: "asyncio.Event | None" = None,
+) -> None:
+    """Serve until ``stop`` is set (or forever), then close the service.
+
+    ``ready`` (if given) receives the bound ``(host, port)`` once
+    listening — tests and the CLI use it to discover an ephemeral port.
+    """
+    frontend = HttpFrontend(service)
+    server = await asyncio.start_server(frontend.handle_connection, host, port)
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None and not ready.done():
+        ready.set_result(bound)
+    print(f"serving on http://{bound[0]}:{bound[1]} (pid {os.getpid()})", flush=True)
+    try:
+        if stop is None:  # pragma: no cover - CLI path runs forever
+            await asyncio.Event().wait()
+        else:
+            await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.aclose()
+
+
+def run_server(
+    counter,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    workers: int = 0,
+    batch_size: int = 64,
+    max_wait: float = 0.002,
+    cache_size: int = 0,
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``.
+
+    Publishes the counter (to shared memory when ``workers > 0``), binds
+    the HTTP front-end, and runs until SIGTERM/SIGINT — shutting down
+    workers and unlinking the segment on the way out.
+    """
+
+    async def _main() -> None:
+        service = AsyncQueryService(
+            counter,
+            workers=workers,
+            batch_size=batch_size,
+            max_wait=max_wait,
+            cache_size=cache_size,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await serve(service, host, port, stop=stop)
+
+    asyncio.run(_main())
+    return 0

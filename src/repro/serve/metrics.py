@@ -1,0 +1,71 @@
+"""Flush accounting shared by the sync and async query services.
+
+Both :class:`repro.api.QueryService` and
+:class:`repro.serve.async_service.AsyncQueryService` report the same
+serving statistics (batch counts, flush reasons, per-flush latency).
+Keeping the bookkeeping in one class means a stats field added for one
+twin cannot silently go missing from the other.
+
+Running aggregates only — a serving process flushes millions of times and
+must not grow memory with uptime.  Not thread-safe by itself: the sync
+service mutates it under its condition lock, the async service on the
+event loop thread.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FlushStats"]
+
+
+class FlushStats:
+    """Counters for admission-batched kernel flushes."""
+
+    __slots__ = (
+        "queries",
+        "batches",
+        "reasons",
+        "total_seconds",
+        "max_seconds",
+        "flushed_queries",
+    )
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        self.reasons = {"full": 0, "timeout": 0, "manual": 0, "bulk": 0}
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.flushed_queries = 0
+
+    def record_flush(self, reason: str, elapsed: float, count: int) -> None:
+        """Account one kernel call of ``count`` queries taking ``elapsed``."""
+        self.batches += 1
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+        self.total_seconds += elapsed
+        self.max_seconds = max(self.max_seconds, elapsed)
+        self.flushed_queries += count
+        if reason == "bulk":
+            self.queries += count
+
+    def snapshot(self, pending: int, cache) -> dict:
+        """The services' common ``stats()`` payload.
+
+        ``cache`` is the service's :class:`~repro.serve.cache.LRUCache`;
+        callers merge service-specific extras (e.g. pool stats) on top.
+        """
+        batches = self.batches
+        mean_batch = self.flushed_queries / batches if batches else 0.0
+        return {
+            "queries": self.queries,
+            "batches": batches,
+            "pending": pending,
+            "mean_batch_size": round(mean_batch, 2),
+            "full_flushes": self.reasons.get("full", 0),
+            "timeout_flushes": self.reasons.get("timeout", 0),
+            "manual_flushes": self.reasons.get("manual", 0),
+            "bulk_flushes": self.reasons.get("bulk", 0),
+            "mean_flush_us": round(self.total_seconds / batches * 1e6, 2) if batches else 0.0,
+            "max_flush_us": round(self.max_seconds * 1e6, 2) if batches else 0.0,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+        }

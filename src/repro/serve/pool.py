@@ -1,0 +1,450 @@
+"""A spawn-based worker pool sharding query batches across processes.
+
+The query side of the paper is embarrassingly parallel — every point query
+is one merge over two frozen label slices — but CPython threads cannot
+exploit that (the GIL serialises the merge kernels; see
+:class:`~repro.core.parallel.ThreadBackend`, which the build side only ever
+used as an honest simulation).  Processes can: :class:`WorkerPool` spawns N
+workers that each attach the index's shared-memory segment at startup
+(:mod:`repro.serve.shm` — the label arrays are mapped, not copied) and run
+the vectorized batch kernel on the slice of each batch the parent hands
+them.
+
+Batches are sharded contiguously (``ceil(B / N)`` pairs per worker) and
+reassembled in submission order, so answers are **identical** to a single
+``query_batch`` call on the underlying store — only wall-clock changes.
+
+The pool detects worker crashes (a died process, a broken pipe) and
+respawns each slot once automatically, resubmitting the lost shard;
+repeated crashes of one slot raise :class:`~repro.errors.ServeError`.
+``stats()`` reports per-worker throughput counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.queries import SPCResult
+from repro.errors import QueryError, ServeError
+from repro.serve.shm import ShmIndexSegment
+
+__all__ = ["WorkerPool"]
+
+#: Seconds a freshly spawned worker gets to attach and report ready.
+_STARTUP_TIMEOUT = 60.0
+#: Poll interval while waiting on a worker's result pipe.
+_POLL_SECONDS = 0.05
+#: Seconds to wait for an abandoned shard's reply before replacing the
+#: worker outright (see :meth:`WorkerPool._quarantine`).
+_DRAIN_TIMEOUT = 2.0
+
+
+class _KernelFailure(ServeError):
+    """A worker's kernel raised; its reply was consumed, the pipe is clean."""
+
+
+def _worker_main(manifest: dict, conn) -> None:
+    """Worker process entry point: attach, then serve shards forever.
+
+    Protocol over the duplex pipe: parent sends an ``(s, t)`` int64 array
+    (one shard) or ``None`` (shutdown); worker answers
+    ``("ok", results_int64_array, kernel_seconds)`` where the array holds
+    one ``(dist, count)`` row per pair, or ``("err", message)`` when the
+    kernel raised.
+    """
+    segment = ShmIndexSegment.attach(manifest)
+    store = segment.store
+    conn.send(("ready", os.getpid()))
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except EOFError:  # parent went away: exit quietly
+                break
+            if task is None:
+                break
+            try:
+                start = time.perf_counter()
+                results = store.query_batch(task)
+                elapsed = time.perf_counter() - start
+                try:
+                    payload = np.fromiter(
+                        (x for r in results for x in (r.dist, r.count)),
+                        dtype=np.int64,
+                        count=2 * len(results),
+                    ).reshape(-1, 2)
+                except OverflowError:
+                    # a count product beyond int64 (the kernels accumulate
+                    # in Python ints): ship plain tuples instead — slower,
+                    # but answers stay identical to the single-process path
+                    payload = [(r.dist, r.count) for r in results]
+            except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", payload, elapsed))
+    finally:
+        store = None
+        conn.close()
+        segment.close()
+
+
+@dataclass
+class _WorkerSlot:
+    """One worker process and its lifetime accounting."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    pid: int
+    queries: int = 0
+    batches: int = 0
+    kernel_seconds: float = 0.0
+    respawns: int = 0
+    #: parent-initiated replacements after an abandoned shard (see
+    #: :meth:`WorkerPool._quarantine`); separate from the crash budget.
+    quarantines: int = 0
+    lifetime_pids: list[int] = field(default_factory=list)
+
+
+class WorkerPool:
+    """N spawn-based processes serving ``query_batch`` over one shm segment.
+
+    ``counter`` is anything :meth:`ShmIndexSegment.publish` accepts (an
+    index facade or a flat label store); pass ``segment=`` instead to share
+    one already-published segment between pools.  The pool owns segments it
+    publishes and unlinks them on :meth:`close`.
+
+    Thread-safe: one internal lock serialises batch dispatch, so the pool
+    can sit behind the admission-batching services (their executor threads
+    may overlap).  Parallelism happens *inside* a batch, across workers.
+    """
+
+    def __init__(
+        self,
+        counter=None,
+        workers: int = 2,
+        *,
+        segment: ShmIndexSegment | None = None,
+        max_respawns: int = 1,
+        startup_timeout: float = _STARTUP_TIMEOUT,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if segment is None:
+            if counter is None:
+                raise ServeError("WorkerPool needs a counter or a published segment")
+            segment = ShmIndexSegment.publish(counter)
+            self._owns_segment = True
+        else:
+            self._owns_segment = False
+        self._segment = segment
+        self._n = segment.store.n
+        self.workers = int(workers)
+        self.max_respawns = int(max_respawns)
+        self._startup_timeout = float(startup_timeout)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._closed = False
+        self._batches = 0
+        self._queries = 0
+        try:
+            # start every process first, then collect the handshakes:
+            # workers attach (and import) concurrently instead of paying
+            # N spawn latencies back to back
+            self._slots = []
+            for index in range(self.workers):
+                process, conn = self._launch(index)
+                self._slots.append(
+                    _WorkerSlot(index=index, process=process, conn=conn, pid=-1)
+                )
+            for slot in self._slots:
+                slot.pid = self._handshake(slot.index, slot.process, slot.conn)
+                slot.lifetime_pids.append(slot.pid)
+        except BaseException:
+            self._shutdown(force=True)
+            raise
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _launch(self, index: int):
+        """Start one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._segment.manifest, child_conn),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def _handshake(self, index: int, process, conn) -> int:
+        """Wait for a launched worker's ready message; returns its pid."""
+        if not conn.poll(self._startup_timeout):
+            process.terminate()
+            process.join(timeout=5.0)
+            raise ServeError(
+                f"worker {index} did not report ready within "
+                f"{self._startup_timeout:.0f}s (exitcode={process.exitcode})"
+            )
+        try:
+            message = conn.recv()
+        except EOFError as exc:
+            process.join(timeout=5.0)
+            raise ServeError(
+                f"worker {index} died during startup (exitcode={process.exitcode})"
+            ) from exc
+        if not (isinstance(message, tuple) and message[0] == "ready"):
+            raise ServeError(f"worker {index} sent unexpected handshake {message!r}")
+        return int(message[1])
+
+    def _spawn_slot(self, index: int, previous: "_WorkerSlot | None" = None) -> _WorkerSlot:
+        process, conn = self._launch(index)
+        pid = self._handshake(index, process, conn)
+        slot = previous if previous is not None else _WorkerSlot(
+            index=index, process=process, conn=conn, pid=pid
+        )
+        slot.process = process
+        slot.conn = conn
+        slot.pid = pid
+        slot.lifetime_pids.append(pid)
+        return slot
+
+    def _respawn(self, slot: _WorkerSlot, why: str) -> None:
+        """Replace a crashed worker, once per slot beyond ``max_respawns``."""
+        if slot.respawns >= self.max_respawns:
+            raise ServeError(
+                f"worker {slot.index} (pid {slot.pid}) crashed again after "
+                f"{slot.respawns} respawn(s): {why}"
+            )
+        slot.respawns += 1
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        slot.process.join(timeout=5.0)
+        self._spawn_slot(slot.index, previous=slot)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _send_shard(self, slot: _WorkerSlot, shard: np.ndarray) -> None:
+        """Hand one shard to a worker, respawning through dead processes."""
+        while True:
+            if not slot.process.is_alive():
+                self._respawn(slot, "process found dead before dispatch")
+            try:
+                slot.conn.send(shard)
+                return
+            except (BrokenPipeError, OSError) as exc:
+                self._respawn(slot, f"pipe broke during dispatch ({exc})")
+
+    def _recv_shard(self, slot: _WorkerSlot, shard: np.ndarray):
+        """Collect one shard's answers, resubmitting through a crash."""
+        while True:
+            if slot.conn.poll(_POLL_SECONDS):
+                try:
+                    message = slot.conn.recv()
+                except (EOFError, OSError) as exc:
+                    self._respawn(slot, f"pipe broke awaiting results ({exc})")
+                    self._send_shard(slot, shard)
+                    continue
+                if message[0] == "err":
+                    raise _KernelFailure(
+                        f"worker {slot.index} kernel failed: {message[1]}"
+                    )
+                _, payload, elapsed = message
+                slot.queries += len(shard)
+                slot.batches += 1
+                slot.kernel_seconds += float(elapsed)
+                return payload
+            if not slot.process.is_alive():
+                self._respawn(
+                    slot,
+                    f"process exited mid-batch (exitcode={slot.process.exitcode})",
+                )
+                self._send_shard(slot, shard)
+
+    def _quarantine(self, slot: _WorkerSlot) -> None:
+        """A batch failed elsewhere while this slot's reply is outstanding.
+
+        The reply must never leak into a later batch (it would be returned
+        as *that* batch's answers — silent misalignment), so either drain
+        it promptly or replace the worker **and its pipe**.  Terminating
+        the process alone is not enough: a reply already sitting in the OS
+        pipe buffer survives the sender.
+        """
+        try:
+            if slot.conn.poll(_DRAIN_TIMEOUT):
+                slot.conn.recv()
+                return
+        except (EOFError, OSError):
+            pass
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=5.0)
+        # parent-initiated replacement: tracked separately from the crash
+        # budget (the worker did nothing wrong), but visible in stats()
+        slot.quarantines += 1
+        try:
+            self._spawn_slot(slot.index, previous=slot)
+        except ServeError:  # pragma: no cover - left dead; next dispatch raises
+            pass
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate a workload sharded across the workers, in input order.
+
+        The batch is split contiguously into ``ceil(B / N)``-sized shards,
+        one per worker, evaluated concurrently, and reassembled — answers
+        are identical to one ``query_batch`` call on the published store.
+        """
+        from repro.core.engine import validate_pairs
+
+        pairs_arr = validate_pairs(pairs, self._n)
+        if len(pairs_arr) == 0:
+            return []
+        with self._lock:
+            if self._closed:
+                raise ServeError("WorkerPool is closed")
+            chunk = -(-len(pairs_arr) // len(self._slots))  # ceil division
+            assignments = [
+                (slot, pairs_arr[i * chunk : (i + 1) * chunk])
+                for i, slot in enumerate(self._slots)
+            ]
+            assignments = [(slot, shard) for slot, shard in assignments if len(shard)]
+            # dispatch/collect with the no-stale-reply invariant: if any
+            # shard fails, every other outstanding reply is drained (or its
+            # worker+pipe replaced) before the error propagates, so the
+            # next batch can never read a leftover payload as its own
+            failure: BaseException | None = None
+            sent: list[tuple[_WorkerSlot, np.ndarray]] = []
+            for slot, shard in assignments:
+                try:
+                    self._send_shard(slot, shard)
+                    sent.append((slot, shard))
+                except BaseException as exc:  # noqa: BLE001
+                    failure = exc
+                    break
+            payloads = []
+            for slot, shard in sent:
+                if failure is None:
+                    try:
+                        payloads.append(self._recv_shard(slot, shard))
+                        continue
+                    except _KernelFailure as exc:
+                        failure = exc  # reply consumed: slot already clean
+                    except BaseException as exc:  # noqa: BLE001
+                        failure = exc
+                        self._quarantine(slot)
+                else:
+                    self._quarantine(slot)
+            if failure is not None:
+                raise failure
+            self._batches += 1
+            self._queries += len(pairs_arr)
+        answers: list[tuple[int, int]] = []
+        for payload in payloads:
+            if isinstance(payload, np.ndarray):
+                answers.extend(zip(payload[:, 0].tolist(), payload[:, 1].tolist()))
+            else:  # overflow fallback: plain (dist, count) tuples
+                answers.extend(payload)
+        return [
+            SPCResult(int(s), int(t), d, c)
+            for (s, t), (d, c) in zip(pairs_arr, answers)
+        ]
+
+    def query(self, s: int, t: int) -> SPCResult:
+        """One pair through the pool (a single-element batch)."""
+        return self.query_batch([(s, t)])[0]
+
+    # ------------------------------------------------------------------
+    # reporting & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices the published index serves."""
+        return self._n
+
+    def stats(self) -> dict:
+        """Pool-level and per-worker throughput counters."""
+        with self._lock:
+            return {
+                "workers": len(self._slots),
+                "queries": self._queries,
+                "batches": self._batches,
+                "respawns": sum(slot.respawns for slot in self._slots),
+                "quarantines": sum(slot.quarantines for slot in self._slots),
+                "segment_bytes": self._segment.nbytes,
+                "per_worker": [
+                    {
+                        "worker": slot.index,
+                        "pid": slot.pid,
+                        "queries": slot.queries,
+                        "batches": slot.batches,
+                        "kernel_s": round(slot.kernel_seconds, 6),
+                        "respawns": slot.respawns,
+                        "quarantines": slot.quarantines,
+                    }
+                    for slot in self._slots
+                ],
+            }
+
+    def _shutdown(self, force: bool = False) -> None:
+        for slot in getattr(self, "_slots", []):
+            try:
+                if slot.process.is_alive():
+                    slot.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in getattr(self, "_slots", []):
+            slot.process.join(timeout=0.2 if force else 5.0)
+            if slot.process.is_alive():  # pragma: no cover - stuck worker
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._owns_segment:
+            self._segment.close()
+            self._segment.unlink()
+
+    def close(self) -> None:
+        """Stop the workers and release (unlink) an owned segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.workers}, n={self._n}, "
+            f"batches={self._batches}, queries={self._queries}, "
+            f"{'closed' if self._closed else 'live'})"
+        )

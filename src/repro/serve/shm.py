@@ -1,0 +1,366 @@
+"""Shared-memory index segments: publish a frozen index to worker processes.
+
+The compact stores are already flat numpy buffers, which is exactly the
+shape ``multiprocessing.shared_memory`` can expose **zero-copy** across
+process boundaries.  :meth:`ShmIndexSegment.publish` copies a store's
+arrays once into a single named shared-memory block and describes the
+layout in a small JSON-serialisable manifest; :meth:`ShmIndexSegment.attach`
+rebuilds a read-only :class:`~repro.core.compact.CompactLabelIndex` (or the
+directed :class:`~repro.digraph.labels.CompactDirectedLabelIndex`) in
+another process as *views* into that block — no label array is copied
+again, however many workers attach.
+
+Array naming and metadata reuse the unified persistence schema of
+:mod:`repro.core.store` (``pack_store``/``unpack_store``), so a manifest is
+essentially the existing ``.npz`` layout pointed at a shared-memory buffer
+instead of a zip member.
+
+Lifecycle is explicit — :meth:`close` detaches, :meth:`unlink` removes the
+segment from the system — with a context manager and an ``atexit`` safety
+net so published segments never outlive the process that created them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import secrets
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core import store as store_module
+from repro.core.compact import CompactLabelIndex
+from repro.digraph.labels import CompactDirectedLabelIndex, DirectedLabelIndex
+from repro.errors import ServeError
+
+__all__ = ["SEGMENT_PREFIX", "ShmIndexSegment"]
+
+#: Prefix of every shared-memory block this module creates; lets smoke
+#: tests assert that a clean shutdown left nothing behind in ``/dev/shm``.
+SEGMENT_PREFIX = "repro-seg-"
+
+#: Manifest schema identifier / version.
+_MANIFEST_FORMAT = "repro-shm-segment"
+_MANIFEST_VERSION = 1
+
+#: Each array starts on a 64-byte boundary (cache-line aligned).
+_ALIGN = 64
+
+#: Segments alive in this process; the atexit hook sweeps whatever the
+#: owner forgot so /dev/shm never accumulates orphans.
+_LIVE_SEGMENTS: "weakref.WeakSet[ShmIndexSegment]" = weakref.WeakSet()
+
+
+def _cleanup_live_segments() -> None:  # pragma: no cover - exercised at exit
+    for segment in list(_LIVE_SEGMENTS):
+        segment._cleanup_silently()
+
+
+atexit.register(_cleanup_live_segments)
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _flat_store(counter) -> "CompactLabelIndex | CompactDirectedLabelIndex":
+    """Extract the flat-array store behind any counter-ish object."""
+    from repro.core.labels import LabelIndex
+
+    if isinstance(counter, (CompactLabelIndex, CompactDirectedLabelIndex)):
+        return counter
+    if isinstance(counter, DirectedLabelIndex):
+        return CompactDirectedLabelIndex.from_index(counter)
+    if isinstance(counter, LabelIndex):
+        frozen = store_module.freeze_labels(counter)
+        if isinstance(frozen, CompactLabelIndex):
+            return frozen
+        raise ServeError(
+            "tuple store holds path counts beyond int64; such an index "
+            "cannot be packed into a shared-memory segment"
+        )
+    # index facades: PSPCIndex/HPSPCIndex expose .store, DirectedSPCIndex .labels
+    inner = getattr(counter, "store", None)
+    if inner is not None and inner is not counter:
+        return _flat_store(inner)
+    labels = getattr(counter, "labels", None)
+    if isinstance(labels, (DirectedLabelIndex, CompactDirectedLabelIndex)):
+        return _flat_store(labels)
+    raise ServeError(
+        f"cannot publish {type(counter).__name__} to shared memory; expected "
+        "a compact/tuple label store, a directed label index, or an index "
+        "facade wrapping one"
+    )
+
+
+def _restore_store(
+    arrays: dict[str, np.ndarray], meta: dict
+) -> "CompactLabelIndex | CompactDirectedLabelIndex":
+    """Rebuild the manifest's store over attached (read-only) views.
+
+    Delegates to the store layer's :func:`~repro.core.store.unpack_store`
+    — the manifest really is the ``.npz`` schema pointed at shm buffers,
+    so there is exactly one decoder for both.
+    """
+    store_kind = meta.get("store_kind")
+    if store_kind not in ("compact", "directed-compact"):
+        raise ServeError(f"unknown store kind {store_kind!r} in shm manifest")
+    return store_module.unpack_store(arrays, meta)
+
+
+class ShmIndexSegment:
+    """One frozen index published in a named shared-memory block.
+
+    Create with :meth:`publish` (the owning side) or :meth:`attach` (a
+    worker).  :attr:`store` is the queryable label store — the publisher's
+    arrays copied exactly once; every attached view reads the same pages.
+
+    Examples
+    --------
+    >>> from repro.graph import cycle_graph
+    >>> from repro.core.index import PSPCIndex
+    >>> index = PSPCIndex.build(cycle_graph(6))
+    >>> with ShmIndexSegment.publish(index) as segment:
+    ...     twin = ShmIndexSegment.attach(segment.manifest)
+    ...     answer = twin.store.query(0, 3).count
+    ...     twin.close()
+    >>> answer
+    2
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: dict,
+        store,
+        owner: bool,
+    ) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self._manifest = manifest
+        self._store = store
+        self._owner = owner
+        self._unlinked = False
+        _LIVE_SEGMENTS.add(self)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, counter, name: str | None = None) -> "ShmIndexSegment":
+        """Copy a counter's flat label arrays into a new shared segment.
+
+        ``counter`` may be a compact (or freezable tuple) label store, a
+        directed label index, or any index facade wrapping one
+        (:class:`~repro.core.index.PSPCIndex`,
+        :class:`~repro.digraph.index.DirectedSPCIndex`, ...).  The one
+        copy happens here; workers attach zero-copy.
+        """
+        store = _flat_store(counter)
+        arrays, meta = store_module.pack_store(store)
+        layout: dict[str, dict] = {}
+        offset = 0
+        packed: list[tuple[int, np.ndarray]] = []
+        for key, value in arrays.items():
+            value = np.ascontiguousarray(value)
+            layout[key] = {
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+                "offset": offset,
+            }
+            packed.append((offset, value))
+            offset += _aligned(value.nbytes)
+        total = max(offset, _ALIGN)
+        shm_name = name or SEGMENT_PREFIX + secrets.token_hex(8)
+        try:
+            shm = shared_memory.SharedMemory(name=shm_name, create=True, size=total)
+        except (OSError, ValueError) as exc:
+            raise ServeError(f"cannot create shared-memory segment: {exc}") from exc
+        for array_offset, value in packed:
+            target = np.ndarray(
+                value.shape,
+                dtype=value.dtype,
+                buffer=shm.buf[array_offset : array_offset + value.nbytes],
+            )
+            target[...] = value
+            del target
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "shm_name": shm.name,
+            "kind": meta.get("store_kind"),
+            "meta": meta,
+            "arrays": layout,
+            "nbytes": total,
+        }
+        segment = cls(shm, manifest, store=None, owner=True)
+        segment._store = segment._build_views()
+        return segment
+
+    @classmethod
+    def attach(cls, manifest: dict | str) -> "ShmIndexSegment":
+        """Map an existing segment read-only and rebuild its store view.
+
+        ``manifest`` is the dict (or its JSON encoding) produced by
+        :meth:`publish` — typically shipped to a spawned worker as part of
+        its start-up arguments.  No label array is copied.
+        """
+        if isinstance(manifest, str):
+            try:
+                manifest = json.loads(manifest)
+            except json.JSONDecodeError as exc:
+                raise ServeError(f"corrupt shm manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != _MANIFEST_FORMAT:
+            raise ServeError("not a repro shm-segment manifest")
+        if manifest.get("version", 0) > _MANIFEST_VERSION:
+            raise ServeError(
+                f"shm manifest version {manifest.get('version')!r} is newer "
+                f"than this build understands ({_MANIFEST_VERSION})"
+            )
+        try:
+            shm = shared_memory.SharedMemory(name=manifest["shm_name"])
+        except (OSError, ValueError, KeyError) as exc:
+            raise ServeError(
+                f"cannot attach shm segment {manifest.get('shm_name')!r}: {exc}"
+            ) from exc
+        # the attaching side must not let its resource tracker count the
+        # segment: the publisher owns the unlink, and double-tracking makes
+        # Python warn about (and try to clean) "leaked" segments at exit
+        try:  # pragma: no cover - tracker internals vary across versions
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        segment = cls(shm, dict(manifest), store=None, owner=False)
+        segment._store = segment._build_views()
+        return segment
+
+    def _build_views(self):
+        """Reconstruct the store over read-only ndarray views of the segment.
+
+        Always read-only: queries never mutate label arrays, and one
+        process scribbling on the shared pages would corrupt every other.
+        """
+        assert self._shm is not None
+        views: dict[str, np.ndarray] = {}
+        for key, spec in self._manifest["arrays"].items():
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(spec["shape"])
+            start = int(spec["offset"])
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=self._shm.buf[start : start + nbytes]
+            )
+            view.flags.writeable = False
+            views[key] = view
+        return _restore_store(views, self._manifest["meta"])
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The queryable label store backed by the shared pages."""
+        if self._store is None:
+            raise ServeError("shm segment is closed")
+        return self._store
+
+    @property
+    def manifest(self) -> dict:
+        """The JSON-serialisable segment description workers attach from."""
+        return self._manifest
+
+    def manifest_json(self) -> str:
+        """The manifest encoded as JSON (for environment/CLI hand-off)."""
+        return json.dumps(self._manifest)
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying shared-memory block."""
+        return str(self._manifest["shm_name"])
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared block in bytes."""
+        return int(self._manifest["nbytes"])
+
+    @property
+    def owner(self) -> bool:
+        """Whether this handle created (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        """Whether the local mapping has been released."""
+        return self._shm is None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (idempotent).
+
+        The store views become unusable; other attached processes are
+        unaffected.  The system-wide segment itself survives until the
+        owner calls :meth:`unlink`.
+        """
+        if self._shm is None:
+            return
+        self._store = None
+        try:
+            self._shm.close()
+        except BufferError as exc:  # pragma: no cover - caller kept a view
+            raise ServeError(
+                "cannot close shm segment: numpy views into it are still "
+                "alive; drop all references to segment.store arrays first"
+            ) from exc
+        self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (idempotent, owner-side).
+
+        Attached processes keep working until they close; new attaches
+        fail.  Safe to call after :meth:`close`.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            shared_memory.SharedMemory(name=self.name).unlink()
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError) as exc:  # pragma: no cover - platform specific
+            raise ServeError(f"cannot unlink shm segment {self.name!r}: {exc}") from exc
+
+    def _cleanup_silently(self) -> None:
+        """Best-effort close (+ unlink when owning); never raises."""
+        try:
+            self._store = None
+            if self._shm is not None:
+                self._shm.close()
+                self._shm = None
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ShmIndexSegment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        self._cleanup_silently()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("owner" if self._owner else "attached")
+        return (
+            f"ShmIndexSegment(name={self.name!r}, kind={self._manifest['kind']!r}, "
+            f"{self.nbytes / 2**20:.2f}MB, {state})"
+        )

@@ -280,15 +280,35 @@ class TestQueryService:
         assert service.query_batch([]) == []
         assert service.stats()["batches"] == 0
 
-    def test_kernel_failure_resolves_cobatched_waiters(self, counters, graph):
-        # a poison query must not strand the valid queries sharing its
-        # batch: every handle carries the kernel error and re-raises it
-        service = QueryService(counters["pspc"], batch_size=2, max_wait=30.0)
+    def test_bad_submit_rejected_before_admission(self, counters, graph):
+        # an out-of-range submission fails alone (validated pre-admission,
+        # mirroring the async twin): it never poisons co-batched queries
+        index = counters["pspc"]
+        service = QueryService(index, batch_size=2, max_wait=30.0)
         good = service.submit(0, 1)
         with pytest.raises(QueryError, match="out of range"):
-            service.submit(graph.n + 5, 2)  # fills the batch; kernel raises
+            service.submit(graph.n + 5, 2)
+        assert not good.done  # still pending, not poisoned
+        service.flush()
+        assert good.result(timeout=1.0) == index.query(0, 1)
+
+    def test_kernel_failure_resolves_cobatched_waiters(self, counters, graph):
+        # a genuine kernel failure must not strand co-batched waiters:
+        # every handle carries the error and re-raises it
+        index = counters["pspc"]
+
+        class Exploding:
+            n = index.n
+
+            def query_batch(self, pairs):
+                raise QueryError("kernel exploded")
+
+        service = QueryService(Exploding(), batch_size=2, max_wait=30.0)
+        good = service.submit(0, 1)
+        with pytest.raises(QueryError, match="kernel exploded"):
+            service.submit(2, 3)  # fills the batch; kernel raises
         assert good.done
-        with pytest.raises(QueryError, match="out of range"):
+        with pytest.raises(QueryError, match="kernel exploded"):
             good.result(timeout=1.0)
         assert service.pending == 0
 
@@ -359,3 +379,76 @@ class TestSharedVerifier:
 
         with pytest.raises(QueryError, match="vertices"):
             verify_counter(counters["pspc"], digraph)
+
+
+class TestQueryServiceCacheAndClose:
+    """The PR-4 satellites on the sync service: LRU cache + close semantics."""
+
+    def test_cache_short_circuits_repeated_pairs(self, counters, graph):
+        spy = _KernelSpy(counters["pspc"])
+        with QueryService(spy, batch_size=1, cache_size=8) as service:
+            first = service.query(0, 30)
+            repeats = [service.query(0, 30) for _ in range(4)]
+            stats = service.stats()
+        assert all(r == first for r in repeats)
+        assert spy.calls == 1  # four hits never reached the kernel
+        assert stats["cache_hits"] == 4
+        assert stats["cache_misses"] == 1
+        assert stats["queries"] == 5
+
+    def test_cache_disabled_by_default(self, counters):
+        with QueryService(counters["pspc"], batch_size=1) as service:
+            service.query(0, 30)
+            service.query(0, 30)
+            stats = service.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["batches"] == 2
+
+    def test_cache_evicts_least_recently_used(self, counters, graph):
+        spy = _KernelSpy(counters["pspc"])
+        with QueryService(spy, batch_size=1, cache_size=2) as service:
+            service.query(0, 1)
+            service.query(0, 2)
+            service.query(0, 3)  # evicts (0, 1)
+            service.query(0, 1)  # miss again
+            stats = service.stats()
+        assert spy.calls == 4
+        assert stats["cache_hits"] == 0
+
+    def test_close_flushes_pending_submissions(self, counters):
+        index = counters["pspc"]
+        # huge batch + huge deadline: without close() the handle would
+        # only resolve when result() observed the timeout
+        service = QueryService(index, batch_size=1000, max_wait=60.0)
+        handle = service.submit(0, 30)
+        assert not handle.done
+        assert not service.closed
+        service.close()
+        assert service.closed
+        assert handle.done
+        assert handle.result(timeout=0.1) == index.query(0, 30)
+        with pytest.raises(QueryError, match="closed"):
+            service.submit(1, 2)
+
+    def test_close_is_idempotent(self, counters):
+        service = QueryService(counters["pspc"])
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_close_refuses_submissions_even_when_final_flush_fails(self, counters):
+        index = counters["pspc"]
+
+        class Poisoned:
+            n = index.n
+
+            def query_batch(self, pairs):
+                raise QueryError("kernel down")
+
+        service = QueryService(Poisoned(), batch_size=1000, max_wait=60.0)
+        service.submit(0, 1)
+        with pytest.raises(QueryError, match="kernel down"):
+            service.close()
+        assert service.closed  # the failed flush must not reopen the service
+        with pytest.raises(QueryError, match="closed"):
+            service.submit(2, 3)

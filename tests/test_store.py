@@ -205,3 +205,52 @@ class TestIndexStatsRoundTrip:
         loaded = PSPCIndex.load(path)
         assert loaded.config == index.config
         assert loaded.store.kind == "tuple"
+
+
+class TestMmapPersistence:
+    """Uncompressed containers memory-map their label arrays on load."""
+
+    def test_uncompressed_load_is_memmapped_and_equal(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph, num_landmarks=8)
+        path = tmp_path / "idx.npz"
+        index.save(path, compress=False)
+        lazy = PSPCIndex.load(path, mmap=True)
+        assert isinstance(lazy.store.hubs, np.memmap)
+        assert isinstance(lazy.store.counts, np.memmap)
+        assert not lazy.store.hubs.flags.writeable
+        assert lazy.store == index.store
+        for pair in [(0, 1), (3, 77), (10, 10)]:
+            assert lazy.query(*pair) == index.query(*pair)
+
+    def test_compressed_load_falls_back_to_eager(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph)
+        path = tmp_path / "idx.npz"
+        index.save(path)  # compressed default
+        eager = PSPCIndex.load(path, mmap=True)
+        assert not isinstance(eager.store.hubs, np.memmap)
+        assert eager.store == index.store
+
+    def test_bare_compact_store_mmap(self, social_graph, tmp_path):
+        compact = PSPCIndex.build(social_graph).store
+        path = tmp_path / "labels.npz"
+        compact.save(path, compress=False)
+        lazy = store.load_labels(path, mmap=True)
+        assert isinstance(lazy.hubs, np.memmap)
+        assert lazy == compact
+
+    def test_open_index_threads_mmap(self, social_graph, tmp_path):
+        from repro.api import open_index
+
+        index = PSPCIndex.build(social_graph)
+        path = tmp_path / "idx.npz"
+        index.save(path, compress=False)
+        lazy = open_index(path, mmap=True)
+        assert isinstance(lazy.store.hubs, np.memmap)
+        assert lazy.query_batch([(0, 5)]) == index.query_batch([(0, 5)])
+
+    def test_tuple_payloads_still_load_with_mmap_flag(self, social_graph, tmp_path):
+        index = PSPCIndex.build(social_graph, store="tuple")
+        path = tmp_path / "idx.npz"
+        index.save(path, compress=False)
+        loaded = PSPCIndex.load(path, mmap=True)
+        assert loaded.store == index.store
