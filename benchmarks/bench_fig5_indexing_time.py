@@ -15,11 +15,16 @@ loops on the largest bundled dataset.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import platform
 from pathlib import Path
 
 from conftest import run_once
-from repro.experiments.harness import exp_build_engines, exp_indexing_time
+from repro.experiments.harness import (
+    exp_build_engines,
+    exp_build_parallel,
+    exp_indexing_time,
+)
 
 #: Committed build-time baseline (see test_fig5_build_engines).
 BENCH_BUILD_PATH = Path(__file__).resolve().parent.parent / "BENCH_build.json"
@@ -48,17 +53,68 @@ def test_fig5_build_engines(benchmark, record):
     largest = max(rows, key=lambda r: r["V"])
     assert largest["speedup"] >= 3.0, largest
 
-    BENCH_BUILD_PATH.write_text(
-        json.dumps(
-            {
-                "benchmark": "fig5_build_engines",
-                "unit": "seconds (single-thread wall clock, incl. order + landmarks)",
-                "python": platform.python_version(),
-                "largest_dataset": largest["dataset"],
-                "largest_speedup": largest["speedup"],
-                "rows": rows,
-            },
-            indent=2,
-        )
-        + "\n"
+    existing = (
+        json.loads(BENCH_BUILD_PATH.read_text()) if BENCH_BUILD_PATH.exists() else {}
     )
+    existing.update(
+        {
+            "benchmark": "fig5_build_engines",
+            "unit": "seconds (single-thread wall clock, incl. order + landmarks)",
+            "python": platform.python_version(),
+            "largest_dataset": largest["dataset"],
+            "largest_speedup": largest["speedup"],
+            "rows": rows,
+        }
+    )
+    BENCH_BUILD_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_fig5_build_parallel(benchmark, record):
+    """Measured process-parallel build rows (real PSPC+, not simulated).
+
+    Every row asserts a bit-identical store and identical counters against
+    the single-process vectorized baseline; the wall-clock rows land next
+    to the engine rows in ``BENCH_build.json`` with the worker count and
+    the host's CPU count recorded.  The speedup gate only applies on
+    multi-core hosts — a single-CPU container can only measure the honest
+    coordination overhead (see the recorded note).
+    """
+    cpus = multiprocessing.cpu_count()
+    rows = run_once(
+        benchmark, lambda: exp_build_parallel(keys=None, workers=(1, 2, 4))
+    )
+    record("fig5_build_parallel", rows, "Fig. 5 (parallel build): wall clock (s)")
+
+    assert all(r["identical"] for r in rows)
+    if cpus >= 2:
+        # gate on the spawn-excluded construction phase: on these small
+        # datasets worker spawn alone (~0.3-1.1s) dwarfs the 0.1-0.2s
+        # single-process builds, so total-wall speedup can never clear
+        # 1.1x however many cores the host has — steady-state kernel
+        # time is the honest scaling measure (the CI smoke agrees)
+        base_construction = {
+            r["dataset"]: r["construction_s"] for r in rows if r["workers"] == 0
+        }
+        best = max(
+            base_construction[r["dataset"]] / r["construction_s"]
+            for r in rows
+            if r["workers"] and r["construction_s"]
+        )
+        assert best >= 1.1, rows
+
+    existing = (
+        json.loads(BENCH_BUILD_PATH.read_text()) if BENCH_BUILD_PATH.exists() else {}
+    )
+    existing["parallel"] = {
+        "unit": "seconds (wall clock; workers=0 is the single-process "
+        "vectorized baseline; construction_s excludes worker spawn)",
+        "cpus": cpus,
+        "note": (
+            "single-CPU host: rows measure spawn/coordination overhead, "
+            "not scaling — real speedup needs real cores"
+            if cpus < 2
+            else "multi-core host: measured process-parallel speedup"
+        ),
+        "rows": rows,
+    }
+    BENCH_BUILD_PATH.write_text(json.dumps(existing, indent=2) + "\n")

@@ -54,7 +54,7 @@ from repro.digraph.index import DirectedSPCIndex
 from repro.errors import IndexBuildError, PersistenceError, QueryError
 from repro.graph.graph import Graph
 from repro.reduction.pipeline import ReducedSPCIndex
-from repro.serve.cache import LRUCache
+from repro.serve.cache import LRUCache, pair_key
 from repro.serve.metrics import FlushStats
 
 __all__ = [
@@ -269,6 +269,7 @@ def _build_pspc(graph: Graph, config: BuildConfig) -> PSPCIndex:
         record_work=config.record_work,
         store=config.store,
         engine=config.engine,
+        workers=config.workers,
     )
 
 
@@ -289,6 +290,7 @@ def _build_reduced(graph: Graph, config: BuildConfig) -> ReducedSPCIndex:
         record_work=config.record_work,
         store=config.store,
         engine=config.engine,
+        workers=config.workers,
     )
 
 
@@ -315,6 +317,7 @@ def _build_dynamic(graph: Graph, config: BuildConfig) -> DynamicSPCIndex:
         record_work=config.record_work,
         store=config.store,
         engine=config.engine,
+        workers=config.workers,
     )
 
 
@@ -410,7 +413,10 @@ def open_index(path: str | Path, mmap: bool = False) -> SPCounter:
     multi-GB serving index then opens lazily (read-only CLI paths and the
     shared-memory publisher use this).  Kinds that must materialise Python
     structures anyway (tuple stores, recipes, baselines) and compressed
-    files fall back to the eager read transparently.
+    files fall back to the eager read transparently.  A mapped open holds
+    the file until released: the mmap-capable facades expose ``close()``
+    (and work as context managers), which drops the maps deterministically
+    — call it when done instead of waiting on garbage collection.
     """
     kind, meta = store_module.peek_meta(path)
     opener = _OPENERS.get(kind)
@@ -527,8 +533,12 @@ class QueryService:
         self._deadline: float | None = None
         self._closed = False
         #: optional LRU point-query cache: repeated (s, t) pairs resolve
-        #: without touching the kernel (capacity 0 disables)
+        #: without touching the kernel (capacity 0 disables).  Undirected
+        #: counters key on the canonical (min, max) pair so the reversed
+        #: direction of a hot pair hits too; directed counters stay
+        #: asymmetric (see :func:`repro.serve.cache.pair_key`)
         self._cache: LRUCache[tuple[int, int], SPCResult] = LRUCache(cache_size)
+        self._cache_key = pair_key(counter)
         #: flush accounting shared with the async twin (mutated under the lock)
         self._metrics = FlushStats()
 
@@ -555,8 +565,12 @@ class QueryService:
                 raise QueryError("QueryService is closed")
             handle = PendingQuery(self, s, t)
             self._metrics.queries += 1
-            cached = self._cache.get((handle.s, handle.t))
+            cached = self._cache.get(self._cache_key(handle.s, handle.t))
             if cached is not None:
+                # a reversed-pair hit answers with the requested
+                # orientation, not the one that warmed the cache
+                if (cached.s, cached.t) != (handle.s, handle.t):
+                    cached = SPCResult(handle.s, handle.t, cached.dist, cached.count)
                 handle._value = cached
                 return handle
             self._pending.append(handle)
@@ -623,7 +637,7 @@ class QueryService:
             raise
         for handle, answer in zip(batch, answers):
             handle._value = answer
-            self._cache.put((handle.s, handle.t), answer)
+            self._cache.put(self._cache_key(handle.s, handle.t), answer)
         self._cv.notify_all()
         return len(batch)
 

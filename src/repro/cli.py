@@ -41,7 +41,11 @@ _EXPERIMENTS = {
     "fig5": lambda args: harness.exp_indexing_time(
         threads=args.threads, engine=args.engine
     ),
-    "fig5build": lambda args: harness.exp_build_engines(),
+    "fig5build": lambda args: (
+        harness.exp_build_parallel(workers=tuple(args.workers_sweep))
+        if args.engine == "parallel"
+        else harness.exp_build_engines()
+    ),
     "fig6": lambda args: harness.exp_index_size(),
     "fig7": lambda args: harness.exp_query_time(threads=args.threads),
     "fig7batch": lambda args: harness.exp_query_batch(),
@@ -116,9 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--engine",
         default="vectorized",
-        choices=["vectorized", "reference"],
+        choices=["vectorized", "reference", "parallel"],
         help="label-construction engine (vectorized array kernels by default; "
-        "reference runs the exact per-vertex loops)",
+        "reference runs the exact per-vertex loops; parallel shards the "
+        "kernels across spawned processes over shared memory)",
+    )
+    p_build.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process count for --engine parallel (ignored otherwise)",
     )
     p_build.add_argument(
         "--no-one-shell",
@@ -205,9 +216,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--engine",
         default="reference",
-        choices=["vectorized", "reference"],
+        choices=["vectorized", "reference", "parallel"],
         help="build engine for experiments that construct indexes "
-        "(fig5; reference keeps the paper-faithful loop timings)",
+        "(fig5; reference keeps the paper-faithful loop timings; "
+        "fig5build with parallel measures the real process-parallel build)",
+    )
+    p_bench.add_argument(
+        "--workers-sweep",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="worker counts for `bench fig5build --engine parallel`",
     )
     p_bench.add_argument(
         "--plot", action="store_true", help="render the rows as an ASCII chart"
@@ -247,6 +267,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         threads=args.threads,
         store=args.store,
         engine=args.engine,
+        workers=args.workers,
         use_one_shell=not args.no_one_shell,
         use_equivalence=not args.no_equivalence,
         rebuild_threshold=args.rebuild_threshold,
@@ -283,13 +304,28 @@ def _parse_pairs(texts: list[str]) -> list[tuple[int, int]]:
     return pairs
 
 
+def _close_counter(counter) -> None:
+    """Release a counter's memory maps when its kind supports closing.
+
+    The mmap-capable facades (PSPC/HP-SPC/directed-compact) expose
+    ``close()``; recipe and baseline payloads have nothing to release.
+    """
+    close = getattr(counter, "close", None)
+    if callable(close):
+        close()
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    # read-only path: lazy-open label arrays when the file allows it
+    # read-only path: lazy-open label arrays when the file allows it,
+    # and release the maps (file descriptor) before exiting
     counter = open_index(args.index, mmap=True)
-    rows = [
-        {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count}
-        for r in counter.query_batch(_parse_pairs(args.pairs))
-    ]
+    try:
+        rows = [
+            {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count}
+            for r in counter.query_batch(_parse_pairs(args.pairs))
+        ]
+    finally:
+        _close_counter(counter)
     print(harness.format_rows(rows, title="SPC queries"))
     return 0
 
@@ -303,15 +339,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.index}; workers={args.workers}",
         flush=True,
     )
-    return run_server(
-        counter,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        batch_size=args.batch_size,
-        max_wait=args.max_wait_ms / 1000.0,
-        cache_size=args.cache_size,
-    )
+    try:
+        return run_server(
+            counter,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            max_wait=args.max_wait_ms / 1000.0,
+            cache_size=args.cache_size,
+        )
+    finally:
+        # the index file stays mapped for the server's whole lifetime;
+        # a clean SIGTERM shutdown must release it with everything else
+        _close_counter(counter)
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -393,28 +434,31 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.core.verify import audit_canonical, audit_structure, verify_counter
 
     counter = open_index(args.index, mmap=True)
-    graph = (
-        _load_directed_graph(args)
-        if isinstance(counter, DirectedSPCIndex)
-        else _load_graph(args)
-    )
-    if counter.n != graph.n:
-        raise ReproError(
-            f"index covers {counter.n} vertices but the graph has {graph.n}"
+    try:
+        graph = (
+            _load_directed_graph(args)
+            if isinstance(counter, DirectedSPCIndex)
+            else _load_graph(args)
         )
-    labels = getattr(counter, "labels", None)
-    if isinstance(labels, LabelIndex):
-        audit_structure(labels)
-        print("structure audit: ok")
-        if args.deep:
-            audit_canonical(labels, graph)
-            print("canonical-entry audit: ok")
-    elif args.deep:
-        raise ReproError(
-            "--deep audits label entries and needs a label-backed index "
-            "(pspc/hpspc payloads)"
-        )
-    verify_counter(counter, graph, samples=args.samples)
+        if counter.n != graph.n:
+            raise ReproError(
+                f"index covers {counter.n} vertices but the graph has {graph.n}"
+            )
+        labels = getattr(counter, "labels", None)
+        if isinstance(labels, LabelIndex):
+            audit_structure(labels)
+            print("structure audit: ok")
+            if args.deep:
+                audit_canonical(labels, graph)
+                print("canonical-entry audit: ok")
+        elif args.deep:
+            raise ReproError(
+                "--deep audits label entries and needs a label-backed index "
+                "(pspc/hpspc payloads)"
+            )
+        verify_counter(counter, graph, samples=args.samples)
+    finally:
+        _close_counter(counter)
     print(f"query audit ({args.samples} random pairs): ok")
     return 0
 

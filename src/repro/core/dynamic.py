@@ -11,6 +11,9 @@ This module therefore implements the pattern real systems use when exact
 answers are non-negotiable: a **write buffer with exact fallback**.
 
 * Updates (``add_edge`` / ``remove_edge``) mutate a pending edge set, O(1).
+  The buffer tracks *net* deltas: an update followed by its inverse
+  cancels, so an add/remove ping-pong never pushes the buffer toward a
+  full rebuild (or keeps queries on the slow fallback) for a no-op.
 * Queries on an un-dirty index hit the hub labels (microseconds).
 * Queries on a dirty index fall back to bidirectional BFS over the *current*
   graph — exact, and still fast on small-world graphs.
@@ -66,7 +69,12 @@ class DynamicSPCIndex:
         self._graph = graph
         self._build_kwargs = dict(build_kwargs)
         self._rebuild_threshold = rebuild_threshold
-        self._pending: int = 0
+        #: net edge deltas vs the indexed graph: key -> "add" | "remove".
+        #: An update followed by its inverse cancels out, so an
+        #: add/remove ping-pong of one edge never counts toward the
+        #: rebuild threshold (the labels are still exact for the net
+        #: result) and never triggers a full rebuild for a no-op.
+        self._pending_ops: dict[tuple[int, int], str] = {}
         self._edge_set: set[tuple[int, int]] = set(graph.edges())
         self._index = PSPCIndex.build(graph, **build_kwargs)  # type: ignore[arg-type]
         self._rebuilds = 0
@@ -84,13 +92,18 @@ class DynamicSPCIndex:
 
     @property
     def dirty(self) -> bool:
-        """Whether buffered updates make the label index stale."""
-        return self._pending > 0
+        """Whether buffered updates make the label index stale.
+
+        Inverse updates cancel: after ``add_edge(u, v)`` followed by
+        ``remove_edge(u, v)`` the graph equals the indexed one, so the
+        index is clean again and queries return to label speed.
+        """
+        return bool(self._pending_ops)
 
     @property
     def pending_updates(self) -> int:
-        """Buffered updates since the last rebuild."""
-        return self._pending
+        """Net buffered edge deltas vs the last-indexed graph."""
+        return len(self._pending_ops)
 
     @property
     def rebuild_count(self) -> int:
@@ -113,7 +126,7 @@ class DynamicSPCIndex:
         if key in self._edge_set:
             raise GraphError(f"edge {key} already exists")
         self._edge_set.add(key)
-        self._apply_update()
+        self._apply_update(key, "add")
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``(u, v)``; error if absent."""
@@ -121,20 +134,24 @@ class DynamicSPCIndex:
         if key not in self._edge_set:
             raise GraphError(f"edge {key} does not exist")
         self._edge_set.remove(key)
-        self._apply_update()
+        self._apply_update(key, "remove")
 
-    def _apply_update(self) -> None:
+    def _apply_update(self, key: tuple[int, int], op: str) -> None:
         self._graph = Graph(
             self._graph.n, self._edge_set, vertex_weights=self._graph.vertex_weights
         )
-        self._pending += 1
-        if self._pending >= self._rebuild_threshold:
+        # the edge-set guard above makes two same-direction updates of one
+        # key impossible without its inverse in between, so a recorded key
+        # always holds the *opposite* op — seeing it again is a cancel
+        if self._pending_ops.pop(key, None) is None:
+            self._pending_ops[key] = op
+        if len(self._pending_ops) >= self._rebuild_threshold:
             self.rebuild()
 
     def rebuild(self) -> None:
         """Rebuild the label index now and clear the write buffer."""
         self._index = PSPCIndex.build(self._graph, **self._build_kwargs)  # type: ignore[arg-type]
-        self._pending = 0
+        self._pending_ops.clear()
         self._rebuilds += 1
 
     # ------------------------------------------------------------------
@@ -222,5 +239,5 @@ class DynamicSPCIndex:
         return cls(graph, rebuild_threshold=threshold, **build_kwargs)
 
     def __repr__(self) -> str:
-        state = f"dirty, {self._pending} pending" if self.dirty else "clean"
+        state = f"dirty, {len(self._pending_ops)} pending" if self.dirty else "clean"
         return f"DynamicSPCIndex(n={self.n}, m={self._graph.m}, {state})"

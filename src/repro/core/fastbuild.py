@@ -62,7 +62,9 @@ from repro.ordering.base import VertexOrder
 __all__ = ["ENGINES", "build_pspc_vectorized"]
 
 #: Supported label-construction engines (selected via ``BuildConfig.engine``).
-ENGINES = ("vectorized", "reference")
+#: ``"parallel"`` is the process-parallel variant of the vectorized kernels
+#: (see :mod:`repro.core.procbuild`); it produces the identical index.
+ENGINES = ("vectorized", "reference", "parallel")
 
 #: Accumulated int64 products/sums must stay below this conservative bound.
 _SAFE_LIMIT = 2**62
@@ -202,6 +204,103 @@ class _GrowableScan:
         return len(self.hubs)
 
 
+def _pull_merge_range(
+    heads_r: np.ndarray,
+    tails_r: np.ndarray,
+    cur_indptr: np.ndarray,
+    cur_hubs: np.ndarray,
+    cur_counts: np.ndarray,
+    rank: np.ndarray,
+    weights: np.ndarray,
+    weighted: bool,
+    lo: int,
+    hi: int,
+    n: int,
+    max_count: int,
+    max_weight: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Pull-gather, rank rule and Label Merging for destinations ``[lo, hi)``.
+
+    ``heads_r``/``tails_r`` are the CSR edge slots whose head lies in the
+    range (the full arrays when ``lo, hi == 0, n``); the frontier arrays
+    are global.  Returns ``(cand_dst, cand_hub, cand_cnt, gather_per_dst,
+    rank_pruned)`` with ``gather_per_dst`` covering the range only and the
+    candidates sorted by ``(dst, hub)`` key — the single-process engine
+    and each process-parallel worker (:mod:`repro.core.procbuild`) run the
+    identical kernel, which is what makes their outputs bit-identical.
+
+    Raises :class:`_ExactCountsNeeded` when the per-(dst, hub) merge could
+    leave the ``int64`` range (``max_count`` is the global frontier count
+    maximum; the fan-in bound is evaluated per range, and the global guard
+    trips iff any range's guard trips).
+    """
+    span = hi - lo
+    cur_len = np.diff(cur_indptr)
+
+    # (1) pull-gather: fan every frontier label out across the range's edges
+    active = cur_len[tails_r] > 0
+    e_dst = heads_r[active]
+    e_src = tails_r[active]
+    per_edge = cur_len[e_src]
+    g_dst = np.repeat(e_dst, per_edge)
+    g_pos = slice_positions(cur_indptr[e_src], per_edge)
+    g_hub = cur_hubs[g_pos]
+    gather_per_dst = np.bincount(g_dst - lo, minlength=span)
+
+    # int64 guard: the deepest per-(dst, hub) merge sums at most the
+    # destination's gathered entries, each at most count * weight.
+    fan_in = int(gather_per_dst.max()) if len(g_dst) else 1
+    merge_bound = max_count * max_weight * max(fan_in, 1)
+    if merge_bound >= _SAFE_LIMIT:
+        raise _ExactCountsNeeded
+
+    # (2) rank rule (Lemma 3): the hub must outrank the destination
+    keep = g_hub < rank[g_dst]
+    rank_pruned = int(len(keep) - keep.sum())
+    k_dst = g_dst[keep]
+    k_hub = g_hub[keep]
+    k_cnt = cur_counts[g_pos[keep]]
+
+    if weighted:
+        # the propagating vertex becomes internal to the extended path
+        # — contributing its multiplicity — unless it is the hub itself
+        k_src = np.repeat(e_src, per_edge)[keep]
+        factor = np.where(k_hub == rank[k_src], 1, weights[k_src])
+        inc = k_cnt * factor
+    else:
+        inc = k_cnt
+
+    # (3) Label Merging: sum increments per (dst, hub) key — one dense
+    # bincount over the range's key space when it fits (and float64 stays
+    # exact), sort+reduceat otherwise; both produce exact integer sums
+    key = (k_dst - lo) * n + k_hub
+    cells = span * n
+    if len(key) == 0:
+        cand_dst = cand_hub = cand_cnt = np.empty(0, dtype=np.int64)
+    elif (
+        cells <= _DENSE_MERGE_CELLS
+        and cells <= 8 * len(key)  # dense scan must stay amortised
+        and merge_bound < _FLOAT_EXACT_LIMIT
+    ):
+        sums = np.bincount(key, weights=inc, minlength=1)
+        cand_key = np.flatnonzero(sums)
+        cand_cnt = sums[cand_key].astype(np.int64)
+        cand_dst = cand_key // n + lo
+        cand_hub = cand_key % n
+    else:
+        sort = np.argsort(key, kind="stable")
+        skey = key[sort]
+        boundary = np.empty(len(skey), dtype=bool)
+        boundary[0] = True
+        np.not_equal(skey[1:], skey[:-1], out=boundary[1:])
+        seg_start = np.flatnonzero(boundary)
+        cand_key = skey[seg_start]
+        cand_cnt = np.add.reduceat(inc[sort], seg_start)
+        cand_dst = cand_key // n + lo
+        cand_hub = cand_key % n
+    return cand_dst, cand_hub, cand_cnt, gather_per_dst, rank_pruned
+
+
 def _propagate_arrays(
     graph: Graph,
     order: VertexOrder,
@@ -265,73 +364,31 @@ def _propagate_arrays(
                 f"PSPC did not converge within {max_iterations} iterations"
             )
 
-        # (1) pull-gather: fan every frontier label out across its edges
-        cur_len = np.diff(cur_indptr)
-        active = cur_len[tails] > 0
-        e_dst = heads[active]
-        e_src = tails[active]
-        per_edge = cur_len[e_src]
-        g_dst = np.repeat(e_dst, per_edge)
-        g_pos = slice_positions(cur_indptr[e_src], per_edge)
-        g_hub = cur_hubs[g_pos]
-        gather_per_dst = np.bincount(g_dst, minlength=n)
-
-        # int64 guard: the deepest per-(dst, hub) merge sums at most the
-        # destination's gathered entries, each at most count * weight.
-        fan_in = int(gather_per_dst.max()) if len(g_dst) else 1
+        # (1)-(3) pull-gather, rank rule and Label Merging over the full
+        # destination range (the process-parallel engine runs the same
+        # kernel per contiguous shard)
         max_count = int(cur_counts.max()) if len(cur_counts) else 0
-        merge_bound = max_count * max_weight * max(fan_in, 1)
-        if merge_bound >= _SAFE_LIMIT:
-            raise _ExactCountsNeeded
-
-        # (2) rank rule (Lemma 3): the hub must outrank the destination
-        keep = g_hub < rank[g_dst]
-        stats.pruned_by_rank += int(len(keep) - keep.sum())
-        k_dst = g_dst[keep]
-        k_hub = g_hub[keep]
-        k_cnt = cur_counts[g_pos[keep]]
-
-        if weighted:
-            # the propagating vertex becomes internal to the extended path
-            # — contributing its multiplicity — unless it is the hub itself
-            k_src = np.repeat(e_src, per_edge)[keep]
-            factor = np.where(k_hub == rank[k_src], 1, weights[k_src])
-            inc = k_cnt * factor
-        else:
-            inc = k_cnt
-
-        # (3) Label Merging: sum increments per (dst, hub) key — one dense
-        # bincount over the key space when it fits (and float64 stays
-        # exact), sort+reduceat otherwise
-        key = k_dst * n + k_hub
-        if len(key) == 0:
-            cand_dst = cand_hub = cand_cnt = np.empty(0, dtype=np.int64)
-        elif (
-            n * n <= _DENSE_MERGE_CELLS
-            and n * n <= 8 * len(key)  # dense scan must stay amortised
-            and merge_bound < _FLOAT_EXACT_LIMIT
-        ):
-            sums = np.bincount(key, weights=inc)
-            cand_key = np.flatnonzero(sums)
-            cand_cnt = sums[cand_key].astype(np.int64)
-            cand_dst = cand_key // n
-            cand_hub = cand_key % n
-        else:
-            sort = np.argsort(key, kind="stable")
-            skey = key[sort]
-            boundary = np.empty(len(skey), dtype=bool)
-            boundary[0] = True
-            np.not_equal(skey[1:], skey[:-1], out=boundary[1:])
-            seg_start = np.flatnonzero(boundary)
-            cand_key = skey[seg_start]
-            cand_cnt = np.add.reduceat(inc[sort], seg_start)
-            cand_dst = cand_key // n
-            cand_hub = cand_key % n
+        cand_dst, cand_hub, cand_cnt, gather_per_dst, rank_pruned = _pull_merge_range(
+            heads, tails, cur_indptr, cur_hubs, cur_counts, rank, weights,
+            weighted, 0, n, n, max_count, max_weight,
+        )
+        stats.pruned_by_rank += rank_pruned
 
         # (4) query rule (Lemma 4) against the frozen labels through d-1
         pruned, probe_per_dst, lm_hits = _query_rule(
-            lab_indptr, live, scan_live, top_dist, cand_dst, cand_hub,
-            order_arr, landmarks, d, n, record_work,
+            lab_indptr,
+            live.keys[: live.size],
+            live.dists[: live.size],
+            scan_live.hubs,
+            scan_live.dists,
+            top_dist,
+            cand_dst,
+            cand_hub,
+            order_arr,
+            landmarks,
+            d,
+            n,
+            record_work,
         )
         stats.pruned_by_query += int(pruned.sum())
         stats.landmark_hits += lm_hits
@@ -375,13 +432,15 @@ def _propagate_arrays(
 
 def _query_rule(
     lab_indptr: np.ndarray,
-    live: _GrowableLabels,
-    scan: _GrowableScan,
+    keys: np.ndarray,
+    lab_dists: np.ndarray,
+    scan_hubs: np.ndarray,
+    scan_dists: np.ndarray,
     top_dist: np.ndarray,
     cand_dst: np.ndarray,
     cand_hub: np.ndarray,
     order_arr: np.ndarray,
-    landmarks: LandmarkIndex | None,
+    landmarks,
     d: int,
     n: int,
     record_work: bool,
@@ -406,6 +465,15 @@ def _query_rule(
     lists for accepted candidates, up to the first witness otherwise).
     Because the scan order matches the reference loop exactly, so do the
     recorded work units.
+
+    Everything arrives as raw arrays so the process-parallel workers
+    (:mod:`repro.core.procbuild`) can run the identical kernel over their
+    shared-memory views: ``keys``/``lab_dists`` are the frozen label
+    columns through ``d-1`` (sorted by ``vertex * n + hub`` key, already
+    sliced to the live size), ``scan_hubs``/``scan_dists`` the
+    insertion-order copies (capacity arrays are fine — only positions
+    under ``lab_indptr[-1]`` are probed), and ``landmarks`` any object
+    exposing ``rank_is_landmark`` and ``distance_batch``.
     """
     num = len(cand_dst)
     pruned = np.zeros(num, dtype=bool)
@@ -426,10 +494,6 @@ def _query_rule(
     if len(rest) == 0:
         return pruned, probe_per_dst, lm_hits
 
-    scan_hubs = scan.hubs
-    scan_dists = scan.dists
-    lab_dists = live.dists[: live.size]
-    keys = live.keys[: live.size]
     table_rows = len(top_dist)
     full_table = table_rows >= n
     r_dst = cand_dst[rest]

@@ -120,6 +120,7 @@ class HPSPCIndex:
         #: the indexed graph; kept for verification, not needed for queries.
         self.graph = graph
         self._labels_view: LabelIndex | None = store if isinstance(store, LabelIndex) else None
+        self._closed = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -182,19 +183,49 @@ class HPSPCIndex:
 
     def query(self, s: int, t: int) -> SPCResult:
         """Full result: distance and shortest-path count for ``(s, t)``."""
+        if self._closed:
+            raise QueryError("index is closed")
         return self.engine.query(s, t)
 
     def spc(self, s: int, t: int) -> int:
         """Number of shortest paths between ``s`` and ``t`` (0 if disconnected)."""
-        return self.engine.query(s, t).count
+        return self.query(s, t).count
 
     def distance(self, s: int, t: int) -> int:
         """Shortest-path distance (-1 if disconnected)."""
-        return self.engine.query(s, t).dist
+        return self.query(s, t).dist
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
         """Evaluate many queries (vectorized over the compact store)."""
+        if self._closed:
+            raise QueryError("index is closed")
         return self.engine.query_batch(pairs)
+
+    # ------------------------------------------------------------------
+    # lifecycle (memory-mapped opens hold the file until closed)
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (queries now raise)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release memory-mapped label buffers and refuse further queries.
+
+        Same contract as :meth:`repro.core.index.PSPCIndex.close`:
+        deterministic descriptor release for ``mmap=True`` opens,
+        idempotent, usable as a context manager.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        store_module.close_store(self.store)
+
+    def __enter__(self) -> "HPSPCIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def label(self, v: int) -> list[LabelEntry]:
         """Decoded label list of ``v`` — the paper's Table II view."""

@@ -70,8 +70,12 @@ class BuildConfig:
     #: requested serving representation: ``"compact"`` (default) or ``"tuple"``.
     store: str = "compact"
     #: label-construction engine: ``"vectorized"`` (default; whole-frontier
-    #: array kernels) or ``"reference"`` (per-vertex loops, exact work units).
+    #: array kernels), ``"reference"`` (per-vertex loops, exact work units)
+    #: or ``"parallel"`` (the vectorized kernels sharded across spawned
+    #: processes over shared memory — the real PSPC+).
     engine: str = "vectorized"
+    #: ``engine="parallel"``: spawn-based worker-process count.
+    workers: int = 2
     #: ``"reduced"`` method: peel the 1-shell before indexing.
     use_one_shell: bool = True
     #: ``"reduced"`` method: merge neighbourhood-equivalent vertices.
@@ -116,6 +120,7 @@ class PSPCIndex:
         #: the indexed graph; kept for verification, not needed for queries.
         self.graph = graph
         self._labels_view: LabelIndex | None = store if isinstance(store, LabelIndex) else None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # construction
@@ -133,6 +138,7 @@ class PSPCIndex:
         backend: ExecutionBackend | None = None,
         store: str = "compact",
         engine: str = "vectorized",
+        workers: int = 2,
     ) -> "PSPCIndex":
         """Build an index.
 
@@ -165,11 +171,16 @@ class PSPCIndex:
             builds with whole-frontier array kernels and hands the compact
             arrays straight to the store; ``"reference"`` runs the exact
             per-vertex task loops (needed for paper-faithful work-unit
-            simulations).  Both produce the identical index.  Task-level
-            parallelism only exists on the reference path, so requesting
-            ``threads > 1`` or an explicit ``backend`` selects it — the
-            recorded config always names the engine that actually ran
-            (``""`` for the HP-SPC builder, which has no engine concept).
+            simulations); ``"parallel"`` shards the vectorized kernels
+            across ``workers`` spawned processes over shared-memory arrays
+            (:mod:`repro.core.procbuild`).  All engines produce the
+            identical index.  Task-level *thread* parallelism only exists
+            on the reference path, so requesting ``threads > 1`` or an
+            explicit ``backend`` selects it — the recorded config always
+            names the engine that actually ran (``""`` for the HP-SPC
+            builder, which has no engine concept).
+        workers:
+            Process count for ``engine="parallel"`` (ignored otherwise).
         """
         if builder not in ("pspc", "hpspc"):
             raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
@@ -195,6 +206,26 @@ class PSPCIndex:
         owns_backend = False
         if builder == "hpspc":
             labels, stats = _build_hpspc_labels(graph, order)
+        elif engine == "parallel":
+            if backend is not None or threads > 1:
+                raise IndexBuildError(
+                    "engine='parallel' runs its own spawned process pool; "
+                    "leave threads=1 and backend=None (thread-task "
+                    "parallelism belongs to engine='reference')"
+                )
+            # deferred import: the parallel backend pulls in the serve
+            # layer's shared-memory blocks, which core must not import
+            # eagerly
+            from repro.core.procbuild import build_pspc_parallel
+
+            labels, stats = build_pspc_parallel(
+                graph,
+                order,
+                paradigm=paradigm,
+                num_landmarks=num_landmarks,
+                record_work=record_work,
+                workers=workers,
+            )
         elif engine == "vectorized" and backend is None and threads <= 1:
             # whole-frontier array kernels, inherently single-threaded
             # (falls back to the reference loops on potential count overflow)
@@ -240,6 +271,7 @@ class PSPCIndex:
             # the engine that actually ran: "" for HP-SPC, "reference" when
             # threads/backend or the overflow fallback rerouted the build
             engine=stats.engine,
+            workers=workers,
         )
         return cls(serving, config, stats, graph=graph)
 
@@ -271,18 +303,20 @@ class PSPCIndex:
 
     def query(self, s: int, t: int) -> SPCResult:
         """Full result: distance and shortest-path count for ``(s, t)``."""
+        self._check_open()
         return self.engine.query(s, t)
 
     def spc(self, s: int, t: int) -> int:
         """Number of shortest paths between ``s`` and ``t`` (0 if disconnected)."""
-        return self.engine.query(s, t).count
+        return self.query(s, t).count
 
     def distance(self, s: int, t: int) -> int:
         """Shortest-path distance (-1 if disconnected)."""
-        return self.engine.query(s, t).dist
+        return self.query(s, t).dist
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
         """Evaluate many queries (vectorized over the compact store)."""
+        self._check_open()
         return self.engine.query_batch(pairs)
 
     def query_batch_costs(self, pairs: Sequence[tuple[int, int]]) -> list[int]:
@@ -321,6 +355,40 @@ class PSPCIndex:
         if self.graph is None:
             raise QueryError("verification requires the index to retain its graph")
         verify_counter(self, self.graph, samples=samples, seed=seed)
+
+    # ------------------------------------------------------------------
+    # lifecycle (memory-mapped opens hold the file until closed)
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise QueryError("index is closed")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (queries now raise)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release memory-mapped label buffers and refuse further queries.
+
+        An index opened with ``mmap=True`` keeps the ``.npz`` file mapped
+        (and its descriptor held) for as long as the label views live;
+        ``close()`` — or the context-manager form — releases the maps
+        deterministically, so unlink-after-use flows and long-running
+        servers do not leak descriptors until garbage collection.
+        Idempotent; a no-op for eagerly-loaded indexes beyond marking the
+        facade closed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        store_module.close_store(self.store)
+
+    def __enter__(self) -> "PSPCIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # persistence (unified versioned .npz — see repro.core.store)

@@ -1,0 +1,752 @@
+"""Process-parallel PSPC builder: the real PSPC+ over shared-memory CSR.
+
+The speedup figures of the paper (Figs. 8-9) were reproduced so far by the
+deterministic work-unit *simulation* in :mod:`repro.core.parallel` — the
+honest answer while the only parallel substrate was the GIL-bound
+:class:`~repro.core.parallel.ThreadBackend`.  This module makes the
+parallel build real, with the same trick the serving layer uses
+(:mod:`repro.serve`): **spawned processes over shared memory**.
+
+The layout mirrors the paper's barrier-synchronised iteration model
+(Section III-D/E):
+
+* the graph CSR, the vertex order/rank, the landmark distance tables and
+  the per-rank weights are published **once** into a read-only
+  :class:`~repro.serve.shm.ShmArrayBlock`;
+* the ping-pong label arrays of :mod:`repro.core.fastbuild` (the frozen
+  ``(hubs, dists, counts, keys)`` columns, their insertion-order scan
+  copy, and the frontier) live in a second, *writable* block, republished
+  with doubled capacity whenever the labels outgrow it;
+* fixed-size scratch (``lab_indptr``, the frontier cuts, per-destination
+  accepted counts, the work-unit costs and the dense top-rank distance
+  table) sits in a third block.
+
+Each distance iteration runs as two sharded rounds with a barrier between
+them, coordinated over duplex pipes:
+
+1. **pull / merge / scan** — every worker owns a contiguous destination
+   range and runs exactly the single-process kernels
+   (:func:`~repro.core.fastbuild._pull_merge_range` and the lockstep
+   query-rule scan) over its shard, keeping the accepted labels local and
+   writing its per-destination accepted counts and work units into shared
+   scratch;
+2. **commit** — after the parent has turned the accepted counts into
+   global label offsets, every worker merges its shard into the spare
+   ping-pong arrays at positions it computes from two shared prefix sums.
+   Ranges are contiguous and the label arrays are ``(vertex, hub)``-key
+   sorted, so every worker writes a *disjoint* region — no locks.
+
+The result is **bit-identical** to ``engine="vectorized"`` (same store,
+same pruning counters, same per-vertex work units) for every worker
+count; the conservative int64 overflow guard reroutes to the exact
+reference loops exactly as the vectorized engine does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+
+from repro.core.compact import CompactLabelIndex
+from repro.core.fastbuild import (
+    _TABLE_BUDGET_BYTES,
+    _ExactCountsNeeded,
+    _pull_merge_range,
+    _query_rule,
+)
+from repro.core.labels import LabelIndex
+from repro.core.landmarks import LandmarkIndex, build_landmark_index
+from repro.core.pspc import PARADIGMS, build_pspc
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.errors import IndexBuildError
+from repro.graph.graph import Graph
+from repro.ordering.base import VertexOrder
+from repro.serve.shm import ShmArrayBlock
+
+__all__ = ["DEFAULT_WORKERS", "ProcessBackend", "build_pspc_parallel"]
+
+#: Default process count for ``engine="parallel"``.
+DEFAULT_WORKERS = 2
+
+#: Seconds a freshly spawned build worker gets to attach and report ready.
+_STARTUP_TIMEOUT = 120.0
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class _ShmLandmarks:
+    """Landmark filter over attached views — the worker-side stand-in.
+
+    Duck-types the two members the query-rule kernel touches
+    (``rank_is_landmark`` and ``distance_batch``), backed by the stacked
+    distance tables mapped from the static block instead of re-running
+    the landmark BFS in every worker.
+    """
+
+    __slots__ = ("rank_is_landmark", "_stacked", "_row_of_rank")
+
+    def __init__(
+        self, stacked: np.ndarray, row_of_rank: np.ndarray, is_landmark: np.ndarray
+    ) -> None:
+        self._stacked = stacked
+        self._row_of_rank = row_of_rank
+        self.rank_is_landmark = is_landmark
+
+    def distance_batch(self, hub_ranks: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        return self._stacked[self._row_of_rank[hub_ranks], vertices]
+
+
+class _RangeWorker:
+    """One worker's view of the shared build state plus its local shard."""
+
+    def __init__(self, static, fixed, state, lo: int, hi: int, options: dict) -> None:
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.n = int(options["n"])
+        self.weighted = bool(options["weighted"])
+        self.max_weight = int(options["max_weight"])
+        self.record_work = bool(options["record_work"])
+        arrays = static.arrays
+        self.rank = arrays["rank"]
+        self.order_arr = arrays["order"]
+        self.weights = arrays["weights"]
+        g_indptr = arrays["g_indptr"]
+        # one directed edge (dst, src) per CSR slot of the owned range
+        e_lo, e_hi = int(g_indptr[self.lo]), int(g_indptr[self.hi])
+        self.heads_r = np.repeat(
+            np.arange(self.lo, self.hi, dtype=np.int64),
+            np.diff(g_indptr[self.lo : self.hi + 1]),
+        )
+        self.tails_r = arrays["g_indices"][e_lo:e_hi].astype(np.int64)
+        if options["num_landmarks"]:
+            self.landmarks = _ShmLandmarks(
+                arrays["lm_stacked"], arrays["lm_row_of_rank"], arrays["lm_is_landmark"]
+            )
+        else:
+            self.landmarks = None
+        self.fixed = fixed.arrays
+        self.rebind_state(state)
+        # the accepted shard, held between the two rounds of one iteration
+        self.acc_dst = self.acc_hub = self.acc_cnt = np.empty(0, dtype=np.int64)
+
+    def rebind_state(self, state) -> None:
+        """Point the growable-array views at a (re)published state block.
+
+        ``None`` drops the views entirely — required *before* closing the
+        outgrown block, or the exported buffers would keep it pinned.
+        """
+        self.state = state.arrays if state is not None else None
+
+    # ------------------------------------------------------------------
+    def _label_set(self, flip: int) -> tuple[np.ndarray, ...]:
+        s = self.state
+        return (
+            s[f"hubs_{flip}"],
+            s[f"dists_{flip}"],
+            s[f"counts_{flip}"],
+            s[f"keys_{flip}"],
+            s[f"scan_hubs_{flip}"],
+            s[f"scan_dists_{flip}"],
+        )
+
+    def run_iteration(
+        self, d: int, flip: int, live_size: int, max_count: int
+    ) -> tuple:
+        """Round 1: pull-gather + rank rule + merge + query rule for the shard.
+
+        Returns ``("ok", rank_pruned, query_pruned, lm_hits, fresh)``;
+        the accepted labels stay local until :meth:`commit`.  Raises
+        :class:`_ExactCountsNeeded` through to the main loop, which
+        reports ``("overflow",)`` to the parent.
+        """
+        lo, hi, n = self.lo, self.hi, self.n
+        fixed = self.fixed
+        cand_dst, cand_hub, cand_cnt, gather_per_dst, rank_pruned = _pull_merge_range(
+            self.heads_r,
+            self.tails_r,
+            fixed["frontier_indptr"],
+            self.state["cur_hubs"],
+            self.state["cur_counts"],
+            self.rank,
+            self.weights,
+            self.weighted,
+            lo,
+            hi,
+            n,
+            max_count,
+            self.max_weight,
+        )
+        _, dists, _, keys, scan_hubs, scan_dists = self._label_set(flip)
+        pruned, probe_per_dst, lm_hits = _query_rule(
+            fixed["lab_indptr"],
+            keys[:live_size],
+            dists[:live_size],
+            scan_hubs,
+            scan_dists,
+            fixed["top_dist"],
+            cand_dst,
+            cand_hub,
+            self.order_arr,
+            self.landmarks,
+            d,
+            n,
+            self.record_work,
+        )
+        accepted = ~pruned
+        self.acc_dst = cand_dst[accepted]
+        self.acc_hub = cand_hub[accepted]
+        self.acc_cnt = cand_cnt[accepted]
+        fixed["acc_per_dst"][lo:hi] = np.bincount(
+            self.acc_dst - lo, minlength=hi - lo
+        )
+        if self.record_work:
+            # identical to the single-process accounting: gathered entries
+            # + one unit per merged candidate + the pruning-scan probes
+            costs = gather_per_dst.astype(np.int64)
+            costs += np.bincount(cand_dst - lo, minlength=hi - lo)
+            costs += probe_per_dst[lo:hi]
+            fixed["costs"][lo:hi] = costs
+        return (
+            "ok",
+            rank_pruned,
+            int(pruned.sum()),
+            lm_hits,
+            len(self.acc_dst),
+        )
+
+    def commit(self, flip: int, d: int) -> None:
+        """Round 2: merge the shard's accepted labels into the spare arrays.
+
+        ``flip`` names the *live* set (possibly reset to 0 after a state
+        remap); the merged result lands in set ``1 - flip``.  All write
+        regions are derived from the two shared prefix sums (``lab_indptr``
+        for the old entries, ``grown`` for the fresh ones) and are disjoint
+        across workers because ranges are contiguous and both array
+        orderings are destination-major.
+        """
+        lo, hi, n = self.lo, self.hi, self.n
+        fixed = self.fixed
+        lab_indptr = fixed["lab_indptr"]
+        grown = fixed["grown"]
+        hubs, dists, counts, keys, scan_hubs, scan_dists = self._label_set(flip)
+        (
+            sp_hubs,
+            sp_dists,
+            sp_counts,
+            sp_keys,
+            sp_scan_hubs,
+            sp_scan_dists,
+        ) = self._label_set(1 - flip)
+
+        e_lo, e_hi = int(lab_indptr[lo]), int(lab_indptr[hi])
+        fresh_before = int(grown[lo])
+        acc_dst, acc_hub, acc_cnt = self.acc_dst, self.acc_hub, self.acc_cnt
+        fresh = len(acc_dst)
+        acc_key = acc_dst * n + acc_hub
+        old_key = keys[e_lo:e_hi]
+
+        # sorted-merge positions (global indices; see fastbuild._merge_accepted)
+        pos_old = (
+            np.arange(e_lo, e_hi, dtype=np.int64)
+            + fresh_before
+            + np.searchsorted(acc_key, old_key)
+        )
+        pos_new = (
+            np.arange(fresh, dtype=np.int64)
+            + fresh_before
+            + e_lo
+            + np.searchsorted(old_key, acc_key)
+        )
+        sp_hubs[pos_old] = hubs[e_lo:e_hi]
+        sp_hubs[pos_new] = acc_hub
+        sp_dists[pos_old] = dists[e_lo:e_hi]
+        sp_dists[pos_new] = d
+        sp_counts[pos_old] = counts[e_lo:e_hi]
+        sp_counts[pos_new] = acc_cnt
+        sp_keys[pos_old] = old_key
+        sp_keys[pos_new] = acc_key
+
+        # insertion-order scan append (see fastbuild._append_scan)
+        pos_old_scan = np.arange(e_lo, e_hi, dtype=np.int64) + np.repeat(
+            grown[lo:hi], np.diff(lab_indptr[lo : hi + 1])
+        )
+        pos_new_scan = (
+            lab_indptr[acc_dst + 1] + fresh_before + np.arange(fresh, dtype=np.int64)
+        )
+        sp_scan_hubs[pos_old_scan] = scan_hubs[e_lo:e_hi]
+        sp_scan_hubs[pos_new_scan] = acc_hub
+        sp_scan_dists[pos_old_scan] = scan_dists[e_lo:e_hi]
+        sp_scan_dists[pos_new_scan] = d
+
+        # dense distance table: disjoint (hub, dst) cells per worker
+        top_dist = fixed["top_dist"]
+        table_rows = len(top_dist)
+        if table_rows:
+            in_table = acc_hub < table_rows
+            top_dist[acc_hub[in_table], acc_dst[in_table]] = d
+
+        # the accepted entries become the shard's slice of the new frontier
+        self.state["cur_hubs"][fresh_before : fresh_before + fresh] = acc_hub
+        self.state["cur_counts"][fresh_before : fresh_before + fresh] = acc_cnt
+        self.acc_dst = self.acc_hub = self.acc_cnt = np.empty(0, dtype=np.int64)
+
+
+def _worker_main(
+    conn,
+    static_manifest: dict,
+    fixed_manifest: dict,
+    state_manifest: dict,
+    lo: int,
+    hi: int,
+    options: dict,
+) -> None:
+    """Build-worker entry point: attach the blocks, then serve rounds.
+
+    Protocol over the duplex pipe: the parent broadcasts ``("iter", d,
+    flip, live_size, max_count)`` and ``("commit", remap_manifest, flip,
+    d)`` messages (``None`` shuts down); the worker answers ``("ok",
+    ...)``/``("done",)``, ``("overflow",)`` when the int64 guard trips, or
+    ``("err", message)``.
+    """
+    static = ShmArrayBlock.attach(static_manifest)
+    fixed = ShmArrayBlock.attach(fixed_manifest, writable=True)
+    state = ShmArrayBlock.attach(state_manifest, writable=True)
+    try:
+        worker = _RangeWorker(static, fixed, state, lo, hi, options)
+        conn.send(("ready", os.getpid()))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:  # parent went away: exit quietly
+                break
+            if message is None:
+                break
+            try:
+                if message[0] == "iter":
+                    reply = worker.run_iteration(*message[1:])
+                elif message[0] == "commit":
+                    remap = message[1]
+                    if remap is not None:
+                        worker.rebind_state(None)
+                        state.close()
+                        state = ShmArrayBlock.attach(remap, writable=True)
+                        worker.rebind_state(state)
+                    worker.commit(*message[2:])
+                    reply = ("done",)
+                else:
+                    reply = ("err", f"unknown build command {message[0]!r}")
+            except _ExactCountsNeeded:
+                reply = ("overflow",)
+            except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+                reply = ("err", f"{type(exc).__name__}: {exc}")
+            conn.send(reply)
+    finally:
+        conn.close()
+        for block in (state, fixed, static):
+            try:
+                block.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ProcessBackend:
+    """N spawn-based build workers coordinated over duplex pipes.
+
+    The build-side sibling of :class:`~repro.serve.pool.WorkerPool`: each
+    worker owns one contiguous destination range (edge-balanced), attaches
+    the shared blocks at startup, and executes broadcast rounds in
+    lockstep — :meth:`broadcast` is the barrier.
+    """
+
+    def __init__(
+        self,
+        static: ShmArrayBlock,
+        fixed: ShmArrayBlock,
+        state: ShmArrayBlock,
+        ranges: list[tuple[int, int]],
+        options: dict,
+    ) -> None:
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: list = []
+        self._conns: list = []
+        try:
+            for lo, hi in ranges:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        static.manifest,
+                        fixed.manifest,
+                        state.manifest,
+                        lo,
+                        hi,
+                        options,
+                    ),
+                    name=f"repro-build-worker-{len(self._procs)}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._procs.append(process)
+                self._conns.append(parent_conn)
+            for index, conn in enumerate(self._conns):
+                self._handshake(index, conn)
+        except BaseException:
+            self.close(force=True)
+            raise
+
+    @property
+    def workers(self) -> int:
+        """Number of live worker processes."""
+        return len(self._procs)
+
+    def _handshake(self, index: int, conn) -> None:
+        if not conn.poll(_STARTUP_TIMEOUT):
+            raise IndexBuildError(
+                f"build worker {index} did not report ready within "
+                f"{_STARTUP_TIMEOUT:.0f}s"
+            )
+        try:
+            message = conn.recv()
+        except EOFError as exc:
+            raise IndexBuildError(
+                f"build worker {index} died during startup "
+                f"(exitcode={self._procs[index].exitcode})"
+            ) from exc
+        if not (isinstance(message, tuple) and message[0] == "ready"):
+            raise IndexBuildError(
+                f"build worker {index} sent unexpected handshake {message!r}"
+            )
+
+    def broadcast(self, message: tuple) -> list[tuple]:
+        """Send one round to every worker and collect every reply (barrier).
+
+        An ``("overflow",)`` reply raises :class:`_ExactCountsNeeded` (the
+        caller reroutes to the reference engine); ``("err", ...)`` and
+        dead workers raise :class:`~repro.errors.IndexBuildError`.
+        """
+        for conn in self._conns:
+            conn.send(message)
+        replies: list[tuple] = []
+        overflow = False
+        for index, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except EOFError as exc:
+                raise IndexBuildError(
+                    f"build worker {index} died mid-iteration "
+                    f"(exitcode={self._procs[index].exitcode})"
+                ) from exc
+            if reply[0] == "overflow":
+                overflow = True
+            elif reply[0] == "err":
+                raise IndexBuildError(f"build worker {index} failed: {reply[1]}")
+            replies.append(reply)
+        if overflow:
+            raise _ExactCountsNeeded
+        return replies
+
+    def close(self, force: bool = False) -> None:
+        """Shut the workers down (idempotent, crash-tolerant)."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=0.2 if force else 10.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = []
+        self._conns = []
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _edge_balanced_ranges(indptr: np.ndarray, n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous vertex ranges with roughly equal CSR edge slots each."""
+    total = int(indptr[-1]) if n else 0
+    bounds = [0]
+    for k in range(1, shards):
+        cut = int(np.searchsorted(indptr, (total * k) // shards, side="left"))
+        bounds.append(min(max(cut, bounds[-1]), n))
+    bounds.append(n)
+    return [(bounds[i], bounds[i + 1]) for i in range(shards)]
+
+
+def _publish_state(
+    capacity: int,
+    live_arrays: dict[str, np.ndarray] | None,
+) -> ShmArrayBlock:
+    """Publish a state block of ``capacity`` entries per growable column.
+
+    ``live_arrays`` (when given) seeds set 0 with the current live prefix
+    — the copy that makes capacity growth transparent to the workers.
+    Set 1 and the frontier columns start uninitialised.
+    """
+    columns = {
+        "hubs": np.int32,
+        "dists": np.int16,
+        "counts": np.int64,
+        "keys": np.int64,
+        "scan_hubs": np.int32,
+        "scan_dists": np.int16,
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for flip in (0, 1):
+        for column, dtype in columns.items():
+            array = np.empty(capacity, dtype=dtype)
+            if flip == 0 and live_arrays is not None:
+                live = live_arrays[column]
+                array[: len(live)] = live
+            arrays[f"{column}_{flip}"] = array
+    arrays["cur_hubs"] = np.empty(capacity, dtype=np.int64)
+    arrays["cur_counts"] = np.empty(capacity, dtype=np.int64)
+    if live_arrays is not None and "cur_hubs" in live_arrays:
+        for column in ("cur_hubs", "cur_counts"):
+            live = live_arrays[column]
+            arrays[column][: len(live)] = live
+    return ShmArrayBlock.publish(arrays)
+
+
+def build_pspc_parallel(
+    graph: Graph,
+    order: VertexOrder,
+    paradigm: str = "pull",
+    num_landmarks: int = 0,
+    record_work: bool = True,
+    max_iterations: int | None = None,
+    workers: int = DEFAULT_WORKERS,
+) -> tuple[CompactLabelIndex | LabelIndex, BuildStats]:
+    """Build the canonical ESPC index across ``workers`` processes.
+
+    Drop-in sibling of
+    :func:`~repro.core.fastbuild.build_pspc_vectorized`: same signature
+    plus ``workers``, same return contract, and a **bit-identical** store
+    and statistics profile for any worker count.  When the int64 overflow
+    guard trips, the partial shared state is discarded and the exact
+    reference loops take over in-process, exactly like the vectorized
+    engine's fallback.
+    """
+    if paradigm not in PARADIGMS:
+        raise IndexBuildError(
+            f"unknown propagation paradigm {paradigm!r}; expected one of {PARADIGMS}"
+        )
+    if order.n != graph.n:
+        raise IndexBuildError(
+            f"order covers {order.n} vertices but graph has {graph.n}"
+        )
+    if workers < 1:
+        raise IndexBuildError(f"worker count must be >= 1, got {workers}")
+    stats = BuildStats(
+        builder=f"pspc-{paradigm}", engine="parallel", n_vertices=graph.n
+    )
+
+    landmarks: LandmarkIndex | None = None
+    if num_landmarks > 0:
+        with PhaseTimer(stats, "landmarks"):
+            landmarks = build_landmark_index(graph, order, num_landmarks)
+        stats.num_landmarks = landmarks.num_landmarks
+
+    try:
+        index = _propagate_parallel(
+            graph, order, landmarks, stats, record_work, max_iterations, workers
+        )
+    except _ExactCountsNeeded:
+        # counts can overflow the packed arrays: rerun through the exact
+        # Python-int reference loops, reusing the landmark tables
+        index, ref_stats = build_pspc(
+            graph,
+            order,
+            paradigm=paradigm,
+            num_landmarks=num_landmarks,
+            record_work=record_work,
+            max_iterations=max_iterations,
+            landmark_index=landmarks,
+        )
+        ref_stats.merge_phase("landmarks", stats.phase("landmarks"))
+        return index, ref_stats
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+def _propagate_parallel(
+    graph: Graph,
+    order: VertexOrder,
+    landmarks: LandmarkIndex | None,
+    stats: BuildStats,
+    record_work: bool,
+    max_iterations: int | None,
+    workers: int,
+) -> CompactLabelIndex:
+    n = graph.n
+    rank = order.rank.astype(np.int64)
+    order_arr = order.order.astype(np.int64)
+    weights = graph.vertex_weights
+    weight_by_rank = weights[order_arr].astype(np.int64)
+    max_weight = int(weights.max()) if n else 1
+    shards = max(1, min(workers, n)) if n else 1
+
+    static_arrays = {
+        "g_indptr": graph.indptr.astype(np.int64, copy=False),
+        "g_indices": graph.indices,
+        "rank": rank,
+        "order": order_arr,
+        "weights": weights.astype(np.int64, copy=False),
+    }
+    if landmarks is not None:
+        static_arrays["lm_stacked"] = landmarks._stacked
+        static_arrays["lm_row_of_rank"] = landmarks._row_of_rank
+        static_arrays["lm_is_landmark"] = landmarks.rank_is_landmark
+    options = {
+        "n": n,
+        "weighted": bool(graph.is_weighted),
+        "max_weight": max_weight,
+        "record_work": bool(record_work),
+        "num_landmarks": landmarks.num_landmarks if landmarks is not None else 0,
+    }
+
+    # dense dist(x, u) table over the top `table_rows` hub ranks — shared
+    # read/write: workers only ever touch the columns of their own range
+    table_rows = min(n, _TABLE_BUDGET_BYTES // max(2 * n, 1))
+    top_dist = np.full((table_rows, n), -1, dtype=np.int16)
+    if table_rows:
+        top_self = np.flatnonzero(rank < table_rows)
+        top_dist[rank[top_self], top_self] = 0
+    fixed_arrays = {
+        "lab_indptr": np.arange(n + 1, dtype=np.int64),
+        "frontier_indptr": np.arange(n + 1, dtype=np.int64),
+        "grown": np.zeros(n + 1, dtype=np.int64),
+        "acc_per_dst": np.zeros(max(n, 1), dtype=np.int64),
+        "costs": np.zeros(max(n, 1), dtype=np.int64),
+        "top_dist": top_dist,
+    }
+
+    # L_0: every vertex is its own hub at distance 0 with one (empty) path.
+    capacity = max(2 * n, 16)
+    seed = {
+        "hubs": rank.astype(np.int32),
+        "dists": np.zeros(n, dtype=np.int16),
+        "counts": np.ones(n, dtype=np.int64),
+        "keys": np.arange(n, dtype=np.int64) * n + rank,
+        "scan_hubs": rank.astype(np.int32),
+        "scan_dists": np.zeros(n, dtype=np.int16),
+        "cur_hubs": rank,
+        "cur_counts": np.ones(n, dtype=np.int64),
+    }
+
+    static = fixed = state = pool = None
+    try:
+        static = ShmArrayBlock.publish(static_arrays)
+        fixed = ShmArrayBlock.publish(fixed_arrays)
+        state = _publish_state(capacity, seed)
+        with PhaseTimer(stats, "spawn"):
+            pool = ProcessBackend(
+                static, fixed, state,
+                _edge_balanced_ranges(graph.indptr, n, shards), options,
+            )
+
+        lab_indptr = fixed.arrays["lab_indptr"]
+        frontier_indptr = fixed.arrays["frontier_indptr"]
+        grown = fixed.arrays["grown"]
+        acc_per_dst = fixed.arrays["acc_per_dst"]
+        costs = fixed.arrays["costs"]
+
+        with PhaseTimer(stats, "construction"):
+            d = 0
+            flip = 0
+            live_size = n
+            frontier_total = n
+            while frontier_total:
+                d += 1
+                if max_iterations is not None and d > max_iterations:
+                    raise IndexBuildError(
+                        f"PSPC did not converge within {max_iterations} iterations"
+                    )
+                cur_counts = state.arrays["cur_counts"]
+                max_count = int(cur_counts[:frontier_total].max())
+
+                # round 1: sharded pull-gather / merge / query-rule scan
+                replies = pool.broadcast(("iter", d, flip, live_size, max_count))
+                fresh = 0
+                for reply in replies:
+                    stats.pruned_by_rank += reply[1]
+                    stats.pruned_by_query += reply[2]
+                    stats.landmark_hits += reply[3]
+                    fresh += reply[4]
+                if record_work:
+                    stats.iteration_costs.append(costs[:n].copy())
+                stats.iteration_labels.append(fresh)
+
+                # barrier bookkeeping: accepted counts -> global offsets
+                grown[0] = 0
+                np.cumsum(acc_per_dst[:n], out=grown[1:])
+                remap_manifest = None
+                old_state = None
+                if live_size + fresh > capacity:
+                    # the labels outgrew the block: republish with doubled
+                    # capacity, live set copied into set 0, and hand the
+                    # workers the new manifest with the commit round
+                    capacity = max(live_size + fresh, 2 * capacity)
+                    live = {
+                        column: state.arrays[f"{column}_{flip}"][:live_size]
+                        for column in (
+                            "hubs", "dists", "counts", "keys",
+                            "scan_hubs", "scan_dists",
+                        )
+                    }
+                    old_state, state = state, _publish_state(capacity, live)
+                    flip = 0
+                    remap_manifest = state.manifest
+
+                # round 2: sharded commit into the spare ping-pong set
+                pool.broadcast(("commit", remap_manifest, flip, d))
+                if old_state is not None:
+                    # drop our own views of the outgrown block before
+                    # closing it — exported buffers would pin the mapping
+                    live = cur_counts = None
+                    old_state.close()
+                    old_state.unlink()
+
+                lab_indptr += grown
+                frontier_indptr[:] = grown
+                live_size += fresh
+                frontier_total = fresh
+                flip = 1 - flip
+
+        views = state.arrays
+        return CompactLabelIndex(
+            order,
+            lab_indptr.copy(),
+            views[f"hubs_{flip}"][:live_size].copy(),
+            views[f"dists_{flip}"][:live_size].copy(),
+            views[f"counts_{flip}"][:live_size].copy(),
+            weight_by_rank,
+        )
+    finally:
+        # release every parent-side view before closing the mappings
+        views = lab_indptr = frontier_indptr = grown = None
+        acc_per_dst = costs = cur_counts = live = None
+        if pool is not None:
+            pool.close()
+        for block in (state, fixed, static):
+            if block is not None:
+                block.close()
+                block.unlink()

@@ -61,6 +61,7 @@ __all__ = [
     "FORMAT_VERSION",
     "LabelStore",
     "STORE_KINDS",
+    "close_store",
     "freeze_labels",
     "graph_arrays",
     "load_labels",
@@ -320,6 +321,82 @@ def read_payload(
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
     return str(kind), arrays, meta
+
+
+# ----------------------------------------------------------------------
+# releasing memory-mapped stores
+# ----------------------------------------------------------------------
+#: every ndarray attribute a label store (or its directed twin) may carry.
+_STORE_ARRAY_ATTRS = (
+    "indptr", "hubs", "dists", "counts", "weight_by_rank",
+    "indptr_in", "hubs_in", "dists_in", "counts_in",
+    "indptr_out", "hubs_out", "dists_out", "counts_out",
+)
+
+
+def _backing_mmap(array):
+    """The ``mmap`` object behind an array that views an ``np.memmap``."""
+    base = array
+    while isinstance(base, np.ndarray):
+        if isinstance(base, np.memmap):
+            return base._mmap
+        base = base.base
+    return None
+
+
+def close_store(store) -> int:
+    """Release the memory maps behind a lazily-opened label store.
+
+    ``read_payload(..., mmap=True)`` leaves every label column as a view
+    of an ``np.memmap``, and each distinct map pins an open descriptor of
+    the ``.npz`` file for as long as any view is alive — with no explicit
+    hook, a long-running server (or a Windows-style unlink-after-use
+    flow) leaks the descriptor until garbage collection gets around to
+    it.  This helper makes the release deterministic: every memmap-backed
+    array attribute (including the vertex order's) is replaced with an
+    empty placeholder and the distinct underlying maps are closed.
+    Eagerly-loaded stores are untouched; maps still pinned by arrays the
+    *caller* kept are skipped (they close when those views die).
+
+    Callers are the index facades' ``close()`` methods, which also mark
+    themselves closed so later queries fail cleanly instead of reading
+    the placeholders.  Returns the number of maps closed.
+    """
+    mmaps: dict[int, object] = {}
+
+    def scrub(obj, attr) -> None:
+        array = getattr(obj, attr, None)
+        if not isinstance(array, np.ndarray):
+            return
+        backing = _backing_mmap(array)
+        if backing is None:
+            return
+        mmaps[id(backing)] = backing
+        placeholder = np.empty(0, dtype=array.dtype)
+        try:
+            setattr(obj, attr, placeholder)
+        except (AttributeError, TypeError):
+            # frozen dataclasses (VertexOrder) refuse plain setattr;
+            # FrozenInstanceError subclasses AttributeError
+            try:
+                object.__setattr__(obj, attr, placeholder)
+            except (AttributeError, TypeError):  # pragma: no cover
+                mmaps.pop(id(backing), None)  # cannot unpin: leave it be
+
+    for attr in _STORE_ARRAY_ATTRS:
+        scrub(store, attr)
+    order = getattr(store, "order", None)
+    if isinstance(order, VertexOrder):
+        scrub(order, "order")
+        scrub(order, "rank")
+    closed = 0
+    for backing in mmaps.values():
+        try:
+            backing.close()
+            closed += 1
+        except BufferError:  # a caller-held view still pins this map
+            pass
+    return closed
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,9 @@ class DirectedSPCIndex:
     (1, 0)
     """
 
+    #: queries are asymmetric: caches must not canonicalise (s, t) pairs.
+    directed = True
+
     def __init__(
         self,
         labels: DirectedLabelIndex | CompactDirectedLabelIndex,
@@ -61,6 +64,7 @@ class DirectedSPCIndex:
         self.labels = labels
         self.stats = stats
         self.graph = graph
+        self._closed = False
 
     @classmethod
     def build(
@@ -87,6 +91,8 @@ class DirectedSPCIndex:
 
     def query(self, s: int, t: int) -> SPCResult:
         """Directed distance and shortest-path count for ``s -> t``."""
+        if self._closed:
+            raise QueryError("index is closed")
         if isinstance(self.labels, CompactDirectedLabelIndex):
             return self.labels.query(s, t)
         return spc_query_directed(self.labels, s, t)
@@ -101,9 +107,39 @@ class DirectedSPCIndex:
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
         """Evaluate many directed queries in input order."""
+        if self._closed:
+            raise QueryError("index is closed")
         if isinstance(self.labels, CompactDirectedLabelIndex):
             return self.labels.query_batch(pairs)
         return batch_query_directed(self.labels, pairs)
+
+    # ------------------------------------------------------------------
+    # lifecycle (memory-mapped opens hold the file until closed)
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (queries now raise)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release memory-mapped label buffers and refuse further queries.
+
+        Same contract as :meth:`repro.core.index.PSPCIndex.close` — the
+        ``directed-compact`` payloads opened with ``mmap=True`` hold the
+        file mapped until this runs.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        from repro.core import store as store_module
+
+        store_module.close_store(self.labels)
+
+    def __enter__(self) -> "DirectedSPCIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def total_entries(self) -> int:
         """Total entries across both label directions."""

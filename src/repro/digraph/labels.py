@@ -47,6 +47,8 @@ class DirectedLabelIndex:
 
     #: store-layer payload kind (see :mod:`repro.core.store`).
     kind = "directed"
+    #: queries are asymmetric: caches must not canonicalise (s, t) pairs.
+    directed = True
 
     def __init__(
         self,
@@ -181,6 +183,8 @@ class CompactDirectedLabelIndex:
 
     #: store-layer payload kind (shared-memory manifests carry it).
     kind = "directed-compact"
+    #: queries are asymmetric: caches must not canonicalise (s, t) pairs.
+    directed = True
 
     def __init__(
         self,

@@ -8,7 +8,8 @@ Three layers, each usable on its own:
   arrays.
 * :mod:`repro.serve.pool` — :class:`WorkerPool` shards each query batch
   contiguously across N spawn-based worker processes, reassembles answers
-  in order, detects crashes and respawns each slot once.
+  in order, detects crashes and respawns slots (the budget bounds
+  consecutive crashes, not uptime).
 * :mod:`repro.serve.async_service` — :class:`AsyncQueryService`, the
   asyncio twin of :class:`repro.api.QueryService`: admission batching for
   thousands of concurrent awaiters, flushing one kernel call per batch
@@ -34,6 +35,7 @@ _LAZY_EXPORTS = {
     "LRUCache": "repro.serve.cache",
     "FlushStats": "repro.serve.metrics",
     "SEGMENT_PREFIX": "repro.serve.shm",
+    "ShmArrayBlock": "repro.serve.shm",
     "ShmIndexSegment": "repro.serve.shm",
     "WorkerPool": "repro.serve.pool",
 }

@@ -24,7 +24,7 @@ from typing import Sequence
 from repro.core.engine import validate_vertex
 from repro.core.queries import SPCResult
 from repro.errors import QueryError, ServeError
-from repro.serve.cache import LRUCache
+from repro.serve.cache import LRUCache, pair_key
 from repro.serve.metrics import FlushStats
 from repro.serve.pool import WorkerPool
 
@@ -94,7 +94,10 @@ class AsyncQueryService:
         self._timer: asyncio.TimerHandle | None = None
         self._flush_tasks: set[asyncio.Task] = set()
         self._closed = False
+        #: canonical (min, max) keys for symmetric counters so reversed hot
+        #: pairs hit; asymmetric keys when the dispatch target is directed
         self._cache: LRUCache[tuple[int, int], SPCResult] = LRUCache(cache_size)
+        self._cache_key = pair_key(target)
         #: flush accounting shared with the sync twin (loop-thread only)
         self._metrics = FlushStats()
 
@@ -115,8 +118,11 @@ class AsyncQueryService:
         s = validate_vertex(s, self._n)
         t = validate_vertex(t, self._n)
         self._metrics.queries += 1
-        cached = self._cache.get((s, t))
+        cached = self._cache.get(self._cache_key(s, t))
         if cached is not None:
+            # a reversed-pair hit answers with the requested orientation
+            if (cached.s, cached.t) != (s, t):
+                cached = SPCResult(s, t, cached.dist, cached.count)
             return cached
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -155,7 +161,7 @@ class AsyncQueryService:
                     future.set_exception(exc)
             return
         for (s, t, future), answer in zip(batch, answers):
-            self._cache.put((s, t), answer)
+            self._cache.put(self._cache_key(s, t), answer)
             if not future.done():
                 future.set_result(answer)
 

@@ -12,14 +12,30 @@ under its condition lock, the async service on the event loop thread).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, TypeVar
+from typing import Callable, Generic, Hashable, TypeVar
 
-__all__ = ["LRUCache"]
+__all__ = ["LRUCache", "pair_key"]
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
 _MISSING = object()
+
+
+def pair_key(counter) -> Callable[[int, int], tuple[int, int]]:
+    """The point-cache key function for ``counter``'s query semantics.
+
+    Undirected counters answer ``query(s, t) == query(t, s)``, so their
+    cache key is the canonicalised ``(min, max)`` pair — a hot pair served
+    in both directions hits one entry instead of warming two.  Directed
+    counters (anything exposing a truthy ``directed`` attribute: the
+    digraph indexes and label stores, or a :class:`~repro.serve.pool.WorkerPool`
+    over a directed segment) keep the asymmetric ``(s, t)`` key, because
+    for them the reversed pair is a genuinely different query.
+    """
+    if getattr(counter, "directed", False):
+        return lambda s, t: (s, t)
+    return lambda s, t: (s, t) if s <= t else (t, s)
 
 
 class LRUCache(Generic[K, V]):

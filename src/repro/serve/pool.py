@@ -15,9 +15,12 @@ reassembled in submission order, so answers are **identical** to a single
 ``query_batch`` call on the underlying store — only wall-clock changes.
 
 The pool detects worker crashes (a died process, a broken pipe) and
-respawns each slot once automatically, resubmitting the lost shard;
-repeated crashes of one slot raise :class:`~repro.errors.ServeError`.
-``stats()`` reports per-worker throughput counters.
+respawns the slot automatically, resubmitting the lost shard.  The
+``max_respawns`` budget bounds *consecutive* crashes of one slot — it
+resets every time the slot completes a batch — so a crash loop raises
+:class:`~repro.errors.ServeError` promptly while isolated crashes spread
+over a long-lived server's uptime never exhaust it.  ``stats()`` reports
+per-worker throughput and lifetime respawn counters.
 """
 
 from __future__ import annotations
@@ -106,7 +109,13 @@ class _WorkerSlot:
     queries: int = 0
     batches: int = 0
     kernel_seconds: float = 0.0
+    #: lifetime respawn count (reporting only — never limits anything).
     respawns: int = 0
+    #: consecutive crashes since the slot last completed a batch; this is
+    #: what ``max_respawns`` bounds, so the budget caps crash *loops*
+    #: rather than total uptime (a long-lived server survives arbitrarily
+    #: many isolated crashes spread across its lifetime).
+    crash_streak: int = 0
     #: parent-initiated replacements after an abandoned shard (see
     #: :meth:`WorkerPool._quarantine`); separate from the crash budget.
     quarantines: int = 0
@@ -220,12 +229,19 @@ class WorkerPool:
         return slot
 
     def _respawn(self, slot: _WorkerSlot, why: str) -> None:
-        """Replace a crashed worker, once per slot beyond ``max_respawns``."""
-        if slot.respawns >= self.max_respawns:
+        """Replace a crashed worker, up to ``max_respawns`` times *in a row*.
+
+        The budget is a crash-streak bound, reset whenever the slot
+        completes a batch: it exists to stop a worker that dies instantly
+        on every respawn from looping forever, not to kill a server whose
+        slot crashed twice a week apart.
+        """
+        if slot.crash_streak >= self.max_respawns:
             raise ServeError(
                 f"worker {slot.index} (pid {slot.pid}) crashed again after "
-                f"{slot.respawns} respawn(s): {why}"
+                f"{slot.crash_streak} consecutive respawn(s): {why}"
             )
+        slot.crash_streak += 1
         slot.respawns += 1
         try:
             slot.conn.close()
@@ -266,6 +282,9 @@ class WorkerPool:
                 slot.queries += len(shard)
                 slot.batches += 1
                 slot.kernel_seconds += float(elapsed)
+                # a completed batch proves the worker healthy: reopen the
+                # full respawn budget for the *next* crash streak
+                slot.crash_streak = 0
                 return payload
             if not slot.process.is_alive():
                 self._respawn(
@@ -377,6 +396,15 @@ class WorkerPool:
     def n(self) -> int:
         """Number of vertices the published index serves."""
         return self._n
+
+    @property
+    def directed(self) -> bool:
+        """Whether the published store answers asymmetric (s -> t) queries.
+
+        Mirrors the counter classes' ``directed`` flag so the services'
+        point cache keys pairs correctly when dispatching through a pool.
+        """
+        return self._segment.directed
 
     def stats(self) -> dict:
         """Pool-level and per-worker throughput counters."""

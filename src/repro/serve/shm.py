@@ -1,23 +1,25 @@
-"""Shared-memory index segments: publish a frozen index to worker processes.
+"""Shared-memory array blocks: publish numpy arrays to worker processes.
 
-The compact stores are already flat numpy buffers, which is exactly the
-shape ``multiprocessing.shared_memory`` can expose **zero-copy** across
-process boundaries.  :meth:`ShmIndexSegment.publish` copies a store's
-arrays once into a single named shared-memory block and describes the
-layout in a small JSON-serialisable manifest; :meth:`ShmIndexSegment.attach`
-rebuilds a read-only :class:`~repro.core.compact.CompactLabelIndex` (or the
-directed :class:`~repro.digraph.labels.CompactDirectedLabelIndex`) in
-another process as *views* into that block — no label array is copied
-again, however many workers attach.
+Flat numpy buffers are exactly the shape ``multiprocessing.shared_memory``
+can expose **zero-copy** across process boundaries.  Two layers live here:
 
-Array naming and metadata reuse the unified persistence schema of
-:mod:`repro.core.store` (``pack_store``/``unpack_store``), so a manifest is
-essentially the existing ``.npz`` layout pointed at a shared-memory buffer
-instead of a zip member.
+* :class:`ShmArrayBlock` — the general substrate: a dict of named arrays
+  copied once into a single named shared-memory block, described by a
+  small JSON-serialisable manifest.  Any process holding the manifest
+  attaches ``np.ndarray`` views over the same pages (read-only by
+  default; the parallel build backend attaches writable scratch blocks).
+* :class:`ShmIndexSegment` — one frozen *index* published as a block:
+  array naming and metadata reuse the unified persistence schema of
+  :mod:`repro.core.store` (``pack_store``/``unpack_store``), so a segment
+  manifest is essentially the existing ``.npz`` layout pointed at a
+  shared-memory buffer instead of a zip member, and :attr:`~ShmIndexSegment.store`
+  rebuilds a queryable :class:`~repro.core.compact.CompactLabelIndex`
+  (or the directed variant) over the attached views.
 
-Lifecycle is explicit — :meth:`close` detaches, :meth:`unlink` removes the
-segment from the system — with a context manager and an ``atexit`` safety
-net so published segments never outlive the process that created them.
+Lifecycle is explicit — :meth:`ShmArrayBlock.close` detaches,
+:meth:`ShmArrayBlock.unlink` removes the block from the system — with a
+context manager and an ``atexit`` safety net so published blocks never
+outlive the process that created them.
 """
 
 from __future__ import annotations
@@ -35,22 +37,21 @@ from repro.core.compact import CompactLabelIndex
 from repro.digraph.labels import CompactDirectedLabelIndex, DirectedLabelIndex
 from repro.errors import ServeError
 
-__all__ = ["SEGMENT_PREFIX", "ShmIndexSegment"]
+__all__ = ["SEGMENT_PREFIX", "ShmArrayBlock", "ShmIndexSegment"]
 
 #: Prefix of every shared-memory block this module creates; lets smoke
 #: tests assert that a clean shutdown left nothing behind in ``/dev/shm``.
 SEGMENT_PREFIX = "repro-seg-"
 
-#: Manifest schema identifier / version.
-_MANIFEST_FORMAT = "repro-shm-segment"
+#: Manifest schema version (shared by blocks and segments).
 _MANIFEST_VERSION = 1
 
 #: Each array starts on a 64-byte boundary (cache-line aligned).
 _ALIGN = 64
 
-#: Segments alive in this process; the atexit hook sweeps whatever the
+#: Blocks alive in this process; the atexit hook sweeps whatever the
 #: owner forgot so /dev/shm never accumulates orphans.
-_LIVE_SEGMENTS: "weakref.WeakSet[ShmIndexSegment]" = weakref.WeakSet()
+_LIVE_SEGMENTS: "weakref.WeakSet[ShmArrayBlock]" = weakref.WeakSet()
 
 
 def _cleanup_live_segments() -> None:  # pragma: no cover - exercised at exit
@@ -110,55 +111,71 @@ def _restore_store(
     return store_module.unpack_store(arrays, meta)
 
 
-class ShmIndexSegment:
-    """One frozen index published in a named shared-memory block.
+class ShmArrayBlock:
+    """Arbitrary named numpy arrays published once into one shared block.
 
-    Create with :meth:`publish` (the owning side) or :meth:`attach` (a
-    worker).  :attr:`store` is the queryable label store — the publisher's
-    arrays copied exactly once; every attached view reads the same pages.
+    Create with :meth:`publish` (the owning side, which copies each array
+    exactly once) or :meth:`attach` (any process holding the manifest —
+    no array data is copied again).  :attr:`arrays` maps each name to an
+    ``np.ndarray`` view over the shared pages; views are read-only on
+    attach unless ``writable=True`` is requested (the parallel build
+    backend's workers write disjoint shards of shared scratch arrays).
 
     Examples
     --------
-    >>> from repro.graph import cycle_graph
-    >>> from repro.core.index import PSPCIndex
-    >>> index = PSPCIndex.build(cycle_graph(6))
-    >>> with ShmIndexSegment.publish(index) as segment:
-    ...     twin = ShmIndexSegment.attach(segment.manifest)
-    ...     answer = twin.store.query(0, 3).count
+    >>> import numpy as np
+    >>> with ShmArrayBlock.publish({"xs": np.arange(4)}) as block:
+    ...     twin = ShmArrayBlock.attach(block.manifest)
+    ...     total = int(twin.arrays["xs"].sum())
     ...     twin.close()
-    >>> answer
-    2
+    >>> total
+    6
     """
+
+    #: manifest ``format`` field; subclasses override to fence their schema.
+    _MANIFEST_FORMAT = "repro-shm-block"
 
     def __init__(
         self,
         shm: shared_memory.SharedMemory,
         manifest: dict,
-        store,
         owner: bool,
+        writable: bool,
     ) -> None:
         self._shm: shared_memory.SharedMemory | None = shm
         self._manifest = manifest
-        self._store = store
         self._owner = owner
         self._unlinked = False
+        self._arrays: dict[str, np.ndarray] | None = self._build_views(writable)
         _LIVE_SEGMENTS.add(self)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def publish(cls, counter, name: str | None = None) -> "ShmIndexSegment":
-        """Copy a counter's flat label arrays into a new shared segment.
+    def publish(
+        cls,
+        arrays: dict[str, np.ndarray],
+        meta: dict | None = None,
+        name: str | None = None,
+    ) -> "ShmArrayBlock":
+        """Copy ``arrays`` into a new named shared-memory block.
 
-        ``counter`` may be a compact (or freezable tuple) label store, a
-        directed label index, or any index facade wrapping one
-        (:class:`~repro.core.index.PSPCIndex`,
-        :class:`~repro.digraph.index.DirectedSPCIndex`, ...).  The one
-        copy happens here; workers attach zero-copy.
+        ``meta`` is any JSON-serialisable dict carried verbatim in the
+        manifest (the segment subclass stores the label-store metadata
+        there).  The one copy happens here; every attach is zero-copy.
         """
-        store = _flat_store(counter)
-        arrays, meta = store_module.pack_store(store)
+        shm, manifest = cls._publish_block(arrays, meta, name)
+        return cls(shm, manifest, owner=True, writable=True)
+
+    @classmethod
+    def _publish_block(
+        cls,
+        arrays: dict[str, np.ndarray],
+        meta: dict | None,
+        name: str | None,
+    ) -> tuple[shared_memory.SharedMemory, dict]:
+        """Lay out and copy ``arrays``; returns ``(shm, manifest)``."""
         layout: dict[str, dict] = {}
         offset = 0
         packed: list[tuple[int, np.ndarray]] = []
@@ -178,6 +195,8 @@ class ShmIndexSegment:
         except (OSError, ValueError) as exc:
             raise ServeError(f"cannot create shared-memory segment: {exc}") from exc
         for array_offset, value in packed:
+            if value.nbytes == 0:
+                continue
             target = np.ndarray(
                 value.shape,
                 dtype=value.dtype,
@@ -186,33 +205,39 @@ class ShmIndexSegment:
             target[...] = value
             del target
         manifest = {
-            "format": _MANIFEST_FORMAT,
+            "format": cls._MANIFEST_FORMAT,
             "version": _MANIFEST_VERSION,
             "shm_name": shm.name,
-            "kind": meta.get("store_kind"),
-            "meta": meta,
+            "meta": dict(meta or {}),
             "arrays": layout,
             "nbytes": total,
         }
-        segment = cls(shm, manifest, store=None, owner=True)
-        segment._store = segment._build_views()
-        return segment
+        return shm, manifest
 
     @classmethod
-    def attach(cls, manifest: dict | str) -> "ShmIndexSegment":
-        """Map an existing segment read-only and rebuild its store view.
+    def attach(cls, manifest: dict | str, writable: bool = False) -> "ShmArrayBlock":
+        """Map an existing block and rebuild its array views.
 
         ``manifest`` is the dict (or its JSON encoding) produced by
         :meth:`publish` — typically shipped to a spawned worker as part of
-        its start-up arguments.  No label array is copied.
+        its start-up arguments.  No array data is copied.  Views are
+        read-only unless ``writable=True``.
         """
+        shm, manifest = cls._open_block(manifest)
+        return cls(shm, manifest, owner=False, writable=writable)
+
+    @classmethod
+    def _open_block(
+        cls, manifest: dict | str
+    ) -> tuple[shared_memory.SharedMemory, dict]:
+        """Validate a manifest and open its shared-memory block."""
         if isinstance(manifest, str):
             try:
                 manifest = json.loads(manifest)
             except json.JSONDecodeError as exc:
                 raise ServeError(f"corrupt shm manifest: {exc}") from exc
-        if not isinstance(manifest, dict) or manifest.get("format") != _MANIFEST_FORMAT:
-            raise ServeError("not a repro shm-segment manifest")
+        if not isinstance(manifest, dict) or manifest.get("format") != cls._MANIFEST_FORMAT:
+            raise ServeError(f"not a {cls._MANIFEST_FORMAT} manifest")
         if manifest.get("version", 0) > _MANIFEST_VERSION:
             raise ServeError(
                 f"shm manifest version {manifest.get('version')!r} is newer "
@@ -231,15 +256,15 @@ class ShmIndexSegment:
             resource_tracker.unregister(shm._name, "shared_memory")
         except Exception:
             pass
-        segment = cls(shm, dict(manifest), store=None, owner=False)
-        segment._store = segment._build_views()
-        return segment
+        return shm, dict(manifest)
 
-    def _build_views(self):
-        """Reconstruct the store over read-only ndarray views of the segment.
+    def _build_views(self, writable: bool) -> dict[str, np.ndarray]:
+        """Reconstruct the named ndarray views over the mapped block.
 
-        Always read-only: queries never mutate label arrays, and one
-        process scribbling on the shared pages would corrupt every other.
+        Attached views default to read-only: one process scribbling on
+        pages nobody expects to change would corrupt every other.  The
+        build backend opts into ``writable`` for its scratch blocks, where
+        workers write *disjoint* shards by construction.
         """
         assert self._shm is not None
         views: dict[str, np.ndarray] = {}
@@ -251,23 +276,23 @@ class ShmIndexSegment:
             view = np.ndarray(
                 shape, dtype=dtype, buffer=self._shm.buf[start : start + nbytes]
             )
-            view.flags.writeable = False
+            view.flags.writeable = writable
             views[key] = view
-        return _restore_store(views, self._manifest["meta"])
+        return views
 
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
-    def store(self):
-        """The queryable label store backed by the shared pages."""
-        if self._store is None:
-            raise ServeError("shm segment is closed")
-        return self._store
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Name -> ndarray views backed by the shared pages."""
+        if self._arrays is None:
+            raise ServeError("shm block is closed")
+        return self._arrays
 
     @property
     def manifest(self) -> dict:
-        """The JSON-serialisable segment description workers attach from."""
+        """The JSON-serialisable block description workers attach from."""
         return self._manifest
 
     def manifest_json(self) -> str:
@@ -286,7 +311,7 @@ class ShmIndexSegment:
 
     @property
     def owner(self) -> bool:
-        """Whether this handle created (and must unlink) the segment."""
+        """Whether this handle created (and must unlink) the block."""
         return self._owner
 
     @property
@@ -300,24 +325,28 @@ class ShmIndexSegment:
     def close(self) -> None:
         """Release this process's mapping (idempotent).
 
-        The store views become unusable; other attached processes are
-        unaffected.  The system-wide segment itself survives until the
+        The array views become unusable; other attached processes are
+        unaffected.  The system-wide block itself survives until the
         owner calls :meth:`unlink`.
         """
         if self._shm is None:
             return
-        self._store = None
+        self._drop_views()
         try:
             self._shm.close()
         except BufferError as exc:  # pragma: no cover - caller kept a view
             raise ServeError(
                 "cannot close shm segment: numpy views into it are still "
-                "alive; drop all references to segment.store arrays first"
+                "alive; drop all references to its arrays first"
             ) from exc
         self._shm = None
 
+    def _drop_views(self) -> None:
+        """Forget the ndarray views so the buffer can be released."""
+        self._arrays = None
+
     def unlink(self) -> None:
-        """Remove the segment from the system (idempotent, owner-side).
+        """Remove the block from the system (idempotent, owner-side).
 
         Attached processes keep working until they close; new attaches
         fail.  Safe to call after :meth:`close`.
@@ -335,7 +364,7 @@ class ShmIndexSegment:
     def _cleanup_silently(self) -> None:
         """Best-effort close (+ unlink when owning); never raises."""
         try:
-            self._store = None
+            self._drop_views()
             if self._shm is not None:
                 self._shm.close()
                 self._shm = None
@@ -347,7 +376,7 @@ class ShmIndexSegment:
             except Exception:
                 pass
 
-    def __enter__(self) -> "ShmIndexSegment":
+    def __enter__(self) -> "ShmArrayBlock":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -361,6 +390,100 @@ class ShmIndexSegment:
     def __repr__(self) -> str:
         state = "closed" if self.closed else ("owner" if self._owner else "attached")
         return (
-            f"ShmIndexSegment(name={self.name!r}, kind={self._manifest['kind']!r}, "
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"{self.nbytes / 2**20:.2f}MB, {state})"
+        )
+
+
+class ShmIndexSegment(ShmArrayBlock):
+    """One frozen index published in a named shared-memory block.
+
+    The store-aware face of :class:`ShmArrayBlock`: :meth:`publish` packs
+    any counter's flat label arrays through the store layer's
+    :func:`~repro.core.store.pack_store`, and :attr:`store` rebuilds the
+    queryable label store over the attached views — the publisher's
+    arrays copied exactly once; every attached view reads the same pages.
+    Store views are always read-only (queries never mutate labels).
+
+    Examples
+    --------
+    >>> from repro.graph import cycle_graph
+    >>> from repro.core.index import PSPCIndex
+    >>> index = PSPCIndex.build(cycle_graph(6))
+    >>> with ShmIndexSegment.publish(index) as segment:
+    ...     twin = ShmIndexSegment.attach(segment.manifest)
+    ...     answer = twin.store.query(0, 3).count
+    ...     twin.close()
+    >>> answer
+    2
+    """
+
+    _MANIFEST_FORMAT = "repro-shm-segment"
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: dict,
+        owner: bool,
+        writable: bool = False,
+    ) -> None:
+        # stores are served read-only regardless of what the caller asked
+        super().__init__(shm, manifest, owner, writable=False)
+        self._store = _restore_store(self.arrays, manifest["meta"])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, counter, name: str | None = None) -> "ShmIndexSegment":
+        """Copy a counter's flat label arrays into a new shared segment.
+
+        ``counter`` may be a compact (or freezable tuple) label store, a
+        directed label index, or any index facade wrapping one
+        (:class:`~repro.core.index.PSPCIndex`,
+        :class:`~repro.digraph.index.DirectedSPCIndex`, ...).  The one
+        copy happens here; workers attach zero-copy.
+        """
+        store = _flat_store(counter)
+        arrays, meta = store_module.pack_store(store)
+        shm, manifest = cls._publish_block(arrays, meta, name)
+        manifest["kind"] = meta.get("store_kind")
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: dict | str, writable: bool = False) -> "ShmIndexSegment":
+        """Map an existing segment read-only and rebuild its store view.
+
+        Segments refuse ``writable=True`` rather than ignoring it: label
+        stores are served immutable by contract (use a plain
+        :class:`ShmArrayBlock` for mutable shared scratch).
+        """
+        if writable:
+            raise ServeError(
+                "index segments are always read-only; attach a ShmArrayBlock "
+                "for writable shared arrays"
+            )
+        shm, manifest = cls._open_block(manifest)
+        return cls(shm, manifest, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The queryable label store backed by the shared pages."""
+        if self._store is None:
+            raise ServeError("shm segment is closed")
+        return self._store
+
+    @property
+    def directed(self) -> bool:
+        """Whether the published store answers asymmetric (s -> t) queries."""
+        return self._manifest.get("kind") == "directed-compact"
+
+    def _drop_views(self) -> None:
+        self._store = None
+        super()._drop_views()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("owner" if self._owner else "attached")
+        return (
+            f"ShmIndexSegment(name={self.name!r}, kind={self._manifest.get('kind')!r}, "
             f"{self.nbytes / 2**20:.2f}MB, {state})"
         )

@@ -404,6 +404,35 @@ class TestQueryServiceCacheAndClose:
         assert stats["cache_hits"] == 0
         assert stats["batches"] == 2
 
+    def test_reversed_pair_hits_for_undirected_counters(self, counters):
+        # regression: the point cache used to key on (s, t) literally, so
+        # the reversed direction of a hot pair never hit even though an
+        # undirected counter answers both identically
+        index = counters["pspc"]
+        spy = _KernelSpy(index)
+        with QueryService(spy, batch_size=1, cache_size=8) as service:
+            forward = service.query(3, 30)
+            backward = service.query(30, 3)
+            stats = service.stats()
+        assert spy.calls == 1  # the reversed pair never reached the kernel
+        assert stats["cache_hits"] == 1
+        # the hit answers with the *requested* orientation
+        assert (backward.s, backward.t) == (30, 3)
+        assert (backward.dist, backward.count) == (forward.dist, forward.count)
+        assert backward == index.query(30, 3)
+
+    def test_directed_counters_keep_asymmetric_cache_keys(self, counters, digraph):
+        directed = counters["directed"]
+        s, t = 0, 7
+        with QueryService(directed, batch_size=1, cache_size=8) as service:
+            forward = service.query(s, t)
+            backward = service.query(t, s)
+            stats = service.stats()
+        # s -> t and t -> s are different questions on a digraph: no hit
+        assert stats["cache_hits"] == 0
+        assert forward == directed.query(s, t)
+        assert backward == directed.query(t, s)
+
     def test_cache_evicts_least_recently_used(self, counters, graph):
         spy = _KernelSpy(counters["pspc"])
         with QueryService(spy, batch_size=1, cache_size=2) as service:

@@ -56,6 +56,38 @@ class TestRebuildPolicy:
         assert not dyn.dirty
         assert dyn.rebuild_count == 1
 
+    def test_inverse_updates_cancel_to_a_noop(self):
+        # regression: add_edge(u, v) immediately followed by
+        # remove_edge(u, v) used to count as 2 pending updates, pushing
+        # the buffer toward a full rebuild (and queries onto the slow
+        # fallback) for a net no-op
+        dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=2)
+        dyn.add_edge(0, 4)
+        assert dyn.dirty and dyn.pending_updates == 1
+        dyn.remove_edge(0, 4)  # inverse: back to the indexed graph
+        assert not dyn.dirty
+        assert dyn.pending_updates == 0
+        assert dyn.rebuild_count == 0  # a threshold of 2 was never reached
+        assert dyn.spc(0, 4) == 2  # label-speed answer, still exact
+
+    def test_remove_then_readd_cancels_too(self):
+        dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=2)
+        dyn.remove_edge(0, 1)
+        assert dyn.pending_updates == 1
+        dyn.add_edge(0, 1)
+        assert not dyn.dirty
+        assert dyn.rebuild_count == 0
+        assert dyn.distance(0, 1) == 1
+
+    def test_cancellation_keeps_exactness_across_mixed_updates(self):
+        dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=10)
+        dyn.add_edge(0, 4)
+        dyn.add_edge(1, 5)
+        dyn.remove_edge(0, 4)
+        assert dyn.pending_updates == 1  # only the (1, 5) insertion remains
+        assert dyn.dirty
+        assert dyn.spc(1, 5) == 1  # exact via the fallback path
+
     def test_explicit_rebuild(self):
         dyn = DynamicSPCIndex(cycle_graph(8), rebuild_threshold=100)
         dyn.add_edge(0, 4)

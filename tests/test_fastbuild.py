@@ -155,7 +155,7 @@ class TestOverflowFallback:
 
 class TestFacade:
     def test_engine_choices_exposed_and_validated(self, social_graph):
-        assert set(ENGINES) == {"vectorized", "reference"}
+        assert set(ENGINES) == {"vectorized", "reference", "parallel"}
         with pytest.raises(IndexBuildError):
             PSPCIndex.build(social_graph, engine="warp")
 

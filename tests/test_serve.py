@@ -187,7 +187,7 @@ class TestWorkerPool:
             assert stats["queries"] == 101
             assert stats["batches"] == 1
 
-    def test_worker_crash_respawns_once(self, served_index):
+    def test_worker_crash_respawns_and_recovers(self, served_index):
         pairs = _random_pairs(served_index.n, 64)
         expected = served_index.query_batch(pairs)
         with WorkerPool(served_index, workers=2) as pool:
@@ -197,7 +197,28 @@ class TestWorkerPool:
             stats = pool.stats()
             assert stats["respawns"] == 1
             assert stats["per_worker"][0]["pid"] != victim
-            # the respawn budget is one per slot: a second crash is fatal
+
+    def test_respawn_budget_bounds_crash_loops_not_uptime(self, served_index):
+        # regression: max_respawns used to be a per-slot *lifetime* budget,
+        # so a long-lived server died on the second isolated crash of one
+        # slot no matter how far apart.  A completed batch must reopen the
+        # budget: the pool survives arbitrarily many crash/recover cycles,
+        # while the streak bound still stops genuine crash loops.
+        pairs = _random_pairs(served_index.n, 48)
+        expected = served_index.query_batch(pairs)
+        with WorkerPool(served_index, workers=2, max_respawns=1) as pool:
+            for round_number in range(3):
+                os.kill(pool._slots[0].pid, signal.SIGKILL)
+                assert pool.query_batch(pairs) == expected, round_number
+            stats = pool.stats()
+            # every crash respawned (lifetime counter keeps reporting them)
+            assert stats["respawns"] == 3
+            assert all(slot.crash_streak == 0 for slot in pool._slots)
+
+    def test_respawn_budget_exhausts_without_a_completed_batch(self, served_index):
+        # max_respawns=0: the very first crash exceeds the streak budget
+        pairs = _random_pairs(served_index.n, 16)
+        with WorkerPool(served_index, workers=2, max_respawns=0) as pool:
             os.kill(pool._slots[0].pid, signal.SIGKILL)
             with pytest.raises(ServeError):
                 pool.query_batch(pairs)
@@ -289,6 +310,39 @@ class TestAsyncQueryService:
         assert stats["cache_hits"] == 4
         assert stats["cache_misses"] == 1
         assert stats["batches"] == 1
+
+    def test_reversed_pair_hits_for_undirected_counters(self, served_index):
+        # regression: same canonical-key fix as the sync service — the
+        # reversed direction of a hot pair must hit the point cache
+        async def main():
+            async with AsyncQueryService(
+                served_index, batch_size=4, cache_size=16
+            ) as service:
+                forward = await service.submit(2, 9)
+                backward = await service.submit(9, 2)
+                return forward, backward, service.stats()
+
+        forward, backward, stats = asyncio.run(main())
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert (backward.s, backward.t) == (9, 2)
+        assert backward == served_index.query(9, 2)
+        assert (forward.dist, forward.count) == (backward.dist, backward.count)
+
+    def test_directed_counter_keeps_asymmetric_cache_keys(self, directed_index):
+        async def main():
+            async with AsyncQueryService(
+                directed_index, batch_size=4, cache_size=16
+            ) as service:
+                forward = await service.submit(0, 7)
+                backward = await service.submit(7, 0)
+                return forward, backward, service.stats()
+
+        forward, backward, stats = asyncio.run(main())
+        # a digraph answers s -> t and t -> s differently: no cross-hit
+        assert stats["cache_hits"] == 0
+        assert forward == directed_index.query(0, 7)
+        assert backward == directed_index.query(7, 0)
 
     def test_pool_backed_service(self, served_index):
         pairs = _random_pairs(served_index.n, 300)

@@ -254,3 +254,92 @@ class TestMmapPersistence:
         index.save(path, compress=False)
         loaded = PSPCIndex.load(path, mmap=True)
         assert loaded.store == index.store
+
+
+class TestMmapRelease:
+    """``close()`` releases a mapped index's file deterministically.
+
+    Regression: mmap-opened indexes used to pin the ``.npz`` descriptor
+    with no way to release it short of garbage collection — a leak for
+    long-running servers and a blocker for unlink-after-use on platforms
+    that refuse to delete open files.
+    """
+
+    def _mapped_index(self, social_graph, tmp_path, name="close.npz"):
+        from repro.api import open_index
+
+        index = PSPCIndex.build(social_graph, num_landmarks=4)
+        path = tmp_path / name
+        index.save(path, compress=False)
+        return index, open_index(path, mmap=True)
+
+    def test_close_releases_every_map_and_is_idempotent(
+        self, social_graph, tmp_path
+    ):
+        index, lazy = self._mapped_index(social_graph, tmp_path)
+        assert lazy.query(0, 5) == index.query(0, 5)
+        backing = store._backing_mmap(lazy.store.counts)
+        assert backing is not None and not backing.closed
+        assert not lazy.closed
+        lazy.close()
+        assert lazy.closed
+        assert backing.closed  # the descriptor is gone, not awaiting GC
+        lazy.close()  # double close is a no-op
+        assert lazy.closed
+
+    def test_queries_after_close_raise_cleanly(self, social_graph, tmp_path):
+        from repro.errors import QueryError
+
+        _, lazy = self._mapped_index(social_graph, tmp_path)
+        lazy.close()
+        with pytest.raises(QueryError, match="closed"):
+            lazy.query(0, 5)
+        with pytest.raises(QueryError, match="closed"):
+            lazy.query_batch([(0, 5)])
+
+    def test_context_manager_closes(self, social_graph, tmp_path):
+        index, lazy = self._mapped_index(social_graph, tmp_path)
+        with lazy as ctx:
+            assert ctx.query(1, 7) == index.query(1, 7)
+        assert lazy.closed
+
+    def test_close_store_reports_maps_closed(self, social_graph, tmp_path):
+        _, lazy = self._mapped_index(social_graph, tmp_path)
+        # index payloads map order + 4 label columns + weight_by_rank
+        assert store.close_store(lazy.store) >= 5
+        # second pass: nothing mapped remains
+        assert store.close_store(lazy.store) == 0
+
+    def test_eager_indexes_close_as_a_noop(self, social_graph):
+        index = PSPCIndex.build(social_graph)
+        index.close()
+        assert index.closed
+
+    def test_hpspc_and_directed_close(self, social_graph, tmp_path):
+        from repro.api import open_index
+        from repro.core.hpspc import HPSPCIndex
+        from repro.digraph.digraph import DiGraph
+        from repro.digraph.index import DirectedSPCIndex
+        from repro.digraph.labels import CompactDirectedLabelIndex
+
+        hp = HPSPCIndex.build(social_graph)
+        hp_path = tmp_path / "hp.npz"
+        hp.save(hp_path, compress=False)
+        with open_index(hp_path, mmap=True) as lazy_hp:
+            assert isinstance(lazy_hp, HPSPCIndex)
+            assert lazy_hp.query(0, 5) == hp.query(0, 5)
+        assert lazy_hp.closed
+
+        digraph = DiGraph(12, [(u, (u + 3) % 12) for u in range(12)])
+        directed = DirectedSPCIndex.build(digraph)
+        compact = CompactDirectedLabelIndex.from_index(directed.labels)
+        di_path = tmp_path / "di.npz"
+        compact.save(di_path, compress=False)
+        with open_index(di_path, mmap=True) as lazy_di:
+            assert isinstance(lazy_di, DirectedSPCIndex)
+            assert lazy_di.query(0, 3) == directed.query(0, 3)
+        assert lazy_di.closed
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="closed"):
+            lazy_di.query(0, 3)
