@@ -22,7 +22,9 @@ from pathlib import Path
 from conftest import run_once
 from repro.experiments.harness import (
     exp_build_engines,
+    exp_build_engines_directed,
     exp_build_parallel,
+    exp_build_parallel_directed,
     exp_indexing_time,
 )
 
@@ -66,6 +68,49 @@ def test_fig5_build_engines(benchmark, record):
             "rows": rows,
         }
     )
+    BENCH_BUILD_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_fig5_build_directed(benchmark, record):
+    """Directed two-label build rows: reference vs vectorized vs parallel.
+
+    The directed analogue of the two benchmarks above, over the bundled
+    oriented datasets: every engine row asserts the bit-identical
+    ``Lin``/``Lout`` index and counters, the vectorized engine must beat
+    the reference loops by >=1.5x on at least one graph family, and a
+    FB-D parallel sweep (1 and 2 workers) lands alongside with the same
+    identity guarantee.  Everything goes into the ``"directed"`` section
+    of ``BENCH_build.json``.
+    """
+    cpus = multiprocessing.cpu_count()
+    rows = run_once(benchmark, exp_build_engines_directed)
+    record(
+        "fig5_build_directed", rows, "Fig. 5 (directed build engines): time (s)"
+    )
+
+    assert len(rows) == 4
+    # both engines must produce the canonical two-label index everywhere
+    assert all(r["identical"] for r in rows)
+    # acceptance gate: the two-stream kernels must clearly beat the
+    # reference loops on at least one graph family
+    best = max(rows, key=lambda r: r["speedup"])
+    assert best["speedup"] >= 1.5, rows
+
+    parallel_rows = exp_build_parallel_directed(keys=["FB-D"], workers=(1, 2))
+    assert all(r["identical"] for r in parallel_rows)
+
+    existing = (
+        json.loads(BENCH_BUILD_PATH.read_text()) if BENCH_BUILD_PATH.exists() else {}
+    )
+    existing["directed"] = {
+        "unit": "seconds (single-thread wall clock, incl. order + landmarks; "
+        "parallel rows: wall clock, construction_s excludes worker spawn)",
+        "cpus": cpus,
+        "best_dataset": best["dataset"],
+        "best_vectorized_speedup": best["speedup"],
+        "rows": rows,
+        "parallel_rows": parallel_rows,
+    }
     BENCH_BUILD_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 

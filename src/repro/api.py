@@ -301,7 +301,13 @@ def _build_directed(graph: DiGraph, config: BuildConfig) -> DirectedSPCIndex:
             "pass ordering='degree' (or a VertexOrder to DirectedSPCIndex.build)"
         )
     return DirectedSPCIndex.build(
-        graph, builder=config.builder, num_landmarks=config.num_landmarks
+        graph,
+        builder=config.builder,
+        num_landmarks=config.num_landmarks,
+        engine=config.engine,
+        workers=config.workers,
+        store=config.store,
+        record_work=config.record_work,
     )
 
 
@@ -372,25 +378,15 @@ def _open_counter(path: str | Path, meta: dict, mmap: bool) -> SPCounter:
     return cls.load(path)
 
 
-def _open_directed_compact(path: str | Path, meta: dict, mmap: bool) -> DirectedSPCIndex:
-    """Wrap a bare directed-compact store file in the directed facade.
-
-    The labels stay packed (the facade serves the flat arrays directly):
-    thawing to tuple lists would materialise every entry as Python
-    objects and defeat ``mmap=True`` for exactly the multi-GB files the
-    lazy open exists for.
-    """
-    from repro.digraph.labels import CompactDirectedLabelIndex
-
-    labels = CompactDirectedLabelIndex.load(path, mmap=mmap)
-    return DirectedSPCIndex(labels, BuildStats(builder="loaded"), graph=None)
-
-
 _OPENERS: dict[str, Callable[[str | Path, dict, bool], SPCounter]] = {
     "index": lambda path, meta, mmap: PSPCIndex.load(path, mmap=mmap),
     "hpspc": lambda path, meta, mmap: HPSPCIndex.load(path, mmap=mmap),
-    "directed": lambda path, meta, mmap: DirectedSPCIndex.load(path),
-    "directed-compact": _open_directed_compact,
+    # both directed kinds sniff through one loader: compact payloads stay
+    # packed (thawing to tuple lists would materialise every entry and
+    # defeat mmap=True for exactly the multi-GB files the lazy open
+    # exists for), tuple payloads restore the tuple lists
+    "directed": lambda path, meta, mmap: DirectedSPCIndex.load(path, mmap=mmap),
+    "directed-compact": lambda path, meta, mmap: DirectedSPCIndex.load(path, mmap=mmap),
     "dynamic": lambda path, meta, mmap: DynamicSPCIndex.load(path),
     "reduced": lambda path, meta, mmap: ReducedSPCIndex.load(path),
     "counter": _open_counter,

@@ -29,7 +29,12 @@ from repro.core.labels import LabelIndex
 from repro.digraph.index import DirectedSPCIndex
 from repro.errors import ReproError
 from repro.experiments import harness
-from repro.experiments.datasets import dataset_names, load_dataset
+from repro.experiments.datasets import (
+    dataset_names,
+    directed_dataset_names,
+    load_dataset,
+    load_directed_dataset,
+)
 from repro.graph.io import read_edge_list, read_edge_list_directed
 from repro.graph.properties import graph_stats
 from repro.ordering import ORDERINGS
@@ -42,9 +47,17 @@ _EXPERIMENTS = {
         threads=args.threads, engine=args.engine
     ),
     "fig5build": lambda args: (
-        harness.exp_build_parallel(workers=tuple(args.workers_sweep))
-        if args.engine == "parallel"
-        else harness.exp_build_engines()
+        (
+            harness.exp_build_parallel_directed(workers=tuple(args.workers_sweep))
+            if args.engine == "parallel"
+            else harness.exp_build_engines_directed()
+        )
+        if args.method == "directed"
+        else (
+            harness.exp_build_parallel(workers=tuple(args.workers_sweep))
+            if args.engine == "parallel"
+            else harness.exp_build_engines()
+        )
     ),
     "fig6": lambda args: harness.exp_index_size(),
     "fig7": lambda args: harness.exp_query_time(threads=args.threads),
@@ -71,10 +84,12 @@ def _load_graph(args: argparse.Namespace):
 
 
 def _load_directed_graph(args: argparse.Namespace):
+    if getattr(args, "dataset", None):
+        return load_directed_dataset(args.dataset)
     if args.graph:
         return read_edge_list_directed(Path(args.graph))
     raise ReproError(
-        "directed indexes need --graph FILE (the named datasets are undirected)"
+        "provide --graph FILE or --dataset KEY (directed dataset keys end in -D)"
     )
 
 
@@ -90,8 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--graph", help="edge-list file (SNAP/KONECT style)")
         p.add_argument(
             "--dataset",
-            choices=sorted(dataset_names(include_road=True)),
-            help="named benchmark dataset",
+            choices=sorted(dataset_names(include_road=True))
+            + sorted(directed_dataset_names()),
+            help="named benchmark dataset (keys ending in -D are directed)",
         )
 
     p_info = sub.add_parser("info", help="print graph statistics")
@@ -213,6 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="run a paper experiment")
     p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
     p_bench.add_argument("--threads", type=int, default=harness.DEFAULT_THREADS)
+    p_bench.add_argument(
+        "--method",
+        default="pspc",
+        choices=["pspc", "directed"],
+        help="index kind for experiments that support both (fig5build: "
+        "directed runs the two-label engines over the bundled -D datasets)",
+    )
     p_bench.add_argument(
         "--engine",
         default="reference",

@@ -65,7 +65,12 @@ from repro.graph.graph import Graph
 from repro.ordering.base import VertexOrder
 from repro.serve.shm import ShmArrayBlock
 
-__all__ = ["DEFAULT_WORKERS", "ProcessBackend", "build_pspc_parallel"]
+__all__ = [
+    "DEFAULT_WORKERS",
+    "ProcessBackend",
+    "build_pspc_directed_parallel",
+    "build_pspc_parallel",
+]
 
 #: Default process count for ``engine="parallel"``.
 DEFAULT_WORKERS = 2
@@ -294,6 +299,231 @@ class _RangeWorker:
         self.acc_dst = self.acc_hub = self.acc_cnt = np.empty(0, dtype=np.int64)
 
 
+class _DirectedRangeWorker:
+    """One worker's shard of the two-stream directed build.
+
+    The directed index propagates the ``Lin``/``Lout`` label pair, so a
+    shard holds *two* of everything the undirected :class:`_RangeWorker`
+    holds once: pull edges over the in-CSR for ``Lin`` and the out-CSR
+    for ``Lout``, per-side growable ping-pong columns (suffixed
+    ``_in``/``_out`` in the state block) and per-side fixed scratch.  The
+    query rule crosses the streams — a ``Lin`` candidate scans the
+    *other* stream's (``Lout``) labels of its hub while probing its own
+    stream's frozen keys and table — which is why ``run_iteration`` wires
+    ``lab_indptr_{other}``/``scan_*_{other}`` against
+    ``keys_{side}``/``top_dist_{side}``.  Commit regions stay disjoint
+    per stream because each side has its own columns and prefix sums.
+    """
+
+    _SIDES = ("in", "out")
+    _OTHER = {"in": "out", "out": "in"}
+
+    def __init__(self, static, fixed, state, lo: int, hi: int, options: dict) -> None:
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.n = int(options["n"])
+        self.record_work = bool(options["record_work"])
+        arrays = static.arrays
+        self.rank = arrays["rank"]
+        self.order_arr = arrays["order"]
+        # Lin pulls over the in-CSR (u gathers from its predecessors),
+        # Lout over the out-CSR — one (dst, src) pair per owned slot
+        self.heads: dict[str, np.ndarray] = {}
+        self.tails: dict[str, np.ndarray] = {}
+        for side in self._SIDES:
+            indptr = arrays[f"g_{side}_indptr"]
+            e_lo, e_hi = int(indptr[self.lo]), int(indptr[self.hi])
+            self.heads[side] = np.repeat(
+                np.arange(self.lo, self.hi, dtype=np.int64),
+                np.diff(indptr[self.lo : self.hi + 1]),
+            )
+            self.tails[side] = arrays[f"g_{side}_indices"][e_lo:e_hi].astype(np.int64)
+        if options["num_landmarks"]:
+            row_of_rank = arrays["lm_row_of_rank"]
+            is_landmark = arrays["lm_is_landmark"]
+            # forward table (dist(x -> u)) prunes Lin candidates,
+            # backward (dist(u -> x)) prunes Lout candidates
+            self.landmarks = {
+                "in": _ShmLandmarks(arrays["lm_fwd_stacked"], row_of_rank, is_landmark),
+                "out": _ShmLandmarks(arrays["lm_bwd_stacked"], row_of_rank, is_landmark),
+            }
+        else:
+            self.landmarks = {"in": None, "out": None}
+        self.fixed = fixed.arrays
+        self.rebind_state(state)
+        empty = np.empty(0, dtype=np.int64)
+        self.acc: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {
+            side: (empty, empty, empty) for side in self._SIDES
+        }
+
+    def rebind_state(self, state) -> None:
+        """Point the growable-array views at a (re)published state block."""
+        self.state = state.arrays if state is not None else None
+
+    # ------------------------------------------------------------------
+    def run_iteration(
+        self,
+        d: int,
+        flip: int,
+        live_in: int,
+        live_out: int,
+        max_count_in: int,
+        max_count_out: int,
+    ) -> tuple:
+        """Round 1 for both streams; commit stays pending until round 2.
+
+        Returns ``("ok", rank_pruned, query_pruned, lm_hits, fresh_in,
+        fresh_out)``.  Both streams read only the frozen ``<= d-1`` state,
+        so running them back to back inside one round preserves the
+        reference engine's per-iteration barrier.
+        """
+        lo, hi, n = self.lo, self.hi, self.n
+        fixed = self.fixed
+        live = {"in": int(live_in), "out": int(live_out)}
+        max_count = {"in": int(max_count_in), "out": int(max_count_out)}
+        rank_pruned_total = query_pruned_total = lm_hits_total = 0
+        fresh = {}
+        costs = np.zeros(hi - lo, dtype=np.int64) if self.record_work else None
+        for side in self._SIDES:
+            cand_dst, cand_hub, cand_cnt, gather_per_dst, rank_pruned = (
+                _pull_merge_range(
+                    self.heads[side],
+                    self.tails[side],
+                    fixed[f"frontier_indptr_{side}"],
+                    self.state[f"cur_hubs_{side}"],
+                    self.state[f"cur_counts_{side}"],
+                    self.rank,
+                    None,  # DiGraph is unweighted: no multiplicity factors
+                    False,
+                    lo,
+                    hi,
+                    n,
+                    max_count[side],
+                    1,
+                )
+            )
+            other = self._OTHER[side]
+            pruned, probe_per_dst, lm_hits = _query_rule(
+                fixed[f"lab_indptr_{other}"],
+                self.state[f"keys_{side}_{flip}"][: live[side]],
+                self.state[f"dists_{side}_{flip}"][: live[side]],
+                self.state[f"scan_hubs_{other}_{flip}"],
+                self.state[f"scan_dists_{other}_{flip}"],
+                fixed[f"top_dist_{side}"],
+                cand_dst,
+                cand_hub,
+                self.order_arr,
+                self.landmarks[side],
+                d,
+                n,
+                self.record_work,
+            )
+            accepted = ~pruned
+            acc_dst = cand_dst[accepted]
+            self.acc[side] = (acc_dst, cand_hub[accepted], cand_cnt[accepted])
+            fixed[f"acc_per_dst_{side}"][lo:hi] = np.bincount(
+                acc_dst - lo, minlength=hi - lo
+            )
+            if self.record_work:
+                # both streams charge the shared destination, mirroring
+                # the reference engine's per-vertex `w1 + w2`
+                costs += gather_per_dst.astype(np.int64)
+                costs += np.bincount(cand_dst - lo, minlength=hi - lo)
+                costs += probe_per_dst[lo:hi]
+            rank_pruned_total += rank_pruned
+            query_pruned_total += int(pruned.sum())
+            lm_hits_total += lm_hits
+            fresh[side] = len(acc_dst)
+        if self.record_work:
+            fixed["costs"][lo:hi] = costs
+        return (
+            "ok",
+            rank_pruned_total,
+            query_pruned_total,
+            lm_hits_total,
+            fresh["in"],
+            fresh["out"],
+        )
+
+    def commit(self, flip: int, d: int) -> None:
+        """Round 2: merge both streams' accepted shards (disjoint regions)."""
+        for side in self._SIDES:
+            self._commit_stream(side, flip, d)
+
+    def _commit_stream(self, side: str, flip: int, d: int) -> None:
+        lo, hi, n = self.lo, self.hi, self.n
+        fixed = self.fixed
+        state = self.state
+        lab_indptr = fixed[f"lab_indptr_{side}"]
+        grown = fixed[f"grown_{side}"]
+        hubs = state[f"hubs_{side}_{flip}"]
+        dists = state[f"dists_{side}_{flip}"]
+        counts = state[f"counts_{side}_{flip}"]
+        keys = state[f"keys_{side}_{flip}"]
+        scan_hubs = state[f"scan_hubs_{side}_{flip}"]
+        scan_dists = state[f"scan_dists_{side}_{flip}"]
+        spare = 1 - flip
+        sp_hubs = state[f"hubs_{side}_{spare}"]
+        sp_dists = state[f"dists_{side}_{spare}"]
+        sp_counts = state[f"counts_{side}_{spare}"]
+        sp_keys = state[f"keys_{side}_{spare}"]
+        sp_scan_hubs = state[f"scan_hubs_{side}_{spare}"]
+        sp_scan_dists = state[f"scan_dists_{side}_{spare}"]
+
+        e_lo, e_hi = int(lab_indptr[lo]), int(lab_indptr[hi])
+        fresh_before = int(grown[lo])
+        acc_dst, acc_hub, acc_cnt = self.acc[side]
+        fresh = len(acc_dst)
+        acc_key = acc_dst * n + acc_hub
+        old_key = keys[e_lo:e_hi]
+
+        # sorted-merge positions (global indices; see fastbuild._merge_accepted)
+        pos_old = (
+            np.arange(e_lo, e_hi, dtype=np.int64)
+            + fresh_before
+            + np.searchsorted(acc_key, old_key)
+        )
+        pos_new = (
+            np.arange(fresh, dtype=np.int64)
+            + fresh_before
+            + e_lo
+            + np.searchsorted(old_key, acc_key)
+        )
+        sp_hubs[pos_old] = hubs[e_lo:e_hi]
+        sp_hubs[pos_new] = acc_hub
+        sp_dists[pos_old] = dists[e_lo:e_hi]
+        sp_dists[pos_new] = d
+        sp_counts[pos_old] = counts[e_lo:e_hi]
+        sp_counts[pos_new] = acc_cnt
+        sp_keys[pos_old] = old_key
+        sp_keys[pos_new] = acc_key
+
+        # insertion-order scan append (see fastbuild._append_scan)
+        pos_old_scan = np.arange(e_lo, e_hi, dtype=np.int64) + np.repeat(
+            grown[lo:hi], np.diff(lab_indptr[lo : hi + 1])
+        )
+        pos_new_scan = (
+            lab_indptr[acc_dst + 1] + fresh_before + np.arange(fresh, dtype=np.int64)
+        )
+        sp_scan_hubs[pos_old_scan] = scan_hubs[e_lo:e_hi]
+        sp_scan_hubs[pos_new_scan] = acc_hub
+        sp_scan_dists[pos_old_scan] = scan_dists[e_lo:e_hi]
+        sp_scan_dists[pos_new_scan] = d
+
+        # dense distance table: disjoint (hub, dst) cells per worker
+        top_dist = fixed[f"top_dist_{side}"]
+        table_rows = len(top_dist)
+        if table_rows:
+            in_table = acc_hub < table_rows
+            top_dist[acc_hub[in_table], acc_dst[in_table]] = d
+
+        # the accepted entries become the shard's slice of the new frontier
+        state[f"cur_hubs_{side}"][fresh_before : fresh_before + fresh] = acc_hub
+        state[f"cur_counts_{side}"][fresh_before : fresh_before + fresh] = acc_cnt
+        empty = np.empty(0, dtype=np.int64)
+        self.acc[side] = (empty, empty, empty)
+
+
 def _worker_main(
     conn,
     static_manifest: dict,
@@ -302,20 +532,23 @@ def _worker_main(
     lo: int,
     hi: int,
     options: dict,
+    worker_cls: type = _RangeWorker,
 ) -> None:
     """Build-worker entry point: attach the blocks, then serve rounds.
 
     Protocol over the duplex pipe: the parent broadcasts ``("iter", d,
-    flip, live_size, max_count)`` and ``("commit", remap_manifest, flip,
-    d)`` messages (``None`` shuts down); the worker answers ``("ok",
-    ...)``/``("done",)``, ``("overflow",)`` when the int64 guard trips, or
-    ``("err", message)``.
+    flip, ...)`` and ``("commit", remap_manifest, flip, d)`` messages
+    (``None`` shuts down); the worker answers ``("ok", ...)``/
+    ``("done",)``, ``("overflow",)`` when the int64 guard trips, or
+    ``("err", message)``.  ``worker_cls`` selects the shard
+    implementation (undirected :class:`_RangeWorker` or the two-stream
+    :class:`_DirectedRangeWorker`).
     """
     static = ShmArrayBlock.attach(static_manifest)
     fixed = ShmArrayBlock.attach(fixed_manifest, writable=True)
     state = ShmArrayBlock.attach(state_manifest, writable=True)
     try:
-        worker = _RangeWorker(static, fixed, state, lo, hi, options)
+        worker = worker_cls(static, fixed, state, lo, hi, options)
         conn.send(("ready", os.getpid()))
         while True:
             try:
@@ -352,6 +585,28 @@ def _worker_main(
                 pass
 
 
+def _directed_worker_main(
+    conn,
+    static_manifest: dict,
+    fixed_manifest: dict,
+    state_manifest: dict,
+    lo: int,
+    hi: int,
+    options: dict,
+) -> None:
+    """Spawn target for the directed build (picklable by module name)."""
+    _worker_main(
+        conn,
+        static_manifest,
+        fixed_manifest,
+        state_manifest,
+        lo,
+        hi,
+        options,
+        worker_cls=_DirectedRangeWorker,
+    )
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
@@ -371,6 +626,7 @@ class ProcessBackend:
         state: ShmArrayBlock,
         ranges: list[tuple[int, int]],
         options: dict,
+        target=_worker_main,
     ) -> None:
         self._ctx = multiprocessing.get_context("spawn")
         self._procs: list = []
@@ -379,7 +635,7 @@ class ProcessBackend:
             for lo, hi in ranges:
                 parent_conn, child_conn = self._ctx.Pipe(duplex=True)
                 process = self._ctx.Process(
-                    target=_worker_main,
+                    target=target,
                     args=(
                         child_conn,
                         static.manifest,
@@ -739,6 +995,307 @@ def _propagate_parallel(
             views[f"dists_{flip}"][:live_size].copy(),
             views[f"counts_{flip}"][:live_size].copy(),
             weight_by_rank,
+        )
+    finally:
+        # release every parent-side view before closing the mappings
+        views = lab_indptr = frontier_indptr = grown = None
+        acc_per_dst = costs = cur_counts = live = None
+        if pool is not None:
+            pool.close()
+        for block in (state, fixed, static):
+            if block is not None:
+                block.close()
+                block.unlink()
+
+
+# ----------------------------------------------------------------------
+# directed (two-stream) build
+# ----------------------------------------------------------------------
+_DIRECTED_SIDES = ("in", "out")
+_STATE_COLUMNS = {
+    "hubs": np.int32,
+    "dists": np.int16,
+    "counts": np.int64,
+    "keys": np.int64,
+    "scan_hubs": np.int32,
+    "scan_dists": np.int16,
+}
+
+
+def _publish_directed_state(
+    capacity: dict[str, int],
+    live_arrays: dict[str, np.ndarray] | None,
+) -> ShmArrayBlock:
+    """Publish one state block holding *both* streams' growable columns.
+
+    Each :class:`~repro.serve.shm.ShmArrayBlock` column exists per side
+    and per ping-pong set (``hubs_in_0`` ... ``scan_dists_out_1``) plus a
+    frontier pair per side; capacities are per side, so a lopsided graph
+    does not double-pay for the cheaper stream.  ``live_arrays`` (keys
+    suffixed ``_in``/``_out``) seeds set 0 of each side on republish.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for side in _DIRECTED_SIDES:
+        for flip in (0, 1):
+            for column, dtype in _STATE_COLUMNS.items():
+                array = np.empty(capacity[side], dtype=dtype)
+                if flip == 0 and live_arrays is not None:
+                    live = live_arrays[f"{column}_{side}"]
+                    array[: len(live)] = live
+                arrays[f"{column}_{side}_{flip}"] = array
+        for column in ("cur_hubs", "cur_counts"):
+            array = np.empty(capacity[side], dtype=np.int64)
+            key = f"{column}_{side}"
+            if live_arrays is not None and key in live_arrays:
+                live = live_arrays[key]
+                array[: len(live)] = live
+            arrays[key] = array
+    return ShmArrayBlock.publish(arrays)
+
+
+def build_pspc_directed_parallel(
+    graph,
+    order: VertexOrder,
+    num_landmarks: int = 0,
+    record_work: bool = True,
+    max_iterations: int | None = None,
+    workers: int = DEFAULT_WORKERS,
+):
+    """Build the canonical directed ESPC index across ``workers`` processes.
+
+    Drop-in sibling of
+    :func:`~repro.digraph.fastbuild.build_pspc_directed_vectorized`: same
+    signature plus ``workers``, same return contract, and a
+    **bit-identical** store and statistics profile for any worker count.
+    The int64 overflow guard reroutes to the exact reference loops
+    exactly as the vectorized engine does.
+    """
+    # function-level import: core stays importable without the digraph
+    # subpackage in the picture, and the layering (digraph -> core) holds
+    from repro.digraph.pspc import _DirectedLandmarks, build_pspc_directed
+
+    if order.n != graph.n:
+        raise IndexBuildError(
+            f"order covers {order.n} vertices but graph has {graph.n}"
+        )
+    if workers < 1:
+        raise IndexBuildError(f"worker count must be >= 1, got {workers}")
+    stats = BuildStats(
+        builder="pspc-directed", engine="parallel", n_vertices=graph.n
+    )
+
+    landmarks: "_DirectedLandmarks | None" = None
+    if num_landmarks > 0:
+        with PhaseTimer(stats, "landmarks"):
+            landmarks = _DirectedLandmarks(graph, order, num_landmarks)
+        stats.num_landmarks = landmarks.num_landmarks
+
+    try:
+        index = _propagate_directed_parallel(
+            graph, order, landmarks, stats, record_work, max_iterations, workers
+        )
+    except _ExactCountsNeeded:
+        # counts can overflow the packed arrays: rerun through the exact
+        # Python-int reference loops, reusing the landmark tables
+        index, ref_stats = build_pspc_directed(
+            graph,
+            order,
+            num_landmarks=num_landmarks,
+            record_work=record_work,
+            max_iterations=max_iterations,
+            landmark_index=landmarks,
+        )
+        ref_stats.merge_phase("landmarks", stats.phase("landmarks"))
+        return index, ref_stats
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+def _propagate_directed_parallel(
+    graph,
+    order: VertexOrder,
+    landmarks,
+    stats: BuildStats,
+    record_work: bool,
+    max_iterations: int | None,
+    workers: int,
+):
+    from repro.digraph.labels import CompactDirectedLabelIndex
+
+    n = graph.n
+    rank = order.rank.astype(np.int64)
+    order_arr = order.order.astype(np.int64)
+    shards = max(1, min(workers, n)) if n else 1
+
+    static_arrays = {
+        "g_out_indptr": graph.out_indptr.astype(np.int64, copy=False),
+        "g_out_indices": graph.out_indices,
+        "g_in_indptr": graph.in_indptr.astype(np.int64, copy=False),
+        "g_in_indices": graph.in_indices,
+        "rank": rank,
+        "order": order_arr,
+    }
+    if landmarks is not None:
+        static_arrays["lm_fwd_stacked"] = landmarks.forward_stacked
+        static_arrays["lm_bwd_stacked"] = landmarks.backward_stacked
+        static_arrays["lm_row_of_rank"] = landmarks.row_of_rank
+        static_arrays["lm_is_landmark"] = landmarks.rank_is_landmark
+    options = {
+        "n": n,
+        "record_work": bool(record_work),
+        "num_landmarks": landmarks.num_landmarks if landmarks is not None else 0,
+    }
+
+    # two dense tables share the top-rank budget: dist(x -> u) for Lin
+    # pruning and dist(u -> x) for Lout (matches the vectorized engine)
+    table_rows = min(n, _TABLE_BUDGET_BYTES // max(4 * n, 1))
+    fixed_arrays: dict[str, np.ndarray] = {
+        "costs": np.zeros(max(n, 1), dtype=np.int64),
+    }
+    for side in _DIRECTED_SIDES:
+        top_dist = np.full((table_rows, n), -1, dtype=np.int16)
+        if table_rows:
+            top_self = np.flatnonzero(rank < table_rows)
+            top_dist[rank[top_self], top_self] = 0
+        fixed_arrays[f"lab_indptr_{side}"] = np.arange(n + 1, dtype=np.int64)
+        fixed_arrays[f"frontier_indptr_{side}"] = np.arange(n + 1, dtype=np.int64)
+        fixed_arrays[f"grown_{side}"] = np.zeros(n + 1, dtype=np.int64)
+        fixed_arrays[f"acc_per_dst_{side}"] = np.zeros(max(n, 1), dtype=np.int64)
+        fixed_arrays[f"top_dist_{side}"] = top_dist
+
+    # L_0 per stream: every vertex is its own hub at distance 0, one path.
+    capacity = {side: max(2 * n, 16) for side in _DIRECTED_SIDES}
+    seed: dict[str, np.ndarray] = {}
+    for side in _DIRECTED_SIDES:
+        seed[f"hubs_{side}"] = rank.astype(np.int32)
+        seed[f"dists_{side}"] = np.zeros(n, dtype=np.int16)
+        seed[f"counts_{side}"] = np.ones(n, dtype=np.int64)
+        seed[f"keys_{side}"] = np.arange(n, dtype=np.int64) * n + rank
+        seed[f"scan_hubs_{side}"] = rank.astype(np.int32)
+        seed[f"scan_dists_{side}"] = np.zeros(n, dtype=np.int16)
+        seed[f"cur_hubs_{side}"] = rank
+        seed[f"cur_counts_{side}"] = np.ones(n, dtype=np.int64)
+
+    # balance on total incident CSR slots: every worker touches both CSRs
+    combined_indptr = static_arrays["g_in_indptr"] + static_arrays["g_out_indptr"]
+
+    static = fixed = state = pool = None
+    try:
+        static = ShmArrayBlock.publish(static_arrays)
+        fixed = ShmArrayBlock.publish(fixed_arrays)
+        state = _publish_directed_state(capacity, seed)
+        with PhaseTimer(stats, "spawn"):
+            pool = ProcessBackend(
+                static, fixed, state,
+                _edge_balanced_ranges(combined_indptr, n, shards), options,
+                target=_directed_worker_main,
+            )
+
+        lab_indptr = {s: fixed.arrays[f"lab_indptr_{s}"] for s in _DIRECTED_SIDES}
+        frontier_indptr = {
+            s: fixed.arrays[f"frontier_indptr_{s}"] for s in _DIRECTED_SIDES
+        }
+        grown = {s: fixed.arrays[f"grown_{s}"] for s in _DIRECTED_SIDES}
+        acc_per_dst = {s: fixed.arrays[f"acc_per_dst_{s}"] for s in _DIRECTED_SIDES}
+        costs = fixed.arrays["costs"]
+
+        with PhaseTimer(stats, "construction"):
+            d = 0
+            flip = 0
+            live_size = {s: n for s in _DIRECTED_SIDES}
+            frontier_total = {s: n for s in _DIRECTED_SIDES}
+            while frontier_total["in"] or frontier_total["out"]:
+                d += 1
+                if max_iterations is not None and d > max_iterations:
+                    raise IndexBuildError(
+                        f"directed PSPC did not converge within "
+                        f"{max_iterations} iterations"
+                    )
+                max_count = {}
+                cur_counts = {}
+                for side in _DIRECTED_SIDES:
+                    cur_counts[side] = state.arrays[f"cur_counts_{side}"]
+                    total = frontier_total[side]
+                    max_count[side] = (
+                        int(cur_counts[side][:total].max()) if total else 0
+                    )
+
+                # round 1: both streams' sharded pull / merge / query scan
+                replies = pool.broadcast(
+                    (
+                        "iter", d, flip,
+                        live_size["in"], live_size["out"],
+                        max_count["in"], max_count["out"],
+                    )
+                )
+                fresh = {s: 0 for s in _DIRECTED_SIDES}
+                for reply in replies:
+                    stats.pruned_by_rank += reply[1]
+                    stats.pruned_by_query += reply[2]
+                    stats.landmark_hits += reply[3]
+                    fresh["in"] += reply[4]
+                    fresh["out"] += reply[5]
+                if record_work:
+                    stats.iteration_costs.append(costs[:n].copy())
+                stats.iteration_labels.append(fresh["in"] + fresh["out"])
+
+                # barrier bookkeeping: accepted counts -> global offsets
+                for side in _DIRECTED_SIDES:
+                    grown[side][0] = 0
+                    np.cumsum(acc_per_dst[side][:n], out=grown[side][1:])
+                remap_manifest = None
+                old_state = None
+                if any(
+                    live_size[s] + fresh[s] > capacity[s] for s in _DIRECTED_SIDES
+                ):
+                    # either stream outgrew the block: republish the whole
+                    # state with per-side doubled capacity, live sets
+                    # copied into set 0, manifest handed over with commit
+                    capacity = {
+                        s: (
+                            max(live_size[s] + fresh[s], 2 * capacity[s])
+                            if live_size[s] + fresh[s] > capacity[s]
+                            else capacity[s]
+                        )
+                        for s in _DIRECTED_SIDES
+                    }
+                    live = {}
+                    for side in _DIRECTED_SIDES:
+                        for column in _STATE_COLUMNS:
+                            live[f"{column}_{side}"] = state.arrays[
+                                f"{column}_{side}_{flip}"
+                            ][: live_size[side]]
+                    old_state, state = state, _publish_directed_state(capacity, live)
+                    flip = 0
+                    remap_manifest = state.manifest
+
+                # round 2: both streams' sharded commit into the spare set
+                pool.broadcast(("commit", remap_manifest, flip, d))
+                if old_state is not None:
+                    # drop our own views of the outgrown block before
+                    # closing it — exported buffers would pin the mapping
+                    live = cur_counts = None
+                    old_state.close()
+                    old_state.unlink()
+
+                for side in _DIRECTED_SIDES:
+                    lab_indptr[side] += grown[side]
+                    frontier_indptr[side][:] = grown[side]
+                    live_size[side] += fresh[side]
+                    frontier_total[side] = fresh[side]
+                flip = 1 - flip
+
+        views = state.arrays
+        return CompactDirectedLabelIndex(
+            order,
+            lab_indptr["in"].copy(),
+            views[f"hubs_in_{flip}"][: live_size["in"]].copy(),
+            views[f"dists_in_{flip}"][: live_size["in"]].copy(),
+            views[f"counts_in_{flip}"][: live_size["in"]].copy(),
+            lab_indptr["out"].copy(),
+            views[f"hubs_out_{flip}"][: live_size["out"]].copy(),
+            views[f"dists_out_{flip}"][: live_size["out"]].copy(),
+            views[f"counts_out_{flip}"][: live_size["out"]].copy(),
         )
     finally:
         # release every parent-side view before closing the mappings

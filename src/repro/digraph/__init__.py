@@ -1,6 +1,15 @@
 """Directed-graph support: DiGraph, directed builders and queries."""
 
 from repro.digraph.digraph import DiGraph
+from repro.digraph.fastbuild import build_pspc_directed_vectorized
+from repro.digraph.generators import (
+    directed_barabasi_albert,
+    directed_cycle,
+    directed_grid_road_network,
+    directed_powerlaw_cluster,
+    directed_watts_strogatz,
+    orient,
+)
 from repro.digraph.hpspc import build_hpspc_directed
 from repro.digraph.index import DirectedSPCIndex, degree_order_directed
 from repro.digraph.labels import DirectedLabelIndex, batch_query_directed, spc_query_directed
@@ -18,6 +27,13 @@ __all__ = [
     "degree_order_directed",
     "build_hpspc_directed",
     "build_pspc_directed",
+    "build_pspc_directed_vectorized",
+    "orient",
+    "directed_barabasi_albert",
+    "directed_watts_strogatz",
+    "directed_powerlaw_cluster",
+    "directed_grid_road_network",
+    "directed_cycle",
     "spc_query_directed",
     "batch_query_directed",
     "bfs_counting_directed",

@@ -83,6 +83,29 @@ class DiGraph:
         """Number of arcs."""
         return len(self._out_indices)
 
+    # raw CSR views (both directions) — what the vectorized build engine
+    # and the shared-memory publisher consume; rows are sorted, read-only
+    # by convention.
+    @property
+    def out_indptr(self) -> np.ndarray:
+        """CSR cuts of the out-adjacency (``int64``, length ``n + 1``)."""
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        """CSR successors (``int32``, sorted within each row)."""
+        return self._out_indices
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        """CSR cuts of the in-adjacency (``int64``, length ``n + 1``)."""
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        """CSR predecessors (``int32``, sorted within each row)."""
+        return self._in_indices
+
     def out_neighbors(self, v: int) -> np.ndarray:
         """Successors of ``v`` (sorted)."""
         self._check_vertex(v)

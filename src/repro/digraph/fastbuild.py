@@ -1,0 +1,282 @@
+"""Vectorized directed PSPC build: two-stream frontier kernels over dual CSR.
+
+The directed reference builder (:mod:`repro.digraph.pspc`) propagates the
+``Lin``/``Lout`` label pair with per-vertex Python loops and dict probes.
+This module re-expresses one distance iteration as the same whole-frontier
+numpy kernels the undirected engine uses (:mod:`repro.core.fastbuild`),
+run once per stream:
+
+* ``Lin`` pulls over the **in**-CSR (destination ``u`` gathers the
+  frontier labels of its predecessors) and ``Lout`` over the **out**-CSR —
+  :func:`~repro.core.fastbuild._pull_merge_range` handles pull-gather, the
+  rank rule and Label Merging unchanged, because nothing in it is specific
+  to an adjacency direction;
+* the query rule crosses the streams: a ``Lin`` candidate ``(w, d)`` at
+  ``u`` scans ``Lout(w)`` (scan side) against the **in**-labels of ``u``
+  (probe side), and a ``Lout`` candidate scans ``Lin(w)`` against the
+  out-labels.  :func:`~repro.core.fastbuild._query_rule` already separates
+  the two sides — ``lab_indptr``/``scan_hubs``/``scan_dists`` bound the
+  scan lists while the probe binary-searches the global sorted ``keys``
+  column and the dense ``top_dist`` table — so the port is pure argument
+  wiring: pass the *other* stream's scan arrays with the *own* stream's
+  probe arrays.  Landmark candidates short-circuit through the forward
+  table (``dist(w -> u)``) for ``Lin`` and the backward table
+  (``dist(u -> w)``) for ``Lout``;
+* each stream commits into its own growable ping-pong arrays
+  (:func:`~repro.core.fastbuild._merge_accepted` /
+  :func:`~repro.core.fastbuild._append_scan`), already in the compact
+  store's dtypes, so the freeze into
+  :class:`~repro.digraph.labels.CompactDirectedLabelIndex` is a no-copy
+  handoff.
+
+The output is bit-identical to the reference builder — same labels, same
+pruning counters, same per-vertex work units (both streams' work lands on
+the shared destination, exactly like the reference's ``w1 + w2``) — for
+every graph whose trough counts fit ``int64``; the conservative overflow
+guard reroutes to the exact reference loops, reusing the landmark tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastbuild import (
+    _TABLE_BUDGET_BYTES,
+    _ExactCountsNeeded,
+    _GrowableLabels,
+    _GrowableScan,
+    _append_scan,
+    _merge_accepted,
+    _pull_merge_range,
+    _query_rule,
+)
+from repro.core.stats import BuildStats, PhaseTimer
+from repro.digraph.digraph import DiGraph
+from repro.digraph.labels import CompactDirectedLabelIndex, DirectedLabelIndex
+from repro.digraph.pspc import _DirectedLandmarks, build_pspc_directed
+from repro.errors import IndexBuildError
+from repro.ordering.base import VertexOrder
+
+__all__ = ["build_pspc_directed_vectorized", "directed_table_rows"]
+
+
+def directed_table_rows(n: int) -> int:
+    """Rows of each dense top-rank distance table (two tables share the budget)."""
+    return min(n, _TABLE_BUDGET_BYTES // max(4 * n, 1))
+
+
+def build_pspc_directed_vectorized(
+    graph: DiGraph,
+    order: VertexOrder,
+    num_landmarks: int = 0,
+    record_work: bool = True,
+    max_iterations: int | None = None,
+) -> tuple[CompactDirectedLabelIndex | DirectedLabelIndex, BuildStats]:
+    """Build the canonical directed ESPC index with whole-frontier kernels.
+
+    Returns ``(labels, stats)`` where ``labels`` is a
+    :class:`~repro.digraph.labels.CompactDirectedLabelIndex` on the fast
+    path, or the tuple-based :class:`~repro.digraph.labels.DirectedLabelIndex`
+    when the int64 overflow guard rerouted the build through the reference
+    engine.
+    """
+    if order.n != graph.n:
+        raise IndexBuildError(
+            f"order covers {order.n} vertices but graph has {graph.n}"
+        )
+    stats = BuildStats(
+        builder="pspc-directed", engine="vectorized", n_vertices=graph.n
+    )
+    landmarks: _DirectedLandmarks | None = None
+    if num_landmarks > 0:
+        with PhaseTimer(stats, "landmarks"):
+            landmarks = _DirectedLandmarks(graph, order, num_landmarks)
+        stats.num_landmarks = landmarks.num_landmarks
+    try:
+        with PhaseTimer(stats, "construction"):
+            index = _propagate_arrays_directed(
+                graph, order, landmarks, stats, record_work, max_iterations
+            )
+    except _ExactCountsNeeded:
+        # Counts can overflow the packed arrays: discard the partial build
+        # and rerun through the exact Python-int reference loops, handing
+        # over the landmark tables (and their measured cost).
+        index, ref_stats = build_pspc_directed(
+            graph,
+            order,
+            num_landmarks=num_landmarks,
+            record_work=record_work,
+            max_iterations=max_iterations,
+            landmark_index=landmarks,
+        )
+        ref_stats.merge_phase("landmarks", stats.phase("landmarks"))
+        return index, ref_stats
+    stats.total_entries = index.total_entries()
+    return index, stats
+
+
+class _Stream:
+    """One label stream's growable build state (frontier, labels, table).
+
+    Holds everything per-direction: the pull edges of the stream's CSR,
+    the ping-pong frozen label arrays with their insertion-order scan
+    copy, the frontier of the previous iteration and the dense top-rank
+    probe table.  ``Lin`` pulls over the in-CSR, ``Lout`` over the
+    out-CSR; both streams seed with the self-label ``(rank(u), 0, 1)``.
+    """
+
+    __slots__ = (
+        "heads", "tails", "live", "spare", "scan_live", "scan_spare",
+        "lab_indptr", "cur_indptr", "cur_hubs", "cur_counts", "top_dist",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rank: np.ndarray,
+        n: int,
+        table_rows: int,
+    ) -> None:
+        # one directed edge (dst, src) per CSR slot, fixed for the build
+        self.heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        self.tails = indices.astype(np.int64)
+        self.live = _GrowableLabels(max(2 * n, 16))
+        self.live.hubs[:n] = rank
+        self.live.dists[:n] = 0
+        self.live.counts[:n] = 1
+        self.live.keys[:n] = np.arange(n, dtype=np.int64) * n + rank
+        self.live.size = n
+        self.spare = _GrowableLabels(self.live.capacity)
+        self.scan_live = _GrowableScan(self.live.capacity)
+        self.scan_live.hubs[:n] = rank
+        self.scan_live.dists[:n] = 0
+        self.scan_live.size = n
+        self.scan_spare = _GrowableScan(self.live.capacity)
+        self.lab_indptr = np.arange(n + 1, dtype=np.int64)
+        self.cur_indptr = np.arange(n + 1, dtype=np.int64)
+        self.cur_hubs = rank.astype(np.int64)
+        self.cur_counts = np.ones(n, dtype=np.int64)
+        self.top_dist = np.full((table_rows, n), -1, dtype=np.int16)
+        if table_rows:
+            top_self = np.flatnonzero(rank < table_rows)
+            self.top_dist[rank[top_self], top_self] = 0
+
+    def commit(
+        self,
+        n: int,
+        d: int,
+        acc_dst: np.ndarray,
+        acc_hub: np.ndarray,
+        acc_cnt: np.ndarray,
+    ) -> None:
+        """Merge this stream's accepted labels and roll the frontier."""
+        grown = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(acc_dst, minlength=n), out=grown[1:])
+        self.live, self.spare = _merge_accepted(
+            n, self.live, self.spare, acc_dst, acc_hub, acc_cnt, d
+        )
+        self.scan_live, self.scan_spare = _append_scan(
+            self.lab_indptr, grown, self.scan_live, self.scan_spare,
+            acc_dst, acc_hub, d,
+        )
+        self.lab_indptr = self.lab_indptr + grown
+        table_rows = len(self.top_dist)
+        if table_rows:
+            in_table = acc_hub < table_rows
+            self.top_dist[acc_hub[in_table], acc_dst[in_table]] = d
+        self.cur_indptr = grown
+        self.cur_hubs = acc_hub
+        self.cur_counts = acc_cnt
+
+
+def _propagate_arrays_directed(
+    graph: DiGraph,
+    order: VertexOrder,
+    landmarks: _DirectedLandmarks | None,
+    stats: BuildStats,
+    record_work: bool,
+    max_iterations: int | None,
+) -> CompactDirectedLabelIndex:
+    n = graph.n
+    rank = order.rank
+    order_arr = order.order
+    table_rows = directed_table_rows(n)
+
+    lin = _Stream(graph.in_indptr, graph.in_indices, rank, n, table_rows)
+    lout = _Stream(graph.out_indptr, graph.out_indices, rank, n, table_rows)
+    lm_forward = landmarks.forward if landmarks is not None else None
+    lm_backward = landmarks.backward if landmarks is not None else None
+
+    d = 0
+    while len(lin.cur_hubs) or len(lout.cur_hubs):
+        d += 1
+        if max_iterations is not None and d > max_iterations:
+            raise IndexBuildError(
+                f"directed PSPC did not converge within {max_iterations} iterations"
+            )
+        costs = np.zeros(n, dtype=np.int64) if record_work else None
+        accepted_per_stream = []
+        # both streams read only <= d-1 state, so the pull + query rounds
+        # of both run before either commits — exactly the reference's
+        # per-iteration barrier
+        for stream, other, lm in (
+            (lin, lout, lm_forward),
+            (lout, lin, lm_backward),
+        ):
+            max_count = int(stream.cur_counts.max()) if len(stream.cur_counts) else 0
+            cand_dst, cand_hub, cand_cnt, gather_per_dst, rank_pruned = (
+                _pull_merge_range(
+                    stream.heads, stream.tails, stream.cur_indptr,
+                    stream.cur_hubs, stream.cur_counts, rank,
+                    None, False,  # DiGraph is unweighted: no multiplicity factors
+                    0, n, n, max_count, 1,
+                )
+            )
+            stats.pruned_by_rank += rank_pruned
+            # scan side: the *other* stream's labels of the candidate hub;
+            # probe side: this stream's own frozen keys/dists/table
+            pruned, probe_per_dst, lm_hits = _query_rule(
+                other.lab_indptr,
+                stream.live.keys[: stream.live.size],
+                stream.live.dists[: stream.live.size],
+                other.scan_live.hubs,
+                other.scan_live.dists,
+                stream.top_dist,
+                cand_dst,
+                cand_hub,
+                order_arr,
+                lm,
+                d,
+                n,
+                record_work,
+            )
+            stats.pruned_by_query += int(pruned.sum())
+            stats.landmark_hits += lm_hits
+            keep = ~pruned
+            accepted_per_stream.append(
+                (cand_dst[keep], cand_hub[keep], cand_cnt[keep])
+            )
+            if record_work:
+                # both streams charge the shared destination, mirroring
+                # the reference engine's per-vertex `w1 + w2`
+                costs += gather_per_dst.astype(np.int64)
+                costs += np.bincount(cand_dst, minlength=n)
+                costs += probe_per_dst
+        if record_work:
+            stats.iteration_costs.append(costs)
+        stats.iteration_labels.append(
+            len(accepted_per_stream[0][0]) + len(accepted_per_stream[1][0])
+        )
+        for stream, (acc_dst, acc_hub, acc_cnt) in zip(
+            (lin, lout), accepted_per_stream
+        ):
+            stream.commit(n, d, acc_dst, acc_hub, acc_cnt)
+
+    hubs_in, dists_in, counts_in = lin.live.views()
+    hubs_out, dists_out, counts_out = lout.live.views()
+    return CompactDirectedLabelIndex(
+        order,
+        lin.lab_indptr, hubs_in, dists_in, counts_in,
+        lout.lab_indptr, hubs_out, dists_out, counts_out,
+    )

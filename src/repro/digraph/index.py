@@ -8,14 +8,18 @@ container from :mod:`repro.core.store`.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.fastbuild import ENGINES
+from repro.core.index import BuildConfig
 from repro.core.queries import SPCResult
-from repro.core.stats import BuildStats
+from repro.core.stats import BuildStats, PhaseTimer
 from repro.digraph.digraph import DiGraph
+from repro.digraph.fastbuild import build_pspc_directed_vectorized
 from repro.digraph.hpspc import build_hpspc_directed
 from repro.digraph.labels import (
     CompactDirectedLabelIndex,
@@ -23,17 +27,19 @@ from repro.digraph.labels import (
     batch_query_directed,
     spc_query_directed,
 )
-from repro.digraph.pspc import build_pspc_directed
-from repro.errors import IndexBuildError, QueryError
+from repro.digraph.pspc import _degree_descending, build_pspc_directed
+from repro.errors import IndexBuildError, IndexStateError, PersistenceError, QueryError
 from repro.ordering.base import VertexOrder
 
 __all__ = ["DirectedSPCIndex", "degree_order_directed"]
 
+#: Valid values for the ``store`` build parameter (mirrors the undirected facade).
+_STORE_CHOICES = ("compact", "tuple")
+
 
 def degree_order_directed(graph: DiGraph) -> VertexOrder:
     """Rank vertices by descending total degree (in + out), id tie-break."""
-    degrees = graph.degrees()
-    order = np.lexsort((np.arange(graph.n), -degrees))
+    order = _degree_descending(graph)
     return VertexOrder.from_order(order, graph.n, strategy="degree-directed")
 
 
@@ -57,13 +63,14 @@ class DirectedSPCIndex:
         labels: DirectedLabelIndex | CompactDirectedLabelIndex,
         stats: BuildStats,
         graph: DiGraph | None,
+        config: BuildConfig | None = None,
     ) -> None:
-        #: the serving labels — tuple lists from a build, or the flat
-        #: compact arrays when reopened from a ``directed-compact`` file
-        #: (kept packed: thawing would materialise every entry as tuples)
+        #: the serving labels — compact flat arrays by default, or the
+        #: tuple lists in the count-overflow regime / on ``store="tuple"``
         self.labels = labels
         self.stats = stats
         self.graph = graph
+        self.config = config if config is not None else BuildConfig(method="directed")
         self._closed = False
 
     @classmethod
@@ -73,16 +80,82 @@ class DirectedSPCIndex:
         ordering: VertexOrder | None = None,
         builder: str = "pspc",
         num_landmarks: int = 0,
+        engine: str = "vectorized",
+        workers: int = 2,
+        store: str = "compact",
+        record_work: bool = True,
     ) -> "DirectedSPCIndex":
-        """Build with the directed PSPC (default) or HP-SPC builder."""
-        order = ordering if ordering is not None else degree_order_directed(graph)
-        if builder == "pspc":
-            labels, stats = build_pspc_directed(graph, order, num_landmarks=num_landmarks)
-        elif builder == "hpspc":
-            labels, stats = build_hpspc_directed(graph, order)
-        else:
+        """Build with the directed PSPC (default) or HP-SPC builder.
+
+        Parameters mirror :meth:`repro.core.index.PSPCIndex.build` where
+        they apply: ``engine`` selects the PSPC label-construction engine
+        (``"vectorized"`` whole-frontier kernels by default,
+        ``"reference"`` per-vertex loops, ``"parallel"`` spawned processes
+        over shared memory — all three produce the identical index);
+        ``workers`` sizes the parallel pool; ``store`` picks the serving
+        representation (``"compact"`` by default, with an automatic tuple
+        fallback when path counts overflow int64).  The HP-SPC builder has
+        no engine concept and records ``engine=""``.
+        """
+        if builder not in ("pspc", "hpspc"):
             raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
-        return cls(labels, stats, graph)
+        if store not in _STORE_CHOICES:
+            raise IndexBuildError(
+                f"unknown store {store!r}; expected one of {_STORE_CHOICES}"
+            )
+        if engine not in ENGINES:
+            raise IndexBuildError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        order = ordering if ordering is not None else degree_order_directed(graph)
+        if builder == "hpspc":
+            labels, stats = build_hpspc_directed(graph, order)
+        elif engine == "parallel":
+            # deferred import: the parallel backend pulls in the serve
+            # layer's shared-memory blocks
+            from repro.core.procbuild import build_pspc_directed_parallel
+
+            labels, stats = build_pspc_directed_parallel(
+                graph,
+                order,
+                num_landmarks=num_landmarks,
+                record_work=record_work,
+                workers=workers,
+            )
+        elif engine == "vectorized":
+            labels, stats = build_pspc_directed_vectorized(
+                graph, order, num_landmarks=num_landmarks, record_work=record_work
+            )
+        else:
+            labels, stats = build_pspc_directed(
+                graph, order, num_landmarks=num_landmarks, record_work=record_work
+            )
+        serving: DirectedLabelIndex | CompactDirectedLabelIndex = labels
+        if store == "compact":
+            if isinstance(labels, DirectedLabelIndex):
+                with PhaseTimer(stats, "freeze"):
+                    try:
+                        serving = CompactDirectedLabelIndex.from_index(labels)
+                    except IndexStateError:
+                        # counts exceed int64: the tuple lists stay the
+                        # serving representation (same fallback as the
+                        # undirected facade)
+                        serving = labels
+        elif isinstance(labels, CompactDirectedLabelIndex):
+            serving = labels.to_directed_index()
+        config = BuildConfig(
+            method="directed",
+            builder=builder,
+            ordering=order.strategy,
+            num_landmarks=num_landmarks,
+            record_work=record_work,
+            store=store,
+            # the engine that actually ran: "" for HP-SPC, "reference"
+            # when the overflow fallback rerouted the build
+            engine=stats.engine,
+            workers=workers,
+        )
+        return cls(serving, stats, graph, config=config)
 
     @property
     def n(self) -> int:
@@ -155,14 +228,90 @@ class DirectedSPCIndex:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path, compress: bool = True) -> None:
-        """Persist the directed labels (unified ``.npz``; graph not saved)."""
-        self.labels.save(path, compress=compress)
+        """Persist the index (labels + config + full stats; graph not saved).
+
+        The payload ``kind`` follows the serving representation
+        (``"directed-compact"`` or ``"directed"``); :meth:`load` — and
+        :func:`repro.api.open_index` — accept both.
+        """
+        from repro.core import store as store_module
+
+        if isinstance(self.labels, CompactDirectedLabelIndex):
+            arrays, meta = store_module.pack_store(self.labels)
+        else:
+            packed_in, enc_in = store_module.pack_entry_lists(self.labels.entries_in)
+            packed_out, enc_out = store_module.pack_entry_lists(self.labels.entries_out)
+            arrays = store_module.order_arrays(self.labels.order)
+            arrays.update({f"{key}_in": value for key, value in packed_in.items()})
+            arrays.update({f"{key}_out": value for key, value in packed_out.items()})
+            meta = {
+                "strategy": self.labels.order.strategy,
+                "counts_in": enc_in,
+                "counts_out": enc_out,
+            }
+        meta["config"] = asdict(self.config)
+        meta["stats"] = self.stats.to_meta()
+        if self.stats.iteration_costs:
+            arrays["iteration_costs"] = np.concatenate(self.stats.iteration_costs)
+            arrays["iteration_cost_lengths"] = np.asarray(
+                [len(c) for c in self.stats.iteration_costs], dtype=np.int64
+            )
+        store_module.write_payload(
+            path, self.labels.kind, arrays, meta=meta, compress=compress
+        )
 
     @classmethod
-    def load(cls, path: str | Path) -> "DirectedSPCIndex":
-        """Load labels written by :meth:`save` (graph is not restored)."""
-        labels = DirectedLabelIndex.load(path)
-        return cls(labels, BuildStats(builder="loaded"), graph=None)
+    def load(cls, path: str | Path, mmap: bool = False) -> "DirectedSPCIndex":
+        """Load an index written by :meth:`save` (graph is not restored).
+
+        Sniffs the payload kind: ``"directed-compact"`` restores the flat
+        arrays (kept packed), ``"directed"`` the tuple lists.  Files
+        written before the config/stats round-trip load with a default
+        config and ``builder="loaded"`` stats, as before.
+        """
+        from repro.core import store as store_module
+
+        kind, arrays, meta = store_module.read_payload(
+            path, expect_kind=("directed", "directed-compact"), mmap=mmap
+        )
+        if kind == "directed-compact":
+            labels = store_module.unpack_store(arrays, meta, path)
+            if not isinstance(labels, CompactDirectedLabelIndex):  # pragma: no cover
+                raise PersistenceError(
+                    f"{path} did not restore a CompactDirectedLabelIndex"
+                )
+        else:
+            order = store_module.restore_order(arrays, meta)
+            entries_in = store_module.unpack_entry_lists(
+                arrays["indptr_in"],
+                arrays["hubs_in"],
+                arrays["dists_in"],
+                arrays["counts_in"],
+                str(meta.get("counts_in", "int64")),
+            )
+            entries_out = store_module.unpack_entry_lists(
+                arrays["indptr_out"],
+                arrays["hubs_out"],
+                arrays["dists_out"],
+                arrays["counts_out"],
+                str(meta.get("counts_out", "int64")),
+            )
+            labels = DirectedLabelIndex(order, entries_in, entries_out)
+        config: BuildConfig | None = None
+        stats = BuildStats(builder="loaded")
+        if "config" in meta:
+            try:
+                config = BuildConfig(**dict(meta["config"]))
+                stats = BuildStats.from_meta(meta["stats"])
+            except (KeyError, TypeError) as exc:
+                raise PersistenceError(
+                    f"{path} is missing index payload fields: {exc}"
+                ) from exc
+            if "iteration_costs" in arrays:
+                flat = arrays["iteration_costs"].astype(np.int64)
+                offsets = np.cumsum(arrays["iteration_cost_lengths"])[:-1]
+                stats.iteration_costs = [c for c in np.split(flat, offsets)]
+        return cls(labels, stats, graph=None, config=config)
 
     def verify_against_bfs(self, samples: int = 50, seed: int = 0) -> None:
         """Cross-check random directed pairs against the BFS oracle."""

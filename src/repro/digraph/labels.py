@@ -279,6 +279,28 @@ class CompactDirectedLabelIndex:
             if name != "order"
         )
 
+    def label_in(self, v: int) -> list[tuple[int, int, int]]:
+        """``Lin(v)`` decoded with hubs as vertex ids (tuple-index parity)."""
+        lo, hi = int(self.indptr_in[v]), int(self.indptr_in[v + 1])
+        order = self.order.order
+        return [
+            (int(order[h]), int(d), int(c))
+            for h, d, c in zip(
+                self.hubs_in[lo:hi], self.dists_in[lo:hi], self.counts_in[lo:hi]
+            )
+        ]
+
+    def label_out(self, v: int) -> list[tuple[int, int, int]]:
+        """``Lout(v)`` decoded with hubs as vertex ids (tuple-index parity)."""
+        lo, hi = int(self.indptr_out[v]), int(self.indptr_out[v + 1])
+        order = self.order.order
+        return [
+            (int(order[h]), int(d), int(c))
+            for h, d, c in zip(
+                self.hubs_out[lo:hi], self.dists_out[lo:hi], self.counts_out[lo:hi]
+            )
+        ]
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -15,6 +15,12 @@ candidates) must not find a strictly shorter path.  Both streams read only
 distance ``<= d-1`` state, so each iteration is again an independent
 per-vertex map, and the result is identical to the directed HP-SPC baseline
 (asserted by the tests).
+
+This module holds the **reference** engine: exact Python-int loops, also
+the overflow fallback target of the vectorized and process-parallel
+directed engines (:mod:`repro.digraph.fastbuild`,
+:mod:`repro.core.procbuild`), which must reproduce its labels, pruning
+counters and per-vertex work units bit for bit.
 """
 
 from __future__ import annotations
@@ -24,48 +30,160 @@ import numpy as np
 from repro.core.stats import BuildStats, PhaseTimer
 from repro.digraph.digraph import DiGraph
 from repro.digraph.labels import DirectedLabelIndex
-from repro.digraph.traversal import bfs_distances_directed
 from repro.errors import IndexBuildError
-from repro.graph.traversal import UNREACHABLE
+from repro.graph.traversal import UNREACHABLE, slice_positions
 from repro.ordering.base import VertexOrder
 
 __all__ = ["build_pspc_directed"]
 
 
+def _degree_descending(graph: DiGraph) -> np.ndarray:
+    """Vertex ids by descending total degree (in + out), id tie-break.
+
+    The one total-degree ordering rule of the directed subsystem — shared
+    by :func:`~repro.digraph.index.degree_order_directed` and the landmark
+    selection below, which previously carried their own copies of the same
+    ``np.lexsort``.
+    """
+    return np.lexsort((np.arange(graph.n), -graph.degrees()))
+
+
+def _bfs_levels_batch(
+    indptr: np.ndarray, indices: np.ndarray, sources: np.ndarray, n: int
+) -> np.ndarray:
+    """Level-synchronous BFS from many sources at once over one CSR.
+
+    Returns a ``(len(sources), n)`` int32 table of distances
+    (:data:`~repro.graph.traversal.UNREACHABLE` where no path exists).
+    The frontier is a flat set of ``(source row, vertex)`` pairs expanded
+    with one ``np.repeat`` gather per level — the directed twin of the
+    batched BFS the undirected :class:`~repro.core.landmarks.LandmarkIndex`
+    uses, parameterised by the CSR so forward tables run over the
+    out-adjacency and backward tables over the in-adjacency.
+    """
+    k = len(sources)
+    dist = np.full((k, n), UNREACHABLE, dtype=np.int32)
+    if k == 0 or n == 0:
+        return dist
+    row = np.arange(k, dtype=np.int64)
+    vtx = np.asarray(sources, dtype=np.int64)
+    dist[row, vtx] = 0
+    level = 0
+    while len(vtx):
+        level += 1
+        deg = indptr[vtx + 1] - indptr[vtx]
+        next_row = np.repeat(row, deg)
+        next_vtx = indices[slice_positions(indptr[vtx], deg)].astype(np.int64)
+        fresh = dist[next_row, next_vtx] == UNREACHABLE
+        next_row = next_row[fresh]
+        next_vtx = next_vtx[fresh]
+        if len(next_vtx) == 0:
+            break
+        key = np.unique(next_row * n + next_vtx)
+        row = key // n
+        vtx = key % n
+        dist[row, vtx] = level
+    return dist
+
+
+class _LandmarkView:
+    """One direction of the landmark tables, in kernel-consumable form.
+
+    Duck-types what both engines touch: ``rank_is_landmark`` plus the
+    batched :meth:`distance_batch` gather for the vectorized query rule,
+    and rank-keyed ``view[hub_rank][u]`` row access for the reference
+    loop.  Backed by row views of the stacked table, never copies.
+    """
+
+    __slots__ = ("rank_is_landmark", "_stacked", "_row_of_rank")
+
+    def __init__(
+        self, rank_is_landmark: np.ndarray, stacked: np.ndarray, row_of_rank: np.ndarray
+    ) -> None:
+        self.rank_is_landmark = rank_is_landmark
+        self._stacked = stacked
+        self._row_of_rank = row_of_rank
+
+    def distance_batch(self, hub_ranks: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """Exact distances for many ``(landmark rank, vertex)`` pairs at once."""
+        return self._stacked[self._row_of_rank[hub_ranks], vertices]
+
+    def __getitem__(self, hub_rank: int) -> np.ndarray:
+        """The distance table row of the landmark at ``hub_rank``."""
+        return self._stacked[int(self._row_of_rank[hub_rank])]
+
+
 class _DirectedLandmarks:
-    """Forward/backward exact distance tables for landmark hubs."""
+    """Forward/backward exact distance tables for landmark hubs.
+
+    ``forward[r][u] = dist(w -> u)`` and ``backward[r][u] = dist(u -> w)``
+    for the landmark ``w`` ranked ``r`` — the O(1) pruning-query answers
+    for ``Lin`` and ``Lout`` candidates respectively.  Both tables are
+    built by one level-synchronous batch BFS per direction (over the
+    out-CSR and the in-CSR) instead of a per-landmark Python BFS, and kept
+    stacked so the shared-memory build can publish them as two flat
+    arrays.
+    """
+
+    __slots__ = (
+        "num_landmarks",
+        "rank_is_landmark",
+        "row_of_rank",
+        "forward_stacked",
+        "backward_stacked",
+        "forward",
+        "backward",
+    )
 
     def __init__(self, graph: DiGraph, order: VertexOrder, num_landmarks: int) -> None:
-        degrees = graph.degrees()
         k = min(num_landmarks, graph.n)
-        top = np.lexsort((np.arange(graph.n), -degrees))[:k]
+        top = _degree_descending(graph)[:k]
+        self.num_landmarks = len(top)
         self.rank_is_landmark = np.zeros(order.n, dtype=bool)
-        self.forward: dict[int, np.ndarray] = {}
-        self.backward: dict[int, np.ndarray] = {}
-        for w in top:
-            r = int(order.rank[int(w)])
-            self.rank_is_landmark[r] = True
-            self.forward[r] = bfs_distances_directed(graph, int(w))
-            self.backward[r] = bfs_distances_directed(graph, int(w), reverse=True)
+        self.row_of_rank = np.full(order.n, -1, dtype=np.int64)
+        ranks = order.rank[top]
+        self.rank_is_landmark[ranks] = True
+        self.row_of_rank[ranks] = np.arange(len(top), dtype=np.int64)
+        self.forward_stacked = _bfs_levels_batch(
+            graph.out_indptr, graph.out_indices, top, graph.n
+        )
+        self.backward_stacked = _bfs_levels_batch(
+            graph.in_indptr, graph.in_indices, top, graph.n
+        )
+        self.forward = _LandmarkView(
+            self.rank_is_landmark, self.forward_stacked, self.row_of_rank
+        )
+        self.backward = _LandmarkView(
+            self.rank_is_landmark, self.backward_stacked, self.row_of_rank
+        )
 
 
 def build_pspc_directed(
     graph: DiGraph,
     order: VertexOrder,
     num_landmarks: int = 0,
+    record_work: bool = True,
     max_iterations: int | None = None,
+    landmark_index: _DirectedLandmarks | None = None,
 ) -> tuple[DirectedLabelIndex, BuildStats]:
-    """Build the canonical directed ESPC index by label propagation."""
+    """Build the canonical directed ESPC index by label propagation.
+
+    ``landmark_index`` lets the overflow fallback of the fast engines hand
+    over already-built landmark tables instead of re-running the BFS.
+    """
     if order.n != graph.n:
         raise IndexBuildError(f"order covers {order.n} vertices but graph has {graph.n}")
-    stats = BuildStats(builder="pspc-directed", n_vertices=graph.n)
-    landmarks: _DirectedLandmarks | None = None
-    if num_landmarks > 0:
+    stats = BuildStats(
+        builder="pspc-directed", engine="reference", n_vertices=graph.n
+    )
+    landmarks = landmark_index
+    if landmarks is None and num_landmarks > 0:
         with PhaseTimer(stats, "landmarks"):
             landmarks = _DirectedLandmarks(graph, order, num_landmarks)
-        stats.num_landmarks = len(landmarks.forward)
+    if landmarks is not None:
+        stats.num_landmarks = landmarks.num_landmarks
     with PhaseTimer(stats, "construction"):
-        index = _propagate(graph, order, landmarks, stats, max_iterations)
+        index = _propagate(graph, order, landmarks, stats, record_work, max_iterations)
     stats.total_entries = index.total_entries()
     return index, stats
 
@@ -75,6 +193,7 @@ def _propagate(
     order: VertexOrder,
     landmarks: _DirectedLandmarks | None,
     stats: BuildStats,
+    record_work: bool,
     max_iterations: int | None,
 ) -> DirectedLabelIndex:
     n = graph.n
@@ -97,7 +216,7 @@ def _propagate(
         current: list[list[tuple[int, int]]],
         scan_entries: list[list[tuple[int, int, int]]],
         probe_maps: list[dict[int, int]],
-        landmark_tables: dict[int, np.ndarray] | None,
+        landmark_tables: _LandmarkView | None,
     ) -> tuple[list[tuple[int, int]], int]:
         """Shared pull step for one stream.
 
@@ -182,7 +301,8 @@ def _propagate(
             fresh_in[u] = results_in[u]
             fresh_out[u] = results_out[u]
             added += len(results_in[u]) + len(results_out[u])
-        stats.iteration_costs.append(iter_costs)
+        if record_work:
+            stats.iteration_costs.append(iter_costs)
         stats.iteration_labels.append(added)
         current_in = fresh_in
         current_out = fresh_out

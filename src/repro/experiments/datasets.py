@@ -37,6 +37,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.digraph.digraph import DiGraph
+from repro.digraph.generators import (
+    directed_barabasi_albert,
+    directed_grid_road_network,
+    directed_powerlaw_cluster,
+    directed_watts_strogatz,
+)
 from repro.errors import DatasetError
 from repro.graph.generators import (
     barabasi_albert,
@@ -47,7 +54,18 @@ from repro.graph.generators import (
 from repro.graph.graph import Graph
 from repro.graph.properties import largest_component
 
-__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "load_dataset", "random_query_pairs", "PAPER_STATS"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "DIRECTED_DATASETS",
+    "DirectedDatasetSpec",
+    "dataset_names",
+    "directed_dataset_names",
+    "load_dataset",
+    "load_directed_dataset",
+    "random_query_pairs",
+    "PAPER_STATS",
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +128,61 @@ def dataset_names(include_road: bool = False) -> list[str]:
     if include_road:
         keys.append("ROAD")
     return keys
+
+
+@dataclass(frozen=True)
+class DirectedDatasetSpec:
+    """One named directed benchmark graph (an oriented undirected family)."""
+
+    key: str
+    family: str
+    generator: Callable[[], DiGraph]
+
+
+def _directed_registry() -> dict[str, DirectedDatasetSpec]:
+    # same families and base seeds as the matching undirected stand-ins;
+    # the "-D" keys select the oriented variant (random one-way arcs plus
+    # a 25% two-way fraction, see repro.digraph.generators.orient)
+    specs = [
+        DirectedDatasetSpec(
+            "FB-D", "social", lambda: directed_barabasi_albert(600, 12, seed=42)
+        ),
+        DirectedDatasetSpec(
+            "WI-D", "interaction",
+            lambda: directed_watts_strogatz(520, 16, 0.15, seed=44),
+        ),
+        DirectedDatasetSpec(
+            "DB-D", "co-authorship",
+            lambda: directed_powerlaw_cluster(900, 4, 0.6, seed=46),
+        ),
+        DirectedDatasetSpec(
+            "ROAD-D", "road",
+            lambda: directed_grid_road_network(28, 28, extra_edges=60, seed=52),
+        ),
+    ]
+    return {spec.key: spec for spec in specs}
+
+
+#: Directed dataset registry; keys are the undirected abbreviation + "-D".
+DIRECTED_DATASETS: dict[str, DirectedDatasetSpec] = _directed_registry()
+
+
+def directed_dataset_names() -> list[str]:
+    """The bundled directed dataset keys, densest family first."""
+    return ["FB-D", "WI-D", "DB-D", "ROAD-D"]
+
+
+@lru_cache(maxsize=None)
+def load_directed_dataset(key: str) -> DiGraph:
+    """Materialise a bundled directed dataset, cached per key."""
+    try:
+        spec = DIRECTED_DATASETS[key]
+    except KeyError:
+        known = ", ".join(sorted(DIRECTED_DATASETS))
+        raise DatasetError(
+            f"unknown directed dataset {key!r}; expected one of: {known}"
+        ) from None
+    return spec.generator()
 
 
 @lru_cache(maxsize=None)

@@ -33,7 +33,9 @@ __all__ = [
     "exp_table3_datasets",
     "exp_indexing_time",
     "exp_build_engines",
+    "exp_build_engines_directed",
     "exp_build_parallel",
+    "exp_build_parallel_directed",
     "exp_index_size",
     "exp_query_time",
     "exp_query_batch",
@@ -268,6 +270,119 @@ def exp_build_parallel(
             )
             identical = (
                 index.store == base.store
+                and index.stats.pruned_by_rank == base.stats.pruned_by_rank
+                and index.stats.pruned_by_query == base.stats.pruned_by_query
+                and index.stats.landmark_hits == base.stats.landmark_hits
+                and index.stats.iteration_labels == base.stats.iteration_labels
+                and index.stats.total_work == base.stats.total_work
+            )
+            rows.append(
+                {
+                    "dataset": key,
+                    "V": graph.n,
+                    "workers": count,
+                    "build_s": round(seconds, 3),
+                    "construction_s": round(index.stats.phase("construction"), 3),
+                    "speedup": round(base_seconds / seconds, 2),
+                    "identical": identical,
+                    "cpus": cpus,
+                }
+            )
+    return rows
+
+
+def exp_build_engines_directed(
+    keys: Sequence[str] | None = None,
+    num_landmarks: int = 32,
+) -> list[dict]:
+    """Directed build: reference vs vectorized wall-clock (fig5-style).
+
+    The directed analogue of :func:`exp_build_engines`, over the bundled
+    oriented datasets: both engines build the same canonical two-label
+    ``Lin``/``Lout`` index (asserted per row, along with identical pruning
+    counters), and the speedup column tracks the two-stream frontier
+    kernels against the per-vertex reference loops.
+    """
+    from repro.digraph.index import DirectedSPCIndex
+    from repro.experiments.datasets import directed_dataset_names, load_directed_dataset
+
+    rows = []
+    for key in keys or directed_dataset_names():
+        graph = load_directed_dataset(key)
+        start = time.perf_counter()
+        ref = DirectedSPCIndex.build(
+            graph, num_landmarks=num_landmarks, engine="reference"
+        )
+        ref_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        vec = DirectedSPCIndex.build(
+            graph, num_landmarks=num_landmarks, engine="vectorized"
+        )
+        vec_seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "dataset": key,
+                "V": graph.n,
+                "reference_s": round(ref_seconds, 3),
+                "vectorized_s": round(vec_seconds, 3),
+                "speedup": round(ref_seconds / vec_seconds, 2),
+                "identical": ref.labels == vec.labels
+                and ref.stats.pruned_by_rank == vec.stats.pruned_by_rank
+                and ref.stats.pruned_by_query == vec.stats.pruned_by_query
+                and ref.stats.total_work == vec.stats.total_work,
+            }
+        )
+    return rows
+
+
+def exp_build_parallel_directed(
+    keys: Sequence[str] | None = None,
+    num_landmarks: int = 32,
+    workers: Sequence[int] = (1, 2, 4),
+) -> list[dict]:
+    """Measured process-parallel directed build vs the vectorized baseline.
+
+    The directed analogue of :func:`exp_build_parallel`: the ``workers=0``
+    row is the single-process vectorized build, then the same two-label
+    index is rebuilt with ``engine="parallel"`` at each worker count, each
+    row asserting a bit-identical store and identical pruning/work
+    counters.  ``construction_s`` again excludes worker spawn, and real
+    scaling still needs real cores (see the ``cpus`` column).
+    """
+    import multiprocessing
+
+    from repro.digraph.index import DirectedSPCIndex
+    from repro.experiments.datasets import directed_dataset_names, load_directed_dataset
+
+    cpus = multiprocessing.cpu_count()
+    rows = []
+    for key in keys or directed_dataset_names():
+        graph = load_directed_dataset(key)
+        start = time.perf_counter()
+        base = DirectedSPCIndex.build(
+            graph, num_landmarks=num_landmarks, engine="vectorized"
+        )
+        base_seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "dataset": key,
+                "V": graph.n,
+                "workers": 0,
+                "build_s": round(base_seconds, 3),
+                "construction_s": round(base.stats.phase("construction"), 3),
+                "speedup": None,
+                "identical": True,
+                "cpus": cpus,
+            }
+        )
+        for count in workers:
+            start = time.perf_counter()
+            index = DirectedSPCIndex.build(
+                graph, num_landmarks=num_landmarks, engine="parallel", workers=count
+            )
+            seconds = time.perf_counter() - start
+            identical = (
+                index.labels == base.labels
                 and index.stats.pruned_by_rank == base.stats.pruned_by_rank
                 and index.stats.pruned_by_query == base.stats.pruned_by_query
                 and index.stats.landmark_hits == base.stats.landmark_hits

@@ -170,6 +170,42 @@ class TestConformance:
         assert [r.dist for r in batch] == [counter.distance(0, 59), counter.distance(5, 40)]
 
 
+class TestDirectedDefaults:
+    """Directed parity conformance: frozen compact store + engine threading."""
+
+    def test_directed_default_is_frozen_compact(self, counters):
+        from repro.digraph.labels import CompactDirectedLabelIndex
+
+        counter = counters["directed"]
+        assert isinstance(counter.labels, CompactDirectedLabelIndex)
+        assert counter.config.store == "compact"
+        assert counter.config.engine == "vectorized"
+
+    def test_engine_threads_through_build_index(self, digraph):
+        ref = build_index(digraph, method="directed", engine="reference")
+        vec = build_index(digraph, method="directed")
+        par = build_index(digraph, method="directed", engine="parallel", workers=2)
+        assert ref.stats.engine == "reference"
+        assert vec.stats.engine == "vectorized"
+        assert par.stats.engine == "parallel"
+        assert ref.labels == vec.labels == par.labels
+
+    def test_store_opt_out_through_build_index(self, digraph):
+        tup = build_index(digraph, method="directed", store="tuple")
+        assert tup.labels.kind == "directed"
+        vec = build_index(digraph, method="directed")
+        assert tup.labels == vec.labels.to_directed_index()
+
+    def test_save_open_keeps_engine_and_kind(self, counters, tmp_path):
+        counter = counters["directed"]
+        path = tmp_path / "directed-compact.npz"
+        counter.save(path)
+        reopened = open_index(path)
+        assert reopened.labels.kind == "directed-compact"
+        assert reopened.config.engine == counter.config.engine
+        assert reopened.config.store == "compact"
+
+
 class TestOpenIndex:
     def test_rejects_garbage(self, tmp_path):
         path = tmp_path / "junk.npz"

@@ -175,9 +175,22 @@ class TestDirectedFacade:
         assert any(d == 0 for _, d, _ in index.labels.label_in(0))
         assert any(d == 0 for _, d, _ in index.labels.label_out(0))
 
-    def test_save_load_round_trip(self, random_digraph, tmp_path):
+    def test_compact_store_is_default(self, random_digraph):
+        from repro.digraph.labels import CompactDirectedLabelIndex
+
         index = DirectedSPCIndex.build(random_digraph)
-        path = tmp_path / "directed.pkl"
+        assert isinstance(index.labels, CompactDirectedLabelIndex)
+
+    def test_tuple_store_opt_out(self, random_digraph):
+        from repro.digraph.labels import DirectedLabelIndex
+
+        index = DirectedSPCIndex.build(random_digraph, store="tuple")
+        assert isinstance(index.labels, DirectedLabelIndex)
+
+    def test_save_load_round_trip(self, random_digraph, tmp_path):
+        # label-level round trip of the tuple representation
+        index = DirectedSPCIndex.build(random_digraph, store="tuple")
+        path = tmp_path / "directed.npz"
         index.labels.save(path)
         from repro.digraph.labels import DirectedLabelIndex
 

@@ -1,0 +1,137 @@
+"""Equivalence suite for the vectorized directed build engine.
+
+The central invariant, ported to the two-label digraph index: for a fixed
+total order, ``engine="vectorized"`` must produce the **bit-identical**
+canonical directed ESPC index (same ``Lin``/``Lout`` labels, same pruning
+counters, same per-vertex work units) that the per-vertex reference loops
+produce — on every bundled directed generator, with and without
+landmarks, and across the int64-overflow fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.digraph.digraph import DiGraph
+from repro.digraph.fastbuild import build_pspc_directed_vectorized
+from repro.digraph.generators import (
+    directed_barabasi_albert,
+    directed_cycle,
+    directed_grid_road_network,
+    directed_powerlaw_cluster,
+    directed_watts_strogatz,
+)
+from repro.digraph.index import DirectedSPCIndex, degree_order_directed
+from repro.digraph.labels import CompactDirectedLabelIndex, DirectedLabelIndex
+from repro.digraph.pspc import build_pspc_directed
+from repro.digraph.traversal import spc_pair_directed
+from repro.errors import IndexBuildError
+
+#: One small instance per bundled directed generator family.
+GENERATORS = {
+    "directed_barabasi_albert": lambda: directed_barabasi_albert(120, 3, seed=5),
+    "directed_watts_strogatz": lambda: directed_watts_strogatz(90, 6, 0.2, seed=6),
+    "directed_powerlaw_cluster": lambda: directed_powerlaw_cluster(
+        110, 3, 0.5, seed=7
+    ),
+    "directed_grid_road_network": lambda: directed_grid_road_network(
+        9, 9, extra_edges=8, seed=8
+    ),
+}
+
+
+def directed_diamond_chain(k: int) -> tuple[DiGraph, int]:
+    """``k`` diamonds of forward arcs: ``spc(0, end) == 2**k`` (overflow)."""
+    edges = []
+    prev = 0
+    next_id = 1
+    for _ in range(k):
+        a, b, end = next_id, next_id + 1, next_id + 2
+        next_id += 3
+        edges += [(prev, a), (prev, b), (a, end), (b, end)]
+        prev = end
+    return DiGraph(next_id, edges), prev
+
+
+def assert_engines_bit_identical(graph: DiGraph, num_landmarks: int = 0) -> None:
+    """Vectorized build == reference build: labels, counters, work units."""
+    order = degree_order_directed(graph)
+    ref, ref_stats = build_pspc_directed(graph, order, num_landmarks=num_landmarks)
+    vec, vec_stats = build_pspc_directed_vectorized(
+        graph, order, num_landmarks=num_landmarks
+    )
+    assert isinstance(vec, CompactDirectedLabelIndex)
+    assert vec.to_directed_index() == ref
+    assert vec_stats.pruned_by_rank == ref_stats.pruned_by_rank
+    assert vec_stats.pruned_by_query == ref_stats.pruned_by_query
+    assert vec_stats.landmark_hits == ref_stats.landmark_hits
+    assert vec_stats.iteration_labels == ref_stats.iteration_labels
+    assert vec_stats.total_entries == ref_stats.total_entries
+    assert len(vec_stats.iteration_costs) == len(ref_stats.iteration_costs)
+    for vec_costs, ref_costs in zip(
+        vec_stats.iteration_costs, ref_stats.iteration_costs
+    ):
+        assert np.array_equal(vec_costs, ref_costs)
+
+
+@pytest.mark.parametrize("num_landmarks", [0, 4], ids=["nolm", "lm4"])
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCrossEngineEquivalence:
+    def test_bit_identical_index_and_counters(self, name, num_landmarks):
+        assert_engines_bit_identical(GENERATORS[name](), num_landmarks=num_landmarks)
+
+
+class TestCorrectness:
+    def test_queries_match_bfs_oracle(self):
+        graph = GENERATORS["directed_barabasi_albert"]()
+        index, _ = build_pspc_directed_vectorized(graph, degree_order_directed(graph))
+        rng = np.random.default_rng(9)
+        for _ in range(100):
+            s, t = (int(x) for x in rng.integers(graph.n, size=2))
+            got = index.query(s, t)
+            assert (got.dist, got.count) == spc_pair_directed(graph, s, t)
+
+    def test_directed_cycle_asymmetry(self):
+        graph = directed_cycle(7)
+        index, _ = build_pspc_directed_vectorized(graph, degree_order_directed(graph))
+        assert (index.query(0, 3).dist, index.query(3, 0).dist) == (3, 4)
+
+    def test_trivial_graphs(self):
+        for graph in (DiGraph(0, []), DiGraph(1, []), DiGraph(3, [])):
+            assert_engines_bit_identical(graph)
+
+    def test_max_iterations_enforced(self):
+        graph = directed_cycle(12)
+        with pytest.raises(IndexBuildError):
+            build_pspc_directed_vectorized(
+                graph, degree_order_directed(graph), max_iterations=2
+            )
+
+    def test_order_size_validated(self):
+        graph = directed_cycle(5)
+        with pytest.raises(IndexBuildError):
+            build_pspc_directed_vectorized(
+                graph, degree_order_directed(directed_cycle(6))
+            )
+
+
+class TestOverflowFallback:
+    def test_falls_back_to_reference_and_tuple_labels(self):
+        graph, end = directed_diamond_chain(70)  # 2**70 paths: beyond int64
+        labels, stats = build_pspc_directed_vectorized(
+            graph, degree_order_directed(graph)
+        )
+        assert isinstance(labels, DirectedLabelIndex)
+        assert stats.engine == "reference"  # the exact loops took over
+        index = DirectedSPCIndex(labels, stats, graph)
+        assert index.spc(0, end) == 2**70
+        assert index.spc(end, 0) == 0  # all arcs point forward
+
+    def test_facade_keeps_tuple_store_on_overflow(self):
+        graph, end = directed_diamond_chain(70)
+        index = DirectedSPCIndex.build(graph)
+        assert index.labels.kind == "directed"
+        assert index.stats.engine == "reference"
+        assert index.config.engine == "reference"
+        assert index.spc(0, end) == 2**70

@@ -1,0 +1,203 @@
+"""Equivalence suite for the process-parallel directed build backend.
+
+The repository's central invariant, extended to the two-label digraph
+index: for a fixed total order, ``engine="parallel"`` must produce the
+**bit-identical** canonical directed ESPC index (same ``Lin``/``Lout``
+store, same pruning counters, same per-vertex work units) that the
+single-process vectorized kernels produce — on every bundled directed
+generator, for any worker count, with and without landmarks, and across
+the int64-overflow fallback.
+
+Spawned workers make these tests slower than the in-process suites; the
+generator matrix is kept to one instance per family.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.procbuild import build_pspc_directed_parallel
+from repro.digraph.digraph import DiGraph
+from repro.digraph.fastbuild import build_pspc_directed_vectorized
+from repro.digraph.generators import (
+    directed_barabasi_albert,
+    directed_grid_road_network,
+    directed_powerlaw_cluster,
+    directed_watts_strogatz,
+)
+from repro.digraph.index import DirectedSPCIndex, degree_order_directed
+from repro.digraph.labels import DirectedLabelIndex
+from repro.errors import IndexBuildError
+
+#: One small instance per directed family (mirrors test_digraph_fastbuild).
+GENERATORS = {
+    "directed_barabasi_albert": lambda: directed_barabasi_albert(120, 3, seed=5),
+    "directed_watts_strogatz": lambda: directed_watts_strogatz(90, 6, 0.2, seed=6),
+    "directed_powerlaw_cluster": lambda: directed_powerlaw_cluster(
+        110, 3, 0.5, seed=7
+    ),
+    "directed_grid_road_network": lambda: directed_grid_road_network(
+        9, 9, extra_edges=8, seed=8
+    ),
+}
+
+
+def directed_diamond_chain(k: int) -> tuple[DiGraph, int]:
+    """``k`` diamonds of forward arcs: ``spc(0, end) == 2**k`` (overflow)."""
+    edges = []
+    prev = 0
+    next_id = 1
+    for _ in range(k):
+        a, b, end = next_id, next_id + 1, next_id + 2
+        next_id += 3
+        edges += [(prev, a), (prev, b), (a, end), (b, end)]
+        prev = end
+    return DiGraph(next_id, edges), prev
+
+
+def assert_parallel_bit_identical(
+    graph: DiGraph, workers: int, num_landmarks: int = 0
+) -> None:
+    """Parallel build == vectorized build: store, counters and work units."""
+    order = degree_order_directed(graph)
+    vec, vec_stats = build_pspc_directed_vectorized(
+        graph, order, num_landmarks=num_landmarks
+    )
+    par, par_stats = build_pspc_directed_parallel(
+        graph, order, num_landmarks=num_landmarks, workers=workers
+    )
+    assert par == vec
+    assert par_stats.pruned_by_rank == vec_stats.pruned_by_rank
+    assert par_stats.pruned_by_query == vec_stats.pruned_by_query
+    assert par_stats.landmark_hits == vec_stats.landmark_hits
+    assert par_stats.iteration_labels == vec_stats.iteration_labels
+    assert par_stats.total_entries == vec_stats.total_entries
+    assert len(par_stats.iteration_costs) == len(vec_stats.iteration_costs)
+    for par_costs, vec_costs in zip(
+        par_stats.iteration_costs, vec_stats.iteration_costs
+    ):
+        assert np.array_equal(par_costs, vec_costs)
+
+
+@pytest.mark.parametrize("num_landmarks", [0, 4], ids=["nolm", "lm4"])
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCrossEngineEquivalence:
+    def test_bit_identical_index_and_counters(self, name, num_landmarks):
+        assert_parallel_bit_identical(
+            GENERATORS[name](), workers=2, num_landmarks=num_landmarks
+        )
+
+
+class TestWorkerCountIndependence:
+    def test_one_worker_still_spawns_and_matches(self):
+        assert_parallel_bit_identical(
+            GENERATORS["directed_barabasi_albert"](), workers=1
+        )
+
+    def test_worker_count_does_not_change_the_index(self):
+        # 3 workers over 90 vertices: uneven edge-balanced shards, including
+        # the republish/remap path once the labels outgrow the seed capacity
+        assert_parallel_bit_identical(GENERATORS["directed_watts_strogatz"](), workers=3)
+
+    def test_more_workers_than_vertices(self):
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert_parallel_bit_identical(graph, workers=8)
+
+    def test_empty_and_trivial_graphs(self):
+        for graph in (DiGraph(0, []), DiGraph(1, []), DiGraph(3, [])):
+            assert_parallel_bit_identical(graph, workers=2)
+
+
+class TestOverflowFallback:
+    def test_falls_back_to_reference_and_tuple_labels(self):
+        graph, end = directed_diamond_chain(70)  # 2**70 paths: beyond int64
+        labels, stats = build_pspc_directed_parallel(
+            graph, degree_order_directed(graph), workers=2
+        )
+        assert isinstance(labels, DirectedLabelIndex)
+        assert stats.engine == "reference"  # the exact loops took over
+        vec_labels, _ = build_pspc_directed_vectorized(
+            graph, degree_order_directed(graph)
+        )
+        assert labels == vec_labels  # both fallbacks reach the same index
+        index = DirectedSPCIndex(labels, stats, graph)
+        assert index.spc(0, end) == 2**70
+
+    def test_facade_fallback_route(self):
+        graph, end = directed_diamond_chain(70)
+        index = DirectedSPCIndex.build(graph, engine="parallel", workers=2)
+        assert index.labels.kind == "directed"
+        assert index.stats.engine == "reference"
+        assert index.spc(0, end) == 2**70
+
+
+class TestFacadeAndConfig:
+    def test_engine_and_workers_recorded_and_round_tripped(self, tmp_path):
+        graph = GENERATORS["directed_barabasi_albert"]()
+        index = DirectedSPCIndex.build(graph, engine="parallel", workers=2)
+        assert index.config.engine == "parallel"
+        assert index.config.workers == 2
+        assert index.stats.engine == "parallel"
+        path = tmp_path / "directed-parallel.npz"
+        index.save(path)
+        loaded = DirectedSPCIndex.load(path)
+        assert loaded.config.engine == "parallel"
+        assert loaded.config.workers == 2
+        assert loaded.config.method == "directed"
+        assert loaded.labels == index.labels
+        assert loaded.stats.total_work == index.stats.total_work
+
+    def test_matches_default_engine_through_the_facade(self):
+        graph = GENERATORS["directed_powerlaw_cluster"]()
+        par = DirectedSPCIndex.build(graph, engine="parallel", workers=2)
+        vec = DirectedSPCIndex.build(graph)
+        assert par.labels == vec.labels
+        assert par.stats.total_work == vec.stats.total_work
+
+    def test_build_index_api_route(self):
+        from repro.api import build_index
+
+        graph = GENERATORS["directed_grid_road_network"]()
+        par = build_index(graph, method="directed", engine="parallel", workers=2)
+        vec = build_index(graph, method="directed")
+        assert par.labels == vec.labels
+
+    def test_validation(self):
+        graph = GENERATORS["directed_barabasi_albert"]()
+        order = degree_order_directed(graph)
+        with pytest.raises(IndexBuildError):
+            build_pspc_directed_parallel(graph, order, workers=0)
+        with pytest.raises(IndexBuildError):
+            build_pspc_directed_parallel(
+                graph, degree_order_directed(DiGraph(3, [(0, 1)]))
+            )
+        with pytest.raises(IndexBuildError):
+            DirectedSPCIndex.build(graph, engine="teleport")
+
+
+class TestHygiene:
+    def test_no_shm_blocks_leak(self):
+        graph = GENERATORS["directed_barabasi_albert"]()
+        before = {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro-seg")
+        } if os.path.isdir("/dev/shm") else set()
+        build_pspc_directed_parallel(graph, degree_order_directed(graph), workers=2)
+        after = {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro-seg")
+        } if os.path.isdir("/dev/shm") else set()
+        assert after - before == set()
+
+    def test_spawn_and_construction_phases_recorded(self):
+        graph = GENERATORS["directed_barabasi_albert"]()
+        _, stats = build_pspc_directed_parallel(
+            graph, degree_order_directed(graph), workers=2
+        )
+        assert stats.phase("spawn") > 0.0
+        assert stats.phase("construction") > 0.0

@@ -99,12 +99,14 @@ class TestShmSegment:
             twin.close()
 
     def test_publish_attach_directed_round_trip(self, directed_index):
-        compact = CompactDirectedLabelIndex.from_index(directed_index.labels)
+        # directed builds freeze to the compact store by default
+        assert isinstance(directed_index.labels, CompactDirectedLabelIndex)
         with ShmIndexSegment.publish(directed_index) as segment:
             assert segment.manifest["kind"] == "directed-compact"
             twin = ShmIndexSegment.attach(segment.manifest)
-            assert twin.store == compact
-            assert twin.store.to_directed_index() == directed_index.labels
+            assert twin.store == directed_index.labels
+            tuples = directed_index.labels.to_directed_index()
+            assert twin.store.to_directed_index() == tuples
             for s, t in _random_pairs(directed_index.n, 50):
                 assert twin.store.query(s, t) == directed_index.query(s, t)
             twin.close()
@@ -649,7 +651,8 @@ def test_directed_compact_store_persists_and_opens(directed_index, tmp_path):
     """directed-compact rides the same pack_store/unpack_store schema as shm."""
     from repro.api import open_index
 
-    compact = CompactDirectedLabelIndex.from_index(directed_index.labels)
+    compact = directed_index.labels  # compact is the default store
+    assert isinstance(compact, CompactDirectedLabelIndex)
     path = tmp_path / "directed_compact.npz"
     compact.save(path, compress=False)
     loaded = CompactDirectedLabelIndex.load(path, mmap=True)

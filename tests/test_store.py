@@ -332,7 +332,8 @@ class TestMmapRelease:
 
         digraph = DiGraph(12, [(u, (u + 3) % 12) for u in range(12)])
         directed = DirectedSPCIndex.build(digraph)
-        compact = CompactDirectedLabelIndex.from_index(directed.labels)
+        compact = directed.labels  # directed builds freeze to compact by default
+        assert isinstance(compact, CompactDirectedLabelIndex)
         di_path = tmp_path / "di.npz"
         compact.save(di_path, compress=False)
         with open_index(di_path, mmap=True) as lazy_di:
