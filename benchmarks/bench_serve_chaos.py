@@ -1,0 +1,48 @@
+"""Serve chaos — availability and latency shape under injected faults.
+
+Not a paper figure: this benchmark tracks the PR-7 serving-path hardening.
+:func:`repro.experiments.harness.exp_serve_chaos` drives the asyncio
+service + worker pool through four deterministic
+:class:`~repro.serve.faults.FaultPlan` scenarios (clean baseline, sustained
+worker crashes, crash-loop quarantine, slow workers behind deadlines) and
+asserts bit-identical answers internally; the rows land in
+``BENCH_serve.json`` at the repo root.
+
+The headline gate mirrors the CI chaos-smoke job: with one worker
+hard-exiting every 4th batch forever, availability must stay >= 99%
+(respawn + shard resubmission keep every request answered).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.harness import exp_serve_chaos
+
+
+def test_serve_chaos(benchmark, record):
+    rows = run_once(benchmark, lambda: exp_serve_chaos())
+    record("serve_chaos", rows, "serve: availability/latency under injected faults")
+
+    by_scenario = {row["scenario"]: row for row in rows}
+    assert {"clean", "worker-crash", "crash-quarantine", "slow-deadline"} <= set(
+        by_scenario
+    )
+
+    # the ISSUE acceptance gate: a crash-looping worker costs latency
+    # (respawn stalls show up in p99), never availability
+    assert by_scenario["worker-crash"]["availability"] >= 0.99, rows
+    assert by_scenario["worker-crash"]["respawns"] >= 1
+
+    assert by_scenario["clean"]["availability"] == 1.0
+    assert by_scenario["clean"]["p99_ms"] > 0
+
+    # quarantine: the crash-looping slot retires, survivors keep serving
+    assert by_scenario["crash-quarantine"]["health"] == "degraded"
+    assert by_scenario["crash-quarantine"]["retired"] == 1
+    assert by_scenario["crash-quarantine"]["availability"] == 1.0
+
+    # slow workers behind an 80 ms budget: admission control sheds
+    # (429 overloads + 504 deadline misses) instead of queueing forever
+    slow = by_scenario["slow-deadline"]
+    assert slow["shed"] > 0
+    assert slow["shed"] == slow["overloads"] + slow["deadline_shed"]

@@ -95,6 +95,47 @@ def main() -> None:
         f"({async_stats['cache_hits']} LRU cache hits)"
     )
 
+    # 8. operating a server: admission control sheds with typed errors
+    #    instead of queueing forever, and /metrics exposes everything a
+    #    dashboard needs.  The same knobs exist on the CLI:
+    #
+    #        python -m repro serve fb.npz --workers 4 \
+    #            --max-pending 4096 --max-inflight 4 --deadline-ms 250
+    #        curl 'http://127.0.0.1:8080/query?s=3&t=721&deadline_ms=50'
+    #        curl http://127.0.0.1:8080/metrics   # Prometheus text format
+    #        curl http://127.0.0.1:8080/healthz   # ok/degraded/critical
+    #
+    #    A full pending queue answers HTTP 429, a missed deadline 504, and
+    #    /healthz turns 503 when every worker is gone (requests still get
+    #    answered by the in-process fallback).  In embedded use the same
+    #    behaviour surfaces as OverloadError / DeadlineError:
+    from repro.errors import DeadlineError, OverloadError
+
+    async def overload_demo():
+        async with AsyncQueryService(
+            index, batch_size=64, max_wait=0.05, max_pending=2
+        ) as service:
+            first = [asyncio.ensure_future(service.submit(3, i)) for i in (1, 2)]
+            await asyncio.sleep(0)  # both submits are now pending
+            try:
+                await service.submit(3, 9)
+            except OverloadError:
+                pass  # HTTP layer would answer 429
+            await service.flush()
+            await asyncio.gather(*first)
+            try:  # the queue has room again; now miss a tiny budget
+                await service.submit(3, 9, deadline_ms=0.01)
+            except DeadlineError:
+                pass  # budget expired before the batch flushed -> 504
+            return service.stats()
+
+    ops_stats = asyncio.run(overload_demo())
+    print(
+        f"admission control: {ops_stats['overloads']} overload rejection(s), "
+        f"{ops_stats['deadline_shed']} deadline shed(s), "
+        f"flush p99 {ops_stats['flush_latency']['p99_ms']} ms"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -51,7 +51,13 @@ from repro.core.queries import SPCResult
 from repro.core.stats import BuildStats
 from repro.digraph.digraph import DiGraph
 from repro.digraph.index import DirectedSPCIndex
-from repro.errors import IndexBuildError, PersistenceError, QueryError
+from repro.errors import (
+    DeadlineError,
+    IndexBuildError,
+    OverloadError,
+    PersistenceError,
+    QueryError,
+)
 from repro.graph.graph import Graph
 from repro.reduction.pipeline import ReducedSPCIndex
 from repro.serve.cache import LRUCache, pair_key
@@ -431,11 +437,20 @@ def open_index(path: str | Path, mmap: bool = False) -> SPCounter:
 class PendingQuery:
     """A submitted query awaiting its batch; resolved by the next flush."""
 
-    __slots__ = ("s", "t", "_service", "_value", "_error")
+    __slots__ = ("s", "t", "deadline", "_service", "_value", "_error")
 
-    def __init__(self, service: "QueryService", s: int, t: int) -> None:
+    def __init__(
+        self,
+        service: "QueryService",
+        s: int,
+        t: int,
+        deadline: float | None = None,
+    ) -> None:
         self.s = s
         self.t = t
+        #: absolute ``perf_counter`` instant after which the query is shed
+        #: unanswered (None = no budget)
+        self.deadline = deadline
         self._service = service
         self._value: SPCResult | None = None
         self._error: BaseException | None = None
@@ -516,14 +531,26 @@ class QueryService:
         batch_size: int = 64,
         max_wait: float = 0.002,
         cache_size: int = 0,
+        max_pending: int = 0,
+        deadline_ms: float = 0.0,
     ) -> None:
         if batch_size < 1:
             raise QueryError(f"batch_size must be >= 1, got {batch_size}")
         if max_wait < 0:
             raise QueryError(f"max_wait must be >= 0, got {max_wait}")
+        if max_pending < 0 or deadline_ms < 0:
+            raise QueryError(
+                f"max_pending and deadline_ms must be >= 0, got "
+                f"{max_pending}, {deadline_ms}"
+            )
         self.counter = counter
         self.batch_size = int(batch_size)
         self.max_wait = float(max_wait)
+        #: admission-control parity with the async twin: a full pending
+        #: queue rejects with OverloadError, an expired per-request budget
+        #: sheds with DeadlineError before the kernel runs (0 disables)
+        self.max_pending = int(max_pending)
+        self.deadline_ms = float(deadline_ms)
         self._cv = Condition()
         self._pending: list[PendingQuery] = []
         self._deadline: float | None = None
@@ -541,7 +568,7 @@ class QueryService:
     # ------------------------------------------------------------------
     # point path: submit / query
     # ------------------------------------------------------------------
-    def submit(self, s: int, t: int) -> PendingQuery:
+    def submit(self, s: int, t: int, *, deadline_ms: float | None = None) -> PendingQuery:
         """Enqueue one query; returns a handle whose ``result()`` blocks.
 
         Reaching ``batch_size`` pending queries flushes immediately; an
@@ -551,15 +578,30 @@ class QueryService:
 
         Vertex ids are validated before admission (mirroring the async
         twin): one malformed submission fails alone instead of poisoning
-        the co-batched queries of other threads.
+        the co-batched queries of other threads.  Admission control mirrors
+        the twin too: a full pending queue (``max_pending``) raises
+        :class:`~repro.errors.OverloadError`, and an armed ``deadline_ms``
+        budget (per call, or the service default) sheds the query with
+        :class:`~repro.errors.DeadlineError` if it expires before the
+        batch flushes.
         """
         n = self.counter.n
         s = validate_vertex(s, n)
         t = validate_vertex(t, n)
+        budget = self.deadline_ms if deadline_ms is None else float(deadline_ms)
         with self._cv:
             if self._closed:
                 raise QueryError("QueryService is closed")
-            handle = PendingQuery(self, s, t)
+            if self.max_pending and len(self._pending) >= self.max_pending:
+                self._metrics.queries += 1
+                self._metrics.overloads += 1
+                raise OverloadError(
+                    f"pending queue full ({self.max_pending} queries); retry later"
+                )
+            deadline = (
+                time.perf_counter() + budget / 1000.0 if budget > 0 else None
+            )
+            handle = PendingQuery(self, s, t, deadline)
             self._metrics.queries += 1
             cached = self._cache.get(self._cache_key(handle.s, handle.t))
             if cached is not None:
@@ -616,12 +658,31 @@ class QueryService:
             return self._flush_locked("manual")
 
     def _flush_locked(self, reason: str) -> int:
-        """Evaluate and resolve the pending batch (caller holds the lock)."""
-        batch = self._pending
-        if not batch:
+        """Evaluate and resolve the pending batch (caller holds the lock).
+
+        Queries whose per-request deadline already passed are shed with
+        :class:`~repro.errors.DeadlineError` *before* the kernel runs —
+        identical semantics to the async twin's flush-time shedding.
+        """
+        full_batch = self._pending
+        if not full_batch:
             return 0
         self._pending = []
         self._deadline = None
+        now = time.perf_counter()
+        batch = []
+        for handle in full_batch:
+            if handle.deadline is not None and now >= handle.deadline:
+                self._metrics.deadline_shed += 1
+                handle._error = DeadlineError(
+                    f"query ({handle.s}, {handle.t}) missed its deadline "
+                    f"before the kernel ran"
+                )
+            else:
+                batch.append(handle)
+        if not batch:
+            self._cv.notify_all()
+            return len(full_batch)
         try:
             answers = self._run_kernel([(h.s, h.t) for h in batch], reason)
         except BaseException as exc:
@@ -635,7 +696,7 @@ class QueryService:
             handle._value = answer
             self._cache.put(self._cache_key(handle.s, handle.t), answer)
         self._cv.notify_all()
-        return len(batch)
+        return len(full_batch)
 
     def _run_kernel(self, chunk: list[tuple[int, int]], reason: str) -> list[SPCResult]:
         """One timed invocation of the underlying batch kernel.

@@ -72,6 +72,7 @@ _EXPERIMENTS = {
     "fig13": lambda args: harness.exp_time_breakdown(),
     "serve": lambda args: harness.exp_query_service(),
     "serve-scaling": lambda args: harness.exp_serve_scaling(),
+    "serve-chaos": lambda args: harness.exp_serve_chaos(),
 }
 
 
@@ -200,6 +201,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="LRU point-query cache entries (0 disables)",
+    )
+    p_http.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        help="admission-queue bound; a full queue answers 429 (0 = unbounded)",
+    )
+    p_http.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="concurrently executing kernel batches (0 = unbounded)",
+    )
+    p_http.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="default per-request budget; an expired request answers 504 "
+        "(0 = no deadline; clients can pass their own deadline_ms)",
     )
 
     p_serve = sub.add_parser(
@@ -371,6 +391,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             max_wait=args.max_wait_ms / 1000.0,
             cache_size=args.cache_size,
+            max_pending=args.max_pending,
+            max_inflight=args.max_inflight,
+            deadline_ms=args.deadline_ms,
         )
     finally:
         # the index file stays mapped for the server's whole lifetime;

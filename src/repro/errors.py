@@ -22,6 +22,8 @@ __all__ = [
     "ReductionError",
     "SchedulingError",
     "ServeError",
+    "OverloadError",
+    "DeadlineError",
     "DatasetError",
 ]
 
@@ -81,6 +83,23 @@ class SchedulingError(ReproError):
 
 class ServeError(ReproError):
     """The multi-process serving layer failed (shm segment, worker pool)."""
+
+
+class OverloadError(ServeError):
+    """Admission control rejected a request: the pending queue is full.
+
+    The typed signal behind HTTP 429 — callers should back off and retry;
+    the request was shed *before* consuming any kernel capacity.
+    """
+
+
+class DeadlineError(ServeError):
+    """A request's deadline expired before its batch reached the kernel.
+
+    The typed signal behind HTTP 504 — the answer would have arrived too
+    late to be useful, so the service shed the request instead of spending
+    kernel time on it.
+    """
 
 
 class DatasetError(ReproError):

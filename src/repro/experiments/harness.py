@@ -41,6 +41,7 @@ __all__ = [
     "exp_query_batch",
     "exp_query_service",
     "exp_serve_scaling",
+    "exp_serve_chaos",
     "exp_build_speedup",
     "exp_query_speedup",
     "exp_ablation_landmarks",
@@ -637,6 +638,177 @@ def exp_serve_scaling(
         finally:
             segment.close()
             segment.unlink()
+    return rows
+
+
+def exp_serve_chaos(
+    key: str = "FB",
+    wave: int = 64,
+) -> list[dict]:
+    """Serving availability and latency under injected worker faults.
+
+    Four scenarios drive the :class:`~repro.serve.async_service.
+    AsyncQueryService` + :class:`~repro.serve.pool.WorkerPool` stack over
+    one shared-memory segment, each under a different deterministic
+    :class:`~repro.serve.faults.FaultPlan`:
+
+    * ``clean``            — no faults: the latency baseline;
+    * ``worker-crash``     — worker 0 hard-exits every 4th batch forever;
+      respawn + shard resubmission must keep availability at 100%;
+    * ``crash-quarantine`` — worker 0 dies on *every* batch it receives,
+      exhausting its crash-streak budget: the slot retires, survivors keep
+      serving, health degrades (never a request failure);
+    * ``slow-deadline``    — every kernel call sleeps 150 ms while a flood
+      of requests carries an 80 ms budget behind ``max_inflight=1`` and a
+      bounded queue: admission control sheds with 429/504 instead of
+      grinding through answers nobody is waiting for.
+
+    Every answered request is asserted bit-identical to the direct
+    single-process ``query_batch`` answer; any exception that is not an
+    admission shed (:class:`~repro.errors.OverloadError` /
+    :class:`~repro.errors.DeadlineError`) counts in ``errors`` and fails
+    the experiment.  ``availability`` is answered / submitted; the
+    ``worker-crash`` row gates it at >= 0.99 — the headline robustness
+    claim of the serving path.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.errors import DeadlineError, OverloadError
+    from repro.serve.async_service import AsyncQueryService
+    from repro.serve.faults import NO_FAULTS, FaultPlan
+    from repro.serve.pool import WorkerPool
+    from repro.serve.shm import ShmIndexSegment
+
+    graph = load_dataset(key)
+    index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+    pairs = random_query_pairs(graph, 1536, seed=13)
+    expected = index.query_batch(pairs)
+
+    # (scenario, plan, pool kwargs, service kwargs, deadline_ms, requests, paced)
+    scenarios = [
+        ("clean", NO_FAULTS, {}, {}, None, 1024, True),
+        (
+            "worker-crash",
+            FaultPlan(crash_on_batch=4, workers=(0,)),
+            {},
+            {},
+            None,
+            1536,
+            True,
+        ),
+        (
+            "crash-quarantine",
+            FaultPlan(crash_on_batch=1, workers=(0,)),
+            {"max_respawns": 1},
+            {},
+            None,
+            512,
+            True,
+        ),
+        (
+            "slow-deadline",
+            FaultPlan(slow_ms=150.0),
+            {},
+            {"max_inflight": 1, "max_pending": 256},
+            80.0,
+            512,
+            False,
+        ),
+    ]
+
+    # one publish shared by every scenario's pool: the variable under test
+    # is the fault plan, not segment-copy cost
+    segment = ShmIndexSegment.publish(index)
+    rows = []
+    try:
+        for name, plan, pool_kwargs, svc_kwargs, deadline_ms, requests, paced in scenarios:
+            pool = WorkerPool(segment=segment, workers=2, faults=plan, **pool_kwargs)
+            answered: dict[int, object] = {}
+            latencies: list[float] = []
+            shed = errors = 0
+
+            async def _drive() -> dict:
+                nonlocal shed, errors
+                async with AsyncQueryService(
+                    pool=pool, batch_size=wave, max_wait=0.002, **svc_kwargs
+                ) as service:
+
+                    async def one(i: int) -> None:
+                        nonlocal shed, errors
+                        s, t = pairs[i]
+                        begin = time.perf_counter()
+                        try:
+                            result = await service.submit(
+                                s, t, deadline_ms=deadline_ms
+                            )
+                        except (OverloadError, DeadlineError):
+                            shed += 1
+                            return
+                        except Exception:  # noqa: BLE001 - counted, gated below
+                            errors += 1
+                            return
+                        latencies.append(time.perf_counter() - begin)
+                        answered[i] = result
+
+                    if paced:  # wave-at-a-time: a steady closed-loop client
+                        for base in range(0, requests, wave):
+                            await asyncio.gather(
+                                *(one(i) for i in range(base, min(base + wave, requests)))
+                            )
+                    else:  # flood: everything at once, admission control decides
+                        await asyncio.gather(*(one(i) for i in range(requests)))
+                    return service.stats()
+
+            try:
+                stats = asyncio.run(_drive())
+                pool_stats = pool.stats()
+            finally:
+                pool.close()
+
+            for i, result in answered.items():
+                if result != expected[i]:
+                    raise AssertionError(
+                        f"chaos scenario {name!r}: answer for pair {pairs[i]} "
+                        f"diverged from the single-process kernel"
+                    )
+            if errors:
+                raise AssertionError(
+                    f"chaos scenario {name!r}: {errors} non-admission failures "
+                    "(expected only OverloadError/DeadlineError sheds)"
+                )
+            availability = len(answered) / requests
+            if name == "worker-crash" and availability < 0.99:
+                raise AssertionError(
+                    f"availability {availability:.4f} under sustained worker "
+                    "crashes is below the 0.99 gate"
+                )
+            if name == "crash-quarantine" and pool_stats["health"] == "ok":
+                raise AssertionError(
+                    "crash-quarantine scenario never degraded: the fault plan "
+                    "did not retire worker 0"
+                )
+            lat_ms = np.asarray(latencies if latencies else [0.0]) * 1e3
+            rows.append(
+                {
+                    "scenario": name,
+                    "requests": requests,
+                    "ok": len(answered),
+                    "shed": shed,
+                    "availability": round(availability, 4),
+                    "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+                    "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+                    "respawns": pool_stats["respawns"],
+                    "retired": pool_stats["retired_workers"],
+                    "health": pool_stats["health"],
+                    "overloads": stats["overloads"],
+                    "deadline_shed": stats["deadline_shed"],
+                }
+            )
+    finally:
+        segment.close()
+        segment.unlink()
     return rows
 
 

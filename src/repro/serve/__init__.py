@@ -33,7 +33,11 @@ _LAZY_EXPORTS = {
     "HttpFrontend": "repro.serve.http",
     "run_server": "repro.serve.http",
     "LRUCache": "repro.serve.cache",
+    "FaultPlan": "repro.serve.faults",
+    "NO_FAULTS": "repro.serve.faults",
     "FlushStats": "repro.serve.metrics",
+    "LatencyHistogram": "repro.serve.metrics",
+    "render_prometheus": "repro.serve.metrics",
     "SEGMENT_PREFIX": "repro.serve.shm",
     "ShmArrayBlock": "repro.serve.shm",
     "ShmIndexSegment": "repro.serve.shm",

@@ -13,6 +13,20 @@ batch across spawn-based processes attached to the shared-memory segment.
 Same invariant as the synchronous service: answers are identical to
 per-pair ``query`` calls in every regime — admission batching and process
 sharding change latency shape, never results.
+
+Robustness knobs (all off by default, so embedded/test uses stay simple):
+
+* ``max_pending`` bounds the admission queue — a submit past the bound is
+  rejected with :class:`~repro.errors.OverloadError` (HTTP 429) instead of
+  growing memory without limit under overload;
+* ``deadline_ms`` gives every request a default budget (callers can pass
+  their own per submit) — a request whose deadline expires while it waits
+  is shed with :class:`~repro.errors.DeadlineError` (HTTP 504) *before*
+  the kernel runs, so a congested server stops burning kernel time on
+  answers nobody is waiting for;
+* ``max_inflight`` caps concurrently executing kernel batches — when a
+  slow pool falls behind, new batches queue (and eventually trip the
+  pending bound) instead of piling unbounded executor work onto it.
 """
 
 from __future__ import annotations
@@ -23,7 +37,7 @@ from typing import Sequence
 
 from repro.core.engine import validate_vertex
 from repro.core.queries import SPCResult
-from repro.errors import QueryError, ServeError
+from repro.errors import DeadlineError, OverloadError, QueryError, ServeError
 from repro.serve.cache import LRUCache, pair_key
 from repro.serve.metrics import FlushStats
 from repro.serve.pool import WorkerPool
@@ -41,6 +55,12 @@ class AsyncQueryService:
     shards every flush across a spawned :class:`WorkerPool` (owned by the
     service and closed by :meth:`aclose`).  An externally managed pool can
     be passed via ``pool=`` instead.
+
+    ``max_pending``, ``max_inflight`` and ``deadline_ms`` are the admission
+    -control knobs (0 disables each; see the module docstring): bounded
+    queue -> :class:`~repro.errors.OverloadError`, expired budget ->
+    :class:`~repro.errors.DeadlineError`, capped concurrent kernel batches
+    -> backpressure.
 
     Not thread-safe — one event loop drives it (the kernels themselves run
     in executor threads; the pool serialises overlapping flushes).
@@ -67,6 +87,9 @@ class AsyncQueryService:
         batch_size: int = 64,
         max_wait: float = 0.002,
         cache_size: int = 0,
+        max_pending: int = 0,
+        max_inflight: int = 0,
+        deadline_ms: float = 0.0,
     ) -> None:
         if batch_size < 1:
             raise QueryError(f"batch_size must be >= 1, got {batch_size}")
@@ -74,11 +97,22 @@ class AsyncQueryService:
             raise QueryError(f"max_wait must be >= 0, got {max_wait}")
         if workers < 0:
             raise ServeError(f"workers must be >= 0, got {workers}")
+        if max_pending < 0 or max_inflight < 0 or deadline_ms < 0:
+            raise ServeError(
+                "max_pending, max_inflight and deadline_ms must be >= 0 "
+                f"(got {max_pending}, {max_inflight}, {deadline_ms})"
+            )
         if counter is None and pool is None:
             raise ServeError("AsyncQueryService needs a counter or a WorkerPool")
         self.counter = counter
         self.batch_size = int(batch_size)
         self.max_wait = float(max_wait)
+        #: admission bound: 0 = unbounded (the pre-hardening behaviour)
+        self.max_pending = int(max_pending)
+        #: concurrent kernel-batch cap: 0 = unbounded
+        self.max_inflight = int(max_inflight)
+        #: default per-request deadline in milliseconds: 0 = none
+        self.deadline_ms = float(deadline_ms)
         self._owns_pool = False
         if pool is not None:
             self.pool: WorkerPool | None = pool
@@ -90,9 +124,13 @@ class AsyncQueryService:
         target = self.pool or counter
         self._dispatch = target.query_batch
         self._n = int(getattr(target, "n", 0))
-        self._pending: list[tuple[int, int, asyncio.Future]] = []
+        #: (s, t, future, absolute-monotonic deadline or None)
+        self._pending: list[tuple[int, int, asyncio.Future, float | None]] = []
         self._timer: asyncio.TimerHandle | None = None
         self._flush_tasks: set[asyncio.Task] = set()
+        #: flush reason deferred by the in-flight gate; re-armed when a
+        #: running batch completes (see :meth:`_flush_finished`)
+        self._stalled: str | None = None
         self._closed = False
         #: canonical (min, max) keys for symmetric counters so reversed hot
         #: pairs hit; asymmetric keys when the dispatch target is directed
@@ -104,7 +142,9 @@ class AsyncQueryService:
     # ------------------------------------------------------------------
     # point path
     # ------------------------------------------------------------------
-    async def submit(self, s: int, t: int) -> SPCResult:
+    async def submit(
+        self, s: int, t: int, *, deadline_ms: float | None = None
+    ) -> SPCResult:
         """Enqueue one query and await its batch's answer.
 
         Cache hits (when ``cache_size > 0``) resolve immediately without
@@ -112,6 +152,14 @@ class AsyncQueryService:
         ids are validated *here*, before admission: one malformed request
         must fail alone, never poison the co-batched queries of other
         concurrent callers.
+
+        Admission control happens here too: a full pending queue rejects
+        with :class:`~repro.errors.OverloadError` before the request costs
+        anything, and ``deadline_ms`` (default: the service's
+        ``deadline_ms``) arms a budget — if it expires before the batch
+        reaches the kernel the request is shed with
+        :class:`~repro.errors.DeadlineError` instead of being answered
+        uselessly late.
         """
         if self._closed:
             raise QueryError("AsyncQueryService is closed")
@@ -124,14 +172,26 @@ class AsyncQueryService:
             if (cached.s, cached.t) != (s, t):
                 cached = SPCResult(s, t, cached.dist, cached.count)
             return cached
+        if self.max_pending and len(self._pending) >= self.max_pending:
+            self._metrics.overloads += 1
+            raise OverloadError(
+                f"pending queue full ({self.max_pending} queries); retry later"
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((s, t, future))
+        self._pending.append((s, t, future, self._absolute_deadline(deadline_ms)))
         if len(self._pending) >= self.batch_size:
             self._start_flush("full")
         elif self._timer is None:
             self._timer = loop.call_later(self.max_wait, self._deadline_expired)
         return await future
+
+    def _absolute_deadline(self, deadline_ms: float | None) -> float | None:
+        """Resolve a per-request budget to an absolute monotonic instant."""
+        budget = self.deadline_ms if deadline_ms is None else float(deadline_ms)
+        if budget <= 0:
+            return None
+        return time.monotonic() + budget / 1000.0
 
     def _deadline_expired(self) -> None:
         self._timer = None
@@ -139,28 +199,77 @@ class AsyncQueryService:
             self._start_flush("timeout")
 
     def _start_flush(self, reason: str) -> None:
-        """Detach the pending batch and evaluate it in a background task."""
+        """Detach the pending batch and evaluate it in a background task.
+
+        The ``max_inflight`` gate applies here: with that many batches
+        already executing, the pending batch *stays queued* — backpressure
+        instead of unbounded concurrent kernel work — and the deferred
+        flush fires from :meth:`_flush_finished` when a slot frees up.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         batch = self._pending
         if not batch:
             return
+        if self.max_inflight and len(self._flush_tasks) >= self.max_inflight:
+            self._stalled = reason
+            return
+        self._stalled = None
         self._pending = []
         task = asyncio.get_running_loop().create_task(self._flush(batch, reason))
         self._flush_tasks.add(task)
-        task.add_done_callback(self._flush_tasks.discard)
+        task.add_done_callback(self._flush_finished)
 
-    async def _flush(self, batch: list[tuple[int, int, asyncio.Future]], reason: str) -> None:
-        pairs = [(s, t) for s, t, _ in batch]
+    def _flush_finished(self, task: asyncio.Task) -> None:
+        """A kernel batch completed: re-arm any flush the gate deferred."""
+        self._flush_tasks.discard(task)
+        if self._pending and (
+            self._stalled is not None or len(self._pending) >= self.batch_size
+        ):
+            self._start_flush(self._stalled or "full")
+
+    def _shed_expired(
+        self, batch: list[tuple[int, int, asyncio.Future, float | None]]
+    ) -> list[tuple[int, int, asyncio.Future, float | None]]:
+        """Fail expired entries with :class:`DeadlineError`; return the rest.
+
+        Runs at the top of every flush — *before* the kernel — so a
+        backlogged server sheds what it can no longer answer in time
+        instead of spending kernel capacity on it.
+        """
+        now = time.monotonic()
+        live: list[tuple[int, int, asyncio.Future, float | None]] = []
+        for entry in batch:
+            s, t, future, deadline = entry
+            if deadline is not None and now >= deadline:
+                self._metrics.deadline_shed += 1
+                if not future.done():
+                    future.set_exception(
+                        DeadlineError(
+                            f"query ({s}, {t}) missed its deadline before the "
+                            f"kernel ran"
+                        )
+                    )
+            else:
+                live.append(entry)
+        return live
+
+    async def _flush(
+        self, batch: list[tuple[int, int, asyncio.Future, float | None]], reason: str
+    ) -> None:
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
+        pairs = [(s, t) for s, t, _, _ in batch]
         try:
             answers = await self._run_kernel(pairs, reason)
         except BaseException as exc:  # noqa: BLE001 - delivered to every waiter
-            for _, _, future in batch:
+            for _, _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (s, t, future), answer in zip(batch, answers):
+        for (s, t, future, _), answer in zip(batch, answers):
             self._cache.put(self._cache_key(s, t), answer)
             if not future.done():
                 future.set_result(answer)
@@ -177,7 +286,12 @@ class AsyncQueryService:
     # ------------------------------------------------------------------
     # bulk path
     # ------------------------------------------------------------------
-    async def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+    async def query_batch(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        deadline_ms: float | None = None,
+    ) -> list[SPCResult]:
         """Answer a whole workload in admission-sized kernel calls.
 
         Point-path stragglers are flushed first so batches stay aligned;
@@ -186,6 +300,11 @@ class AsyncQueryService:
         dispatching onto a counter directly and ``batch_size * workers``
         over a pool — each pool dispatch shards across all workers, so
         admission-sized chunks would leave N-1 workers idle per call.
+
+        ``deadline_ms`` (default: the service budget) bounds the whole
+        workload: the check runs between chunks, so an expired deadline
+        sheds the *remaining* kernel calls with
+        :class:`~repro.errors.DeadlineError` rather than grinding on.
         """
         if self._closed:
             raise QueryError("AsyncQueryService is closed")
@@ -195,10 +314,17 @@ class AsyncQueryService:
         ]
         if not workload:
             return []
+        deadline = self._absolute_deadline(deadline_ms)
         await self.flush()
         chunk_size = self.batch_size * (self.pool.workers if self.pool else 1)
         results: list[SPCResult] = []
         for start in range(0, len(workload), chunk_size):
+            if deadline is not None and time.monotonic() >= deadline:
+                self._metrics.deadline_shed += len(workload) - start
+                raise DeadlineError(
+                    f"batch of {len(workload)} missed its deadline after "
+                    f"{start} answered queries"
+                )
             chunk = workload[start : start + chunk_size]
             results.extend(await self._run_kernel(chunk, "bulk"))
         return results
@@ -215,10 +341,23 @@ class AsyncQueryService:
         self._cache.clear()
 
     async def flush(self) -> int:
-        """Flush pending point queries now; returns how many were started."""
+        """Flush pending point queries now; returns how many were started.
+
+        With the in-flight gate holding the manual flush back, this waits
+        out running batches until the deferred flush has actually started,
+        then waits for it too — so "flushed" keeps meaning *evaluated*, not
+        merely queued.
+        """
         count = len(self._pending)
         if count:
             self._start_flush("manual")
+        while self._stalled is not None and self._flush_tasks:
+            await asyncio.gather(*tuple(self._flush_tasks), return_exceptions=True)
+            # one loop turn so _flush_finished callbacks run and re-arm
+            # the deferred flush before we re-check
+            await asyncio.sleep(0)
+            if self._stalled is not None and self._pending:
+                self._start_flush(self._stalled)
         await asyncio.gather(*tuple(self._flush_tasks), return_exceptions=True)
         return count
 
@@ -232,12 +371,26 @@ class AsyncQueryService:
         """Whether :meth:`aclose` has run."""
         return self._closed
 
+    def health(self) -> str:
+        """Serving state: the pool's ``ok``/``degraded``/``critical``.
+
+        A pool-less service (``workers=0``) has no crash surface beyond
+        its own process and always reports ``ok``.
+        """
+        return self.pool.health() if self.pool is not None else "ok"
+
     def stats(self) -> dict:
         """Serving statistics (same shape as the sync service, plus pool/cache)."""
         report = self._metrics.snapshot(len(self._pending), self._cache)
+        report["health"] = self.health()
         if self.pool is not None:
             report["pool"] = self.pool.stats()
         return report
+
+    @property
+    def flush_latency(self):
+        """The kernel-flush latency histogram (for /metrics rendering)."""
+        return self._metrics.flush_latency
 
     async def aclose(self) -> None:
         """Flush stragglers, wait out in-flight batches, stop an owned pool.

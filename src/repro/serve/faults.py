@@ -1,0 +1,158 @@
+"""Deterministic fault injection for the serving path.
+
+Chaos testing needs failures that are *reproducible*: "worker 0 crashes on
+its 3rd batch" must mean exactly that on every run, so a chaos test can
+assert availability and bit-identical answers instead of flaking.  This
+module is the one seam: a :class:`FaultPlan` describes which faults fire,
+on which worker slots, on which batch — and the worker entry point in
+:mod:`repro.serve.pool` consults it at well-defined points of its serve
+loop.  Production servers run with :data:`NO_FAULTS` (every check is a
+handful of integer comparisons); the chaos suite and ``python -m repro
+bench serve-chaos`` construct plans explicitly, and operators can smoke a
+live deployment through the ``REPRO_FAULTS`` environment variable::
+
+    REPRO_FAULTS="crash_on_batch=3,workers=0" python -m repro serve ...
+
+Fault kinds (all counted per worker, 1-based, ``0`` disables):
+
+``crash_on_batch=N``      the worker hard-exits (``os._exit``) upon
+                          *receiving* its Nth batch — the shard is lost
+                          mid-flight, exercising detection + respawn (and,
+                          at ``N=1``, the crash-streak quarantine: a fresh
+                          worker dies before ever completing a batch).
+``drop_pipe_on_batch=N``  the worker closes its end of the duplex pipe and
+                          exits without replying — the parent sees EOF
+                          instead of a dead process.
+``poison_on_batch=N``     the kernel raises inside the worker — travels
+                          the ``("err", ...)`` reply path as a clean
+                          kernel failure, not a crash.
+``slow_ms=M``             every kernel call sleeps ``M`` milliseconds
+                          first — inflates latency so deadline shedding
+                          and backpressure become observable.
+
+``workers=(0, 2)`` restricts a plan to specific slot indexes (empty tuple
+= all slots).  A respawned worker starts its batch counter from zero, so a
+``crash_on_batch=N`` plan kills its slot every N batches forever — the
+sustained-crash scenario the chaos bench measures availability under.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+__all__ = ["FaultPlan", "NO_FAULTS", "FaultInjected", "ENV_VAR"]
+
+#: Environment variable :meth:`FaultPlan.from_env` parses.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``poison_on_batch`` fault inside the worker kernel."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected serving failures.
+
+    Frozen and picklable: the parent resolves the plan once (explicit
+    argument or :meth:`from_env`) and ships it to every spawned worker, so
+    children never re-read the environment — what the pool logged is what
+    the workers execute.
+    """
+
+    crash_on_batch: int = 0
+    drop_pipe_on_batch: int = 0
+    poison_on_batch: int = 0
+    slow_ms: float = 0.0
+    #: slot indexes the plan applies to; empty means every slot.
+    workers: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, environ: "dict[str, str] | None" = None) -> "FaultPlan":
+        """Parse ``REPRO_FAULTS="crash_on_batch=3,workers=0:1"`` (or no-op).
+
+        Comma-separated ``key=value`` entries; ``workers`` takes
+        colon-separated slot indexes.  An unset/empty variable returns
+        :data:`NO_FAULTS`; unknown keys or malformed values raise
+        ``ValueError`` loudly — a typo'd chaos knob silently doing nothing
+        is worse than a crash at startup.
+        """
+        raw = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+        raw = raw.strip()
+        if not raw:
+            return NO_FAULTS
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict[str, object] = {}
+        for entry in raw.split(","):
+            name, sep, value = entry.strip().partition("=")
+            if not sep or name not in known:
+                valid = ", ".join(sorted(known))
+                raise ValueError(
+                    f"bad {ENV_VAR} entry {entry.strip()!r}; expected key=value "
+                    f"with keys: {valid}"
+                )
+            if name == "workers":
+                kwargs[name] = tuple(int(v) for v in value.split(":") if v)
+            elif name == "slow_ms":
+                kwargs[name] = float(value)
+            else:
+                kwargs[name] = int(value)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether any fault is armed at all."""
+        return bool(
+            self.crash_on_batch
+            or self.drop_pipe_on_batch
+            or self.poison_on_batch
+            or self.slow_ms
+        )
+
+    def targets(self, worker_index: int) -> bool:
+        """Whether this plan applies to slot ``worker_index``."""
+        return self.active and (not self.workers or worker_index in self.workers)
+
+    # the checks below are called from the worker's serve loop with its
+    # per-life batch number (1-based, reset on respawn)
+
+    def should_crash(self, worker_index: int, batch_number: int) -> bool:
+        return (
+            self.targets(worker_index)
+            and self.crash_on_batch > 0
+            and batch_number == self.crash_on_batch
+        )
+
+    def should_drop_pipe(self, worker_index: int, batch_number: int) -> bool:
+        return (
+            self.targets(worker_index)
+            and self.drop_pipe_on_batch > 0
+            and batch_number == self.drop_pipe_on_batch
+        )
+
+    def should_poison(self, worker_index: int, batch_number: int) -> bool:
+        return (
+            self.targets(worker_index)
+            and self.poison_on_batch > 0
+            and batch_number == self.poison_on_batch
+        )
+
+    def sleep_seconds(self, worker_index: int) -> float:
+        return self.slow_ms / 1000.0 if self.targets(worker_index) else 0.0
+
+    def __repr__(self) -> str:
+        if not self.active:
+            return "FaultPlan(inactive)"
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if getattr(self, f.name) not in (0, 0.0, ())
+        ]
+        return f"FaultPlan({', '.join(parts)})"
+
+
+#: The production default: nothing fires, every check short-circuits.
+NO_FAULTS = FaultPlan()

@@ -6,14 +6,20 @@ enough HTTP/1.1 for a serving sidecar and for loopback smoke tests.
 Routes
 ------
 ``GET /query?s=&t=``   one point query through the admission batcher
-``POST /query_batch``  body ``{"pairs": [[s, t], ...]}`` through the bulk path
-``GET /stats``         service + worker-pool statistics
-``GET /healthz``       liveness: vertex count, workers, pid
+                       (optional ``deadline_ms`` budget -> 504 when missed)
+``POST /query_batch``  body ``{"pairs": [[s, t], ...]}`` through the bulk
+                       path (optional ``"deadline_ms"`` body field)
+``GET /stats``         service + worker-pool statistics (JSON)
+``GET /metrics``       Prometheus text exposition of the same counters
+``GET /healthz``       health: ``ok``/``degraded``/``critical`` plus
+                       live/retired worker counts (503 when critical)
 
-Exposed on the command line as ``python -m repro serve <index.npz>
---workers N --port P`` (see :func:`run_server`); every connection is
-answered and closed (``Connection: close``), keeping the loop free of
-keep-alive bookkeeping.
+Failure mapping: admission rejections answer 429 (queue full) and 504
+(deadline missed), infrastructure faults 500/503 — a load balancer can act
+on status alone.  Exposed on the command line as ``python -m repro serve
+<index.npz> --workers N --port P`` (see :func:`run_server`); every
+connection is answered and closed (``Connection: close``), keeping the
+loop free of keep-alive bookkeeping.
 """
 
 from __future__ import annotations
@@ -22,10 +28,12 @@ import asyncio
 import json
 import os
 import signal
+import time
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import QueryError, ReproError, ServeError
+from repro.errors import DeadlineError, OverloadError, QueryError, ReproError, ServeError
 from repro.serve.async_service import AsyncQueryService
+from repro.serve.metrics import LatencyHistogram, render_prometheus
 
 __all__ = ["HttpFrontend", "run_server"]
 
@@ -51,8 +59,12 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -62,6 +74,11 @@ class HttpFrontend:
     def __init__(self, service: AsyncQueryService) -> None:
         self.service = service
         self.requests = 0
+        #: end-to-end request latency (parse through handler), fixed
+        #: log-spaced buckets — feeds /metrics
+        self.latency = LatencyHistogram()
+        #: responses by status code — feeds /metrics
+        self.responses: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # request plumbing
@@ -69,15 +86,31 @@ class HttpFrontend:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One connection: parse, dispatch, answer, close."""
+        """One connection: parse, dispatch, answer, close.
+
+        Every failure mode maps to a precise status: client mistakes are
+        4xx (including 408 for a request that never finished arriving and
+        400 for a body cut off mid-read), admission control is 429/504,
+        infrastructure faults are 5xx — and none of them kill the loop.
+        """
+        start = time.perf_counter()
         try:
             status, body = await asyncio.wait_for(
                 self._handle(reader), timeout=_READ_TIMEOUT
             )
         except asyncio.TimeoutError:
-            status, body = 400, {"error": f"request not completed within {_READ_TIMEOUT:.0f}s"}
+            # the request never finished arriving: that's the client's
+            # clock, not a malformed request — 408, not 400
+            status, body = 408, {"error": f"request not completed within {_READ_TIMEOUT:.0f}s"}
+        except asyncio.IncompleteReadError:
+            # client hung up mid-body: a client error, not a server 500
+            status, body = 400, {"error": "connection closed before the full body arrived"}
         except _HttpError as exc:
             status, body = exc.status, {"error": str(exc)}
+        except OverloadError as exc:
+            status, body = 429, {"error": str(exc)}
+        except DeadlineError as exc:
+            status, body = 504, {"error": str(exc)}
         except ServeError as exc:
             # infrastructure fault (crashed pool, closed segment), not a
             # malformed request: alerting must see a 5xx
@@ -86,11 +119,18 @@ class HttpFrontend:
             status, body = 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - surface, never kill the loop
             status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        payload = json.dumps(body).encode()
+        if isinstance(body, str):  # text exposition (/metrics)
+            payload = body.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(body).encode()
+            content_type = "application/json"
+        self.latency.observe(time.perf_counter() - start)
+        self.responses[status] = self.responses.get(status, 0) + 1
         writer.write(
             (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 "Connection: close\r\n"
                 "\r\n"
@@ -156,17 +196,41 @@ class HttpFrontend:
                 None, self.service.stats
             )
             return 200, stats
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "/metrics is GET")
+            stats = await asyncio.get_running_loop().run_in_executor(
+                None, self.service.stats
+            )
+            return 200, render_prometheus(
+                stats,
+                health=stats.get("health", "ok"),
+                request_latency=self.latency,
+                responses=self.responses,
+                flush_latency=self.service.flush_latency,
+            )
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "/healthz is GET")
             pool = self.service.pool
-            return 200, {
-                "status": "ok",
-                "n": int(getattr(self.service.pool or self.service.counter, "n", 0)),
+            health = self.service.health()
+            body = {
+                "status": health,
+                "n": int(getattr(pool or self.service.counter, "n", 0)),
                 "workers": pool.workers if pool is not None else 0,
                 "requests": self.requests,
                 "pid": os.getpid(),
             }
+            if pool is not None:
+                # lock-free liveness counters (health() reads the slot list
+                # without contending a running batch's dispatch lock)
+                live = sum(1 for slot in pool._slots if not slot.retired)
+                body["live_workers"] = live
+                body["retired_workers"] = len(pool._slots) - live
+                body["respawns"] = sum(slot.respawns for slot in pool._slots)
+            # "critical" still answers queries (in-process fallback) but a
+            # load balancer probing /healthz must see 503 and route away
+            return (503 if health == "critical" else 200), body
         raise _HttpError(404, f"unknown path {path!r}")
 
     def _int_param(self, query: dict, name: str) -> int:
@@ -178,10 +242,22 @@ class HttpFrontend:
         except ValueError:
             raise _HttpError(400, f"parameter {name!r} must be an integer") from None
 
+    def _deadline_param(self, query: dict) -> "float | None":
+        values = query.get("deadline_ms")
+        if not values:
+            return None
+        try:
+            deadline_ms = float(values[0])
+        except ValueError:
+            raise _HttpError(400, "parameter 'deadline_ms' must be a number") from None
+        if deadline_ms <= 0:
+            raise _HttpError(400, "parameter 'deadline_ms' must be positive")
+        return deadline_ms
+
     async def _query(self, query: dict) -> tuple[int, dict]:
         s = self._int_param(query, "s")
         t = self._int_param(query, "t")
-        result = await self.service.submit(s, t)
+        result = await self.service.submit(s, t, deadline_ms=self._deadline_param(query))
         return 200, {"s": result.s, "t": result.t, "dist": result.dist, "count": result.count}
 
     async def _query_batch(self, body: bytes) -> tuple[int, dict]:
@@ -198,7 +274,12 @@ class HttpFrontend:
             workload = [(int(s), int(t)) for s, t in pairs]
         except (TypeError, ValueError):
             raise _HttpError(400, "pair endpoints must be integers") from None
-        results = await self.service.query_batch(workload)
+        deadline_ms = decoded.get("deadline_ms")
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                raise _HttpError(400, '"deadline_ms" must be a positive number')
+            deadline_ms = float(deadline_ms)
+        results = await self.service.query_batch(workload, deadline_ms=deadline_ms)
         return 200, {
             "results": [
                 {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count} for r in results
@@ -245,12 +326,17 @@ def run_server(
     batch_size: int = 64,
     max_wait: float = 0.002,
     cache_size: int = 0,
+    max_pending: int = 0,
+    max_inflight: int = 0,
+    deadline_ms: float = 0.0,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``.
 
     Publishes the counter (to shared memory when ``workers > 0``), binds
     the HTTP front-end, and runs until SIGTERM/SIGINT — shutting down
-    workers and unlinking the segment on the way out.
+    workers and unlinking the segment on the way out.  ``max_pending``,
+    ``max_inflight`` and ``deadline_ms`` (all off at 0) wire admission
+    control into the service: queue caps answer 429, expired budgets 504.
     """
 
     async def _main() -> None:
@@ -260,6 +346,9 @@ def run_server(
             batch_size=batch_size,
             max_wait=max_wait,
             cache_size=cache_size,
+            max_pending=max_pending,
+            max_inflight=max_inflight,
+            deadline_ms=deadline_ms,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()

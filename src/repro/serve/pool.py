@@ -17,16 +17,27 @@ reassembled in submission order, so answers are **identical** to a single
 The pool detects worker crashes (a died process, a broken pipe) and
 respawns the slot automatically, resubmitting the lost shard.  The
 ``max_respawns`` budget bounds *consecutive* crashes of one slot — it
-resets every time the slot completes a batch — so a crash loop raises
-:class:`~repro.errors.ServeError` promptly while isolated crashes spread
-over a long-lived server's uptime never exhaust it.  ``stats()`` reports
-per-worker throughput and lifetime respawn counters.
+resets every time the slot completes a batch — so isolated crashes spread
+over a long-lived server's uptime never exhaust it.  A slot that *does*
+exhaust its streak budget is **retired** (quarantined permanently) rather
+than poisoning every later request with a raise: subsequent batches
+re-shard over the surviving workers, and when the last slot is gone the
+pool degrades to answering in-process on the parent's attached segment —
+slower, still bit-identical.  :meth:`health` reports the resulting state
+(``ok``/``degraded``/``critical``) for load balancers; ``stats()`` reports
+per-worker throughput, respawn and retirement counters.
+
+Failure schedules for chaos tests come from :mod:`repro.serve.faults`: the
+:class:`~repro.serve.faults.FaultPlan` handed to the constructor (or read
+from ``REPRO_FAULTS``) ships to every worker and fires deterministically
+inside the serve loop.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -36,6 +47,7 @@ import numpy as np
 
 from repro.core.queries import SPCResult
 from repro.errors import QueryError, ServeError
+from repro.serve.faults import FaultInjected, FaultPlan
 from repro.serve.shm import ShmIndexSegment
 
 __all__ = ["WorkerPool"]
@@ -47,13 +59,25 @@ _POLL_SECONDS = 0.05
 #: Seconds to wait for an abandoned shard's reply before replacing the
 #: worker outright (see :meth:`WorkerPool._quarantine`).
 _DRAIN_TIMEOUT = 2.0
+#: Upper bound (seconds) of the uniformly jittered pause before the one
+#: bounded dispatch retry on a transient pipe error.
+_RETRY_JITTER = 0.05
 
 
 class _KernelFailure(ServeError):
     """A worker's kernel raised; its reply was consumed, the pipe is clean."""
 
 
-def _worker_main(manifest: dict, conn) -> None:
+class _SlotRetired(ServeError):
+    """A slot exhausted its crash budget and was quarantined permanently.
+
+    Internal control flow only: dispatch catches it per shard and routes
+    the orphaned work to surviving slots or the in-process fallback — it
+    must never escape :meth:`WorkerPool.query_batch`.
+    """
+
+
+def _worker_main(manifest: dict, conn, worker_index: int, plan: FaultPlan) -> None:
     """Worker process entry point: attach, then serve shards forever.
 
     Protocol over the duplex pipe: parent sends an ``(s, t)`` int64 array
@@ -61,10 +85,16 @@ def _worker_main(manifest: dict, conn) -> None:
     ``("ok", results_int64_array, kernel_seconds)`` where the array holds
     one ``(dist, count)`` row per pair, or ``("err", message)`` when the
     kernel raised.
+
+    ``plan`` is the parent's resolved :class:`FaultPlan`; ``batch_number``
+    counts this process's life only (a respawn starts over at 1), so a
+    ``crash_on_batch`` plan keeps firing on every successor — the
+    sustained-failure scenario chaos runs measure availability under.
     """
     segment = ShmIndexSegment.attach(manifest)
     store = segment.store
     conn.send(("ready", os.getpid()))
+    batch_number = 0
     try:
         while True:
             try:
@@ -73,7 +103,24 @@ def _worker_main(manifest: dict, conn) -> None:
                 break
             if task is None:
                 break
+            batch_number += 1
+            if plan.should_crash(worker_index, batch_number):
+                # simulate a hard crash (segfault/OOM-kill shape): no reply,
+                # no cleanup — the parent must detect the dead process
+                os._exit(17)
+            if plan.should_drop_pipe(worker_index, batch_number):
+                # the other failure shape: the pipe dies (EOF at the
+                # parent) while the process may linger a moment
+                conn.close()
+                os._exit(0)
             try:
+                delay = plan.sleep_seconds(worker_index)
+                if delay:
+                    time.sleep(delay)
+                if plan.should_poison(worker_index, batch_number):
+                    raise FaultInjected(
+                        f"poisoned shard (worker {worker_index}, batch {batch_number})"
+                    )
                 start = time.perf_counter()
                 results = store.query_batch(task)
                 elapsed = time.perf_counter() - start
@@ -119,6 +166,9 @@ class _WorkerSlot:
     #: parent-initiated replacements after an abandoned shard (see
     #: :meth:`WorkerPool._quarantine`); separate from the crash budget.
     quarantines: int = 0
+    #: permanently quarantined after exhausting the crash-streak budget:
+    #: the slot no longer receives shards and the pool serves degraded.
+    retired: bool = False
     lifetime_pids: list[int] = field(default_factory=list)
 
 
@@ -143,6 +193,7 @@ class WorkerPool:
         segment: ShmIndexSegment | None = None,
         max_respawns: int = 1,
         startup_timeout: float = _STARTUP_TIMEOUT,
+        faults: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -158,11 +209,18 @@ class WorkerPool:
         self.workers = int(workers)
         self.max_respawns = int(max_respawns)
         self._startup_timeout = float(startup_timeout)
+        #: resolved once here and shipped to every worker: children never
+        #: re-read the environment, so the plan the pool logs is the plan
+        #: the workers execute
+        self._faults = faults if faults is not None else FaultPlan.from_env()
         self._ctx = multiprocessing.get_context("spawn")
         self._lock = threading.Lock()
         self._closed = False
         self._batches = 0
         self._queries = 0
+        self._retries = 0
+        self._fallback_batches = 0
+        self._fallback_queries = 0
         try:
             # start every process first, then collect the handshakes:
             # workers attach (and import) concurrently instead of paying
@@ -188,7 +246,7 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self._segment.manifest, child_conn),
+            args=(self._segment.manifest, child_conn, index, self._faults),
             name=f"repro-serve-worker-{index}",
             daemon=True,
         )
@@ -228,17 +286,38 @@ class WorkerPool:
         slot.lifetime_pids.append(pid)
         return slot
 
+    def _retire(self, slot: _WorkerSlot, why: str) -> None:
+        """Quarantine a slot permanently: no more shards, process reaped.
+
+        Retirement is the graceful-degradation alternative to raising: one
+        crash-looping worker must not turn every subsequent request into a
+        500 when the other slots (or the parent's own attached store) can
+        still answer it.
+        """
+        slot.retired = True
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=5.0)
+
     def _respawn(self, slot: _WorkerSlot, why: str) -> None:
         """Replace a crashed worker, up to ``max_respawns`` times *in a row*.
 
         The budget is a crash-streak bound, reset whenever the slot
         completes a batch: it exists to stop a worker that dies instantly
         on every respawn from looping forever, not to kill a server whose
-        slot crashed twice a week apart.
+        slot crashed twice a week apart.  An exhausted streak (or a respawn
+        that itself fails to come up) retires the slot and raises
+        :class:`_SlotRetired`, which dispatch absorbs by re-routing the
+        shard — never surfacing to the caller as an error.
         """
         if slot.crash_streak >= self.max_respawns:
-            raise ServeError(
-                f"worker {slot.index} (pid {slot.pid}) crashed again after "
+            self._retire(slot, why)
+            raise _SlotRetired(
+                f"worker {slot.index} (pid {slot.pid}) retired after "
                 f"{slot.crash_streak} consecutive respawn(s): {why}"
             )
         slot.crash_streak += 1
@@ -248,13 +327,28 @@ class WorkerPool:
         except OSError:  # pragma: no cover - already broken
             pass
         slot.process.join(timeout=5.0)
-        self._spawn_slot(slot.index, previous=slot)
+        try:
+            self._spawn_slot(slot.index, previous=slot)
+        except ServeError as exc:
+            # the replacement never reported ready: the slot is not coming
+            # back (import failure, OOM, hostile fault plan) — degrade
+            self._retire(slot, f"respawn failed ({exc})")
+            raise _SlotRetired(
+                f"worker {slot.index} retired: respawn failed ({exc})"
+            ) from exc
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def _send_shard(self, slot: _WorkerSlot, shard: np.ndarray) -> None:
-        """Hand one shard to a worker, respawning through dead processes."""
+        """Hand one shard to a worker, respawning through dead processes.
+
+        A pipe error with the process still alive gets one bounded,
+        jittered retry before being treated as a crash: transient EINTR/
+        buffer hiccups should not burn a slot's crash budget, and the
+        jitter keeps N dispatch threads from hammering the same instant.
+        """
+        retried = False
         while True:
             if not slot.process.is_alive():
                 self._respawn(slot, "process found dead before dispatch")
@@ -262,6 +356,11 @@ class WorkerPool:
                 slot.conn.send(shard)
                 return
             except (BrokenPipeError, OSError) as exc:
+                if not retried and slot.process.is_alive():
+                    retried = True
+                    self._retries += 1
+                    time.sleep(random.uniform(0.0, _RETRY_JITTER))
+                    continue
                 self._respawn(slot, f"pipe broke during dispatch ({exc})")
 
     def _recv_shard(self, slot: _WorkerSlot, shard: np.ndarray):
@@ -323,12 +422,28 @@ class WorkerPool:
         except ServeError:  # pragma: no cover - left dead; next dispatch raises
             pass
 
-    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
-        """Evaluate a workload sharded across the workers, in input order.
+    def _local_payload(self, shard: np.ndarray) -> list[tuple[int, int]]:
+        """Answer a shard in-process on the parent's attached store.
 
-        The batch is split contiguously into ``ceil(B / N)``-sized shards,
-        one per worker, evaluated concurrently, and reassembled — answers
-        are identical to one ``query_batch`` call on the published store.
+        The degradation endpoint: bit-identical to a worker's kernel (same
+        store, same shared pages), just on the dispatching thread.  Returns
+        the plain-tuple payload form so reassembly treats it exactly like a
+        worker's overflow reply.
+        """
+        self._fallback_queries += len(shard)
+        return [(r.dist, r.count) for r in self._segment.store.query_batch(shard)]
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+        """Evaluate a workload sharded across the live workers, in input order.
+
+        The batch is split contiguously into ``ceil(B / live)``-sized
+        shards, one per surviving (non-retired) worker, evaluated
+        concurrently, and reassembled — answers are identical to one
+        ``query_batch`` call on the published store.  A slot retiring
+        mid-batch (crash streak exhausted) hands its orphaned shard to the
+        in-process fallback instead of failing the request; with every slot
+        retired the whole batch runs in-process and the pool reports
+        ``critical`` health.
         """
         from repro.core.engine import validate_pairs
 
@@ -338,52 +453,77 @@ class WorkerPool:
         with self._lock:
             if self._closed:
                 raise ServeError("WorkerPool is closed")
-            chunk = -(-len(pairs_arr) // len(self._slots))  # ceil division
-            assignments = [
-                (slot, pairs_arr[i * chunk : (i + 1) * chunk])
-                for i, slot in enumerate(self._slots)
-            ]
-            assignments = [(slot, shard) for slot, shard in assignments if len(shard)]
-            # dispatch/collect with the no-stale-reply invariant: if any
-            # shard fails, every other outstanding reply is drained (or its
-            # worker+pipe replaced) before the error propagates, so the
-            # next batch can never read a leftover payload as its own
-            failure: BaseException | None = None
-            sent: list[tuple[_WorkerSlot, np.ndarray]] = []
-            for slot, shard in assignments:
-                try:
-                    self._send_shard(slot, shard)
-                    sent.append((slot, shard))
-                except BaseException as exc:  # noqa: BLE001
-                    failure = exc
-                    break
-            payloads = []
-            for slot, shard in sent:
-                if failure is None:
-                    try:
-                        payloads.append(self._recv_shard(slot, shard))
-                        continue
-                    except _KernelFailure as exc:
-                        failure = exc  # reply consumed: slot already clean
-                    except BaseException as exc:  # noqa: BLE001
-                        failure = exc
-                        self._quarantine(slot)
-                else:
-                    self._quarantine(slot)
-            if failure is not None:
-                raise failure
-            self._batches += 1
-            self._queries += len(pairs_arr)
+            live = [slot for slot in self._slots if not slot.retired]
+            if not live:
+                # the whole pool is gone: serve degraded rather than dead
+                self._fallback_batches += 1
+                payloads: list = [self._local_payload(pairs_arr)]
+                self._batches += 1
+                self._queries += len(pairs_arr)
+            else:
+                payloads = self._dispatch_live(pairs_arr, live)
+                self._batches += 1
+                self._queries += len(pairs_arr)
         answers: list[tuple[int, int]] = []
         for payload in payloads:
             if isinstance(payload, np.ndarray):
                 answers.extend(zip(payload[:, 0].tolist(), payload[:, 1].tolist()))
-            else:  # overflow fallback: plain (dist, count) tuples
+            else:  # overflow or in-process fallback: plain (dist, count) tuples
                 answers.extend(payload)
         return [
             SPCResult(int(s), int(t), d, c)
             for (s, t), (d, c) in zip(pairs_arr, answers)
         ]
+
+    def _dispatch_live(self, pairs_arr: np.ndarray, live: list[_WorkerSlot]) -> list:
+        """Shard over ``live`` slots; returns payloads in shard order.
+
+        Holds the no-stale-reply invariant: if any shard *fails* (a kernel
+        error or an unexpected exception), every other outstanding reply is
+        drained (or its worker+pipe replaced) before the error propagates,
+        so the next batch can never read a leftover payload as its own.  A
+        shard whose slot *retires* is not a failure — its work lands in
+        ``orphans`` and is answered in-process after the survivors reply.
+        """
+        chunk = -(-len(pairs_arr) // len(live))  # ceil division
+        assignments = [
+            (slot, pairs_arr[i * chunk : (i + 1) * chunk])
+            for i, slot in enumerate(live)
+        ]
+        assignments = [(slot, shard) for slot, shard in assignments if len(shard)]
+        failure: BaseException | None = None
+        sent: list[tuple[int, _WorkerSlot, np.ndarray]] = []
+        orphans: list[tuple[int, np.ndarray]] = []
+        for position, (slot, shard) in enumerate(assignments):
+            try:
+                self._send_shard(slot, shard)
+                sent.append((position, slot, shard))
+            except _SlotRetired:
+                orphans.append((position, shard))
+            except BaseException as exc:  # noqa: BLE001
+                failure = exc
+                break
+        payload_at: dict[int, object] = {}
+        for position, slot, shard in sent:
+            if failure is None:
+                try:
+                    payload_at[position] = self._recv_shard(slot, shard)
+                    continue
+                except _KernelFailure as exc:
+                    failure = exc  # reply consumed: slot already clean
+                except _SlotRetired:
+                    orphans.append((position, shard))
+                    continue
+                except BaseException as exc:  # noqa: BLE001
+                    failure = exc
+                    self._quarantine(slot)
+            else:
+                self._quarantine(slot)
+        if failure is not None:
+            raise failure
+        for position, shard in orphans:
+            payload_at[position] = self._local_payload(shard)
+        return [payload_at[position] for position in sorted(payload_at)]
 
     def query(self, s: int, t: int) -> SPCResult:
         """One pair through the pool (a single-element batch)."""
@@ -406,15 +546,36 @@ class WorkerPool:
         """
         return self._segment.directed
 
+    def health(self) -> str:
+        """Serving state for load balancers: ``ok``/``degraded``/``critical``.
+
+        ``ok`` — every slot live; ``degraded`` — at least one slot retired
+        but survivors still serve; ``critical`` — no live workers, every
+        batch runs on the in-process fallback (still answering, but a load
+        balancer should route away).  Deliberately lock-free: a health
+        probe must answer while a slow batch holds the dispatch lock.
+        """
+        live = sum(1 for slot in self._slots if not slot.retired)
+        if live == len(self._slots):
+            return "ok"
+        return "degraded" if live else "critical"
+
     def stats(self) -> dict:
-        """Pool-level and per-worker throughput counters."""
+        """Pool-level and per-worker throughput/failure counters."""
         with self._lock:
+            live = sum(1 for slot in self._slots if not slot.retired)
             return {
                 "workers": len(self._slots),
+                "live_workers": live,
+                "retired_workers": len(self._slots) - live,
+                "health": self.health(),
                 "queries": self._queries,
                 "batches": self._batches,
                 "respawns": sum(slot.respawns for slot in self._slots),
                 "quarantines": sum(slot.quarantines for slot in self._slots),
+                "dispatch_retries": self._retries,
+                "fallback_batches": self._fallback_batches,
+                "fallback_queries": self._fallback_queries,
                 "segment_bytes": self._segment.nbytes,
                 "per_worker": [
                     {
@@ -425,6 +586,7 @@ class WorkerPool:
                         "kernel_s": round(slot.kernel_seconds, 6),
                         "respawns": slot.respawns,
                         "quarantines": slot.quarantines,
+                        "retired": slot.retired,
                     }
                     for slot in self._slots
                 ],

@@ -217,13 +217,34 @@ class TestWorkerPool:
             assert stats["respawns"] == 3
             assert all(slot.crash_streak == 0 for slot in pool._slots)
 
-    def test_respawn_budget_exhausts_without_a_completed_batch(self, served_index):
-        # max_respawns=0: the very first crash exceeds the streak budget
+    def test_exhausted_respawn_budget_degrades_instead_of_raising(self, served_index):
+        # max_respawns=0: the very first crash exceeds the streak budget.
+        # The slot is retired — but the batch is still answered correctly
+        # by the surviving worker + in-process fallback, and the pool
+        # reports the degradation instead of failing requests.
         pairs = _random_pairs(served_index.n, 16)
         with WorkerPool(served_index, workers=2, max_respawns=0) as pool:
             os.kill(pool._slots[0].pid, signal.SIGKILL)
-            with pytest.raises(ServeError):
-                pool.query_batch(pairs)
+            assert pool.query_batch(pairs) == served_index.query_batch(pairs)
+            assert pool.health() == "degraded"
+            stats = pool.stats()
+            assert stats["live_workers"] == 1
+            assert stats["retired_workers"] == 1
+            assert stats["per_worker"][0]["retired"] is True
+            # later batches re-shard over the survivor only, still correct
+            more = _random_pairs(served_index.n, 32, seed=5)
+            assert pool.query_batch(more) == served_index.query_batch(more)
+
+    def test_all_slots_retired_serves_in_process_critical(self, served_index):
+        pairs = _random_pairs(served_index.n, 24)
+        with WorkerPool(served_index, workers=2, max_respawns=0) as pool:
+            for slot in pool._slots:
+                os.kill(slot.pid, signal.SIGKILL)
+            assert pool.query_batch(pairs) == served_index.query_batch(pairs)
+            assert pool.health() == "critical"
+            stats = pool.stats()
+            assert stats["live_workers"] == 0
+            assert stats["fallback_queries"] >= len(pairs)
 
     def test_validation_and_lifecycle(self, served_index):
         with pytest.raises(ServeError):
@@ -457,6 +478,141 @@ class TestHttpFrontend:
         assert [(r["dist"], r["count"]) for r in batch["results"]] == [
             (r.dist, r.count) for r in expected
         ]
+
+
+class TestHttpUnhappyPaths:
+    """Malformed/hostile clients map to precise 4xx codes, never a 500."""
+
+    @staticmethod
+    async def _serve(service):
+        from repro.serve.http import serve
+
+        ready: asyncio.Future = asyncio.get_running_loop().create_future()
+        stop = asyncio.Event()
+        task = asyncio.ensure_future(serve(service, "127.0.0.1", 0, ready=ready, stop=stop))
+        _, port = await asyncio.wait_for(ready, timeout=10)
+        return port, stop, task
+
+    def test_bad_framing_and_method_mismatch_on_every_route(self, served_index):
+        async def main():
+            service = AsyncQueryService(served_index, batch_size=16)
+            port, stop, task = await self._serve(service)
+
+            async def raw(request: bytes) -> int:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(request)
+                await writer.drain()
+                status = int((await reader.readline()).split()[1])
+                writer.close()
+                await writer.wait_closed()
+                return status
+
+            # oversized declared body: rejected from the header alone
+            assert await raw(
+                b"POST /query_batch HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+            ) == 413
+            # negative and garbled Content-Length
+            assert await raw(
+                b"POST /query_batch HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+            ) == 400
+            assert await raw(
+                b"POST /query_batch HTTP/1.1\r\nContent-Length: abc\r\n\r\n"
+            ) == 400
+            # wrong method on every route
+            for request in (
+                b"POST /query HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                b"GET /query_batch HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                b"POST /stats HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                b"POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                b"POST /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+            ):
+                assert await raw(request) == 405
+            # the server survived all of it
+            status, _ = await _http_request(port, "GET", "/query?s=0&t=5")
+            assert status == 200
+            stop.set()
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(main())
+
+    def test_body_cut_off_mid_read_is_a_400(self, served_index):
+        async def main():
+            service = AsyncQueryService(served_index, batch_size=16)
+            port, stop, task = await self._serve(service)
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /query_batch HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"pa"
+            )
+            await writer.drain()
+            writer.write_eof()  # half-close: the body never finishes
+            status = int((await reader.readline()).split()[1])
+            writer.close()
+            await writer.wait_closed()
+            assert status == 400
+            stop.set()
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(main())
+
+    def test_stalled_request_times_out_as_408(self, served_index, monkeypatch):
+        import repro.serve.http as http_mod
+
+        monkeypatch.setattr(http_mod, "_READ_TIMEOUT", 0.2)
+
+        async def main():
+            service = AsyncQueryService(served_index, batch_size=16)
+            port, stop, task = await self._serve(service)
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET /query?s=0")  # never finish the request line
+            await writer.drain()
+            status = int((await asyncio.wait_for(reader.readline(), timeout=10)).split()[1])
+            writer.close()
+            await writer.wait_closed()
+            assert status == 408
+            stop.set()
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(main())
+
+    def test_metrics_and_healthz_on_a_clean_service(self, served_index):
+        async def main():
+            service = AsyncQueryService(served_index, batch_size=16)
+            port, stop, task = await self._serve(service)
+            await _http_request(port, "GET", "/query?s=0&t=5")
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            await writer.drain()
+            status = int((await reader.readline()).split()[1])
+            content_type = ""
+            while True:
+                header = (await reader.readline()).decode().strip()
+                if not header:
+                    break
+                if header.lower().startswith("content-type:"):
+                    content_type = header.partition(":")[2].strip()
+            text = (await reader.read()).decode()
+            writer.close()
+            await writer.wait_closed()
+
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            for series in (
+                "repro_queries_total",
+                "repro_shed_total{cause=\"overload\"} 0",
+                "repro_health 0",
+                "repro_flush_latency_seconds_bucket",
+                "repro_request_latency_seconds_count",
+                "repro_http_responses_total{code=\"200\"}",
+            ):
+                assert series in text, series
+
+            status, health = await _http_request(port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            stop.set()
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(main())
 
 
 # ----------------------------------------------------------------------
