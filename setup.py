@@ -1,4 +1,34 @@
-"""Setup shim so editable installs work offline (no `wheel` package available)."""
-from setuptools import setup
+"""Setup shim so editable installs work offline (no `wheel` package available).
 
-setup()
+All metadata lives here (no ``setup.cfg``/``pyproject.toml``): the container
+this project builds in has only a bare setuptools, so the packaging surface
+stays deliberately small.  The ``dev`` extra pulls in mypy for the typed
+public-surface gate (``mypy --config-file mypy.ini``) — it is *not* needed to
+build, test, or serve, and the CI static-analysis job installs it explicitly.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-pspc",
+    version="0.8.0",
+    description=(
+        "Reproduction of hub-label shortest-path-counting indexes "
+        "(PSPC+) with a shared-memory serving stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        # tooling gated behind an extra: the runtime never needs it and the
+        # offline test container does not have it
+        "dev": ["mypy>=1.0"],
+    },
+    entry_points={
+        "console_scripts": [
+            "pspc=repro.cli:main",
+            # the project linter, also mounted as `python -m repro lint`
+            "reprolint=repro.devtools.cli:main",
+        ],
+    },
+)

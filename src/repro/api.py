@@ -85,7 +85,7 @@ __all__ = [
 _SERVE_EXPORTS = ("AsyncQueryService", "ShmIndexSegment", "WorkerPool")
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _SERVE_EXPORTS:
         import repro.serve
 
@@ -166,16 +166,19 @@ class MethodSpec:
 
 _METHODS: dict[str, MethodSpec] = {}
 
+#: a counter-construction function: ``(graph, config) -> SPCounter``
+_Builder = Callable[[object, "BuildConfig"], "SPCounter"]
+
 
 def register_method(
     name: str,
-    build: Callable[[object, BuildConfig], SPCounter] | None = None,
+    build: _Builder | None = None,
     *,
     description: str = "",
     directed: bool = False,
     persistable: bool = True,
     overwrite: bool = False,
-):
+) -> "_Builder | Callable[[_Builder], _Builder]":
     """Register a counter-construction method under ``name``.
 
     Usable directly (``register_method("mine", builder_fn)``) or as a
@@ -186,7 +189,7 @@ def register_method(
     ``"pspc"``.
     """
 
-    def _register(fn: Callable[[object, BuildConfig], SPCounter]):
+    def _register(fn: _Builder) -> _Builder:
         if name in _METHODS and not overwrite:
             raise IndexBuildError(
                 f"method {name!r} is already registered; pass overwrite=True to replace it"

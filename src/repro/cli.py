@@ -13,6 +13,8 @@ Subcommands
                   :class:`repro.api.QueryService` and report latency stats.
 ``bench``       — run one of the paper's experiments and print its table.
 ``audit``       — validate a saved index against its graph.
+``lint``        — run ``reprolint``, the project-invariant static analyser
+                  (also installed as the ``reprolint`` console script).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import numpy as np
 
 from repro.api import QueryService, build_index, method_names, open_index
 from repro.core.labels import LabelIndex
+from repro.devtools import cli as devtools_cli
 from repro.digraph.index import DirectedSPCIndex
 from repro.errors import ReproError
 from repro.experiments import harness
@@ -286,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_audit.add_argument("--samples", type=int, default=500, help="query pairs to check")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the project-invariant static analyser",
+    )
+    devtools_cli.add_lint_arguments(p_lint)
+
     return parser
 
 
@@ -521,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "bench": _cmd_bench,
         "audit": _cmd_audit,
+        "lint": devtools_cli.run_lint,
     }
     try:
         return handlers[args.command](args)

@@ -53,8 +53,11 @@ from repro.graph.graph import Graph
 from repro.ordering.base import VertexOrder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import mmap
+
     from repro.core.compact import CompactLabelIndex
     from repro.core.labels import LabelEntry, LabelIndex
+    from repro.digraph.labels import CompactDirectedLabelIndex
 
 __all__ = [
     "FORMAT_NAME",
@@ -163,7 +166,7 @@ def write_payload(
     header["format"] = FORMAT_NAME
     header["version"] = FORMAT_VERSION
     header["kind"] = kind
-    payload = {"__meta__": np.array(json.dumps(header))}
+    payload = {"__meta__": np.array(json.dumps(header), dtype=np.str_)}
     for key, value in arrays.items():
         if key.startswith("__"):
             raise PersistenceError(f"array key {key!r} collides with reserved names")
@@ -334,7 +337,7 @@ _STORE_ARRAY_ATTRS = (
 )
 
 
-def _backing_mmap(array):
+def _backing_mmap(array: np.ndarray) -> "mmap.mmap | None":
     """The ``mmap`` object behind an array that views an ``np.memmap``."""
     base = array
     while isinstance(base, np.ndarray):
@@ -344,7 +347,7 @@ def _backing_mmap(array):
     return None
 
 
-def close_store(store) -> int:
+def close_store(store: object) -> int:
     """Release the memory maps behind a lazily-opened label store.
 
     ``read_payload(..., mmap=True)`` leaves every label column as a view
@@ -364,7 +367,7 @@ def close_store(store) -> int:
     """
     mmaps: dict[int, object] = {}
 
-    def scrub(obj, attr) -> None:
+    def scrub(obj: object, attr: str) -> None:
         array = getattr(obj, attr, None)
         if not isinstance(array, np.ndarray):
             return
@@ -520,7 +523,9 @@ def pack_store(store: "LabelStore") -> tuple[dict[str, np.ndarray], dict]:
     return arrays, meta
 
 
-def unpack_store(arrays: dict[str, np.ndarray], meta: dict, path: str | Path = ""):
+def unpack_store(
+    arrays: dict[str, np.ndarray], meta: dict, path: str | Path = ""
+) -> "CompactLabelIndex | LabelIndex | CompactDirectedLabelIndex":
     """Invert :func:`pack_store` back into the store kind the payload holds."""
     from repro.core.compact import CompactLabelIndex
     from repro.core.labels import LabelIndex

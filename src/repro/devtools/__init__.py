@@ -1,0 +1,40 @@
+"""Repo-specific static analysis (``reprolint``) and typed-surface tooling.
+
+Seven PRs in, the system's correctness rests on invariants that nothing
+machine-checks: shm segments must be released on every path, the serving
+pipes must stay pickle-free, hot-loop numpy allocations must carry explicit
+dtypes (the int64-overflow guard depends on them), spawn targets must be
+module-level callables, and the asyncio twin must never block the loop.
+This package turns those conventions into AST lint rules so CI fails the
+build the moment one regresses — see :mod:`repro.devtools.rules` for the
+rule catalogue and DESIGN.md ("Machine-checked invariants") for the why.
+
+Everything in here runs on the stdlib ``ast`` module only: the linter must
+be importable (and fast) in a bare CI container before any heavy
+dependency is installed.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import (
+    FileContext,
+    LintReport,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.fmt import format_findings
+from repro.devtools.rules import ALL_RULES, Rule, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "rules_by_id",
+]

@@ -1,0 +1,107 @@
+"""``reprolint`` — the command-line front-end of the project linter.
+
+Installed as the ``reprolint`` console script and mounted as
+``python -m repro lint``.  The analysis itself is stdlib-only (``ast`` +
+``re``); the only third-party code that loads is whatever
+``repro/__init__`` pulls in, so the linter needs no dev dependencies —
+unlike the mypy half of the static-analysis gate, which lives behind the
+``[dev]`` extra.
+
+Exit codes: ``0`` clean (or warnings only without ``--strict``), ``1``
+unsuppressed findings, ``2`` usage errors (bad path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.devtools.engine import lint_paths
+from repro.devtools.fmt import FORMATS, format_findings
+from repro.devtools.rules import rules_by_id
+from repro.errors import LintError
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+_DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared with ``python -m repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(_DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=FORMATS,
+        default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings gate the exit code too (how CI runs the linter)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R001,R003",
+        help="comma-separated subset of rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by inline disables (with reasons)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    registry = rules_by_id()
+    rules = None
+    if args.rules:
+        wanted = [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+        unknown = [rule_id for rule_id in wanted if rule_id not in registry]
+        if unknown:
+            raise LintError(
+                f"unknown rule id(s) {', '.join(unknown)}; known rules: "
+                f"{', '.join(sorted(registry))}"
+            )
+        rules = [registry[rule_id] for rule_id in wanted]
+    report = lint_paths(args.paths, rules)
+    shown = list(report.findings)
+    if args.show_suppressed:
+        shown += report.suppressed
+        shown.sort(key=lambda finding: finding.sort_key())
+    if shown or args.fmt != "table":
+        print(format_findings(shown, fmt=args.fmt))
+    summary = (
+        f"reprolint: {len(report.findings)} finding(s) "
+        f"({len(report.errors)} error(s), {len(report.suppressed)} suppressed) "
+        f"in {report.files_checked} file(s)"
+    )
+    print(summary, file=sys.stderr)
+    return report.exit_code(strict=args.strict)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="project-invariant static analysis for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return run_lint(args)
+    except LintError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""The lint engine: walk files, run rules, apply inline suppressions.
+
+Suppression contract: a finding is silenced by a comment on its own line
+(or on a standalone comment line directly above it) of the form ::
+
+    # reprolint: disable=R003 (reason why this hit is intentional)
+
+The reason is **mandatory** — a suppression without one does not suppress
+and instead surfaces as an ``R000`` finding, so every exception to a
+project invariant is documented where it lives.  Multiple ids separate
+with commas: ``disable=R001,R004 (lifecycle under test)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.rules import ALL_RULES, Rule, rules_by_id
+from repro.errors import LintError
+
+__all__ = ["FileContext", "LintReport", "lint_paths", "lint_source"]
+
+#: ``# reprolint: disable=R001,R004 (reason)``
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<ids>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+
+#: directories never walked for lint targets
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".benchmarks"}
+
+
+@dataclass
+class FileContext:
+    """One parsed file handed to every applicable rule."""
+
+    path: str  # posix, as walked (repo-relative from the repo root)
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "FileContext":
+        return cls(
+            path=Path(path).as_posix(),
+            source=source,
+            tree=ast.parse(source, filename=path),
+            lines=source.splitlines(),
+        )
+
+
+@dataclass
+class _Suppression:
+    line: int  # the line the suppression applies to (1-based)
+    ids: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def _parse_suppressions(ctx: FileContext) -> tuple[list[_Suppression], list[Finding]]:
+    """Collect valid suppressions and R000 findings for malformed ones."""
+    suppressions: list[_Suppression] = []
+    malformed: list[Finding] = []
+    known = rules_by_id()
+    for lineno, text in enumerate(ctx.lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in match.group("ids").split(","))
+        reason = (match.group("reason") or "").strip()
+        unknown = [rule_id for rule_id in ids if rule_id not in known]
+        if unknown:
+            malformed.append(
+                Finding(
+                    rule="R000",
+                    path=ctx.path,
+                    line=lineno,
+                    message=(
+                        f"suppression names unknown rule id(s) "
+                        f"{', '.join(unknown)} — known rules: "
+                        f"{', '.join(sorted(known))}"
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            malformed.append(
+                Finding(
+                    rule="R000",
+                    path=ctx.path,
+                    line=lineno,
+                    message=(
+                        f"suppression of {', '.join(ids)} without a reason — "
+                        "every disable must justify itself: "
+                        "`# reprolint: disable=RXXX (reason)`"
+                    ),
+                )
+            )
+            continue
+        # a standalone comment line suppresses the next line instead
+        target = lineno
+        before_comment = text.split("#", 1)[0].strip()
+        if not before_comment:
+            target = lineno + 1
+        suppressions.append(_Suppression(line=target, ids=ids, reason=reason))
+    return suppressions, malformed
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 findings (warnings gate only under ``strict``)."""
+        if strict:
+            return 1 if self.findings else 0
+        return 1 if self.errors else 0
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+
+
+def _lint_context(ctx: FileContext, rules: Sequence[Rule]) -> LintReport:
+    report = LintReport(files_checked=1)
+    suppressions, malformed = _parse_suppressions(ctx)
+    report.findings.extend(malformed)
+    by_line: dict[int, list[_Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+    for rule in rules:
+        if not rule.applies_to(ctx.path):
+            continue
+        for finding in rule.check(ctx):
+            silencers = [
+                s for s in by_line.get(finding.line, []) if finding.rule in s.ids
+            ]
+            if silencers:
+                silencers[0].used = True
+                report.suppressed.append(
+                    Finding(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        message=finding.message,
+                        severity=finding.severity,
+                        suppressed=True,
+                        suppression_reason=silencers[0].reason,
+                    )
+                )
+            else:
+                report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint one in-memory source blob as though it lived at ``path``.
+
+    The fixture-corpus tests use this: the virtual ``path`` decides which
+    rules apply, so a snippet can impersonate ``src/repro/serve/pool.py``.
+    """
+    try:
+        ctx = FileContext.from_source(source, path)
+    except SyntaxError as exc:
+        report = LintReport(files_checked=1)
+        report.findings.append(
+            Finding(
+                rule="R000",
+                path=Path(path).as_posix(),
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    return _lint_context(ctx, list(rules) if rules is not None else list(ALL_RULES))
+
+
+def iter_python_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
+        elif root.is_dir():
+            candidates = sorted(
+                p
+                for p in root.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        else:
+            raise LintError(f"lint path does not exist: {raw}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        report.extend(lint_source(source, path.as_posix(), active))
+    report.sort()
+    return report

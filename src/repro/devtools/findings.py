@@ -1,0 +1,61 @@
+"""The lint finding record and its severity scale."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding gates the build.
+
+    ``ERROR`` findings fail ``reprolint`` unconditionally; ``WARNING``
+    findings fail only under ``--strict`` (which is how CI runs it, so in
+    practice both gate — the split exists for local triage ordering).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a file and line.
+
+    ``line`` is 1-based (matching every editor and traceback).  ``path``
+    is kept exactly as the engine walked it (repo-relative when the CLI is
+    invoked from the repo root) so output lines are clickable.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+    #: whether an inline ``# reprolint: disable=`` comment silenced it
+    suppressed: bool = False
+    #: the justification carried by the suppressing comment, if any
+    suppression_reason: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def to_row(self) -> dict[str, object]:
+        """The dict shape the table/csv/json formatter renders."""
+        row: dict[str, object] = {
+            "file": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.suppressed:
+            row["suppressed"] = True
+            row["reason"] = self.suppression_reason
+        return row
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.severity}] {self.message}"

@@ -1,0 +1,79 @@
+"""Table/csv/json rendering for lint findings.
+
+Modelled on the query CLI's ``format_rows`` (rows of dicts, a column
+order, one ``fmt`` switch) but stdlib-only: the linter carries no
+dependencies of its own, so the table writer is plain column alignment
+rather than a rich table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+from repro.errors import LintError
+
+__all__ = ["FORMATS", "format_findings"]
+
+FORMATS = ("table", "csv", "json")
+
+#: display order; ``suppressed``/``reason`` appear only when present
+_COLUMNS = ("file", "line", "rule", "severity", "message")
+
+
+def _rows(findings: Iterable[Finding]) -> list[dict[str, object]]:
+    return [finding.to_row() for finding in findings]
+
+
+def _columns_for(rows: Sequence[dict[str, object]]) -> list[str]:
+    columns = list(_COLUMNS)
+    if any("suppressed" in row for row in rows):
+        columns += ["suppressed", "reason"]
+    return columns
+
+
+def _format_table(rows: Sequence[dict[str, object]], title: str) -> str:
+    if not rows:
+        return f"{title}: clean"
+    columns = _columns_for(rows)
+    cells = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in cells))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    rule = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))).rstrip()
+        for line in cells
+    ]
+    return "\n".join([title, header, rule, *body])
+
+
+def _format_csv(rows: Sequence[dict[str, object]]) -> str:
+    columns = _columns_for(rows)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([row.get(column, "") for column in columns])
+    return buffer.getvalue().rstrip("\r\n")
+
+
+def format_findings(
+    findings: Iterable[Finding],
+    fmt: str = "table",
+    title: str = "reprolint findings",
+) -> str:
+    """Render findings in the requested format (table, csv, or json)."""
+    rows = _rows(findings)
+    if fmt == "table":
+        return _format_table(rows, title)
+    if fmt == "csv":
+        return _format_csv(rows)
+    if fmt == "json":
+        return json.dumps(rows, indent=2)
+    raise LintError(f"unknown format {fmt!r}; expected one of {FORMATS}")

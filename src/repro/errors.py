@@ -24,7 +24,9 @@ __all__ = [
     "ServeError",
     "OverloadError",
     "DeadlineError",
+    "FaultConfigError",
     "DatasetError",
+    "LintError",
 ]
 
 
@@ -102,5 +104,22 @@ class DeadlineError(ServeError):
     """
 
 
+class FaultConfigError(ServeError, ValueError):
+    """A fault-injection plan (``REPRO_FAULTS``) is malformed.
+
+    Also a :class:`ValueError`: a typo'd chaos knob is a bad *value* first,
+    and pre-existing callers catching ``ValueError`` keep working.
+    """
+
+
 class DatasetError(ReproError):
     """A named dataset is unknown or could not be materialised."""
+
+
+class LintError(ReproError):
+    """The ``reprolint`` static-analysis front-end was misused.
+
+    Raised for unknown output formats, unknown rule ids, or lint paths
+    that do not exist — never for findings (findings are data, not
+    exceptions).
+    """

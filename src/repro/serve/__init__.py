@@ -47,7 +47,7 @@ _LAZY_EXPORTS = {
 __all__ = sorted(_LAZY_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY_EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")

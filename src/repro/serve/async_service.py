@@ -39,7 +39,7 @@ from repro.core.engine import validate_vertex
 from repro.core.queries import SPCResult
 from repro.errors import DeadlineError, OverloadError, QueryError, ServeError
 from repro.serve.cache import LRUCache, pair_key
-from repro.serve.metrics import FlushStats
+from repro.serve.metrics import FlushStats, LatencyHistogram
 from repro.serve.pool import WorkerPool
 
 __all__ = ["AsyncQueryService"]
@@ -80,7 +80,7 @@ class AsyncQueryService:
 
     def __init__(
         self,
-        counter=None,
+        counter: object = None,
         *,
         workers: int = 0,
         pool: WorkerPool | None = None,
@@ -388,7 +388,7 @@ class AsyncQueryService:
         return report
 
     @property
-    def flush_latency(self):
+    def flush_latency(self) -> LatencyHistogram:
         """The kernel-flush latency histogram (for /metrics rendering)."""
         return self._metrics.flush_latency
 

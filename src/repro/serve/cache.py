@@ -22,7 +22,7 @@ V = TypeVar("V")
 _MISSING = object()
 
 
-def pair_key(counter) -> Callable[[int, int], tuple[int, int]]:
+def pair_key(counter: object) -> Callable[[int, int], tuple[int, int]]:
     """The point-cache key function for ``counter``'s query semantics.
 
     Undirected counters answer ``query(s, t) == query(t, s)``, so their

@@ -41,13 +41,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, fields
 
+from repro.errors import FaultConfigError, ServeError
+
 __all__ = ["FaultPlan", "NO_FAULTS", "FaultInjected", "ENV_VAR"]
 
 #: Environment variable :meth:`FaultPlan.from_env` parses.
 ENV_VAR = "REPRO_FAULTS"
 
 
-class FaultInjected(RuntimeError):
+class FaultInjected(ServeError):
     """Raised by a ``poison_on_batch`` fault inside the worker kernel."""
 
 
@@ -76,8 +78,9 @@ class FaultPlan:
         Comma-separated ``key=value`` entries; ``workers`` takes
         colon-separated slot indexes.  An unset/empty variable returns
         :data:`NO_FAULTS`; unknown keys or malformed values raise
-        ``ValueError`` loudly — a typo'd chaos knob silently doing nothing
-        is worse than a crash at startup.
+        :class:`~repro.errors.FaultConfigError` loudly (still a
+        ``ValueError`` for old callers) — a typo'd chaos knob silently
+        doing nothing is worse than a crash at startup.
         """
         raw = (environ if environ is not None else os.environ).get(ENV_VAR, "")
         raw = raw.strip()
@@ -89,7 +92,7 @@ class FaultPlan:
             name, sep, value = entry.strip().partition("=")
             if not sep or name not in known:
                 valid = ", ".join(sorted(known))
-                raise ValueError(
+                raise FaultConfigError(
                     f"bad {ENV_VAR} entry {entry.strip()!r}; expected key=value "
                     f"with keys: {valid}"
                 )

@@ -46,7 +46,7 @@ _MAX_BODY = 32 * 1024 * 1024
 _READ_TIMEOUT = 30.0
 
 
-class _HttpError(Exception):
+class _HttpError(ServeError):
     """An error that maps to a specific HTTP status code."""
 
     def __init__(self, status: int, message: str) -> None:
@@ -318,7 +318,7 @@ async def serve(
 
 
 def run_server(
-    counter,
+    counter: object,
     host: str = "127.0.0.1",
     port: int = 8080,
     *,

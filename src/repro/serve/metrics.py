@@ -19,6 +19,11 @@ served at ``GET /metrics``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.cache import LRUCache
+
 __all__ = ["FlushStats", "LatencyHistogram", "render_prometheus"]
 
 
@@ -140,7 +145,7 @@ class FlushStats:
         if reason == "bulk":
             self.queries += count
 
-    def snapshot(self, pending: int, cache) -> dict:
+    def snapshot(self, pending: int, cache: "LRUCache") -> dict:
         """The services' common ``stats()`` payload.
 
         ``cache`` is the service's :class:`~repro.serve.cache.LRUCache`;

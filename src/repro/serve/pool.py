@@ -41,6 +41,8 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
 from typing import Sequence
 
 import numpy as np
@@ -77,7 +79,9 @@ class _SlotRetired(ServeError):
     """
 
 
-def _worker_main(manifest: dict, conn, worker_index: int, plan: FaultPlan) -> None:
+def _worker_main(
+    manifest: dict, conn: Connection, worker_index: int, plan: FaultPlan
+) -> None:
     """Worker process entry point: attach, then serve shards forever.
 
     Protocol over the duplex pipe: parent sends an ``(s, t)`` int64 array
@@ -187,7 +191,7 @@ class WorkerPool:
 
     def __init__(
         self,
-        counter=None,
+        counter: object = None,
         workers: int = 2,
         *,
         segment: ShmIndexSegment | None = None,
@@ -241,7 +245,7 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # worker lifecycle
     # ------------------------------------------------------------------
-    def _launch(self, index: int):
+    def _launch(self, index: int) -> "tuple[BaseProcess, Connection]":
         """Start one worker process; returns ``(process, parent_conn)``."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
@@ -254,7 +258,7 @@ class WorkerPool:
         child_conn.close()
         return process, parent_conn
 
-    def _handshake(self, index: int, process, conn) -> int:
+    def _handshake(self, index: int, process: BaseProcess, conn: Connection) -> int:
         """Wait for a launched worker's ready message; returns its pid."""
         if not conn.poll(self._startup_timeout):
             process.terminate()
@@ -363,7 +367,7 @@ class WorkerPool:
                     continue
                 self._respawn(slot, f"pipe broke during dispatch ({exc})")
 
-    def _recv_shard(self, slot: _WorkerSlot, shard: np.ndarray):
+    def _recv_shard(self, slot: _WorkerSlot, shard: np.ndarray) -> np.ndarray:
         """Collect one shard's answers, resubmitting through a crash."""
         while True:
             if slot.conn.poll(_POLL_SECONDS):

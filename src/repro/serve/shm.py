@@ -66,7 +66,7 @@ def _aligned(nbytes: int) -> int:
     return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
-def _flat_store(counter) -> "CompactLabelIndex | CompactDirectedLabelIndex":
+def _flat_store(counter: object) -> "CompactLabelIndex | CompactDirectedLabelIndex":
     """Extract the flat-array store behind any counter-ish object."""
     from repro.core.labels import LabelIndex
 
@@ -433,7 +433,9 @@ class ShmIndexSegment(ShmArrayBlock):
 
     # ------------------------------------------------------------------
     @classmethod
-    def publish(cls, counter, name: str | None = None) -> "ShmIndexSegment":
+    def publish(
+        cls, counter: object, name: str | None = None
+    ) -> "ShmIndexSegment":
         """Copy a counter's flat label arrays into a new shared segment.
 
         ``counter`` may be a compact (or freezable tuple) label store, a
@@ -466,7 +468,7 @@ class ShmIndexSegment(ShmArrayBlock):
 
     # ------------------------------------------------------------------
     @property
-    def store(self):
+    def store(self) -> "CompactLabelIndex | CompactDirectedLabelIndex":
         """The queryable label store backed by the shared pages."""
         if self._store is None:
             raise ServeError("shm segment is closed")

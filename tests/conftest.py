@@ -1,6 +1,9 @@
-"""Shared fixtures: canonical small graphs and the paper's running example."""
+"""Shared fixtures: canonical small graphs, the paper's running example,
+and the ``/dev/shm`` leak guard applied to every suite that spawns workers."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -8,6 +11,31 @@ import pytest
 from repro.graph.generators import barabasi_albert, grid_road_network
 from repro.graph.graph import Graph
 from repro.ordering.base import VertexOrder
+
+_DEV_SHM = Path("/dev/shm")
+
+
+def _shm_segments() -> set[str]:
+    """Names of this project's shared-memory segments currently alive."""
+    if not _DEV_SHM.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in _DEV_SHM.iterdir() if p.name.startswith("repro-seg")}
+
+
+@pytest.fixture
+def assert_no_shm_leak():
+    """Fail any test that leaves new ``repro-seg-*`` files in ``/dev/shm``.
+
+    Snapshot-based rather than emptiness-based so suites can run in
+    parallel with a live server on the same box: only segments *created
+    and not released by this test* count as leaks.  Request it anywhere a
+    test publishes segments or spawns a worker pool; the procbuild and
+    chaos suites apply it wholesale.
+    """
+    before = _shm_segments()
+    yield
+    leaked = _shm_segments() - before
+    assert not leaked, f"test leaked shm segments: {sorted(leaked)}"
 
 
 @pytest.fixture

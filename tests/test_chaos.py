@@ -84,6 +84,7 @@ class TestFaultPlan:
 # ----------------------------------------------------------------------
 # injected failures against the pool
 # ----------------------------------------------------------------------
+@pytest.mark.usefixtures("assert_no_shm_leak")
 class TestPoolFaults:
     def test_crash_is_respawned_and_answers_stay_identical(self, chaos_index):
         plan = FaultPlan(crash_on_batch=2, workers=(0,))
@@ -246,6 +247,7 @@ async def _raw_request(port: int, method: str, path: str, body: bytes = b"") -> 
     return status, payload
 
 
+@pytest.mark.usefixtures("assert_no_shm_leak")
 class TestHttpUnderFaults:
     def test_server_keeps_answering_while_a_worker_crash_loops(self, chaos_index):
         """The ISSUE acceptance criterion, end to end over loopback.

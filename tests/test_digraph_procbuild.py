@@ -14,8 +14,6 @@ generator matrix is kept to one instance per family.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
@@ -179,20 +177,9 @@ class TestFacadeAndConfig:
 
 
 class TestHygiene:
-    def test_no_shm_blocks_leak(self):
+    def test_no_shm_blocks_leak(self, assert_no_shm_leak):
         graph = GENERATORS["directed_barabasi_albert"]()
-        before = {
-            name
-            for name in os.listdir("/dev/shm")
-            if name.startswith("repro-seg")
-        } if os.path.isdir("/dev/shm") else set()
         build_pspc_directed_parallel(graph, degree_order_directed(graph), workers=2)
-        after = {
-            name
-            for name in os.listdir("/dev/shm")
-            if name.startswith("repro-seg")
-        } if os.path.isdir("/dev/shm") else set()
-        assert after - before == set()
 
     def test_spawn_and_construction_phases_recorded(self):
         graph = GENERATORS["directed_barabasi_albert"]()

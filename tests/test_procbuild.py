@@ -14,8 +14,6 @@ generator matrix is kept to one instance per family.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
@@ -184,19 +182,8 @@ class TestFacadeAndConfig:
 
 
 class TestHygiene:
-    def test_no_shm_blocks_leak(self, social_graph):
-        before = {
-            name
-            for name in os.listdir("/dev/shm")
-            if name.startswith("repro-seg")
-        } if os.path.isdir("/dev/shm") else set()
+    def test_no_shm_blocks_leak(self, social_graph, assert_no_shm_leak):
         build_pspc_parallel(social_graph, degree_order(social_graph), workers=2)
-        after = {
-            name
-            for name in os.listdir("/dev/shm")
-            if name.startswith("repro-seg")
-        } if os.path.isdir("/dev/shm") else set()
-        assert after - before == set()
 
     def test_spawn_and_construction_phases_recorded(self, social_graph):
         _, stats = build_pspc_parallel(
