@@ -59,6 +59,7 @@ from repro.errors import (
     QueryError,
 )
 from repro.graph.graph import Graph
+from repro.obs.trace import TraceContext, Tracer
 from repro.reduction.pipeline import ReducedSPCIndex
 from repro.serve.cache import LRUCache, pair_key
 from repro.serve.metrics import FlushStats
@@ -279,6 +280,7 @@ def _build_pspc(graph: Graph, config: BuildConfig) -> PSPCIndex:
         store=config.store,
         engine=config.engine,
         workers=config.workers,
+        profile=config.profile,
     )
 
 
@@ -317,6 +319,7 @@ def _build_directed(graph: DiGraph, config: BuildConfig) -> DirectedSPCIndex:
         workers=config.workers,
         store=config.store,
         record_work=config.record_work,
+        profile=config.profile,
     )
 
 
@@ -440,7 +443,7 @@ def open_index(path: str | Path, mmap: bool = False) -> SPCounter:
 class PendingQuery:
     """A submitted query awaiting its batch; resolved by the next flush."""
 
-    __slots__ = ("s", "t", "deadline", "_service", "_value", "_error")
+    __slots__ = ("s", "t", "deadline", "trace", "_service", "_value", "_error")
 
     def __init__(
         self,
@@ -448,12 +451,15 @@ class PendingQuery:
         s: int,
         t: int,
         deadline: float | None = None,
+        trace: "TraceContext | None" = None,
     ) -> None:
         self.s = s
         self.t = t
         #: absolute ``perf_counter`` instant after which the query is shed
         #: unanswered (None = no budget)
         self.deadline = deadline
+        #: per-request span accumulator when the service has a tracer
+        self.trace = trace
         self._service = service
         self._value: SPCResult | None = None
         self._error: BaseException | None = None
@@ -536,6 +542,7 @@ class QueryService:
         cache_size: int = 0,
         max_pending: int = 0,
         deadline_ms: float = 0.0,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if batch_size < 1:
             raise QueryError(f"batch_size must be >= 1, got {batch_size}")
@@ -567,11 +574,21 @@ class QueryService:
         self._cache_key = pair_key(counter)
         #: flush accounting shared with the async twin (mutated under the lock)
         self._metrics = FlushStats()
+        #: optional request tracer, mirroring the async twin: each submit
+        #: mints a span-accumulating context (``None`` = tracing off)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # point path: submit / query
     # ------------------------------------------------------------------
-    def submit(self, s: int, t: int, *, deadline_ms: float | None = None) -> PendingQuery:
+    def submit(
+        self,
+        s: int,
+        t: int,
+        *,
+        deadline_ms: float | None = None,
+        trace_id: str | None = None,
+    ) -> PendingQuery:
         """Enqueue one query; returns a handle whose ``result()`` blocks.
 
         Reaching ``batch_size`` pending queries flushes immediately; an
@@ -592,28 +609,48 @@ class QueryService:
         s = validate_vertex(s, n)
         t = validate_vertex(t, n)
         budget = self.deadline_ms if deadline_ms is None else float(deadline_ms)
+        tracer = self.tracer
+        # explicit ids always trace (a header names this request); the
+        # rest thin out at the tracer's deterministic sampling rate
+        ctx = (
+            tracer.new_trace(s, t, trace_id=trace_id)
+            if tracer is not None and (trace_id is not None or tracer.sampled())
+            else None
+        )
         with self._cv:
             if self._closed:
                 raise QueryError("QueryService is closed")
             if self.max_pending and len(self._pending) >= self.max_pending:
                 self._metrics.queries += 1
                 self._metrics.overloads += 1
+                if ctx is not None:
+                    self.tracer.finish(ctx, status="overload")
                 raise OverloadError(
                     f"pending queue full ({self.max_pending} queries); retry later"
                 )
             deadline = (
                 time.perf_counter() + budget / 1000.0 if budget > 0 else None
             )
-            handle = PendingQuery(self, s, t, deadline)
+            handle = PendingQuery(self, s, t, deadline, trace=ctx)
             self._metrics.queries += 1
-            cached = self._cache.get(self._cache_key(handle.s, handle.t))
+            if ctx is not None and self._cache.capacity > 0:
+                lookup_start = time.perf_counter()
+                cached = self._cache.get(self._cache_key(handle.s, handle.t))
+                ctx.span("cache_lookup", time.perf_counter() - lookup_start)
+            else:
+                cached = self._cache.get(self._cache_key(handle.s, handle.t))
             if cached is not None:
                 # a reversed-pair hit answers with the requested
                 # orientation, not the one that warmed the cache
                 if (cached.s, cached.t) != (handle.s, handle.t):
                     cached = SPCResult(handle.s, handle.t, cached.dist, cached.count)
                 handle._value = cached
+                if ctx is not None:
+                    ctx.annotate(cache="hit")
+                    self.tracer.finish(ctx)
                 return handle
+            if ctx is not None and self._cache.capacity > 0:
+                ctx.annotate(cache="miss")
             self._pending.append(handle)
             if self._deadline is None:
                 self._deadline = time.perf_counter() + self.max_wait
@@ -677,27 +714,43 @@ class QueryService:
         for handle in full_batch:
             if handle.deadline is not None and now >= handle.deadline:
                 self._metrics.deadline_shed += 1
+                if handle.trace is not None and self.tracer is not None:
+                    self.tracer.finish(handle.trace, status="shed")
                 handle._error = DeadlineError(
                     f"query ({handle.s}, {handle.t}) missed its deadline "
                     f"before the kernel ran"
                 )
             else:
+                if handle.trace is not None:
+                    handle.trace.span("admission_wait", now - handle.trace.enqueued)
+                    handle.trace.annotate(batch=len(full_batch), flush=reason)
                 batch.append(handle)
         if not batch:
             self._cv.notify_all()
             return len(full_batch)
         try:
+            kernel_start = time.perf_counter()
             answers = self._run_kernel([(h.s, h.t) for h in batch], reason)
+            kernel_seconds = time.perf_counter() - kernel_start
         except BaseException as exc:
             # never strand a co-batched waiter: every handle of the failed
             # batch carries the kernel error, and result() re-raises it
             for handle in batch:
+                if handle.trace is not None and self.tracer is not None:
+                    self.tracer.finish(handle.trace, status="error")
                 handle._error = exc
             self._cv.notify_all()
             raise
+        reassembly_start = time.perf_counter()
         for handle, answer in zip(batch, answers):
             handle._value = answer
             self._cache.put(self._cache_key(handle.s, handle.t), answer)
+            if handle.trace is not None and self.tracer is not None:
+                done = time.perf_counter()
+                handle.trace.span("kernel", kernel_seconds)
+                handle.trace.span("reassembly", done - reassembly_start)
+                handle.trace.span("flush", done - now)
+                self.tracer.finish(handle.trace)
         self._cv.notify_all()
         return len(full_batch)
 
@@ -726,7 +779,10 @@ class QueryService:
     def stats(self) -> dict:
         """Serving statistics: batch shape and per-batch flush latency."""
         with self._cv:
-            return self._metrics.snapshot(len(self._pending), self._cache)
+            report = self._metrics.snapshot(len(self._pending), self._cache)
+            if self.tracer is not None:
+                report["trace"] = self.tracer.snapshot()
+            return report
 
     def clear_cache(self) -> None:
         """Drop every cached point answer (after mutating the counter)."""

@@ -29,6 +29,7 @@ import numpy as np
 from repro.api import QueryService, build_index, method_names, open_index
 from repro.core.labels import LabelIndex
 from repro.devtools import cli as devtools_cli
+from repro.devtools.fmt import FORMATS, render_rows
 from repro.digraph.index import DirectedSPCIndex
 from repro.errors import ReproError
 from repro.experiments import harness
@@ -76,6 +77,7 @@ _EXPERIMENTS = {
     "serve": lambda args: harness.exp_query_service(),
     "serve-scaling": lambda args: harness.exp_serve_scaling(),
     "serve-chaos": lambda args: harness.exp_serve_chaos(),
+    "serve-trace": lambda args: harness.exp_serve_traced(),
 }
 
 
@@ -173,10 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the index uncompressed so read-only consumers can "
         "memory-map the label arrays (larger file, lazy open)",
     )
+    p_build.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase/per-iteration build timings (vectorized and "
+        "parallel engines) and print the breakdown; the profile persists "
+        "into the saved index metadata",
+    )
 
     p_query = sub.add_parser("query", help="query a saved index (any kind)")
     p_query.add_argument("--index", required=True, help="index file from `build`")
     p_query.add_argument("pairs", nargs="+", help="queries as s,t (e.g. 3,17)")
+    p_query.add_argument(
+        "--format",
+        dest="fmt",
+        default="table",
+        choices=list(FORMATS),
+        help="output format (same renderer as `repro lint`)",
+    )
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="add per-pair query-cost columns: label entries scanned, label "
+        "sizes, and the meeting hub",
+    )
 
     p_http = sub.add_parser(
         "serve",
@@ -223,6 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="default per-request budget; an expired request answers 504 "
         "(0 = no deadline; clients can pass their own deadline_ms)",
+    )
+    p_http.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-request span timings into ring buffers, served at "
+        "/debug/trace and /debug/events and as histograms in /metrics",
+    )
+    p_http.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        help="log one structured-JSON line per query slower than this "
+        "(implies --trace; 0 disables)",
     )
 
     p_serve = sub.add_parser(
@@ -323,6 +358,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         use_one_shell=not args.no_one_shell,
         use_equivalence=not args.no_equivalence,
         rebuild_threshold=args.rebuild_threshold,
+        profile=args.profile,
     )
     if args.no_compress:
         import inspect
@@ -342,6 +378,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"{entries_note}{counter.size_mb():.3f} MB, "
         f"{counter.stats.total_seconds:.2f}s -> {args.out}"
     )
+    if args.profile:
+        from repro.obs.profile import render_profile
+
+        print()
+        print(render_profile(counter.stats))
     return 0
 
 
@@ -371,14 +412,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # read-only path: lazy-open label arrays when the file allows it,
     # and release the maps (file descriptor) before exiting
     counter = open_index(args.index, mmap=True)
+    pairs = _parse_pairs(args.pairs)
     try:
-        rows = [
-            {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count}
-            for r in counter.query_batch(_parse_pairs(args.pairs))
-        ]
+        if args.explain:
+            from repro.obs.explain import explain_pairs
+
+            rows = explain_pairs(counter, pairs)
+            title = "SPC queries (explained)"
+        else:
+            rows = [
+                {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count}
+                for r in counter.query_batch(pairs)
+            ]
+            title = "SPC queries"
     finally:
         _close_counter(counter)
-    print(harness.format_rows(rows, title="SPC queries"))
+    print(render_rows(rows, args.fmt, title=title))
     return 0
 
 
@@ -403,6 +452,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_pending=args.max_pending,
             max_inflight=args.max_inflight,
             deadline_ms=args.deadline_ms,
+            trace=args.trace,
+            slow_ms=args.slow_ms,
+            announce=print,
         )
     finally:
         # the index file stays mapped for the server's whole lifetime;

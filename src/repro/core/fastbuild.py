@@ -55,6 +55,7 @@ from repro.core.landmarks import LandmarkIndex, build_landmark_index
 from repro.core.pspc import PARADIGMS, build_pspc
 from repro.core.stats import BuildStats, PhaseTimer
 from repro.errors import IndexBuildError
+from repro.obs.profile import BuildProfiler
 from repro.graph.graph import Graph
 from repro.graph.traversal import slice_positions
 from repro.ordering.base import VertexOrder
@@ -96,6 +97,7 @@ def build_pspc_vectorized(
     num_landmarks: int = 0,
     record_work: bool = True,
     max_iterations: int | None = None,
+    profile: bool = False,
 ) -> tuple[CompactLabelIndex | LabelIndex, BuildStats]:
     """Build the canonical ESPC index with whole-frontier array kernels.
 
@@ -103,6 +105,11 @@ def build_pspc_vectorized(
     :class:`~repro.core.compact.CompactLabelIndex` on the fast path, or a
     tuple-based :class:`~repro.core.labels.LabelIndex` when the int64
     overflow guard rerouted the build through the reference engine.
+
+    ``profile=True`` records per-iteration kernel phase timings into
+    ``stats.profile`` (see :class:`repro.obs.profile.BuildProfiler`); the
+    profiler only reads clocks, so the built index is bit-identical either
+    way.
     """
     if paradigm not in PARADIGMS:
         raise IndexBuildError(
@@ -122,10 +129,12 @@ def build_pspc_vectorized(
             landmarks = build_landmark_index(graph, order, num_landmarks)
         stats.num_landmarks = landmarks.num_landmarks
 
+    profiler = BuildProfiler() if profile else None
     try:
         with PhaseTimer(stats, "construction"):
             index = _propagate_arrays(
-                graph, order, landmarks, stats, record_work, max_iterations
+                graph, order, landmarks, stats, record_work, max_iterations,
+                profiler,
             )
     except _ExactCountsNeeded:
         # Counts can overflow the packed arrays: discard the partial build
@@ -145,6 +154,8 @@ def build_pspc_vectorized(
         ref_stats.merge_phase("landmarks", stats.phase("landmarks"))
         return index, ref_stats
     stats.total_entries = index.total_entries()
+    if profiler is not None:
+        stats.profile = profiler.as_profile()
     return index, stats
 
 
@@ -308,7 +319,10 @@ def _propagate_arrays(
     stats: BuildStats,
     record_work: bool,
     max_iterations: int | None,
+    profiler: "BuildProfiler | None" = None,
 ) -> CompactLabelIndex:
+    if profiler is not None:
+        profiler.mark()
     n = graph.n
     rank = order.rank
     order_arr = order.order
@@ -356,6 +370,9 @@ def _propagate_arrays(
     heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
     tails = graph.indices.astype(np.int64)
 
+    if profiler is not None:
+        profiler.lap("setup")
+
     d = 0
     while len(cur_hubs):
         d += 1
@@ -363,6 +380,8 @@ def _propagate_arrays(
             raise IndexBuildError(
                 f"PSPC did not converge within {max_iterations} iterations"
             )
+        if profiler is not None:
+            profiler.begin_iteration(d)
 
         # (1)-(3) pull-gather, rank rule and Label Merging over the full
         # destination range (the process-parallel engine runs the same
@@ -373,6 +392,8 @@ def _propagate_arrays(
             weighted, 0, n, n, max_count, max_weight,
         )
         stats.pruned_by_rank += rank_pruned
+        if profiler is not None:
+            profiler.lap("pull_merge")
 
         # (4) query rule (Lemma 4) against the frozen labels through d-1
         pruned, probe_per_dst, lm_hits = _query_rule(
@@ -396,6 +417,8 @@ def _propagate_arrays(
         acc_dst = cand_dst[accepted]
         acc_hub = cand_hub[accepted]
         acc_cnt = cand_cnt[accepted]
+        if profiler is not None:
+            profiler.lap("query_rule")
 
         if record_work:
             # identical to the reference pull engine's exact accounting:
@@ -406,6 +429,8 @@ def _propagate_arrays(
             costs += probe_per_dst
             stats.iteration_costs.append(costs)
         stats.iteration_labels.append(len(acc_dst))
+        if profiler is not None:
+            profiler.lap("accounting")
 
         # barrier commit: merge the accepted labels into the frozen arrays
         grown = np.zeros(n + 1, dtype=np.int64)
@@ -425,9 +450,15 @@ def _propagate_arrays(
         cur_indptr = grown
         cur_hubs = acc_hub
         cur_counts = acc_cnt
+        if profiler is not None:
+            profiler.lap("commit")
+            profiler.end_iteration(labels=len(acc_dst))
 
     hubs, dists, counts = live.views()
-    return CompactLabelIndex(order, lab_indptr, hubs, dists, counts, weight_by_rank)
+    index = CompactLabelIndex(order, lab_indptr, hubs, dists, counts, weight_by_rank)
+    if profiler is not None:
+        profiler.lap("finalize")
+    return index
 
 
 def _query_rule(

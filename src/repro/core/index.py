@@ -82,6 +82,9 @@ class BuildConfig:
     use_equivalence: bool = True
     #: ``"dynamic"`` method: buffered updates before a full label rebuild.
     rebuild_threshold: int = 16
+    #: record per-iteration kernel phase timings into ``stats.profile``
+    #: (vectorized/parallel engines; no effect on the built labels).
+    profile: bool = False
 
 
 class PSPCIndex:
@@ -139,6 +142,7 @@ class PSPCIndex:
         store: str = "compact",
         engine: str = "vectorized",
         workers: int = 2,
+        profile: bool = False,
     ) -> "PSPCIndex":
         """Build an index.
 
@@ -181,6 +185,11 @@ class PSPCIndex:
             builder, which has no engine concept).
         workers:
             Process count for ``engine="parallel"`` (ignored otherwise).
+        profile:
+            Record per-iteration kernel phase timings into
+            ``stats.profile`` (vectorized/parallel engines; the reference
+            and HP-SPC builders have no kernel phases and ignore it).
+            Purely observational — the built index is bit-identical.
         """
         if builder not in ("pspc", "hpspc"):
             raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
@@ -225,6 +234,7 @@ class PSPCIndex:
                 num_landmarks=num_landmarks,
                 record_work=record_work,
                 workers=workers,
+                profile=profile,
             )
         elif engine == "vectorized" and backend is None and threads <= 1:
             # whole-frontier array kernels, inherently single-threaded
@@ -235,6 +245,7 @@ class PSPCIndex:
                 paradigm=paradigm,
                 num_landmarks=num_landmarks,
                 record_work=record_work,
+                profile=profile,
             )
         else:
             # reference task loops — also chosen when the caller asked for
@@ -272,6 +283,7 @@ class PSPCIndex:
             # threads/backend or the overflow fallback rerouted the build
             engine=stats.engine,
             workers=workers,
+            profile=profile,
         )
         return cls(serving, config, stats, graph=graph)
 

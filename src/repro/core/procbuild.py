@@ -62,6 +62,7 @@ from repro.core.pspc import PARADIGMS, build_pspc
 from repro.core.stats import BuildStats, PhaseTimer
 from repro.errors import IndexBuildError
 from repro.graph.graph import Graph
+from repro.obs.profile import BuildProfiler
 from repro.ordering.base import VertexOrder
 from repro.serve.shm import ShmArrayBlock
 
@@ -790,6 +791,7 @@ def build_pspc_parallel(
     record_work: bool = True,
     max_iterations: int | None = None,
     workers: int = DEFAULT_WORKERS,
+    profile: bool = False,
 ) -> tuple[CompactLabelIndex | LabelIndex, BuildStats]:
     """Build the canonical ESPC index across ``workers`` processes.
 
@@ -823,7 +825,8 @@ def build_pspc_parallel(
 
     try:
         index = _propagate_parallel(
-            graph, order, landmarks, stats, record_work, max_iterations, workers
+            graph, order, landmarks, stats, record_work, max_iterations, workers,
+            BuildProfiler() if profile else None,
         )
     except _ExactCountsNeeded:
         # counts can overflow the packed arrays: rerun through the exact
@@ -851,6 +854,7 @@ def _propagate_parallel(
     record_work: bool,
     max_iterations: int | None,
     workers: int,
+    profiler: "BuildProfiler | None" = None,
 ) -> CompactLabelIndex:
     n = graph.n
     rank = order.rank.astype(np.int64)
@@ -926,6 +930,8 @@ def _propagate_parallel(
         costs = fixed.arrays["costs"]
 
         with PhaseTimer(stats, "construction"):
+            if profiler is not None:
+                profiler.mark()
             d = 0
             flip = 0
             live_size = n
@@ -936,6 +942,8 @@ def _propagate_parallel(
                     raise IndexBuildError(
                         f"PSPC did not converge within {max_iterations} iterations"
                     )
+                if profiler is not None:
+                    profiler.begin_iteration(d)
                 cur_counts = state.arrays["cur_counts"]
                 max_count = int(cur_counts[:frontier_total].max())
 
@@ -950,6 +958,8 @@ def _propagate_parallel(
                 if record_work:
                     stats.iteration_costs.append(costs[:n].copy())
                 stats.iteration_labels.append(fresh)
+                if profiler is not None:
+                    profiler.lap("iter")
 
                 # barrier bookkeeping: accepted counts -> global offsets
                 grown[0] = 0
@@ -971,6 +981,8 @@ def _propagate_parallel(
                     old_state, state = state, _publish_state(capacity, live)
                     flip = 0
                     remap_manifest = state.manifest
+                if profiler is not None:
+                    profiler.lap("republish")
 
                 # round 2: sharded commit into the spare ping-pong set
                 pool.broadcast(("commit", remap_manifest, flip, d))
@@ -986,9 +998,12 @@ def _propagate_parallel(
                 live_size += fresh
                 frontier_total = fresh
                 flip = 1 - flip
+                if profiler is not None:
+                    profiler.lap("commit")
+                    profiler.end_iteration(labels=int(stats.iteration_labels[-1]))
 
         views = state.arrays
-        return CompactLabelIndex(
+        index = CompactLabelIndex(
             order,
             lab_indptr.copy(),
             views[f"hubs_{flip}"][:live_size].copy(),
@@ -996,6 +1011,10 @@ def _propagate_parallel(
             views[f"counts_{flip}"][:live_size].copy(),
             weight_by_rank,
         )
+        if profiler is not None:
+            profiler.lap("finalize")
+            stats.profile = profiler.as_profile()
+        return index
     finally:
         # release every parent-side view before closing the mappings
         views = lab_indptr = frontier_indptr = grown = None
@@ -1060,6 +1079,7 @@ def build_pspc_directed_parallel(
     record_work: bool = True,
     max_iterations: int | None = None,
     workers: int = DEFAULT_WORKERS,
+    profile: bool = False,
 ):
     """Build the canonical directed ESPC index across ``workers`` processes.
 
@@ -1092,7 +1112,8 @@ def build_pspc_directed_parallel(
 
     try:
         index = _propagate_directed_parallel(
-            graph, order, landmarks, stats, record_work, max_iterations, workers
+            graph, order, landmarks, stats, record_work, max_iterations, workers,
+            BuildProfiler() if profile else None,
         )
     except _ExactCountsNeeded:
         # counts can overflow the packed arrays: rerun through the exact
@@ -1119,6 +1140,7 @@ def _propagate_directed_parallel(
     record_work: bool,
     max_iterations: int | None,
     workers: int,
+    profiler: "BuildProfiler | None" = None,
 ):
     from repro.digraph.labels import CompactDirectedLabelIndex
 
@@ -1200,6 +1222,8 @@ def _propagate_directed_parallel(
         costs = fixed.arrays["costs"]
 
         with PhaseTimer(stats, "construction"):
+            if profiler is not None:
+                profiler.mark()
             d = 0
             flip = 0
             live_size = {s: n for s in _DIRECTED_SIDES}
@@ -1211,6 +1235,8 @@ def _propagate_directed_parallel(
                         f"directed PSPC did not converge within "
                         f"{max_iterations} iterations"
                     )
+                if profiler is not None:
+                    profiler.begin_iteration(d)
                 max_count = {}
                 cur_counts = {}
                 for side in _DIRECTED_SIDES:
@@ -1238,6 +1264,8 @@ def _propagate_directed_parallel(
                 if record_work:
                     stats.iteration_costs.append(costs[:n].copy())
                 stats.iteration_labels.append(fresh["in"] + fresh["out"])
+                if profiler is not None:
+                    profiler.lap("iter")
 
                 # barrier bookkeeping: accepted counts -> global offsets
                 for side in _DIRECTED_SIDES:
@@ -1268,6 +1296,8 @@ def _propagate_directed_parallel(
                     old_state, state = state, _publish_directed_state(capacity, live)
                     flip = 0
                     remap_manifest = state.manifest
+                if profiler is not None:
+                    profiler.lap("republish")
 
                 # round 2: both streams' sharded commit into the spare set
                 pool.broadcast(("commit", remap_manifest, flip, d))
@@ -1284,9 +1314,12 @@ def _propagate_directed_parallel(
                     live_size[side] += fresh[side]
                     frontier_total[side] = fresh[side]
                 flip = 1 - flip
+                if profiler is not None:
+                    profiler.lap("commit")
+                    profiler.end_iteration(labels=int(stats.iteration_labels[-1]))
 
         views = state.arrays
-        return CompactDirectedLabelIndex(
+        index = CompactDirectedLabelIndex(
             order,
             lab_indptr["in"].copy(),
             views[f"hubs_in_{flip}"][: live_size["in"]].copy(),
@@ -1297,6 +1330,10 @@ def _propagate_directed_parallel(
             views[f"dists_out_{flip}"][: live_size["out"]].copy(),
             views[f"counts_out_{flip}"][: live_size["out"]].copy(),
         )
+        if profiler is not None:
+            profiler.lap("finalize")
+            stats.profile = profiler.as_profile()
+        return index
     finally:
         # release every parent-side view before closing the mappings
         views = lab_indptr = frontier_indptr = grown = None

@@ -53,6 +53,10 @@ class BuildStats:
     landmark_hits: int = 0
     #: how many landmarks the build used (0 = filter disabled).
     num_landmarks: int = 0
+    #: opt-in per-iteration phase profile from :class:`repro.obs.profile.
+    #: BuildProfiler` (``{"engine_phases": {...}, "iterations": [...]}``);
+    #: empty when the build ran without ``profile=True``.
+    profile: dict = field(default_factory=dict)
 
     @property
     def n_iterations(self) -> int:
@@ -94,6 +98,7 @@ class BuildStats:
             "pruned_by_query": int(self.pruned_by_query),
             "landmark_hits": int(self.landmark_hits),
             "num_landmarks": int(self.num_landmarks),
+            "profile": self.profile,
         }
 
     @classmethod
@@ -111,6 +116,7 @@ class BuildStats:
         stats.pruned_by_query = int(meta.get("pruned_by_query", 0))
         stats.landmark_hits = int(meta.get("landmark_hits", 0))
         stats.num_landmarks = int(meta.get("num_landmarks", 0))
+        stats.profile = dict(meta.get("profile", {}))
         return stats
 
 

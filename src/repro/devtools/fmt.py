@@ -1,9 +1,9 @@
-"""Table/csv/json rendering for lint findings.
+"""Table/csv/json rendering for rows of dicts.
 
-Modelled on the query CLI's ``format_rows`` (rows of dicts, a column
-order, one ``fmt`` switch) but stdlib-only: the linter carries no
-dependencies of its own, so the table writer is plain column alignment
-rather than a rich table.
+One renderer, two consumers: reprolint findings (:func:`format_findings`)
+and the query CLI's ``--format`` switch (:func:`render_rows`).  Stdlib
+only — the linter carries no dependencies of its own, so the table writer
+is plain column alignment rather than a rich table.
 """
 
 from __future__ import annotations
@@ -16,11 +16,11 @@ from typing import Iterable, Sequence
 from repro.devtools.findings import Finding
 from repro.errors import LintError
 
-__all__ = ["FORMATS", "format_findings"]
+__all__ = ["FORMATS", "format_findings", "render_rows"]
 
 FORMATS = ("table", "csv", "json")
 
-#: display order; ``suppressed``/``reason`` appear only when present
+#: finding display order; ``suppressed``/``reason`` appear only when present
 _COLUMNS = ("file", "line", "rule", "severity", "message")
 
 
@@ -35,32 +35,69 @@ def _columns_for(rows: Sequence[dict[str, object]]) -> list[str]:
     return columns
 
 
-def _format_table(rows: Sequence[dict[str, object]], title: str) -> str:
+def _union_columns(rows: Sequence[dict[str, object]]) -> list[str]:
+    """Every key across ``rows``, in first-seen order."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _format_table(
+    rows: Sequence[dict[str, object]], title: str, columns: "Sequence[str] | None" = None
+) -> str:
     if not rows:
         return f"{title}: clean"
-    columns = _columns_for(rows)
-    cells = [[str(row.get(column, "")) for column in columns] for row in rows]
+    cols = list(columns) if columns is not None else _columns_for(rows)
+    cells = [[str(row.get(column, "")) for column in cols] for row in rows]
     widths = [
         max(len(column), *(len(line[i]) for line in cells))
-        for i, column in enumerate(columns)
+        for i, column in enumerate(cols)
     ]
-    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(cols))
     rule = "  ".join("-" * width for width in widths)
     body = [
-        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))).rstrip()
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(cols))).rstrip()
         for line in cells
     ]
     return "\n".join([title, header, rule, *body])
 
 
-def _format_csv(rows: Sequence[dict[str, object]]) -> str:
-    columns = _columns_for(rows)
+def _format_csv(
+    rows: Sequence[dict[str, object]], columns: "Sequence[str] | None" = None
+) -> str:
+    cols = list(columns) if columns is not None else _columns_for(rows)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(columns)
+    writer.writerow(cols)
     for row in rows:
-        writer.writerow([row.get(column, "") for column in columns])
+        writer.writerow([row.get(column, "") for column in cols])
     return buffer.getvalue().rstrip("\r\n")
+
+
+def render_rows(
+    rows: Sequence[dict[str, object]],
+    fmt: str = "table",
+    title: str = "rows",
+    columns: "Sequence[str] | None" = None,
+) -> str:
+    """Render arbitrary rows of dicts as a table, csv, or json.
+
+    ``columns`` fixes the column order; by default every key across the
+    rows appears, in first-seen order.  The same renderer backs the lint
+    report and ``repro query --format`` so the two stay visually and
+    behaviourally identical.
+    """
+    if fmt not in FORMATS:
+        raise LintError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+    cols = list(columns) if columns is not None else _union_columns(rows)
+    if fmt == "table":
+        return _format_table(rows, title, columns=cols)
+    if fmt == "csv":
+        return _format_csv(rows, columns=cols)
+    return json.dumps(list(rows), indent=2)
 
 
 def format_findings(

@@ -683,6 +683,59 @@ class SpawnPicklableRule(Rule):
                         )
 
 
+# ----------------------------------------------------------------------
+# R008 — library code uses monotonic clocks and never prints
+# ----------------------------------------------------------------------
+class MonotonicNoPrintRule(Rule):
+    """No ``time.time()`` durations and no ``print()`` in library code.
+
+    Every latency the observability layer reports — trace spans, build
+    profiles, histogram observations — must come from ``perf_counter``;
+    one ``time.time()`` interval in the middle silently mixes wall-clock
+    (NTP steps, negative durations) into otherwise-monotonic data.
+    Wall-clock *timestamps* are fine, but the deterministic spelling for
+    those is ``datetime.now(timezone.utc)``, so ``time.time()`` is banned
+    outright in ``src/``.
+
+    ``print()`` in library code bypasses the structured logging/tracing
+    path and corrupts machine-read stdout (the CLI's table/csv/json
+    output, the CI port-discovery line).  CLI entry points (``cli.py``)
+    and the devtools renderers own stdout and stay exempt.
+    """
+
+    rule_id = "R008"
+    severity = Severity.ERROR
+    title = "wall-clock duration or print() in library code"
+
+    def applies_to(self, path: str) -> bool:
+        return _in_dir(path, "src")
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        print_exempt = ctx.path.endswith("/cli.py") or _in_dir(ctx.path, "devtools")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "time.time":
+                yield self.finding(
+                    ctx, node.lineno,
+                    "time.time() in library code — durations must use "
+                    "time.perf_counter(); wall-clock timestamps must use "
+                    "datetime.now(timezone.utc)",
+                )
+            elif (
+                not print_exempt
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "print() in library code — emit through the repro.obs "
+                    "tracer or the logging module; only cli.py and the "
+                    "devtools renderers own stdout",
+                )
+
+
 #: rule singletons, in report order
 ALL_RULES: tuple[Rule, ...] = (
     ShmReleaseRule(),
@@ -692,6 +745,7 @@ ALL_RULES: tuple[Rule, ...] = (
     AsyncNoBlockRule(),
     TypedErrorsRule(),
     SpawnPicklableRule(),
+    MonotonicNoPrintRule(),
 )
 
 

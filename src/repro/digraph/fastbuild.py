@@ -51,6 +51,7 @@ from repro.core.fastbuild import (
     _query_rule,
 )
 from repro.core.stats import BuildStats, PhaseTimer
+from repro.obs.profile import BuildProfiler
 from repro.digraph.digraph import DiGraph
 from repro.digraph.labels import CompactDirectedLabelIndex, DirectedLabelIndex
 from repro.digraph.pspc import _DirectedLandmarks, build_pspc_directed
@@ -71,6 +72,7 @@ def build_pspc_directed_vectorized(
     num_landmarks: int = 0,
     record_work: bool = True,
     max_iterations: int | None = None,
+    profile: bool = False,
 ) -> tuple[CompactDirectedLabelIndex | DirectedLabelIndex, BuildStats]:
     """Build the canonical directed ESPC index with whole-frontier kernels.
 
@@ -78,7 +80,9 @@ def build_pspc_directed_vectorized(
     :class:`~repro.digraph.labels.CompactDirectedLabelIndex` on the fast
     path, or the tuple-based :class:`~repro.digraph.labels.DirectedLabelIndex`
     when the int64 overflow guard rerouted the build through the reference
-    engine.
+    engine.  ``profile=True`` records per-iteration kernel phase timings
+    (aggregated across the two streams) into ``stats.profile``; the
+    profiler only reads clocks, so the built index is bit-identical.
     """
     if order.n != graph.n:
         raise IndexBuildError(
@@ -92,10 +96,12 @@ def build_pspc_directed_vectorized(
         with PhaseTimer(stats, "landmarks"):
             landmarks = _DirectedLandmarks(graph, order, num_landmarks)
         stats.num_landmarks = landmarks.num_landmarks
+    profiler = BuildProfiler() if profile else None
     try:
         with PhaseTimer(stats, "construction"):
             index = _propagate_arrays_directed(
-                graph, order, landmarks, stats, record_work, max_iterations
+                graph, order, landmarks, stats, record_work, max_iterations,
+                profiler,
             )
     except _ExactCountsNeeded:
         # Counts can overflow the packed arrays: discard the partial build
@@ -112,6 +118,8 @@ def build_pspc_directed_vectorized(
         ref_stats.merge_phase("landmarks", stats.phase("landmarks"))
         return index, ref_stats
     stats.total_entries = index.total_entries()
+    if profiler is not None:
+        stats.profile = profiler.as_profile()
     return index, stats
 
 
@@ -197,7 +205,10 @@ def _propagate_arrays_directed(
     stats: BuildStats,
     record_work: bool,
     max_iterations: int | None,
+    profiler: "BuildProfiler | None" = None,
 ) -> CompactDirectedLabelIndex:
+    if profiler is not None:
+        profiler.mark()
     n = graph.n
     rank = order.rank
     order_arr = order.order
@@ -207,6 +218,8 @@ def _propagate_arrays_directed(
     lout = _Stream(graph.out_indptr, graph.out_indices, rank, n, table_rows)
     lm_forward = landmarks.forward if landmarks is not None else None
     lm_backward = landmarks.backward if landmarks is not None else None
+    if profiler is not None:
+        profiler.lap("setup")
 
     d = 0
     while len(lin.cur_hubs) or len(lout.cur_hubs):
@@ -215,6 +228,8 @@ def _propagate_arrays_directed(
             raise IndexBuildError(
                 f"directed PSPC did not converge within {max_iterations} iterations"
             )
+        if profiler is not None:
+            profiler.begin_iteration(d)
         costs = np.zeros(n, dtype=np.int64) if record_work else None
         accepted_per_stream = []
         # both streams read only <= d-1 state, so the pull + query rounds
@@ -234,6 +249,8 @@ def _propagate_arrays_directed(
                 )
             )
             stats.pruned_by_rank += rank_pruned
+            if profiler is not None:
+                profiler.lap("pull_merge")
             # scan side: the *other* stream's labels of the candidate hub;
             # probe side: this stream's own frozen keys/dists/table
             pruned, probe_per_dst, lm_hits = _query_rule(
@@ -257,12 +274,16 @@ def _propagate_arrays_directed(
             accepted_per_stream.append(
                 (cand_dst[keep], cand_hub[keep], cand_cnt[keep])
             )
+            if profiler is not None:
+                profiler.lap("query_rule")
             if record_work:
                 # both streams charge the shared destination, mirroring
                 # the reference engine's per-vertex `w1 + w2`
                 costs += gather_per_dst.astype(np.int64)
                 costs += np.bincount(cand_dst, minlength=n)
                 costs += probe_per_dst
+            if profiler is not None:
+                profiler.lap("accounting")
         if record_work:
             stats.iteration_costs.append(costs)
         stats.iteration_labels.append(
@@ -272,11 +293,17 @@ def _propagate_arrays_directed(
             (lin, lout), accepted_per_stream
         ):
             stream.commit(n, d, acc_dst, acc_hub, acc_cnt)
+        if profiler is not None:
+            profiler.lap("commit")
+            profiler.end_iteration(labels=int(stats.iteration_labels[-1]))
 
     hubs_in, dists_in, counts_in = lin.live.views()
     hubs_out, dists_out, counts_out = lout.live.views()
-    return CompactDirectedLabelIndex(
+    index = CompactDirectedLabelIndex(
         order,
         lin.lab_indptr, hubs_in, dists_in, counts_in,
         lout.lab_indptr, hubs_out, dists_out, counts_out,
     )
+    if profiler is not None:
+        profiler.lap("finalize")
+    return index

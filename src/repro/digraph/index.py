@@ -84,6 +84,7 @@ class DirectedSPCIndex:
         workers: int = 2,
         store: str = "compact",
         record_work: bool = True,
+        profile: bool = False,
     ) -> "DirectedSPCIndex":
         """Build with the directed PSPC (default) or HP-SPC builder.
 
@@ -95,7 +96,9 @@ class DirectedSPCIndex:
         ``workers`` sizes the parallel pool; ``store`` picks the serving
         representation (``"compact"`` by default, with an automatic tuple
         fallback when path counts overflow int64).  The HP-SPC builder has
-        no engine concept and records ``engine=""``.
+        no engine concept and records ``engine=""``.  ``profile=True``
+        records per-iteration kernel phase timings into ``stats.profile``
+        (vectorized/parallel engines only; purely observational).
         """
         if builder not in ("pspc", "hpspc"):
             raise IndexBuildError(f"unknown builder {builder!r}; expected 'pspc' or 'hpspc'")
@@ -121,10 +124,15 @@ class DirectedSPCIndex:
                 num_landmarks=num_landmarks,
                 record_work=record_work,
                 workers=workers,
+                profile=profile,
             )
         elif engine == "vectorized":
             labels, stats = build_pspc_directed_vectorized(
-                graph, order, num_landmarks=num_landmarks, record_work=record_work
+                graph,
+                order,
+                num_landmarks=num_landmarks,
+                record_work=record_work,
+                profile=profile,
             )
         else:
             labels, stats = build_pspc_directed(
@@ -154,6 +162,7 @@ class DirectedSPCIndex:
             # when the overflow fallback rerouted the build
             engine=stats.engine,
             workers=workers,
+            profile=profile,
         )
         return cls(serving, stats, graph, config=config)
 

@@ -812,6 +812,137 @@ def exp_serve_chaos(
     return rows
 
 
+def exp_serve_traced(
+    key: str = "FB",
+    n_queries: int = 4096,
+    wave: int = 64,
+    repeats: int = 3,
+    sample: int = 8,
+    max_overhead: float = 0.05,
+    max_full_overhead: float = 0.25,
+) -> list[dict]:
+    """Tracing overhead and end-to-end trace completeness.
+
+    Drives the same wave-paced workload through the
+    :class:`~repro.serve.async_service.AsyncQueryService` +
+    :class:`~repro.serve.pool.WorkerPool` stack three times — untraced
+    (the baseline), full tracing (every request), and 1-in-``sample``
+    deterministic sampling — asserting:
+
+    * every answered request is bit-identical across all passes (and to
+      the direct single-process kernel);
+    * with the tracer on, every retained trace record carries the full
+      serving span set (``admission_wait``/``flush``/``kernel``/``pipe``/
+      ``reassembly``/``total``) and status ``ok`` — the ``/debug/trace``
+      completeness contract;
+    * the sampled configuration (the recommended production setting)
+      costs less than ``max_overhead`` of baseline throughput, and even
+      trace-everything stays under ``max_full_overhead`` — both on
+      best-of-``repeats`` wall clock, so scheduler noise does not decide
+      the gate.
+
+    The rows mirror :data:`BENCH_serve.json`'s qps convention so the CI
+    ``obs-smoke`` job can print them next to the recorded baseline.
+    """
+    import asyncio
+
+    from repro.obs.trace import SPAN_NAMES, Tracer
+    from repro.serve.async_service import AsyncQueryService
+    from repro.serve.pool import WorkerPool
+    from repro.serve.shm import ShmIndexSegment
+
+    graph = load_dataset(key)
+    index, _ = _build(graph, "pspc", cache_key=key, num_landmarks=DEFAULT_LANDMARKS)
+    pairs = random_query_pairs(graph, n_queries, seed=13)
+    expected = index.query_batch(pairs)
+
+    async def _drive(service: AsyncQueryService) -> list:
+        async with service:
+
+            async def one(i: int):
+                s, t = pairs[i]
+                return await service.submit(s, t)
+
+            answers: list = []
+            for base in range(0, n_queries, wave):
+                answers.extend(
+                    await asyncio.gather(
+                        *(one(i) for i in range(base, min(base + wave, n_queries)))
+                    )
+                )
+            return answers
+
+    def _assert_complete(tracer: Tracer) -> int:
+        records = tracer.traces()
+        if not records:
+            raise AssertionError("traced pass retained no trace records")
+        required = set(SPAN_NAMES) - {"cache_lookup"}
+        for record in records:
+            if record.get("cache") == "hit":
+                continue  # cache hits legitimately skip the kernel spans
+            missing = required - set(record["spans_ms"])
+            if missing or record["status"] != "ok":
+                raise AssertionError(
+                    f"incomplete trace {record['trace_id']}: "
+                    f"missing={sorted(missing)} status={record['status']}"
+                )
+        return len(records)
+
+    modes = [("untraced", None), ("traced", 1), ("sampled", sample)]
+    segment = ShmIndexSegment.publish(index)
+    rows = []
+    try:
+        seconds: dict[str, float] = {}
+        for mode, rate in modes:
+            tracer = Tracer(sample=rate) if rate is not None else None
+            best = float("inf")
+            for _ in range(repeats):
+                pool = WorkerPool(segment=segment, workers=2)
+                service = AsyncQueryService(
+                    pool=pool, batch_size=wave, max_wait=0.002, tracer=tracer
+                )
+                try:
+                    start = time.perf_counter()
+                    answers = asyncio.run(_drive(service))
+                    best = min(best, time.perf_counter() - start)
+                finally:
+                    pool.close()
+                if answers != expected:
+                    raise AssertionError(
+                        f"{mode} serving pass diverged from the direct kernel"
+                    )
+            seconds[mode] = best
+            overhead = best / seconds["untraced"] - 1.0
+            rows.append(
+                {
+                    "mode": mode,
+                    "sample": rate,
+                    "queries": n_queries,
+                    "qps": round(n_queries / best),
+                    "overhead_pct": round(overhead * 100, 2)
+                    if mode != "untraced"
+                    else None,
+                    "traces": _assert_complete(tracer) if tracer is not None else 0,
+                }
+            )
+        full = seconds["traced"] / seconds["untraced"] - 1.0
+        thin = seconds["sampled"] / seconds["untraced"] - 1.0
+        if thin > max_overhead:
+            raise AssertionError(
+                f"sampled (1/{sample}) tracing overhead {thin:.1%} exceeds the "
+                f"{max_overhead:.0%} budget"
+            )
+        if full > max_full_overhead:
+            raise AssertionError(
+                f"full tracing overhead {full:.1%} exceeds the "
+                f"{max_full_overhead:.0%} sanity bound"
+            )
+    finally:
+        segment.close()
+        segment.unlink()
+    return rows
+
+
 # ----------------------------------------------------------------------
 # Exp 4 / Figs 8-9 — speedup curves
 # ----------------------------------------------------------------------

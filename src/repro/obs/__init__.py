@@ -1,0 +1,31 @@
+"""Observability layer: request tracing, build profiling, query explain.
+
+One package for the three ways to look inside the system:
+
+- :mod:`repro.obs.trace` — per-request trace ids and span timings through
+  the serving path, recorded into constant-memory ring buffers and served
+  at ``GET /debug/trace`` / ``GET /debug/events``.
+- :mod:`repro.obs.profile` — per-iteration phase timers for the build
+  engines, surfaced as ``BuildStats.profile`` and ``repro build --profile``.
+- :mod:`repro.obs.explain` — per-pair query inspection (label-scan work,
+  meeting hub) behind ``repro query --explain``.
+
+Everything here is opt-in and cheap when off: services take
+``tracer=None`` by default and builders take ``profile=False``, so the
+hot paths pay a single ``is None`` check per request/iteration.
+"""
+
+from __future__ import annotations
+
+from repro.obs.explain import explain_pairs
+from repro.obs.profile import BuildProfiler
+from repro.obs.trace import SPAN_NAMES, TraceContext, Tracer, new_trace_id
+
+__all__ = [
+    "BuildProfiler",
+    "SPAN_NAMES",
+    "TraceContext",
+    "Tracer",
+    "explain_pairs",
+    "new_trace_id",
+]

@@ -1,0 +1,90 @@
+"""Per-pair query inspection behind ``repro query --explain``.
+
+For each queried pair this reports, next to the answer itself, *how* the
+answer was computed: the number of label entries the two-pointer merge
+scanned (the paper's query cost unit), the sizes of the two labels, and
+the meeting hub — the highest-ranked vertex on a shortest path, i.e. the
+hub minimising ``d(s, h) + d(h, t)`` over the intersection of the two
+label lists (smallest vertex id on ties, matching the deterministic
+kernel conventions).
+
+Works against anything :func:`repro.api.open_index` returns, degrading
+gracefully: stores without per-vertex label access (or without a scan
+cost model) report ``None`` for those columns instead of failing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["explain_pairs"]
+
+
+def _entries(counter: Any, vertex: int, side: str) -> "list[tuple[int, int, int]] | None":
+    """``(hub, dist, count)`` label rows of ``vertex``, or None if opaque.
+
+    ``side`` is ``"out"`` for the source endpoint and ``"in"`` for the
+    target endpoint — directed stores keep two label families, undirected
+    stores expose one ``label()``.
+    """
+    direct = getattr(counter, f"label_{side}", None)
+    if callable(direct):
+        return [tuple(entry)[:3] for entry in direct(vertex)]
+    label = getattr(counter, "label", None)
+    if callable(label):
+        return [
+            (int(entry.hub), int(entry.dist), int(entry.count))
+            if hasattr(entry, "hub")
+            else tuple(entry)[:3]
+            for entry in label(vertex)
+        ]
+    return None
+
+
+def _meeting_hub(
+    entries_s: "list[tuple[int, int, int]] | None",
+    entries_t: "list[tuple[int, int, int]] | None",
+    dist: int,
+) -> "int | None":
+    """The smallest hub id achieving the shortest distance, if resolvable."""
+    if entries_s is None or entries_t is None or dist < 0:
+        return None
+    by_hub = {hub: d for hub, d, _ in entries_s}
+    best: "int | None" = None
+    for hub, d_t, _ in entries_t:
+        d_s = by_hub.get(hub)
+        if d_s is None or d_s + d_t != dist:
+            continue
+        if best is None or hub < best:
+            best = hub
+    # plain int: hubs may arrive as numpy scalars, and these rows must
+    # JSON-serialise for `--format json`
+    return None if best is None else int(best)
+
+
+def explain_pairs(
+    counter: Any, pairs: Sequence[tuple[int, int]]
+) -> list[dict[str, object]]:
+    """Explain rows (dict per pair) for ``repro query --explain``."""
+    results = counter.query_batch(pairs)
+    costs: "list[int] | None" = None
+    cost_fn = getattr(counter, "query_batch_costs", None)
+    if callable(cost_fn):
+        costs = cost_fn(pairs)
+    rows: list[dict[str, object]] = []
+    for i, result in enumerate(results):
+        s, t = int(result.s), int(result.t)
+        entries_s = _entries(counter, s, "out")
+        entries_t = _entries(counter, t, "in")
+        row: dict[str, object] = {
+            "s": s,
+            "t": t,
+            "dist": int(result.dist),
+            "count": int(result.count),
+            "scanned": int(costs[i]) if costs is not None else None,
+            "label_s": len(entries_s) if entries_s is not None else None,
+            "label_t": len(entries_t) if entries_t is not None else None,
+            "hub": _meeting_hub(entries_s, entries_t, int(result.dist)),
+        }
+        rows.append(row)
+    return rows

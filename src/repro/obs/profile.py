@@ -1,0 +1,127 @@
+"""Per-iteration phase timers for the build engines.
+
+The three engines (reference excluded — its cost model is per-label, not
+per-kernel) run each distance round as a handful of array kernels:
+pull/gather-merge, the query-rule scan, work accounting, commit.  A
+:class:`BuildProfiler` is a rolling ``perf_counter`` mark: every
+``lap(name)`` charges the time since the previous mark to phase ``name``
+and to the current iteration row.  Off by default — builders take
+``profile=False`` and guard each lap with one ``is None`` check, so a
+profiling-off build pays nothing and (by construction: the profiler only
+reads clocks, never data) a profiling-on build is bit-identical.
+
+The result lands on :class:`repro.core.stats.BuildStats` as the
+``profile`` dict (``{"engine_phases": {...}, "iterations": [...]}``),
+round-trips through the ``.npz`` meta JSON, and is rendered by
+``repro build --profile``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["BuildProfiler", "render_profile"]
+
+
+class BuildProfiler:
+    """Accumulates per-phase and per-iteration build timings."""
+
+    __slots__ = ("phases", "iterations", "_mark", "_current")
+
+    def __init__(self) -> None:
+        #: phase name -> cumulative seconds across the whole build
+        self.phases: dict[str, float] = {}
+        #: one row per distance round: ``{"distance": d, "labels": n, <phase>: s}``
+        self.iterations: list[dict[str, Any]] = []
+        self._mark = time.perf_counter()
+        self._current: "dict[str, Any] | None" = None
+
+    # ------------------------------------------------------------------
+    def mark(self) -> None:
+        """Reset the rolling mark without charging any phase."""
+        self._mark = time.perf_counter()
+
+    def lap(self, name: str) -> None:
+        """Charge the time since the previous mark/lap to phase ``name``."""
+        now = time.perf_counter()
+        elapsed = now - self._mark
+        self._mark = now
+        self.phases[name] = self.phases.get(name, 0.0) + elapsed
+        if self._current is not None:
+            self._current[name] = self._current.get(name, 0.0) + elapsed
+
+    def begin_iteration(self, distance: int) -> None:
+        """Open the per-iteration row for distance round ``distance``."""
+        self._current = {"distance": int(distance)}
+        self._mark = time.perf_counter()
+
+    def end_iteration(self, labels: int = 0) -> None:
+        """Close the current row, recording labels accepted this round."""
+        if self._current is not None:
+            self._current["labels"] = int(labels)
+            self.iterations.append(self._current)
+            self._current = None
+
+    # ------------------------------------------------------------------
+    def as_profile(self) -> dict[str, Any]:
+        """JSON-friendly dict for ``BuildStats.profile``."""
+        return {
+            "engine_phases": {
+                name: round(seconds, 6) for name, seconds in self.phases.items()
+            },
+            "iterations": [
+                {
+                    key: (value if isinstance(value, int) else round(value, 6))
+                    for key, value in row.items()
+                }
+                for row in self.iterations
+            ],
+        }
+
+
+def render_profile(stats: Any) -> str:
+    """Human rendering of a profiled build for ``repro build --profile``.
+
+    ``stats`` is a :class:`~repro.core.stats.BuildStats` (or anything with
+    ``phase_seconds``, ``profile`` and ``total_seconds``).  Prints the
+    top-level phases, the engine sub-phases inside construction, and a
+    coverage line — the share of total build time the profiled phases
+    explain, which the acceptance check holds within 10%.
+    """
+    lines = ["build profile"]
+    phase_seconds: dict[str, float] = dict(stats.phase_seconds)
+    profile: dict[str, Any] = stats.profile or {}
+    engine_phases: dict[str, float] = dict(profile.get("engine_phases", {}))
+    covered = 0.0
+    for name, seconds in phase_seconds.items():
+        lines.append(f"  {name:<14} {seconds * 1e3:10.2f} ms")
+        if name != "construction":
+            covered += seconds
+        if name == "construction" and engine_phases:
+            for sub, sub_seconds in engine_phases.items():
+                lines.append(f"    {sub:<14} {sub_seconds * 1e3:8.2f} ms")
+            covered += sum(engine_phases.values())
+    iterations = profile.get("iterations", [])
+    if iterations:
+        lines.append(f"  iterations     {len(iterations)}")
+        slowest = max(
+            iterations,
+            key=lambda row: sum(
+                v for k, v in row.items() if k not in ("distance", "labels")
+            ),
+        )
+        slow_total = sum(
+            v for k, v in slowest.items() if k not in ("distance", "labels")
+        )
+        lines.append(
+            f"    slowest d={slowest.get('distance')} "
+            f"({slow_total * 1e3:.2f} ms, {slowest.get('labels', 0)} labels)"
+        )
+    total = stats.total_seconds
+    if total > 0:
+        lines.append(
+            f"  profiled {covered * 1e3:.2f} ms of {total * 1e3:.2f} ms total "
+            f"({covered / total * 100.0:.1f}% coverage)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""Request tracing for the serving path.
+
+A :class:`Tracer` owns two fixed-size ring buffers (finished traces and
+pool lifecycle events) plus per-span running latency sums.  The services
+mint a :class:`TraceContext` per admitted query, record span durations as
+the request moves through admission → cache → flush → kernel →
+reassembly, and hand the context back via :meth:`Tracer.finish`, which
+folds it into the rings.  Memory is constant whatever the uptime: the
+rings are ``collections.deque(maxlen=...)`` and the span aggregates are
+one ``[count, total_seconds]`` pair per span name.
+
+Span taxonomy (milliseconds in every rendered record):
+
+``admission_wait``  enqueue (``submit()``) until its flush starts
+``cache_lookup``    point-cache probe inside ``submit()``
+``kernel``          counting kernel proper (in-worker when pooled)
+``pipe``            pool pipe round-trip minus in-worker kernel time
+``reassembly``      stitching shard payloads back into batch order
+``flush``           whole flush call as seen by the service
+``total``           submit to response ready
+
+The hot path (:meth:`Tracer.finish`) is deliberately allocation-light:
+records are *not* rendered per request — the ring stores the finished
+context itself and :meth:`traces` renders on read (at most ``capacity``
+records, so rendering is O(ring) however long the server has run).
+Trace ids come from one ``os.urandom`` seed plus a counter, not a
+syscall per request.
+
+``sample`` thins tracing deterministically — every ``sample``-th
+admitted request is traced (``1`` = every request, the default).  A
+caller-supplied trace id (e.g. an ``X-Repro-Trace-Id`` HTTP header)
+*always* traces, whatever the sampling rate, so any single query stays
+followable end to end.
+
+Durations all come from ``time.perf_counter()`` (monotonic — R008);
+rendered records carry an ISO ``ts`` stamp derived from one wall-clock
+anchor taken at tracer construction plus the monotonic offset, so ring
+dumps can be correlated with external logs without paying a
+``datetime.now`` per request.
+
+Slow queries additionally emit one structured-JSON line through the
+``repro.obs`` stdlib logger (never ``print``) when ``total`` exceeds
+``slow_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from collections import deque
+from datetime import datetime, timedelta, timezone
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["SPAN_NAMES", "TraceContext", "Tracer", "new_trace_id"]
+
+#: Canonical span names, in pipeline order (annotations may add more).
+SPAN_NAMES = (
+    "admission_wait",
+    "cache_lookup",
+    "flush",
+    "kernel",
+    "pipe",
+    "reassembly",
+    "total",
+)
+
+_LOG = logging.getLogger("repro.obs")
+
+_ID_MASK = (1 << 64) - 1
+
+
+def new_trace_id() -> str:
+    """A 16-hex-char random trace id (64 bits of ``os.urandom``)."""
+    return os.urandom(8).hex()
+
+
+class TraceContext:
+    """Mutable per-request span accumulator.
+
+    Created by :meth:`Tracer.new_trace`, threaded alongside the pending
+    query, finalised by :meth:`Tracer.finish`.  Span values accumulate
+    (a request flushed twice adds both kernel times); annotations are
+    last-write-wins key/value facts (cache hit, worker slot, shed cause).
+    """
+
+    __slots__ = ("trace_id", "s", "t", "started", "enqueued", "spans", "annotations")
+
+    def __init__(self, trace_id: str, s: int, t: int) -> None:
+        self.trace_id = trace_id
+        self.s = int(s)
+        self.t = int(t)
+        self.started = time.perf_counter()
+        #: perf_counter stamp of admission; flush start minus this is
+        #: the ``admission_wait`` span.
+        self.enqueued = self.started
+        self.spans: dict[str, float] = {}
+        self.annotations: dict[str, Any] = {}
+
+    def span(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to span ``name`` (accumulating)."""
+        self.spans[name] = self.spans.get(name, 0.0) + float(seconds)
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach key/value facts to the final trace record."""
+        self.annotations.update(fields)
+
+
+class Tracer:
+    """Ring-buffered trace/event recorder shared by one serving process.
+
+    Not thread-safe by itself — the owning service mutates it from the
+    same context it mutates its :class:`~repro.serve.metrics.FlushStats`
+    (the event loop thread, or under the sync service's lock).  Reads
+    for the debug endpoints copy the rings, which is safe enough for
+    diagnostics against appends from the same thread.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        slow_ms: float = 0.0,
+        events_capacity: int = 256,
+        sample: int = 1,
+    ) -> None:
+        if capacity < 1 or events_capacity < 1:
+            raise ReproError("tracer ring capacities must be >= 1")
+        if sample < 1:
+            raise ReproError(f"tracer sample rate must be >= 1, got {sample}")
+        self.capacity = int(capacity)
+        self.events_capacity = int(events_capacity)
+        self.slow_ms = float(slow_ms)
+        self.sample = int(sample)
+        #: finished requests, oldest first: (ctx, status, done_perf_counter)
+        self._traces: "deque[tuple[TraceContext, str, float]]" = deque(
+            maxlen=self.capacity
+        )
+        self._events: deque[dict[str, Any]] = deque(maxlen=self.events_capacity)
+        #: per-span running ``[count, total_seconds]`` (constant memory,
+        #: all-time — the /metrics summary series)
+        self._span_agg: dict[str, list] = {}
+        self.finished = 0
+        self.slow = 0
+        self._admitted = 0
+        #: trace ids: one urandom seed, then a counter — no syscall per
+        #: request on the hot path
+        self._next_id = int.from_bytes(os.urandom(8), "big")
+        #: wall-clock anchor paired with a monotonic anchor: rendered
+        #: ``ts`` stamps are anchor + monotonic offset (R008 — no
+        #: wall-clock reads on the request path)
+        self._anchor_wall = datetime.now(timezone.utc)
+        self._anchor_perf = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def sampled(self) -> bool:
+        """Whether the next admitted request should be traced.
+
+        Deterministic 1-in-``sample`` thinning (no RNG): requests
+        0, sample, 2*sample, ... trace.  Callers that carry an explicit
+        trace id skip this check and always trace.
+        """
+        admitted = self._admitted
+        self._admitted = admitted + 1
+        return admitted % self.sample == 0
+
+    def new_trace(self, s: int, t: int, trace_id: "str | None" = None) -> TraceContext:
+        """Mint a context, honouring a caller-supplied id (HTTP header)."""
+        if trace_id is None:
+            self._next_id = (self._next_id + 1) & _ID_MASK
+            trace_id = f"{self._next_id:016x}"
+        return TraceContext(trace_id, s, t)
+
+    def finish(self, ctx: TraceContext, status: str = "ok") -> None:
+        """Fold a finished context into the ring and span aggregates.
+
+        Hot path: no datetimes, no per-request dict rendering — records
+        are rendered lazily by :meth:`traces`.
+        """
+        done = time.perf_counter()
+        total = done - ctx.started
+        spans = ctx.spans
+        spans["total"] = total
+        agg = self._span_agg
+        for name, seconds in spans.items():
+            entry = agg.get(name)
+            if entry is None:
+                agg[name] = [1, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+        self._traces.append((ctx, status, done))
+        self.finished += 1
+        if self.slow_ms and total * 1e3 >= self.slow_ms:
+            self.slow += 1
+            record = self._render(ctx, status, done)
+            _LOG.warning(
+                "%s", json.dumps({"event": "slow_query", **record}, sort_keys=True)
+            )
+
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        """Record a lifecycle event (respawn, quarantine, fallback, shed)."""
+        entry: dict[str, Any] = {
+            "kind": kind,
+            "ts": self._wall(time.perf_counter()),
+        }
+        entry.update(fields)
+        self._events.append(entry)
+
+    # ------------------------------------------------------------------
+    def _wall(self, perf_instant: float) -> str:
+        """ISO wall-clock stamp for a ``perf_counter`` instant."""
+        stamp = self._anchor_wall + timedelta(seconds=perf_instant - self._anchor_perf)
+        return stamp.isoformat(timespec="milliseconds")
+
+    def _render(self, ctx: TraceContext, status: str, done: float) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "trace_id": ctx.trace_id,
+            "s": ctx.s,
+            "t": ctx.t,
+            "status": status,
+            "total_ms": round(ctx.spans.get("total", 0.0) * 1e3, 4),
+            "spans_ms": {
+                name: round(seconds * 1e3, 4) for name, seconds in ctx.spans.items()
+            },
+            "ts": self._wall(done),
+        }
+        record.update(ctx.annotations)
+        return record
+
+    def traces(self, trace_id: "str | None" = None) -> list[dict[str, Any]]:
+        """Rendered ring contents, oldest first; optionally filtered by id."""
+        return [
+            self._render(ctx, status, done)
+            for ctx, status, done in list(self._traces)
+            if trace_id is None or ctx.trace_id == trace_id
+        ]
+
+    def events(self) -> list[dict[str, Any]]:
+        """Lifecycle-event ring contents, oldest first."""
+        return list(self._events)
+
+    @property
+    def span_summaries(self) -> "dict[str, tuple[int, float]]":
+        """All-time ``{span: (count, total_seconds)}`` for /metrics."""
+        return {name: (entry[0], entry[1]) for name, entry in self._span_agg.items()}
+
+    def snapshot(self) -> dict[str, Any]:
+        """Summary block for ``stats()`` payloads and ``/debug/trace``.
+
+        Per-span ``count``/``mean_ms`` are all-time running aggregates;
+        ``p50_ms``/``p99_ms`` are computed over the current ring window
+        (the last ``capacity`` finished traces) — a recency-weighted view
+        that costs nothing on the request path.
+        """
+        window: dict[str, list[float]] = {}
+        for ctx, _, _ in list(self._traces):
+            for name, seconds in ctx.spans.items():
+                window.setdefault(name, []).append(seconds)
+        spans: dict[str, dict[str, float]] = {}
+        for name in sorted(self._span_agg):
+            count, total = self._span_agg[name]
+            values = sorted(window.get(name, ()))
+            spans[name] = {
+                "count": count,
+                "mean_ms": round(total / count * 1e3, 4) if count else 0.0,
+                "p50_ms": round(_quantile(values, 0.50) * 1e3, 4),
+                "p99_ms": round(_quantile(values, 0.99) * 1e3, 4),
+            }
+        return {
+            "enabled": True,
+            "capacity": self.capacity,
+            "sample": self.sample,
+            "finished": self.finished,
+            "slow": self.slow,
+            "slow_ms": self.slow_ms,
+            "spans": spans,
+        }
+
+
+def _quantile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank quantile of an already-sorted window (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[rank]

@@ -38,11 +38,16 @@ from typing import Sequence
 from repro.core.engine import validate_vertex
 from repro.core.queries import SPCResult
 from repro.errors import DeadlineError, OverloadError, QueryError, ServeError
+from repro.obs.trace import TraceContext, Tracer
 from repro.serve.cache import LRUCache, pair_key
 from repro.serve.metrics import FlushStats, LatencyHistogram
 from repro.serve.pool import WorkerPool
 
 __all__ = ["AsyncQueryService"]
+
+#: one admitted point query: (s, t, future, absolute-monotonic deadline or
+#: None, trace context or None)
+_Entry = "tuple[int, int, asyncio.Future, float | None, TraceContext | None]"
 
 
 class AsyncQueryService:
@@ -90,6 +95,7 @@ class AsyncQueryService:
         max_pending: int = 0,
         max_inflight: int = 0,
         deadline_ms: float = 0.0,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if batch_size < 1:
             raise QueryError(f"batch_size must be >= 1, got {batch_size}")
@@ -121,11 +127,17 @@ class AsyncQueryService:
             self._owns_pool = True
         else:
             self.pool = None
+        #: optional request tracer: every submit mints a
+        #: :class:`~repro.obs.trace.TraceContext`, per-span timings land in
+        #: its ring buffers, and an attached pool reports worker lifecycle
+        #: events into it (``None`` = tracing off, near-zero overhead)
+        self.tracer = tracer
+        if tracer is not None and self.pool is not None:
+            self.pool.tracer = tracer
         target = self.pool or counter
         self._dispatch = target.query_batch
         self._n = int(getattr(target, "n", 0))
-        #: (s, t, future, absolute-monotonic deadline or None)
-        self._pending: list[tuple[int, int, asyncio.Future, float | None]] = []
+        self._pending: "list[_Entry]" = []
         self._timer: asyncio.TimerHandle | None = None
         self._flush_tasks: set[asyncio.Task] = set()
         #: flush reason deferred by the in-flight gate; re-armed when a
@@ -143,7 +155,12 @@ class AsyncQueryService:
     # point path
     # ------------------------------------------------------------------
     async def submit(
-        self, s: int, t: int, *, deadline_ms: float | None = None
+        self,
+        s: int,
+        t: int,
+        *,
+        deadline_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> SPCResult:
         """Enqueue one query and await its batch's answer.
 
@@ -160,26 +177,53 @@ class AsyncQueryService:
         reaches the kernel the request is shed with
         :class:`~repro.errors.DeadlineError` instead of being answered
         uselessly late.
+
+        With a tracer attached, ``trace_id`` (e.g. minted at the HTTP
+        layer from an ``X-Repro-Trace-Id`` header) names the request's
+        trace; ``None`` mints a fresh id.  Without a tracer the argument
+        is accepted and ignored, so callers need no feature check.
         """
         if self._closed:
             raise QueryError("AsyncQueryService is closed")
         s = validate_vertex(s, self._n)
         t = validate_vertex(t, self._n)
+        tracer = self.tracer
+        # explicit ids always trace (a header names this request); the
+        # rest thin out at the tracer's deterministic sampling rate
+        ctx = (
+            tracer.new_trace(s, t, trace_id=trace_id)
+            if tracer is not None and (trace_id is not None or tracer.sampled())
+            else None
+        )
         self._metrics.queries += 1
-        cached = self._cache.get(self._cache_key(s, t))
+        if ctx is not None and self._cache.capacity > 0:
+            lookup_start = time.perf_counter()
+            cached = self._cache.get(self._cache_key(s, t))
+            ctx.span("cache_lookup", time.perf_counter() - lookup_start)
+        else:
+            cached = self._cache.get(self._cache_key(s, t))
         if cached is not None:
             # a reversed-pair hit answers with the requested orientation
             if (cached.s, cached.t) != (s, t):
                 cached = SPCResult(s, t, cached.dist, cached.count)
+            if ctx is not None:
+                ctx.annotate(cache="hit")
+                self.tracer.finish(ctx)
             return cached
+        if ctx is not None and self._cache.capacity > 0:
+            ctx.annotate(cache="miss")
         if self.max_pending and len(self._pending) >= self.max_pending:
             self._metrics.overloads += 1
+            if ctx is not None:
+                self.tracer.finish(ctx, status="overload")
             raise OverloadError(
                 f"pending queue full ({self.max_pending} queries); retry later"
             )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((s, t, future, self._absolute_deadline(deadline_ms)))
+        self._pending.append(
+            (s, t, future, self._absolute_deadline(deadline_ms), ctx)
+        )
         if len(self._pending) >= self.batch_size:
             self._start_flush("full")
         elif self._timer is None:
@@ -229,9 +273,7 @@ class AsyncQueryService:
         ):
             self._start_flush(self._stalled or "full")
 
-    def _shed_expired(
-        self, batch: list[tuple[int, int, asyncio.Future, float | None]]
-    ) -> list[tuple[int, int, asyncio.Future, float | None]]:
+    def _shed_expired(self, batch: "list[_Entry]") -> "list[_Entry]":
         """Fail expired entries with :class:`DeadlineError`; return the rest.
 
         Runs at the top of every flush — *before* the kernel — so a
@@ -239,11 +281,13 @@ class AsyncQueryService:
         instead of spending kernel capacity on it.
         """
         now = time.monotonic()
-        live: list[tuple[int, int, asyncio.Future, float | None]] = []
+        live: "list[_Entry]" = []
         for entry in batch:
-            s, t, future, deadline = entry
+            s, t, future, deadline, ctx = entry
             if deadline is not None and now >= deadline:
                 self._metrics.deadline_shed += 1
+                if ctx is not None and self.tracer is not None:
+                    self.tracer.finish(ctx, status="shed")
                 if not future.done():
                     future.set_exception(
                         DeadlineError(
@@ -255,31 +299,72 @@ class AsyncQueryService:
                 live.append(entry)
         return live
 
-    async def _flush(
-        self, batch: list[tuple[int, int, asyncio.Future, float | None]], reason: str
-    ) -> None:
+    async def _flush(self, batch: "list[_Entry]", reason: str) -> None:
+        flush_start = time.perf_counter()
         batch = self._shed_expired(batch)
         if not batch:
             return
-        pairs = [(s, t) for s, t, _, _ in batch]
+        traces = [ctx for _, _, _, _, ctx in batch if ctx is not None]
+        for ctx in traces:
+            ctx.span("admission_wait", flush_start - ctx.enqueued)
+            ctx.annotate(batch=len(batch), flush=reason)
+        pairs = [(s, t) for s, t, _, _, _ in batch]
         try:
-            answers = await self._run_kernel(pairs, reason)
+            # the first traced query represents the batch at the pool: its
+            # id rides the pipes, its context collects shard attribution
+            answers = await self._run_kernel(
+                pairs, reason, trace=traces[0] if traces else None
+            )
         except BaseException as exc:  # noqa: BLE001 - delivered to every waiter
-            for _, _, future, _ in batch:
+            for _, _, future, _, ctx in batch:
+                if ctx is not None and self.tracer is not None:
+                    self.tracer.finish(ctx, status="error")
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (s, t, future, _), answer in zip(batch, answers):
+        reassembly_start = time.perf_counter()
+        for (s, t, future, _, ctx), answer in zip(batch, answers):
             self._cache.put(self._cache_key(s, t), answer)
+            if ctx is not None and self.tracer is not None:
+                # co-batched queries share one kernel call: every trace in
+                # the batch carries the same kernel/pipe timings
+                if ctx is not traces[0]:
+                    for span in ("kernel", "pipe"):
+                        if span in traces[0].spans:
+                            ctx.span(span, traces[0].spans[span])
+                now = time.perf_counter()
+                ctx.span("reassembly", now - reassembly_start)
+                ctx.span("flush", now - flush_start)
+                self.tracer.finish(ctx)
             if not future.done():
                 future.set_result(answer)
 
-    async def _run_kernel(self, pairs: list[tuple[int, int]], reason: str) -> list[SPCResult]:
+    def _pool_dispatch(
+        self, pairs: list[tuple[int, int]], trace: "TraceContext"
+    ) -> list[SPCResult]:
+        """Synchronous traced pool dispatch (runs on an executor thread)."""
+        assert self.pool is not None
+        return self.pool.query_batch(pairs, trace=trace)
+
+    async def _run_kernel(
+        self,
+        pairs: list[tuple[int, int]],
+        reason: str,
+        trace: "TraceContext | None" = None,
+    ) -> list[SPCResult]:
         """One timed kernel call, dispatched off the event loop."""
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
-        answers = await loop.run_in_executor(None, self._dispatch, pairs)
+        if trace is not None and self.pool is not None:
+            answers = await loop.run_in_executor(
+                None, self._pool_dispatch, pairs, trace
+            )
+        else:
+            answers = await loop.run_in_executor(None, self._dispatch, pairs)
         elapsed = time.perf_counter() - start
+        if trace is not None and self.pool is None:
+            # no pipe leg without a pool: the whole dispatch is kernel time
+            trace.span("kernel", elapsed)
         self._metrics.record_flush(reason, elapsed, len(pairs))
         return answers
 
@@ -385,6 +470,8 @@ class AsyncQueryService:
         report["health"] = self.health()
         if self.pool is not None:
             report["pool"] = self.pool.stats()
+        if self.tracer is not None:
+            report["trace"] = self.tracer.snapshot()
         return report
 
     @property

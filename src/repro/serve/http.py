@@ -13,6 +13,14 @@ Routes
 ``GET /metrics``       Prometheus text exposition of the same counters
 ``GET /healthz``       health: ``ok``/``degraded``/``critical`` plus
                        live/retired worker counts (503 when critical)
+``GET /debug/trace``   recent request traces with per-span timings
+                       (``?id=<trace_id>`` filters; needs ``--trace``)
+``GET /debug/events``  worker lifecycle events (respawns, fallbacks)
+
+Every ``/query`` response carries an ``X-Repro-Trace-Id`` header — echoing
+the request's header when present, freshly minted otherwise — so one
+request can be followed from the client through the admission batcher and
+the pool's pipes into ``/debug/trace``.
 
 Failure mapping: admission rejections answer 429 (queue full) and 504
 (deadline missed), infrastructure faults 500/503 — a load balancer can act
@@ -29,9 +37,11 @@ import json
 import os
 import signal
 import time
+from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import DeadlineError, OverloadError, QueryError, ReproError, ServeError
+from repro.obs.trace import Tracer, new_trace_id
 from repro.serve.async_service import AsyncQueryService
 from repro.serve.metrics import LatencyHistogram, render_prometheus
 
@@ -94,8 +104,9 @@ class HttpFrontend:
         infrastructure faults are 5xx — and none of them kill the loop.
         """
         start = time.perf_counter()
+        extra_headers: dict[str, str] = {}
         try:
-            status, body = await asyncio.wait_for(
+            status, body, extra_headers = await asyncio.wait_for(
                 self._handle(reader), timeout=_READ_TIMEOUT
             )
         except asyncio.TimeoutError:
@@ -127,11 +138,15 @@ class HttpFrontend:
             content_type = "application/json"
         self.latency.observe(time.perf_counter() - start)
         self.responses[status] = self.responses.get(status, 0) + 1
+        headers = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{headers}"
                 "Connection: close\r\n"
                 "\r\n"
             ).encode()
@@ -144,7 +159,9 @@ class HttpFrontend:
         except (ConnectionError, BrokenPipeError):  # pragma: no cover - client gone
             pass
 
-    async def _handle(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+    async def _handle(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, object, dict]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -153,35 +170,46 @@ class HttpFrontend:
             raise _HttpError(400, f"malformed request line: {request_line!r}")
         method, target, _version = parts
         content_length = 0
+        trace_header: str | None = None
         while True:
             header = (await reader.readline()).decode("latin-1").strip()
             if not header:
                 break
             name, _, value = header.partition(":")
-            if name.strip().lower() == "content-length":
+            lowered = name.strip().lower()
+            if lowered == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise _HttpError(400, f"bad Content-Length {value.strip()!r}") from None
                 if content_length < 0:
                     raise _HttpError(400, f"bad Content-Length {content_length}")
+            elif lowered == "x-repro-trace-id":
+                trace_header = value.strip() or None
         if content_length > _MAX_BODY:
             raise _HttpError(413, f"body of {content_length} bytes exceeds {_MAX_BODY}")
         body = await reader.readexactly(content_length) if content_length else b""
         self.requests += 1
         url = urlsplit(target)
-        return await self._route(method.upper(), url.path, parse_qs(url.query), body)
+        return await self._route(
+            method.upper(), url.path, parse_qs(url.query), body, trace_header
+        )
 
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, query: dict, body: bytes
-    ) -> tuple[int, dict]:
+        self,
+        method: str,
+        path: str,
+        query: dict,
+        body: bytes,
+        trace_header: "str | None" = None,
+    ) -> tuple[int, object, dict]:
         if path == "/query":
             if method != "GET":
                 raise _HttpError(405, "/query is GET")
-            return await self._query(query)
+            return await self._query(query, trace_header)
         if path == "/query_batch":
             if method != "POST":
                 raise _HttpError(405, "/query_batch is POST")
@@ -195,20 +223,39 @@ class HttpFrontend:
             stats = await asyncio.get_running_loop().run_in_executor(
                 None, self.service.stats
             )
-            return 200, stats
+            return 200, stats, {}
         if path == "/metrics":
             if method != "GET":
                 raise _HttpError(405, "/metrics is GET")
             stats = await asyncio.get_running_loop().run_in_executor(
                 None, self.service.stats
             )
+            tracer = self.service.tracer
             return 200, render_prometheus(
                 stats,
                 health=stats.get("health", "ok"),
                 request_latency=self.latency,
                 responses=self.responses,
                 flush_latency=self.service.flush_latency,
-            )
+                span_summaries=tracer.span_summaries if tracer is not None else None,
+            ), {}
+        if path == "/debug/trace":
+            if method != "GET":
+                raise _HttpError(405, "/debug/trace is GET")
+            tracer = self.service.tracer
+            if tracer is None:
+                return 200, {"enabled": False, "traces": []}, {}
+            wanted = query.get("id", [None])[0]
+            report = tracer.snapshot()
+            report["traces"] = tracer.traces(wanted)
+            return 200, report, {}
+        if path == "/debug/events":
+            if method != "GET":
+                raise _HttpError(405, "/debug/events is GET")
+            tracer = self.service.tracer
+            if tracer is None:
+                return 200, {"enabled": False, "events": []}, {}
+            return 200, {"enabled": True, "events": tracer.events()}, {}
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "/healthz is GET")
@@ -230,7 +277,7 @@ class HttpFrontend:
                 body["respawns"] = sum(slot.respawns for slot in pool._slots)
             # "critical" still answers queries (in-process fallback) but a
             # load balancer probing /healthz must see 503 and route away
-            return (503 if health == "critical" else 200), body
+            return (503 if health == "critical" else 200), body, {}
         raise _HttpError(404, f"unknown path {path!r}")
 
     def _int_param(self, query: dict, name: str) -> int:
@@ -254,13 +301,25 @@ class HttpFrontend:
             raise _HttpError(400, "parameter 'deadline_ms' must be positive")
         return deadline_ms
 
-    async def _query(self, query: dict) -> tuple[int, dict]:
+    async def _query(
+        self, query: dict, trace_header: "str | None" = None
+    ) -> tuple[int, dict, dict]:
         s = self._int_param(query, "s")
         t = self._int_param(query, "t")
-        result = await self.service.submit(s, t, deadline_ms=self._deadline_param(query))
-        return 200, {"s": result.s, "t": result.t, "dist": result.dist, "count": result.count}
+        # the trace id is minted *here*, at the edge: the caller's header
+        # wins (cross-service correlation), otherwise a fresh id — present
+        # on the response whether or not a tracer records spans for it
+        trace_id = trace_header or new_trace_id()
+        result = await self.service.submit(
+            s, t, deadline_ms=self._deadline_param(query), trace_id=trace_id
+        )
+        return (
+            200,
+            {"s": result.s, "t": result.t, "dist": result.dist, "count": result.count},
+            {"X-Repro-Trace-Id": trace_id},
+        )
 
-    async def _query_batch(self, body: bytes) -> tuple[int, dict]:
+    async def _query_batch(self, body: bytes) -> tuple[int, dict, dict]:
         try:
             decoded = json.loads(body or b"{}")
         except json.JSONDecodeError as exc:
@@ -284,7 +343,7 @@ class HttpFrontend:
             "results": [
                 {"s": r.s, "t": r.t, "dist": r.dist, "count": r.count} for r in results
             ]
-        }
+        }, {}
 
 
 async def serve(
@@ -294,18 +353,23 @@ async def serve(
     *,
     ready: "asyncio.Future | None" = None,
     stop: "asyncio.Event | None" = None,
+    announce: "Callable[[str], None] | None" = None,
 ) -> None:
     """Serve until ``stop`` is set (or forever), then close the service.
 
     ``ready`` (if given) receives the bound ``(host, port)`` once
     listening — tests and the CLI use it to discover an ephemeral port.
+    ``announce`` (if given) receives the human-readable "serving on ..."
+    line; the CLI passes ``print`` to keep its stdout port-discovery
+    contract while the library itself stays silent (R008).
     """
     frontend = HttpFrontend(service)
     server = await asyncio.start_server(frontend.handle_connection, host, port)
     bound = server.sockets[0].getsockname()[:2]
     if ready is not None and not ready.done():
         ready.set_result(bound)
-    print(f"serving on http://{bound[0]}:{bound[1]} (pid {os.getpid()})", flush=True)
+    if announce is not None:
+        announce(f"serving on http://{bound[0]}:{bound[1]} (pid {os.getpid()})")
     try:
         if stop is None:  # pragma: no cover - CLI path runs forever
             await asyncio.Event().wait()
@@ -329,6 +393,9 @@ def run_server(
     max_pending: int = 0,
     max_inflight: int = 0,
     deadline_ms: float = 0.0,
+    trace: bool = False,
+    slow_ms: float = 0.0,
+    announce: "Callable[[str], None] | None" = None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``.
 
@@ -337,9 +404,16 @@ def run_server(
     workers and unlinking the segment on the way out.  ``max_pending``,
     ``max_inflight`` and ``deadline_ms`` (all off at 0) wire admission
     control into the service: queue caps answer 429, expired budgets 504.
+
+    ``trace=True`` (or a positive ``slow_ms``) attaches a
+    :class:`~repro.obs.trace.Tracer`: per-request span timings become
+    visible at ``/debug/trace``, pool lifecycle events at
+    ``/debug/events``, per-span histograms in ``/metrics``, and queries
+    slower than ``slow_ms`` emit one structured-JSON log line each.
     """
 
     async def _main() -> None:
+        tracer = Tracer(slow_ms=slow_ms) if trace or slow_ms > 0 else None
         service = AsyncQueryService(
             counter,
             workers=workers,
@@ -349,6 +423,7 @@ def run_server(
             max_pending=max_pending,
             max_inflight=max_inflight,
             deadline_ms=deadline_ms,
+            tracer=tracer,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -357,7 +432,7 @@ def run_server(
                 loop.add_signal_handler(signum, stop.set)
             except NotImplementedError:  # pragma: no cover - non-POSIX loops
                 pass
-        await serve(service, host, port, stop=stop)
+        await serve(service, host, port, stop=stop, announce=announce)
 
     asyncio.run(_main())
     return 0

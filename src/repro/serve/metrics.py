@@ -19,6 +19,7 @@ served at ``GET /metrics``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,41 +49,59 @@ class LatencyHistogram:
 
     BOUNDS: tuple[float, ...] = _log_buckets()
 
-    __slots__ = ("buckets", "overflow", "count", "total_seconds")
+    __slots__ = ("buckets", "overflow", "count", "total_seconds", "min_seconds", "max_seconds")
 
     def __init__(self) -> None:
         self.buckets = [0] * len(self.BOUNDS)
         self.overflow = 0
         self.count = 0
         self.total_seconds = 0.0
+        self.min_seconds = 0.0
+        self.max_seconds = 0.0
 
     def observe(self, seconds: float) -> None:
-        """Account one observation of ``seconds``."""
-        self.count += 1
+        """Account one observation of ``seconds``.
+
+        Hot path for the tracer and every kernel flush: the bucket is
+        found by bisection over the sorted bounds, not a linear scan.
+        """
+        count = self.count
+        if count == 0:
+            self.min_seconds = seconds
+            self.max_seconds = seconds
+        elif seconds < self.min_seconds:
+            self.min_seconds = seconds
+        elif seconds > self.max_seconds:
+            self.max_seconds = seconds
+        self.count = count + 1
         self.total_seconds += seconds
-        for i, bound in enumerate(self.BOUNDS):
-            if seconds <= bound:
-                self.buckets[i] += 1
-                return
-        self.overflow += 1
+        i = bisect_left(self.BOUNDS, seconds)
+        if i < len(self.BOUNDS):
+            self.buckets[i] += 1
+        else:
+            self.overflow += 1
 
     def quantile(self, q: float) -> float:
         """Approximate quantile (seconds) from the bucket counts.
 
         Reported as the upper bound of the bucket the ``q``-th observation
-        falls in — the conventional conservative histogram estimate.  Zero
-        observations report 0.0; overflow observations report the last
-        bound (the histogram cannot resolve beyond it).
+        falls in, clamped to the observed ``[min_seconds, max_seconds]``
+        range so degenerate histograms stay truthful: zero observations
+        report 0.0, a single observation reports its exact value, and
+        quantiles can never exceed the largest latency actually seen
+        (including overflow observations beyond the last bound).
         """
         if self.count == 0:
             return 0.0
+        if self.count == 1:
+            return self.max_seconds
         rank = q * self.count
         seen = 0
         for i, bound in enumerate(self.BOUNDS):
             seen += self.buckets[i]
             if seen >= rank:
-                return bound
-        return self.BOUNDS[-1]
+                return min(max(bound, self.min_seconds), self.max_seconds)
+        return self.max_seconds
 
     def snapshot(self) -> dict:
         """JSON-friendly summary for ``stats()`` payloads."""
@@ -183,13 +202,24 @@ def _metric(lines: list[str], name: str, kind: str, help_text: str) -> None:
     lines.append(f"# TYPE {name} {kind}")
 
 
-def _histogram(lines: list[str], name: str, hist: LatencyHistogram, help_text: str) -> None:
-    _metric(lines, name, "histogram", help_text)
+def _histogram(
+    lines: list[str],
+    name: str,
+    hist: LatencyHistogram,
+    help_text: str,
+    *,
+    labels: str = "",
+    typed: bool = True,
+) -> None:
+    if typed:
+        _metric(lines, name, "histogram", help_text)
+    prefix = f"{labels}," if labels else ""
     for bound, cumulative in hist.cumulative():
-        lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
-    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
-    lines.append(f"{name}_sum {hist.total_seconds:.6f}")
-    lines.append(f"{name}_count {hist.count}")
+        lines.append(f'{name}_bucket{{{prefix}le="{bound:g}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{{prefix}le="+Inf"}} {hist.count}')
+    suffix = f"{{{labels}}}" if labels else ""
+    lines.append(f"{name}_sum{suffix} {hist.total_seconds:.6f}")
+    lines.append(f"{name}_count{suffix} {hist.count}")
 
 
 def render_prometheus(
@@ -199,6 +229,7 @@ def render_prometheus(
     request_latency: LatencyHistogram | None = None,
     responses: "dict[int, int] | None" = None,
     flush_latency: LatencyHistogram | None = None,
+    span_summaries: "dict[str, tuple[int, float]] | None" = None,
 ) -> str:
     """Render a service stats snapshot as Prometheus exposition text.
 
@@ -284,6 +315,17 @@ def render_prometheus(
                 f'repro_worker_kernel_seconds_total{{worker="{row["worker"]}"}} '
                 f'{row["kernel_s"]}'
             )
+        _metric(
+            lines,
+            "repro_worker_pending_shards",
+            "gauge",
+            "Shards dispatched to a worker slot and not yet answered.",
+        )
+        for row in pool.get("per_worker", ()):
+            lines.append(
+                f'repro_worker_pending_shards{{worker="{row["worker"]}"}} '
+                f'{row.get("pending", 0)}'
+            )
 
     if flush_latency is not None:
         _histogram(
@@ -292,6 +334,21 @@ def render_prometheus(
             flush_latency,
             "Kernel flush latency (one admission batch through the kernel).",
         )
+    if span_summaries:
+        _metric(
+            lines,
+            "repro_span_latency_seconds",
+            "summary",
+            "Per-span request latency totals from the tracer (admission wait, kernel, ...).",
+        )
+        for span in sorted(span_summaries):
+            count, total = span_summaries[span]
+            lines.append(
+                f'repro_span_latency_seconds_sum{{span="{span}"}} {total:.6f}'
+            )
+            lines.append(
+                f'repro_span_latency_seconds_count{{span="{span}"}} {count}'
+            )
     if request_latency is not None:
         _histogram(
             lines,

@@ -85,10 +85,13 @@ def _worker_main(
     """Worker process entry point: attach, then serve shards forever.
 
     Protocol over the duplex pipe: parent sends an ``(s, t)`` int64 array
-    (one shard) or ``None`` (shutdown); worker answers
+    (one shard), a ``(shard, trace_id)`` tuple when the batch carries a
+    trace, or ``None`` (shutdown); worker answers
     ``("ok", results_int64_array, kernel_seconds)`` where the array holds
-    one ``(dist, count)`` row per pair, or ``("err", message)`` when the
-    kernel raised.
+    one ``(dist, count)`` row per pair — with the trace id echoed as a
+    fourth element when the task carried one — or ``("err", message)``
+    when the kernel raised.  Untraced batches keep the original 3-element
+    shape, so mixed-version parent/worker pairs stay compatible.
 
     ``plan`` is the parent's resolved :class:`FaultPlan`; ``batch_number``
     counts this process's life only (a respawn starts over at 1), so a
@@ -107,6 +110,9 @@ def _worker_main(
                 break
             if task is None:
                 break
+            trace_id = None
+            if isinstance(task, tuple):
+                task, trace_id = task
             batch_number += 1
             if plan.should_crash(worker_index, batch_number):
                 # simulate a hard crash (segfault/OOM-kill shape): no reply,
@@ -142,7 +148,10 @@ def _worker_main(
             except Exception as exc:  # noqa: BLE001 - forwarded to the parent
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
             else:
-                conn.send(("ok", payload, elapsed))
+                if trace_id is None:
+                    conn.send(("ok", payload, elapsed))
+                else:
+                    conn.send(("ok", payload, elapsed, trace_id))
     finally:
         store = None
         conn.close()
@@ -173,6 +182,9 @@ class _WorkerSlot:
     #: permanently quarantined after exhausting the crash-streak budget:
     #: the slot no longer receives shards and the pool serves degraded.
     retired: bool = False
+    #: pairs of the shard currently in flight on this slot's pipe (0 when
+    #: idle) — the per-worker queue-depth gauge surfaced in ``stats()``.
+    pending: int = 0
     lifetime_pids: list[int] = field(default_factory=list)
 
 
@@ -225,6 +237,11 @@ class WorkerPool:
         self._retries = 0
         self._fallback_batches = 0
         self._fallback_queries = 0
+        #: optional event sink (duck-typed :class:`repro.obs.trace.Tracer`):
+        #: worker lifecycle transitions — respawns, quarantines,
+        #: retirements, fallback shards — land in its event ring.  Settable
+        #: after construction; ``None`` keeps the pool observability-free.
+        self.tracer: object = None
         try:
             # start every process first, then collect the handshakes:
             # workers attach (and import) concurrently instead of paying
@@ -245,6 +262,12 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # worker lifecycle
     # ------------------------------------------------------------------
+    def _note(self, kind: str, **fields: object) -> None:
+        """Emit one lifecycle event to the attached tracer, if any."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(kind, **fields)  # type: ignore[attr-defined]
+
     def _launch(self, index: int) -> "tuple[BaseProcess, Connection]":
         """Start one worker process; returns ``(process, parent_conn)``."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
@@ -299,6 +322,7 @@ class WorkerPool:
         still answer it.
         """
         slot.retired = True
+        slot.pending = 0
         try:
             slot.conn.close()
         except OSError:  # pragma: no cover - already broken
@@ -306,6 +330,7 @@ class WorkerPool:
         if slot.process.is_alive():
             slot.process.terminate()
         slot.process.join(timeout=5.0)
+        self._note("worker_retired", worker=slot.index, why=why)
 
     def _respawn(self, slot: _WorkerSlot, why: str) -> None:
         """Replace a crashed worker, up to ``max_respawns`` times *in a row*.
@@ -326,6 +351,7 @@ class WorkerPool:
             )
         slot.crash_streak += 1
         slot.respawns += 1
+        self._note("worker_respawn", worker=slot.index, why=why)
         try:
             slot.conn.close()
         except OSError:  # pragma: no cover - already broken
@@ -344,7 +370,9 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _send_shard(self, slot: _WorkerSlot, shard: np.ndarray) -> None:
+    def _send_shard(
+        self, slot: _WorkerSlot, shard: np.ndarray, trace_id: "str | None" = None
+    ) -> None:
         """Hand one shard to a worker, respawning through dead processes.
 
         A pipe error with the process still alive gets one bounded,
@@ -352,12 +380,14 @@ class WorkerPool:
         buffer hiccups should not burn a slot's crash budget, and the
         jitter keeps N dispatch threads from hammering the same instant.
         """
+        task: object = shard if trace_id is None else (shard, trace_id)
         retried = False
         while True:
             if not slot.process.is_alive():
                 self._respawn(slot, "process found dead before dispatch")
             try:
-                slot.conn.send(shard)
+                slot.conn.send(task)
+                slot.pending = len(shard)
                 return
             except (BrokenPipeError, OSError) as exc:
                 if not retried and slot.process.is_alive():
@@ -367,34 +397,39 @@ class WorkerPool:
                     continue
                 self._respawn(slot, f"pipe broke during dispatch ({exc})")
 
-    def _recv_shard(self, slot: _WorkerSlot, shard: np.ndarray) -> np.ndarray:
-        """Collect one shard's answers, resubmitting through a crash."""
+    def _recv_shard(
+        self, slot: _WorkerSlot, shard: np.ndarray, trace_id: "str | None" = None
+    ) -> "tuple[object, float]":
+        """Collect one shard's ``(payload, kernel_seconds)``, resubmitting
+        through a crash."""
         while True:
             if slot.conn.poll(_POLL_SECONDS):
                 try:
                     message = slot.conn.recv()
                 except (EOFError, OSError) as exc:
                     self._respawn(slot, f"pipe broke awaiting results ({exc})")
-                    self._send_shard(slot, shard)
+                    self._send_shard(slot, shard, trace_id)
                     continue
                 if message[0] == "err":
+                    slot.pending = 0
                     raise _KernelFailure(
                         f"worker {slot.index} kernel failed: {message[1]}"
                     )
-                _, payload, elapsed = message
+                payload, elapsed = message[1], message[2]
                 slot.queries += len(shard)
                 slot.batches += 1
                 slot.kernel_seconds += float(elapsed)
+                slot.pending = 0
                 # a completed batch proves the worker healthy: reopen the
                 # full respawn budget for the *next* crash streak
                 slot.crash_streak = 0
-                return payload
+                return payload, float(elapsed)
             if not slot.process.is_alive():
                 self._respawn(
                     slot,
                     f"process exited mid-batch (exitcode={slot.process.exitcode})",
                 )
-                self._send_shard(slot, shard)
+                self._send_shard(slot, shard, trace_id)
 
     def _quarantine(self, slot: _WorkerSlot) -> None:
         """A batch failed elsewhere while this slot's reply is outstanding.
@@ -408,6 +443,7 @@ class WorkerPool:
         try:
             if slot.conn.poll(_DRAIN_TIMEOUT):
                 slot.conn.recv()
+                slot.pending = 0
                 return
         except (EOFError, OSError):
             pass
@@ -421,12 +457,16 @@ class WorkerPool:
         # parent-initiated replacement: tracked separately from the crash
         # budget (the worker did nothing wrong), but visible in stats()
         slot.quarantines += 1
+        slot.pending = 0
+        self._note("worker_quarantined", worker=slot.index)
         try:
             self._spawn_slot(slot.index, previous=slot)
         except ServeError:  # pragma: no cover - left dead; next dispatch raises
             pass
 
-    def _local_payload(self, shard: np.ndarray) -> list[tuple[int, int]]:
+    def _local_payload(
+        self, shard: np.ndarray, rows: "list[dict] | None" = None
+    ) -> list[tuple[int, int]]:
         """Answer a shard in-process on the parent's attached store.
 
         The degradation endpoint: bit-identical to a worker's kernel (same
@@ -435,9 +475,24 @@ class WorkerPool:
         worker's overflow reply.
         """
         self._fallback_queries += len(shard)
-        return [(r.dist, r.count) for r in self._segment.store.query_batch(shard)]
+        self._note("fallback_shard", pairs=len(shard))
+        start = time.perf_counter()
+        payload = [(r.dist, r.count) for r in self._segment.store.query_batch(shard)]
+        if rows is not None:
+            rows.append(
+                {
+                    "worker": -1,
+                    "pairs": len(shard),
+                    "kernel_ms": round((time.perf_counter() - start) * 1e3, 3),
+                    "pipe_ms": 0.0,
+                    "source": "fallback",
+                }
+            )
+        return payload
 
-    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[SPCResult]:
+    def query_batch(
+        self, pairs: Sequence[tuple[int, int]], trace: object = None
+    ) -> list[SPCResult]:
         """Evaluate a workload sharded across the live workers, in input order.
 
         The batch is split contiguously into ``ceil(B / live)``-sized
@@ -448,12 +503,22 @@ class WorkerPool:
         in-process fallback instead of failing the request; with every slot
         retired the whole batch runs in-process and the pool reports
         ``critical`` health.
+
+        ``trace`` is an optional :class:`repro.obs.trace.TraceContext`:
+        when given, its id rides the pipe protocol to every worker and
+        back, per-shard worker attribution lands in the trace's
+        ``shards`` annotation, and ``kernel`` / ``pipe`` spans record the
+        critical-path worker kernel time and the residual round-trip
+        overhead.
         """
         from repro.core.engine import validate_pairs
 
         pairs_arr = validate_pairs(pairs, self._n)
         if len(pairs_arr) == 0:
             return []
+        rows: "list[dict] | None" = [] if trace is not None else None
+        trace_id = getattr(trace, "trace_id", None) if trace is not None else None
+        dispatch_start = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ServeError("WorkerPool is closed")
@@ -461,13 +526,21 @@ class WorkerPool:
             if not live:
                 # the whole pool is gone: serve degraded rather than dead
                 self._fallback_batches += 1
-                payloads: list = [self._local_payload(pairs_arr)]
+                payloads: list = [self._local_payload(pairs_arr, rows)]
                 self._batches += 1
                 self._queries += len(pairs_arr)
             else:
-                payloads = self._dispatch_live(pairs_arr, live)
+                payloads = self._dispatch_live(
+                    pairs_arr, live, rows=rows, trace_id=trace_id
+                )
                 self._batches += 1
                 self._queries += len(pairs_arr)
+        if trace is not None and rows is not None:
+            total = time.perf_counter() - dispatch_start
+            kernel = max((row["kernel_ms"] / 1e3 for row in rows), default=0.0)
+            trace.span("kernel", kernel)
+            trace.span("pipe", max(total - kernel, 0.0))
+            trace.annotate(shards=rows)
         answers: list[tuple[int, int]] = []
         for payload in payloads:
             if isinstance(payload, np.ndarray):
@@ -479,7 +552,13 @@ class WorkerPool:
             for (s, t), (d, c) in zip(pairs_arr, answers)
         ]
 
-    def _dispatch_live(self, pairs_arr: np.ndarray, live: list[_WorkerSlot]) -> list:
+    def _dispatch_live(
+        self,
+        pairs_arr: np.ndarray,
+        live: list[_WorkerSlot],
+        rows: "list[dict] | None" = None,
+        trace_id: "str | None" = None,
+    ) -> list:
         """Shard over ``live`` slots; returns payloads in shard order.
 
         Holds the no-stale-reply invariant: if any shard *fails* (a kernel
@@ -488,6 +567,10 @@ class WorkerPool:
         so the next batch can never read a leftover payload as its own.  A
         shard whose slot *retires* is not a failure — its work lands in
         ``orphans`` and is answered in-process after the survivors reply.
+
+        With ``rows`` given, one attribution dict per shard is appended:
+        worker index, pair count, worker-measured kernel time and the
+        residual pipe round-trip (send to reassembled reply, minus kernel).
         """
         chunk = -(-len(pairs_arr) // len(live))  # ceil division
         assignments = [
@@ -496,22 +579,36 @@ class WorkerPool:
         ]
         assignments = [(slot, shard) for slot, shard in assignments if len(shard)]
         failure: BaseException | None = None
-        sent: list[tuple[int, _WorkerSlot, np.ndarray]] = []
+        sent: list[tuple[int, _WorkerSlot, np.ndarray, float]] = []
         orphans: list[tuple[int, np.ndarray]] = []
         for position, (slot, shard) in enumerate(assignments):
             try:
-                self._send_shard(slot, shard)
-                sent.append((position, slot, shard))
+                self._send_shard(slot, shard, trace_id)
+                sent.append((position, slot, shard, time.perf_counter()))
             except _SlotRetired:
                 orphans.append((position, shard))
             except BaseException as exc:  # noqa: BLE001
                 failure = exc
                 break
         payload_at: dict[int, object] = {}
-        for position, slot, shard in sent:
+        for position, slot, shard, sent_at in sent:
             if failure is None:
                 try:
-                    payload_at[position] = self._recv_shard(slot, shard)
+                    payload, kernel_s = self._recv_shard(slot, shard, trace_id)
+                    payload_at[position] = payload
+                    if rows is not None:
+                        round_trip = time.perf_counter() - sent_at
+                        rows.append(
+                            {
+                                "worker": slot.index,
+                                "pairs": len(shard),
+                                "kernel_ms": round(kernel_s * 1e3, 3),
+                                "pipe_ms": round(
+                                    max(round_trip - kernel_s, 0.0) * 1e3, 3
+                                ),
+                                "source": "worker",
+                            }
+                        )
                     continue
                 except _KernelFailure as exc:
                     failure = exc  # reply consumed: slot already clean
@@ -526,7 +623,7 @@ class WorkerPool:
         if failure is not None:
             raise failure
         for position, shard in orphans:
-            payload_at[position] = self._local_payload(shard)
+            payload_at[position] = self._local_payload(shard, rows)
         return [payload_at[position] for position in sorted(payload_at)]
 
     def query(self, s: int, t: int) -> SPCResult:
@@ -588,6 +685,7 @@ class WorkerPool:
                         "queries": slot.queries,
                         "batches": slot.batches,
                         "kernel_s": round(slot.kernel_seconds, 6),
+                        "pending": slot.pending,
                         "respawns": slot.respawns,
                         "quarantines": slot.quarantines,
                         "retired": slot.retired,

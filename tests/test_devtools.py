@@ -470,6 +470,52 @@ class TestSpawnPicklableRule:
 
 
 # ----------------------------------------------------------------------
+# R008 — monotonic clocks and no print() in library code
+# ----------------------------------------------------------------------
+class TestMonotonicNoPrintRule:
+    def test_wall_clock_call_flagged(self):
+        src = """\
+        def timed(fn):
+            start = time.time()
+            fn()
+            return time.time() - start
+        """
+        assert lines_of(src, "src/repro/serve/pool.py", "R008") == [2, 4]
+
+    def test_print_in_library_code_flagged(self):
+        src = "print('loaded', n, 'labels')\n"
+        assert lines_of(src, "src/repro/core/index.py", "R008") == [1]
+
+    def test_perf_counter_and_utc_datetime_clean(self):
+        src = """\
+        def timed(fn):
+            start = time.perf_counter()
+            fn()
+            stamp = datetime.now(timezone.utc)
+            return time.perf_counter() - start, stamp
+        """
+        assert hits(src, "src/repro/serve/pool.py", "R008") == []
+
+    def test_print_allowed_in_cli_and_devtools(self):
+        assert hits("print('done')\n", "src/repro/cli.py", "R008") == []
+        assert hits("print('done')\n", "src/repro/devtools/cli.py", "R008") == []
+        assert hits("print('done')\n", "src/repro/devtools/fmt.py", "R008") == []
+
+    def test_outside_src_not_checked(self):
+        assert hits("t = time.time()\n", "tests/test_x.py", "R008") == []
+        assert hits("print('x')\n", "benchmarks/bench.py", "R008") == []
+
+    def test_suppression_with_reason_honoured(self):
+        src = (
+            "stamp = time.time()  # reprolint: "
+            "disable=R008 (epoch seconds are the wire format here)\n"
+        )
+        report = lint(src, "src/repro/serve/http.py")
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["R008"]
+
+
+# ----------------------------------------------------------------------
 # the suppression protocol (R000)
 # ----------------------------------------------------------------------
 class TestSuppressionProtocol:
@@ -601,8 +647,8 @@ class TestRepositoryIsClean:
 
     def test_rule_ids_are_unique_and_documented(self):
         registry = rules_by_id()
-        assert len(registry) == len(ALL_RULES) == 7
-        assert sorted(registry) == [f"R00{i}" for i in range(1, 8)]
+        assert len(registry) == len(ALL_RULES) == 8
+        assert sorted(registry) == [f"R00{i}" for i in range(1, 9)]
         for rule in ALL_RULES:
             assert rule.title, rule.rule_id
             assert (rule.__doc__ or "").strip(), rule.rule_id

@@ -708,11 +708,11 @@ def test_failed_batch_never_leaks_stale_replies(served_index):
         original = pool._recv_shard
         state = {"fired": False}
 
-        def failing_recv(slot, shard):
+        def failing_recv(slot, shard, trace_id=None):
             if not state["fired"]:
                 state["fired"] = True
                 raise ServeError("injected shard failure")
-            return original(slot, shard)
+            return original(slot, shard, trace_id)
 
         pool._recv_shard = failing_recv
         with pytest.raises(ServeError, match="injected"):
