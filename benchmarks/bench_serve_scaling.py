@@ -23,10 +23,17 @@ def test_serve_scaling(benchmark, record):
     rows = run_once(benchmark, lambda: exp_serve_scaling(keys=("FB",)))
     record("serve_scaling", rows, "serve: WorkerPool throughput vs workers (qps)")
 
-    by_workers = {row["workers"]: row for row in rows}
+    by_workers = {
+        row["workers"]: row for row in rows if row["mode"] != "sharded"
+    }
     assert {0, 1, 2, 4} <= set(by_workers)
     for row in rows:
         assert row["qps"] > 0
+    # the shard-fleet row rides along: 4 vertex-range shards (one
+    # mmap-cold) behind the home-shard router, bit-identity asserted
+    # inside the harness
+    sharded = [row for row in rows if row["mode"] == "sharded"]
+    assert len(sharded) == 1 and sharded[0]["shards"] == 4, rows
     if multiprocessing.cpu_count() >= 4:
         # real cores available: four workers must beat one clearly
         assert by_workers[4]["speedup"] >= 1.2, rows

@@ -73,6 +73,16 @@ def main() -> None:
     #        python -m repro build --dataset FB --no-compress --out fb.npz
     #        python -m repro serve fb.npz --workers 4 --port 8080
     #        curl 'http://127.0.0.1:8080/query?s=3&t=721'
+    #
+    #    --shards K partitions the index by contiguous vertex ranges into
+    #    a fleet of segments: each worker attaches only its own shards
+    #    hot, --cold-shards keeps chosen shards on disk (mmap), and the
+    #    batch router scatters by home shard / gathers the far endpoint's
+    #    label slice — answers stay bit-identical to unsharded serving
+    #    while the index can exceed RAM-per-worker:
+    #
+    #        python -m repro serve fb.npz --shards 4 --workers 4 \
+    #            --cold-shards 3 --port 8080
     import asyncio
 
     from repro import AsyncQueryService

@@ -72,6 +72,7 @@ __all__ = [
     "QueryService",
     "SPCounter",
     "ShmIndexSegment",
+    "ShmSegmentFleet",
     "WorkerPool",
     "build_index",
     "get_method",
@@ -83,7 +84,12 @@ __all__ = [
 #: serve-layer classes re-exported lazily (PEP 562): `import repro.api`
 #: must not drag in asyncio/multiprocessing for consumers that only build
 #: and query — the repro.serve submodules load on first attribute access.
-_SERVE_EXPORTS = ("AsyncQueryService", "ShmIndexSegment", "WorkerPool")
+_SERVE_EXPORTS = (
+    "AsyncQueryService",
+    "ShmIndexSegment",
+    "ShmSegmentFleet",
+    "WorkerPool",
+)
 
 
 def __getattr__(name: str) -> object:
@@ -380,6 +386,21 @@ def _open_bare_store(path: str | Path, meta: dict, mmap: bool) -> PSPCIndex:
     return PSPCIndex(serving, BuildConfig(), stats, graph=None)
 
 
+def _open_shard(path: str | Path, meta: dict, mmap: bool) -> SPCounter:
+    """Open one fleet shard as a standalone queryable index.
+
+    A shard store is global-shaped (full-length ``indptr``, empty slices
+    for foreign vertices), so the stock facades serve it unchanged:
+    local pairs answer exactly, foreign vertices read as unreachable.
+    """
+    serving, shard_meta = store_module.read_shard(path, mmap=mmap)
+    stats = BuildStats(builder="loaded", n_vertices=serving.n)
+    stats.total_entries = serving.total_entries()
+    if shard_meta.get("store_kind") == "directed-compact":
+        return DirectedSPCIndex(serving, stats, graph=None)  # type: ignore[arg-type]
+    return PSPCIndex(serving, BuildConfig(), stats, graph=None)
+
+
 def _open_counter(path: str | Path, meta: dict, mmap: bool) -> SPCounter:
     method = str(meta.get("method", ""))
     cls = {"bfs": OnlineBFSCounter, "bidirectional": BidirectionalBFSCounter}.get(method)
@@ -404,6 +425,7 @@ _OPENERS: dict[str, Callable[[str | Path, dict, bool], SPCounter]] = {
     "counter": _open_counter,
     "tuple": _open_bare_store,
     "compact": _open_bare_store,
+    store_module.SHARD_KIND: _open_shard,
 }
 
 

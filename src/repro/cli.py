@@ -214,6 +214,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="spawned worker processes attached to the shared-memory "
         "segment (0 serves in-process)",
     )
+    p_http.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the index into this many vertex-range shards; "
+        "workers own shards round-robin and the batch router scatters by "
+        "home shard (0 serves the whole index as one segment)",
+    )
+    p_http.add_argument(
+        "--cold-shards",
+        default="",
+        help="comma-separated shard indexes published to disk only "
+        "(attached lazily via mmap instead of shared memory)",
+    )
     p_http.add_argument("--batch-size", type=int, default=64)
     p_http.add_argument(
         "--max-wait-ms",
@@ -435,9 +449,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import run_server
 
     counter = open_index(args.index, mmap=True)
+    cold_shards = tuple(
+        int(tok) for tok in args.cold_shards.split(",") if tok.strip()
+    )
     print(
         f"loaded {type(counter).__name__} over {counter.n} vertices from "
-        f"{args.index}; workers={args.workers}",
+        f"{args.index}; workers={args.workers} shards={args.shards}",
         flush=True,
     )
     try:
@@ -446,6 +463,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             workers=args.workers,
+            shards=args.shards,
+            cold_shards=cold_shards,
             batch_size=args.batch_size,
             max_wait=args.max_wait_ms / 1000.0,
             cache_size=args.cache_size,

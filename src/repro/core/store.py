@@ -37,12 +37,23 @@ layouts plus one ad-hoc ``.npz``).  They are replaced by **one versioned
 
 :func:`load_labels` dispatches on ``kind`` and returns whichever store
 class the file holds.
+
+Sharding
+--------
+:func:`partition_store` splits a compact store (undirected or directed)
+by contiguous vertex ranges into ``k`` self-contained per-shard stores,
+and :func:`build_fleet_manifest` / :func:`check_fleet_manifest` define
+the one versioned **fleet manifest** schema describing such a shard set
+(vertex ranges, per-shard ``.npz``/shm locations, checksums).  These
+helpers are the *only* place fleet manifests are produced or validated —
+reprolint R009 keeps every other module on this API.
 """
 
 from __future__ import annotations
 
 import json
 import zipfile
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
@@ -60,20 +71,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.digraph.labels import CompactDirectedLabelIndex
 
 __all__ = [
+    "FLEET_FORMAT_NAME",
+    "FLEET_FORMAT_VERSION",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "LabelStore",
+    "SHARD_KIND",
     "STORE_KINDS",
+    "build_fleet_manifest",
+    "check_fleet_manifest",
     "close_store",
     "freeze_labels",
     "graph_arrays",
+    "is_fleet_manifest",
     "load_labels",
     "pack_store",
+    "partition_store",
+    "payload_checksum",
     "peek_meta",
     "read_payload",
+    "read_shard",
     "restore_graph",
+    "shard_bounds",
+    "shard_of",
     "unpack_store",
     "write_payload",
+    "write_shard",
 ]
 
 #: Identifier written into every saved file; guards against foreign ``.npz``.
@@ -83,6 +106,13 @@ FORMAT_VERSION = 1
 #: Store kinds understood by :func:`load_labels` (``"index"`` and
 #: ``"directed"`` files are handled by their facades).
 STORE_KINDS = ("tuple", "compact")
+#: Payload kind of one shard of a partitioned store (see
+#: :func:`partition_store` / :func:`write_shard`).
+SHARD_KIND = "shard"
+#: ``format`` field of every fleet manifest; guards against foreign JSON.
+FLEET_FORMAT_NAME = "repro-fleet"
+#: Current fleet-manifest schema version.
+FLEET_FORMAT_VERSION = 1
 
 
 @runtime_checkable
@@ -632,3 +662,298 @@ def load_labels(path: str | Path, mmap: bool = False) -> "LabelStore":
     if kind == "compact":
         return CompactLabelIndex.load(path, mmap=mmap)
     return LabelIndex.load(path)
+
+
+# ----------------------------------------------------------------------
+# sharding: contiguous-range partition + the versioned fleet manifest
+# ----------------------------------------------------------------------
+def shard_bounds(n: int, k: int) -> np.ndarray:
+    """Contiguous vertex-range boundaries splitting ``n`` vertices ``k`` ways.
+
+    Returns an int64 array of length ``k + 1`` with ``bounds[i] = i*n//k``,
+    so shard ``i`` owns vertices ``[bounds[i], bounds[i+1])``.  Deterministic
+    and balanced to within one vertex — the partition function every layer
+    (store, shm fleet, router) agrees on.
+    """
+    if k < 1:
+        raise PersistenceError(f"shard count must be >= 1, got {k}")
+    if n < 1:
+        raise PersistenceError(f"cannot shard an empty store (n={n})")
+    if k > n:
+        raise PersistenceError(
+            f"cannot split {n} vertices into {k} non-empty shards"
+        )
+    return np.asarray([i * n // k for i in range(k + 1)], dtype=np.int64)
+
+
+def shard_of(bounds: np.ndarray | Sequence[int], vertices: object) -> np.ndarray:
+    """Vectorized owner lookup: the shard index of each vertex.
+
+    ``bounds`` is the array from :func:`shard_bounds` (or the ``"bounds"``
+    list of a fleet manifest).  Works on scalars and arrays alike; always
+    returns an int64 ndarray.
+    """
+    bounds_arr = np.asarray(bounds, dtype=np.int64)
+    verts = np.asarray(vertices, dtype=np.int64)
+    return np.searchsorted(bounds_arr, verts, side="right").astype(np.int64) - 1
+
+
+def _slice_label_range(
+    indptr: np.ndarray,
+    hubs: np.ndarray,
+    dists: np.ndarray,
+    counts: np.ndarray,
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Restrict one CSR label column set to vertices ``[lo, hi)``.
+
+    The returned ``indptr`` keeps the *global* shape (length ``n + 1``):
+    vertices outside the range get empty slices, vertices inside keep
+    their exact labels rebased to the sliced entry arrays.  A shard store
+    built this way answers ``label_slice(v)`` for any global vertex id —
+    correctly for owned vertices, empty for foreign ones — which is what
+    lets the stock query kernel run unchanged on shard-local batches.
+    """
+    n = len(indptr) - 1
+    start = int(indptr[lo])
+    stop = int(indptr[hi])
+    shard_indptr = np.zeros(n + 1, dtype=np.int64)
+    shard_indptr[lo : hi + 1] = indptr[lo : hi + 1].astype(np.int64) - start
+    shard_indptr[hi + 1 :] = stop - start
+    return shard_indptr, hubs[start:stop], dists[start:stop], counts[start:stop]
+
+
+def partition_store(
+    store: "LabelStore", k: int
+) -> tuple[list["CompactLabelIndex | CompactDirectedLabelIndex"], np.ndarray]:
+    """Split a compact store into ``k`` self-contained per-shard stores.
+
+    Each shard is a full :class:`~repro.core.compact.CompactLabelIndex`
+    (or the directed twin) carrying the complete vertex order and hub
+    weights but only its own contiguous range's label entries — so it is
+    queryable on its own for pairs it owns, addressable by global vertex
+    ids, and publishable/persistable through the ordinary store machinery.
+    Tuple stores are frozen first; counts beyond ``int64`` cannot be
+    sharded.  Returns ``(shards, bounds)`` with ``bounds`` as produced by
+    :func:`shard_bounds`.
+    """
+    from repro.core.compact import CompactLabelIndex
+    from repro.core.labels import LabelIndex
+    from repro.digraph.labels import CompactDirectedLabelIndex
+
+    if isinstance(store, LabelIndex):
+        frozen = freeze_labels(store)
+        if not isinstance(frozen, CompactLabelIndex):
+            raise PersistenceError(
+                "tuple store holds path counts beyond int64 and cannot be "
+                "compacted; such an index cannot be sharded"
+            )
+        store = frozen
+    bounds = shard_bounds(store.n, k)
+    shards: list[CompactLabelIndex | CompactDirectedLabelIndex] = []
+    if isinstance(store, CompactDirectedLabelIndex):
+        for i in range(k):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            sides = []
+            for side in ("in", "out"):
+                sides.extend(
+                    _slice_label_range(
+                        getattr(store, f"indptr_{side}"),
+                        getattr(store, f"hubs_{side}"),
+                        getattr(store, f"dists_{side}"),
+                        getattr(store, f"counts_{side}"),
+                        lo,
+                        hi,
+                    )
+                )
+            shards.append(CompactDirectedLabelIndex(store.order, *sides))
+        return shards, bounds
+    if not isinstance(store, CompactLabelIndex):
+        raise PersistenceError(
+            f"cannot partition store kind {getattr(store, 'kind', None)!r}; "
+            "expected a compact (or freezable tuple) label store"
+        )
+    for i in range(k):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        indptr, hubs, dists, counts = _slice_label_range(
+            store.indptr, store.hubs, store.dists, store.counts, lo, hi
+        )
+        shards.append(
+            CompactLabelIndex(
+                store.order, indptr, hubs, dists, counts, store.weight_by_rank
+            )
+        )
+    return shards, bounds
+
+
+def payload_checksum(arrays: dict[str, np.ndarray]) -> int:
+    """Order-independent CRC32 over a payload's array names and bytes.
+
+    Cheap enough to run at publish time on every shard, stable across the
+    ``.npz``/shm round-trip (names sorted, buffers made contiguous), and
+    recorded in shard payloads and fleet manifests so an attach can prove
+    it mapped the bytes the publisher wrote.
+    """
+    crc = 0
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(value.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def write_shard(
+    path: str | Path,
+    shard: "LabelStore",
+    *,
+    vertex_lo: int,
+    vertex_hi: int,
+    shard_index: int,
+    shard_count: int,
+    compress: bool = False,
+) -> dict:
+    """Persist one shard store as a ``"shard"``-kind container.
+
+    Defaults to uncompressed so :func:`read_shard` (and therefore a
+    serving worker's cold path) can memory-map the label arrays instead
+    of materialising them.  Returns the shard's manifest-entry metadata
+    (range, byte size, checksum) for :func:`build_fleet_manifest`.
+    """
+    arrays, meta = pack_store(shard)
+    checksum = payload_checksum(arrays)
+    nbytes = int(sum(int(value.nbytes) for value in arrays.values()))
+    meta.update(
+        vertex_lo=int(vertex_lo),
+        vertex_hi=int(vertex_hi),
+        n_total=int(shard.n),
+        shard_index=int(shard_index),
+        shard_count=int(shard_count),
+        checksum=checksum,
+    )
+    write_payload(path, SHARD_KIND, arrays, meta, compress=compress)
+    return {
+        "shard": int(shard_index),
+        "vertex_lo": int(vertex_lo),
+        "vertex_hi": int(vertex_hi),
+        "nbytes": nbytes,
+        "checksum": checksum,
+    }
+
+
+def read_shard(
+    path: str | Path, mmap: bool = False, verify: bool = False
+) -> tuple["CompactLabelIndex | CompactDirectedLabelIndex", dict]:
+    """Load one shard written by :func:`write_shard`.
+
+    ``mmap=True`` maps the label arrays lazily (the serving worker's cold
+    path: foreign shards cost page faults, not resident bytes).
+    ``verify=True`` recomputes the payload checksum — which reads every
+    byte, so it is off by default on the mmap path.  Returns
+    ``(store, meta)``.
+    """
+    _, arrays, meta = read_payload(path, expect_kind=SHARD_KIND, mmap=mmap)
+    if verify:
+        recorded = meta.get("checksum")
+        actual = payload_checksum(arrays)
+        if recorded is not None and int(recorded) != actual:
+            raise PersistenceError(
+                f"shard {path} failed its checksum: manifest records "
+                f"{recorded}, payload hashes to {actual}"
+            )
+    store = unpack_store(arrays, meta, path)
+    return store, meta
+
+
+def is_fleet_manifest(obj: object) -> bool:
+    """Whether ``obj`` looks like a fleet manifest (cheap format sniff)."""
+    return isinstance(obj, dict) and obj.get("format") == FLEET_FORMAT_NAME
+
+
+def build_fleet_manifest(
+    *,
+    n: int,
+    store_kind: str,
+    bounds: np.ndarray | Sequence[int],
+    shards: Sequence[dict],
+) -> dict:
+    """Assemble and validate the versioned manifest describing a shard set.
+
+    ``shards`` holds one entry per shard: the range/size/checksum dict from
+    :func:`write_shard`, optionally extended with ``"shm"`` (the shard's
+    shared-memory segment manifest, when published hot) and ``"npz"`` (its
+    on-disk spill path, when reachable cold through ``read_shard``).  Every
+    producer and consumer of fleet manifests goes through this function and
+    :func:`check_fleet_manifest` — the schema lives here and nowhere else.
+    """
+    manifest = {
+        "format": FLEET_FORMAT_NAME,
+        "version": FLEET_FORMAT_VERSION,
+        "n": int(n),
+        "store_kind": str(store_kind),
+        "bounds": [int(b) for b in np.asarray(bounds, dtype=np.int64)],
+        "shards": [dict(entry) for entry in shards],
+    }
+    return check_fleet_manifest(manifest)
+
+
+def check_fleet_manifest(manifest: dict | str) -> dict:
+    """Validate a fleet manifest (dict or JSON); returns the parsed dict.
+
+    Checks the format/version fence, that ``bounds`` is a monotone cover
+    of ``[0, n]``, and that each shard entry carries its index, its exact
+    vertex range, and at least one way to reach its labels (a shm segment
+    manifest or an ``.npz`` path).  Extra keys are tolerated — carriers
+    may annotate entries (e.g. ``"hot"``) without breaking the schema.
+    """
+    if isinstance(manifest, str):
+        try:
+            manifest = json.loads(manifest)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"corrupt fleet manifest: {exc}") from exc
+    if not is_fleet_manifest(manifest):
+        raise PersistenceError(f"not a {FLEET_FORMAT_NAME} manifest")
+    assert isinstance(manifest, dict)
+    version = manifest.get("version")
+    if not isinstance(version, int) or version > FLEET_FORMAT_VERSION:
+        raise PersistenceError(
+            f"fleet manifest version {version!r} is newer than this build "
+            f"understands ({FLEET_FORMAT_VERSION})"
+        )
+    n = manifest.get("n")
+    bounds = manifest.get("bounds")
+    shards = manifest.get("shards")
+    if not isinstance(n, int) or n < 1:
+        raise PersistenceError(f"fleet manifest has invalid n={n!r}")
+    if not isinstance(bounds, list) or len(bounds) < 2:
+        raise PersistenceError("fleet manifest is missing its shard bounds")
+    if bounds[0] != 0 or bounds[-1] != n or any(
+        bounds[i] > bounds[i + 1] for i in range(len(bounds) - 1)
+    ):
+        raise PersistenceError(
+            f"fleet manifest bounds {bounds!r} do not cover [0, {n}]"
+        )
+    if not isinstance(shards, list) or len(shards) != len(bounds) - 1:
+        raise PersistenceError(
+            f"fleet manifest lists {len(shards) if isinstance(shards, list) else 0} "
+            f"shards for {len(bounds) - 1} ranges"
+        )
+    for i, entry in enumerate(shards):
+        if not isinstance(entry, dict):
+            raise PersistenceError(f"fleet manifest shard {i} is not a mapping")
+        if entry.get("shard") != i:
+            raise PersistenceError(
+                f"fleet manifest shard {i} carries index {entry.get('shard')!r}"
+            )
+        if entry.get("vertex_lo") != bounds[i] or entry.get("vertex_hi") != bounds[i + 1]:
+            raise PersistenceError(
+                f"fleet manifest shard {i} range "
+                f"[{entry.get('vertex_lo')!r}, {entry.get('vertex_hi')!r}) "
+                f"disagrees with bounds [{bounds[i]}, {bounds[i + 1]})"
+            )
+        if entry.get("shm") is None and entry.get("npz") is None:
+            raise PersistenceError(
+                f"fleet manifest shard {i} is unreachable: neither a shm "
+                "segment nor an npz path is recorded"
+            )
+    return manifest

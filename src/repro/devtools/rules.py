@@ -736,6 +736,83 @@ class MonotonicNoPrintRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# R009 — shard fleet manifests flow through the canonical helpers
+# ----------------------------------------------------------------------
+class FleetManifestRule(Rule):
+    """Fleet/segment manifests are produced and consumed only canonically.
+
+    The sharded serving path hands one manifest dict across three process
+    boundaries (publisher -> pool -> spawned worker).  Its schema is
+    fenced by ``core/store.build_fleet_manifest`` /
+    ``check_fleet_manifest`` / ``is_fleet_manifest``; a hand-rolled
+    manifest dict or a string-compare against the format tag would
+    silently fork the schema and break attach on the other side of the
+    boundary.  Two shapes are flagged outside the owning modules:
+
+    * the fleet format tag ``"repro-fleet"`` as a string literal anywhere
+      but ``core/store.py`` — sniffing must call ``is_fleet_manifest``,
+      construction ``build_fleet_manifest``;
+    * a dict literal carrying a constant ``"format"`` key together with
+      the manifest payload keys (``"shards"``/``"bounds"`` for fleets,
+      ``"shm_name"`` for segments) anywhere but ``core/store.py`` and
+      ``serve/shm.py`` — e.g. an ad-hoc JSON manifest assembled in the
+      pool or CLI.  Augmenting a canonical manifest via ``dict(manifest,
+      hot=...)`` stays legal: a call is not a dict literal.
+    """
+
+    rule_id = "R009"
+    severity = Severity.ERROR
+    title = "ad-hoc shard/segment manifest outside the canonical helpers"
+
+    _FLEET_TAG = "repro-fleet"
+    _FLEET_KEYS = frozenset({"shards", "bounds"})
+    _SEGMENT_KEYS = frozenset({"shm_name"})
+
+    def applies_to(self, path: str) -> bool:
+        return _in_dir(path, "src") and not _in_dir(path, "devtools")
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        owns_fleet = ctx.path.endswith("core/store.py")
+        owns_segment = owns_fleet or ctx.path.endswith("serve/shm.py")
+        for node in ast.walk(ctx.tree):
+            if (
+                not owns_fleet
+                and isinstance(node, ast.Constant)
+                and node.value == self._FLEET_TAG
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f'fleet format tag "{self._FLEET_TAG}" hard-coded — '
+                    "sniff with repro.core.store.is_fleet_manifest() and "
+                    "build with build_fleet_manifest(); the tag lives only "
+                    "in core/store.py",
+                )
+            elif isinstance(node, ast.Dict):
+                keys = {
+                    key.value
+                    for key in node.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+                if "format" not in keys:
+                    continue
+                if not owns_fleet and keys & self._FLEET_KEYS:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "ad-hoc fleet manifest dict — only "
+                        "core/store.build_fleet_manifest() may assemble the "
+                        '{"format", "bounds", "shards"} schema; augment an '
+                        "existing manifest with dict(manifest, ...) instead",
+                    )
+                elif not owns_segment and keys & self._SEGMENT_KEYS:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "ad-hoc shm segment manifest dict — only "
+                        "serve/shm.py may assemble the "
+                        '{"format", "shm_name", ...} schema',
+                    )
+
+
 #: rule singletons, in report order
 ALL_RULES: tuple[Rule, ...] = (
     ShmReleaseRule(),
@@ -746,6 +823,7 @@ ALL_RULES: tuple[Rule, ...] = (
     TypedErrorsRule(),
     SpawnPicklableRule(),
     MonotonicNoPrintRule(),
+    FleetManifestRule(),
 )
 
 

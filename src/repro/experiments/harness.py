@@ -562,10 +562,14 @@ def exp_serve_scaling(
     For each dataset the fig7-style random workload is answered three ways,
     always asserting identical results:
 
-    * ``workers=0`` rows — the synchronous :class:`~repro.api.QueryService`
-      baseline (one process, admission-sized kernel calls);
-    * ``workers=N`` rows — the same workload sharded across N spawn-based
-      processes attached to one shared-memory segment.
+    * ``mode="service"`` (workers=0) — the synchronous
+      :class:`~repro.api.QueryService` baseline (one process,
+      admission-sized kernel calls);
+    * ``mode="pool"`` (workers=N) — the same workload split across N
+      spawn-based processes attached to one shared-memory segment;
+    * ``mode="sharded"`` — the shard fleet: the index partitioned into
+      4 vertex-range shards (one mmap-cold), shard-owning workers, and
+      the home-shard scatter/gather router in front.
 
     ``qps`` is end-to-end throughput (queries / wall-clock second, best of
     ``repeats`` runs so process-scheduling noise does not mask scaling);
@@ -598,7 +602,9 @@ def exp_serve_scaling(
         rows.append(
             {
                 "dataset": key,
+                "mode": "service",
                 "workers": 0,
+                "shards": 0,
                 "queries": n_queries,
                 "qps": round(n_queries / best),
                 "speedup": None,
@@ -628,7 +634,9 @@ def exp_serve_scaling(
                 rows.append(
                     {
                         "dataset": key,
+                        "mode": "pool",
                         "workers": count,
+                        "shards": 0,
                         "queries": n_queries,
                         "qps": round(n_queries / best),
                         "speedup": round(base_seconds / best, 2),
@@ -638,6 +646,38 @@ def exp_serve_scaling(
         finally:
             segment.close()
             segment.unlink()
+
+        # the shard fleet at the largest pool size: 4 vertex-range
+        # shards, one mmap-cold, shard-owning workers behind the
+        # home-shard router — same workload, still bit-identical
+        shard_workers = max(workers)
+        shard_count = 4
+        with WorkerPool(
+            index, workers=shard_workers, shards=shard_count, cold=(shard_count - 1,)
+        ) as pool:
+            pool.query_batch(pairs[:64])  # warm the workers
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                answers = pool.query_batch(pairs)
+                best = min(best, time.perf_counter() - start)
+            if answers != expected:
+                raise AssertionError(
+                    f"sharded WorkerPool diverged on {key} at "
+                    f"{shard_count} shards"
+                )
+        rows.append(
+            {
+                "dataset": key,
+                "mode": "sharded",
+                "workers": shard_workers,
+                "shards": shard_count,
+                "queries": n_queries,
+                "qps": round(n_queries / best),
+                "speedup": round(base_seconds / best, 2),
+                "cpus": cpus,
+            }
+        )
     return rows
 
 

@@ -41,6 +41,10 @@ _LAZY_EXPORTS = {
     "SEGMENT_PREFIX": "repro.serve.shm",
     "ShmArrayBlock": "repro.serve.shm",
     "ShmIndexSegment": "repro.serve.shm",
+    "ShmSegmentFleet": "repro.serve.shm",
+    "GatherEvaluator": "repro.serve.router",
+    "home_shards": "repro.serve.router",
+    "split_by_home_shard": "repro.serve.router",
     "WorkerPool": "repro.serve.pool",
 }
 

@@ -59,7 +59,12 @@ class AsyncQueryService:
     thread; ``workers=N`` publishes the counter to shared memory and
     shards every flush across a spawned :class:`WorkerPool` (owned by the
     service and closed by :meth:`aclose`).  An externally managed pool can
-    be passed via ``pool=`` instead.
+    be passed via ``pool=`` instead.  ``shards=K`` (with ``workers >= 1``)
+    partitions the index into a :class:`~repro.serve.shm.ShmSegmentFleet`
+    served by shard-owning workers — ``cold_shards`` names shards kept out
+    of shared memory — while answers stay bit-identical to single-segment
+    serving; the LRU point cache sits *above* the shard router, so hot
+    cross-shard pairs still hit without touching a worker.
 
     ``max_pending``, ``max_inflight`` and ``deadline_ms`` are the admission
     -control knobs (0 disables each; see the module docstring): bounded
@@ -88,6 +93,8 @@ class AsyncQueryService:
         counter: object = None,
         *,
         workers: int = 0,
+        shards: int = 0,
+        cold_shards: "tuple[int, ...]" = (),
         pool: WorkerPool | None = None,
         batch_size: int = 64,
         max_wait: float = 0.002,
@@ -103,6 +110,13 @@ class AsyncQueryService:
             raise QueryError(f"max_wait must be >= 0, got {max_wait}")
         if workers < 0:
             raise ServeError(f"workers must be >= 0, got {workers}")
+        if shards < 0:
+            raise ServeError(f"shards must be >= 0, got {shards}")
+        if shards > 0 and workers < 1 and pool is None:
+            raise ServeError(
+                "sharded serving needs a worker pool: pass workers >= 1 "
+                "with shards, or a pre-built sharded pool"
+            )
         if max_pending < 0 or max_inflight < 0 or deadline_ms < 0:
             raise ServeError(
                 "max_pending, max_inflight and deadline_ms must be >= 0 "
@@ -123,7 +137,9 @@ class AsyncQueryService:
         if pool is not None:
             self.pool: WorkerPool | None = pool
         elif workers > 0:
-            self.pool = WorkerPool(counter, workers=workers)
+            self.pool = WorkerPool(
+                counter, workers=workers, shards=shards, cold=cold_shards
+            )
             self._owns_pool = True
         else:
             self.pool = None

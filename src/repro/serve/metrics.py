@@ -326,6 +326,53 @@ def render_prometheus(
                 f'repro_worker_pending_shards{{worker="{row["worker"]}"}} '
                 f'{row.get("pending", 0)}'
             )
+        fleet = pool.get("fleet")
+        if fleet:
+            per_shard = fleet.get("per_shard", ())
+            _metric(
+                lines,
+                "repro_shard_queries_total",
+                "counter",
+                "Batches routed to each index shard (home-shard routing).",
+            )
+            for row in per_shard:
+                lines.append(
+                    f'repro_shard_queries_total{{shard="{row["shard"]}"}} '
+                    f'{row["queries"]}'
+                )
+            _metric(
+                lines,
+                "repro_shard_fallback_queries_total",
+                "counter",
+                "Queries answered in-process because a shard had no live owner.",
+            )
+            for row in per_shard:
+                lines.append(
+                    f'repro_shard_fallback_queries_total{{shard="{row["shard"]}"}} '
+                    f'{row["fallback_queries"]}'
+                )
+            _metric(
+                lines,
+                "repro_shard_live_owners",
+                "gauge",
+                "Live worker slots owning each shard.",
+            )
+            for row in per_shard:
+                lines.append(
+                    f'repro_shard_live_owners{{shard="{row["shard"]}"}} '
+                    f'{row["live_owners"]}'
+                )
+            _metric(
+                lines,
+                "repro_shard_label_bytes",
+                "gauge",
+                "Packed label payload bytes per shard.",
+            )
+            for row in per_shard:
+                lines.append(
+                    f'repro_shard_label_bytes{{shard="{row["shard"]}"}} '
+                    f'{row["nbytes"]}'
+                )
 
     if flush_latency is not None:
         _histogram(

@@ -43,14 +43,16 @@ import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core import store as store_module
 from repro.core.queries import SPCResult
 from repro.errors import QueryError, ServeError
 from repro.serve.faults import FaultInjected, FaultPlan
-from repro.serve.shm import ShmIndexSegment
+from repro.serve.router import GatherEvaluator, split_by_home_shard
+from repro.serve.shm import ShmIndexSegment, ShmSegmentFleet
 
 __all__ = ["WorkerPool"]
 
@@ -97,9 +99,22 @@ def _worker_main(
     counts this process's life only (a respawn starts over at 1), so a
     ``crash_on_batch`` plan keeps firing on every successor — the
     sustained-failure scenario chaos runs measure availability under.
+
+    ``manifest`` is either one segment's manifest (the single-index pool)
+    or a **fleet manifest** annotated with the shard list this worker owns
+    (``"hot"``): the worker then attaches only its own shards in shared
+    memory and serves through a :class:`~repro.serve.router.GatherEvaluator`
+    that reaches foreign shards via their memory-mapped spill files — the
+    pipe protocol is identical either way.
     """
-    segment = ShmIndexSegment.attach(manifest)
-    store = segment.store
+    segment: ShmIndexSegment | None = None
+    fleet: ShmSegmentFleet | None = None
+    if store_module.is_fleet_manifest(manifest):
+        fleet = ShmSegmentFleet.attach(manifest)
+        store: object = GatherEvaluator(fleet)
+    else:
+        segment = ShmIndexSegment.attach(manifest)
+        store = segment.store
     conn.send(("ready", os.getpid()))
     batch_number = 0
     try:
@@ -155,7 +170,10 @@ def _worker_main(
     finally:
         store = None
         conn.close()
-        segment.close()
+        if fleet is not None:
+            fleet.close()
+        if segment is not None:
+            segment.close()
 
 
 @dataclass
@@ -166,6 +184,9 @@ class _WorkerSlot:
     process: multiprocessing.process.BaseProcess
     conn: object
     pid: int
+    #: fleet mode only: the shard indices this worker owns (attached hot
+    #: when published); empty in single-segment mode.
+    shards: tuple[int, ...] = ()
     queries: int = 0
     batches: int = 0
     kernel_seconds: float = 0.0
@@ -196,6 +217,16 @@ class WorkerPool:
     one already-published segment between pools.  The pool owns segments it
     publishes and unlinks them on :meth:`close`.
 
+    With ``shards > 0`` (or an explicit ``fleet=``) the pool serves a
+    **sharded** index instead: the counter is partitioned through
+    :class:`~repro.serve.shm.ShmSegmentFleet`, workers become shard owners
+    (each attaches only its own shards hot), batches are split by home
+    shard and scatter/gathered back in submission order — bit-identical to
+    single-segment serving.  ``cold`` names shard indices kept out of
+    shared memory entirely (served from their memory-mapped spill files),
+    which is what lets the fleet's total label bytes exceed any single
+    worker's attached shm.
+
     Thread-safe: one internal lock serialises batch dispatch, so the pool
     can sit behind the admission-batching services (their executor threads
     may overlap).  Parallelism happens *inside* a batch, across workers.
@@ -207,21 +238,42 @@ class WorkerPool:
         workers: int = 2,
         *,
         segment: ShmIndexSegment | None = None,
+        fleet: ShmSegmentFleet | None = None,
+        shards: int = 0,
+        cold: Iterable[int] = (),
         max_respawns: int = 1,
         startup_timeout: float = _STARTUP_TIMEOUT,
         faults: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
-        if segment is None:
-            if counter is None:
-                raise ServeError("WorkerPool needs a counter or a published segment")
-            segment = ShmIndexSegment.publish(counter)
-            self._owns_segment = True
+        self._owns_segment = False
+        self._owns_fleet = False
+        self._segment: ShmIndexSegment | None = None
+        self._fleet: ShmSegmentFleet | None = None
+        if fleet is not None or shards > 0:
+            if segment is not None:
+                raise ServeError(
+                    "pass either segment= (single index) or shards=/fleet= "
+                    "(sharded), not both"
+                )
+            if fleet is None:
+                if counter is None:
+                    raise ServeError("a sharded WorkerPool needs a counter or a fleet")
+                fleet = ShmSegmentFleet.publish(counter, shards=shards, cold=cold)
+                self._owns_fleet = True
+            self._fleet = fleet
+            self._n = fleet.n
+            self._local_eval: object = GatherEvaluator(fleet)
         else:
-            self._owns_segment = False
-        self._segment = segment
-        self._n = segment.store.n
+            if segment is None:
+                if counter is None:
+                    raise ServeError("WorkerPool needs a counter or a published segment")
+                segment = ShmIndexSegment.publish(counter)
+                self._owns_segment = True
+            self._segment = segment
+            self._n = segment.store.n
+            self._local_eval = segment.store
         self.workers = int(workers)
         self.max_respawns = int(max_respawns)
         self._startup_timeout = float(startup_timeout)
@@ -237,6 +289,9 @@ class WorkerPool:
         self._retries = 0
         self._fallback_batches = 0
         self._fallback_queries = 0
+        shard_count = self._fleet.shard_count if self._fleet is not None else 0
+        self._shard_queries = [0] * shard_count
+        self._shard_fallback = [0] * shard_count
         #: optional event sink (duck-typed :class:`repro.obs.trace.Tracer`):
         #: worker lifecycle transitions — respawns, quarantines,
         #: retirements, fallback shards — land in its event ring.  Settable
@@ -250,7 +305,13 @@ class WorkerPool:
             for index in range(self.workers):
                 process, conn = self._launch(index)
                 self._slots.append(
-                    _WorkerSlot(index=index, process=process, conn=conn, pid=-1)
+                    _WorkerSlot(
+                        index=index,
+                        process=process,
+                        conn=conn,
+                        pid=-1,
+                        shards=self._owned_shards(index),
+                    )
                 )
             for slot in self._slots:
                 slot.pid = self._handshake(slot.index, slot.process, slot.conn)
@@ -268,12 +329,37 @@ class WorkerPool:
         if tracer is not None:
             tracer.event(kind, **fields)  # type: ignore[attr-defined]
 
+    def _owned_shards(self, index: int) -> tuple[int, ...]:
+        """The shard indices worker ``index`` owns (empty in single mode).
+
+        With at least one worker per shard, each worker owns exactly one
+        shard (surplus workers double up as replicas of the same shard);
+        with fewer workers than shards, ownership wraps so every shard
+        still has exactly one owner.  Either way the union of all owners
+        covers the fleet, so no shard is reachable only via fallback.
+        """
+        if self._fleet is None:
+            return ()
+        k = self._fleet.shard_count
+        if self.workers >= k:
+            return (index % k,)
+        return tuple(j for j in range(k) if j % self.workers == index)
+
+    def _worker_manifest(self, index: int) -> dict:
+        """What worker ``index`` attaches: a segment or its slice of a fleet."""
+        if self._fleet is not None:
+            return dict(
+                self._fleet.manifest, hot=list(self._owned_shards(index))
+            )
+        assert self._segment is not None
+        return self._segment.manifest
+
     def _launch(self, index: int) -> "tuple[BaseProcess, Connection]":
         """Start one worker process; returns ``(process, parent_conn)``."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self._segment.manifest, child_conn, index, self._faults),
+            args=(self._worker_manifest(index), child_conn, index, self._faults),
             name=f"repro-serve-worker-{index}",
             daemon=True,
         )
@@ -465,29 +551,40 @@ class WorkerPool:
             pass
 
     def _local_payload(
-        self, shard: np.ndarray, rows: "list[dict] | None" = None
+        self,
+        shard: np.ndarray,
+        rows: "list[dict] | None" = None,
+        shard_index: int = -1,
     ) -> list[tuple[int, int]]:
-        """Answer a shard in-process on the parent's attached store.
+        """Answer a sub-batch in-process on the parent's own evaluator.
 
-        The degradation endpoint: bit-identical to a worker's kernel (same
-        store, same shared pages), just on the dispatching thread.  Returns
-        the plain-tuple payload form so reassembly treats it exactly like a
+        The degradation endpoint: bit-identical to a worker's kernel (the
+        same store in single-segment mode, a parent-side
+        :class:`~repro.serve.router.GatherEvaluator` over the same fleet in
+        sharded mode), just on the dispatching thread.  Returns the
+        plain-tuple payload form so reassembly treats it exactly like a
         worker's overflow reply.
         """
         self._fallback_queries += len(shard)
-        self._note("fallback_shard", pairs=len(shard))
+        if 0 <= shard_index < len(self._shard_fallback):
+            self._shard_fallback[shard_index] += len(shard)
+        self._note("fallback_shard", pairs=len(shard), shard=shard_index)
         start = time.perf_counter()
-        payload = [(r.dist, r.count) for r in self._segment.store.query_batch(shard)]
+        payload = [
+            (r.dist, r.count)
+            for r in self._local_eval.query_batch(shard)  # type: ignore[attr-defined]
+        ]
         if rows is not None:
-            rows.append(
-                {
-                    "worker": -1,
-                    "pairs": len(shard),
-                    "kernel_ms": round((time.perf_counter() - start) * 1e3, 3),
-                    "pipe_ms": 0.0,
-                    "source": "fallback",
-                }
-            )
+            row = {
+                "worker": -1,
+                "pairs": len(shard),
+                "kernel_ms": round((time.perf_counter() - start) * 1e3, 3),
+                "pipe_ms": 0.0,
+                "source": "fallback",
+            }
+            if self._fleet is not None:
+                row["shard"] = shard_index
+            rows.append(row)
         return payload
 
     def query_batch(
@@ -498,10 +595,13 @@ class WorkerPool:
         The batch is split contiguously into ``ceil(B / live)``-sized
         shards, one per surviving (non-retired) worker, evaluated
         concurrently, and reassembled — answers are identical to one
-        ``query_batch`` call on the published store.  A slot retiring
-        mid-batch (crash streak exhausted) hands its orphaned shard to the
-        in-process fallback instead of failing the request; with every slot
-        retired the whole batch runs in-process and the pool reports
+        ``query_batch`` call on the published store.  A sharded pool routes
+        each pair to its home shard's live owners first (see
+        :meth:`_plan`); a shard whose owners all retired is answered by
+        the parent's gather evaluator, per shard.  A slot retiring
+        mid-batch (crash streak exhausted) hands its orphaned sub-batch to
+        the in-process fallback instead of failing the request; with every
+        slot retired the whole batch runs in-process and the pool reports
         ``critical`` health.
 
         ``trace`` is an optional :class:`repro.obs.trace.TraceContext`:
@@ -526,7 +626,10 @@ class WorkerPool:
             if not live:
                 # the whole pool is gone: serve degraded rather than dead
                 self._fallback_batches += 1
-                payloads: list = [self._local_payload(pairs_arr, rows)]
+                positions_all = np.arange(len(pairs_arr), dtype=np.int64)
+                payloads: list[tuple[np.ndarray, object]] = [
+                    (positions_all, self._local_payload(pairs_arr, rows))
+                ]
                 self._batches += 1
                 self._queries += len(pairs_arr)
             else:
@@ -541,16 +644,57 @@ class WorkerPool:
             trace.span("kernel", kernel)
             trace.span("pipe", max(total - kernel, 0.0))
             trace.annotate(shards=rows)
-        answers: list[tuple[int, int]] = []
-        for payload in payloads:
+        answers: "list[tuple[int, int] | None]" = [None] * len(pairs_arr)
+        for positions, payload in payloads:
             if isinstance(payload, np.ndarray):
-                answers.extend(zip(payload[:, 0].tolist(), payload[:, 1].tolist()))
+                entries: Iterable[tuple[int, int]] = zip(
+                    payload[:, 0].tolist(), payload[:, 1].tolist()
+                )
             else:  # overflow or in-process fallback: plain (dist, count) tuples
-                answers.extend(payload)
+                entries = payload  # type: ignore[assignment]
+            for position, entry in zip(positions.tolist(), entries):
+                answers[position] = entry
         return [
             SPCResult(int(s), int(t), d, c)
-            for (s, t), (d, c) in zip(pairs_arr, answers)
+            for (s, t), (d, c) in zip(pairs_arr, answers)  # type: ignore[misc]
         ]
+
+    def _plan(
+        self, pairs_arr: np.ndarray, live: list[_WorkerSlot]
+    ) -> "list[tuple[_WorkerSlot | None, np.ndarray, np.ndarray, int]]":
+        """Split a batch into ``(slot, sub_pairs, positions, shard)`` tasks.
+
+        Single-segment mode splits contiguously into ``ceil(B / live)``
+        chunks (``shard`` is ``-1``).  Sharded mode first routes each pair
+        to its home shard (the shard owning ``min(s, t)``), then splits
+        each shard's pairs contiguously across that shard's live owners.
+        A shard with no live owner yields a ``(None, ...)`` task that the
+        dispatcher answers on the parent's evaluator — the per-shard
+        degradation path.
+        """
+        plan: "list[tuple[_WorkerSlot | None, np.ndarray, np.ndarray, int]]" = []
+        if self._fleet is None:
+            chunk = -(-len(pairs_arr) // len(live))  # ceil division
+            for i, slot in enumerate(live):
+                positions = np.arange(
+                    i * chunk, min((i + 1) * chunk, len(pairs_arr)), dtype=np.int64
+                )
+                if len(positions) == 0:
+                    break
+                plan.append((slot, pairs_arr[positions], positions, -1))
+            return plan
+        for shard, positions in split_by_home_shard(self._fleet.bounds, pairs_arr):
+            owners = [slot for slot in live if shard in slot.shards]
+            if not owners:
+                plan.append((None, pairs_arr[positions], positions, shard))
+                continue
+            chunk = -(-len(positions) // len(owners))
+            for i, slot in enumerate(owners):
+                selected = positions[i * chunk : (i + 1) * chunk]
+                if len(selected) == 0:
+                    break
+                plan.append((slot, pairs_arr[selected], selected, shard))
+        return plan
 
     def _dispatch_live(
         self,
@@ -558,62 +702,69 @@ class WorkerPool:
         live: list[_WorkerSlot],
         rows: "list[dict] | None" = None,
         trace_id: "str | None" = None,
-    ) -> list:
-        """Shard over ``live`` slots; returns payloads in shard order.
+    ) -> "list[tuple[np.ndarray, object]]":
+        """Run the dispatch plan over ``live`` slots; returns
+        ``(positions, payload)`` per task.
 
-        Holds the no-stale-reply invariant: if any shard *fails* (a kernel
+        Holds the no-stale-reply invariant: if any task *fails* (a kernel
         error or an unexpected exception), every other outstanding reply is
         drained (or its worker+pipe replaced) before the error propagates,
         so the next batch can never read a leftover payload as its own.  A
-        shard whose slot *retires* is not a failure — its work lands in
-        ``orphans`` and is answered in-process after the survivors reply.
+        task whose slot *retires* is not a failure — its work lands in
+        ``orphans`` and is answered in-process after the survivors reply,
+        as is (in sharded mode) any task whose shard has no live owner.
 
-        With ``rows`` given, one attribution dict per shard is appended:
+        With ``rows`` given, one attribution dict per task is appended:
         worker index, pair count, worker-measured kernel time and the
-        residual pipe round-trip (send to reassembled reply, minus kernel).
+        residual pipe round-trip (send to reassembled reply, minus kernel);
+        sharded dispatch adds the task's home shard.
         """
-        chunk = -(-len(pairs_arr) // len(live))  # ceil division
-        assignments = [
-            (slot, pairs_arr[i * chunk : (i + 1) * chunk])
-            for i, slot in enumerate(live)
-        ]
-        assignments = [(slot, shard) for slot, shard in assignments if len(shard)]
+        assignments = self._plan(pairs_arr, live)
         failure: BaseException | None = None
         sent: list[tuple[int, _WorkerSlot, np.ndarray, float]] = []
-        orphans: list[tuple[int, np.ndarray]] = []
-        for position, (slot, shard) in enumerate(assignments):
+        orphans: list[tuple[int, np.ndarray, int]] = []
+        for task_id, (slot, sub_pairs, _positions, shard_index) in enumerate(
+            assignments
+        ):
+            if 0 <= shard_index < len(self._shard_queries):
+                self._shard_queries[shard_index] += len(sub_pairs)
+            if slot is None:
+                orphans.append((task_id, sub_pairs, shard_index))
+                continue
             try:
-                self._send_shard(slot, shard, trace_id)
-                sent.append((position, slot, shard, time.perf_counter()))
+                self._send_shard(slot, sub_pairs, trace_id)
+                sent.append((task_id, slot, sub_pairs, time.perf_counter()))
             except _SlotRetired:
-                orphans.append((position, shard))
+                orphans.append((task_id, sub_pairs, shard_index))
             except BaseException as exc:  # noqa: BLE001
                 failure = exc
                 break
         payload_at: dict[int, object] = {}
-        for position, slot, shard, sent_at in sent:
+        for task_id, slot, sub_pairs, sent_at in sent:
+            shard_index = assignments[task_id][3]
             if failure is None:
                 try:
-                    payload, kernel_s = self._recv_shard(slot, shard, trace_id)
-                    payload_at[position] = payload
+                    payload, kernel_s = self._recv_shard(slot, sub_pairs, trace_id)
+                    payload_at[task_id] = payload
                     if rows is not None:
                         round_trip = time.perf_counter() - sent_at
-                        rows.append(
-                            {
-                                "worker": slot.index,
-                                "pairs": len(shard),
-                                "kernel_ms": round(kernel_s * 1e3, 3),
-                                "pipe_ms": round(
-                                    max(round_trip - kernel_s, 0.0) * 1e3, 3
-                                ),
-                                "source": "worker",
-                            }
-                        )
+                        row = {
+                            "worker": slot.index,
+                            "pairs": len(sub_pairs),
+                            "kernel_ms": round(kernel_s * 1e3, 3),
+                            "pipe_ms": round(
+                                max(round_trip - kernel_s, 0.0) * 1e3, 3
+                            ),
+                            "source": "worker",
+                        }
+                        if self._fleet is not None:
+                            row["shard"] = shard_index
+                        rows.append(row)
                     continue
                 except _KernelFailure as exc:
                     failure = exc  # reply consumed: slot already clean
                 except _SlotRetired:
-                    orphans.append((position, shard))
+                    orphans.append((task_id, sub_pairs, shard_index))
                     continue
                 except BaseException as exc:  # noqa: BLE001
                     failure = exc
@@ -622,9 +773,12 @@ class WorkerPool:
                 self._quarantine(slot)
         if failure is not None:
             raise failure
-        for position, shard in orphans:
-            payload_at[position] = self._local_payload(shard, rows)
-        return [payload_at[position] for position in sorted(payload_at)]
+        for task_id, sub_pairs, shard_index in orphans:
+            payload_at[task_id] = self._local_payload(sub_pairs, rows, shard_index)
+        return [
+            (assignments[task_id][2], payload_at[task_id])
+            for task_id in sorted(payload_at)
+        ]
 
     def query(self, s: int, t: int) -> SPCResult:
         """One pair through the pool (a single-element batch)."""
@@ -645,7 +799,44 @@ class WorkerPool:
         Mirrors the counter classes' ``directed`` flag so the services'
         point cache keys pairs correctly when dispatching through a pool.
         """
+        if self._fleet is not None:
+            return self._fleet.directed
+        assert self._segment is not None
         return self._segment.directed
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards served (0 for a single-segment pool)."""
+        return self._fleet.shard_count if self._fleet is not None else 0
+
+    def shard_states(self) -> list[dict]:
+        """Per-shard ownership snapshot (empty for a single-segment pool).
+
+        Deliberately lock-free, like :meth:`health`: health probes read it
+        while a slow batch holds the dispatch lock.  A shard whose every
+        owner retired reports ``live_owners == 0`` and is being served by
+        the parent's gather fallback.
+        """
+        if self._fleet is None:
+            return []
+        states = []
+        for entry in self._fleet.manifest["shards"]:
+            shard = int(entry["shard"])
+            owners = [slot for slot in self._slots if shard in slot.shards]
+            states.append(
+                {
+                    "shard": shard,
+                    "vertex_lo": int(entry["vertex_lo"]),
+                    "vertex_hi": int(entry["vertex_hi"]),
+                    "nbytes": int(entry["nbytes"]),
+                    "hot": bool(entry.get("hot", entry.get("shm") is not None)),
+                    "owners": [slot.index for slot in owners],
+                    "live_owners": sum(1 for slot in owners if not slot.retired),
+                    "queries": self._shard_queries[shard],
+                    "fallback_queries": self._shard_fallback[shard],
+                }
+            )
+        return states
 
     def health(self) -> str:
         """Serving state for load balancers: ``ok``/``degraded``/``critical``.
@@ -677,11 +868,16 @@ class WorkerPool:
                 "dispatch_retries": self._retries,
                 "fallback_batches": self._fallback_batches,
                 "fallback_queries": self._fallback_queries,
-                "segment_bytes": self._segment.nbytes,
+                "segment_bytes": (
+                    self._fleet.total_label_bytes
+                    if self._fleet is not None
+                    else self._segment.nbytes  # type: ignore[union-attr]
+                ),
                 "per_worker": [
                     {
                         "worker": slot.index,
                         "pid": slot.pid,
+                        "shards": list(slot.shards),
                         "queries": slot.queries,
                         "batches": slot.batches,
                         "kernel_s": round(slot.kernel_seconds, 6),
@@ -692,6 +888,15 @@ class WorkerPool:
                     }
                     for slot in self._slots
                 ],
+                "fleet": (
+                    {
+                        "shards": self._fleet.shard_count,
+                        "total_label_bytes": self._fleet.total_label_bytes,
+                        "per_shard": self.shard_states(),
+                    }
+                    if self._fleet is not None
+                    else None
+                ),
             }
 
     def _shutdown(self, force: bool = False) -> None:
@@ -710,9 +915,12 @@ class WorkerPool:
                 slot.conn.close()
             except OSError:  # pragma: no cover
                 pass
-        if self._owns_segment:
+        if self._owns_segment and self._segment is not None:
             self._segment.close()
             self._segment.unlink()
+        if self._owns_fleet and self._fleet is not None:
+            self._fleet.close()
+            self._fleet.unlink()
 
     def close(self) -> None:
         """Stop the workers and release (unlink) an owned segment."""

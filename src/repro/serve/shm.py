@@ -27,8 +27,12 @@ from __future__ import annotations
 import atexit
 import json
 import secrets
+import shutil
+import tempfile
 import weakref
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -37,7 +41,7 @@ from repro.core.compact import CompactLabelIndex
 from repro.digraph.labels import CompactDirectedLabelIndex, DirectedLabelIndex
 from repro.errors import ServeError
 
-__all__ = ["SEGMENT_PREFIX", "ShmArrayBlock", "ShmIndexSegment"]
+__all__ = ["SEGMENT_PREFIX", "ShmArrayBlock", "ShmIndexSegment", "ShmSegmentFleet"]
 
 #: Prefix of every shared-memory block this module creates; lets smoke
 #: tests assert that a clean shutdown left nothing behind in ``/dev/shm``.
@@ -53,8 +57,14 @@ _ALIGN = 64
 #: owner forgot so /dev/shm never accumulates orphans.
 _LIVE_SEGMENTS: "weakref.WeakSet[ShmArrayBlock]" = weakref.WeakSet()
 
+#: Fleets alive in this process; swept before the blocks so a forgotten
+#: owner also loses its spill directory, not just its shm blocks.
+_LIVE_FLEETS: "weakref.WeakSet[ShmSegmentFleet]" = weakref.WeakSet()
+
 
 def _cleanup_live_segments() -> None:  # pragma: no cover - exercised at exit
+    for fleet in list(_LIVE_FLEETS):
+        fleet._cleanup_silently()
     for segment in list(_LIVE_SEGMENTS):
         segment._cleanup_silently()
 
@@ -488,4 +498,336 @@ class ShmIndexSegment(ShmArrayBlock):
         return (
             f"ShmIndexSegment(name={self.name!r}, kind={self._manifest.get('kind')!r}, "
             f"{self.nbytes / 2**20:.2f}MB, {state})"
+        )
+
+
+class ShmSegmentFleet:
+    """One index partitioned into k shards: hot shards in shm, cold on disk.
+
+    The multi-segment face of :class:`ShmIndexSegment`.  :meth:`publish`
+    partitions a counter through the store layer's
+    :func:`~repro.core.store.partition_store`, spills *every* shard as an
+    uncompressed ``"shard"`` container (so any process can reach any shard
+    through ``read_shard(mmap=True)`` at page-fault cost), and publishes
+    the non-``cold`` shards as individual shared-memory segments.  The
+    whole set is described by one versioned **fleet manifest** built by
+    :func:`~repro.core.store.build_fleet_manifest` — the schema lives in
+    the store layer, this class only carries it.
+
+    :meth:`attach` maps a subset of the published segments hot (a worker
+    typically attaches only the shard it owns) and opens everything else
+    lazily from the spill files, so a worker's resident shm is one shard
+    while the full index stays addressable.
+
+    If publishing shard ``j`` of ``k`` fails, shards ``0..j-1`` are
+    unlinked and the spill files removed before the error propagates — a
+    half-published fleet never outlives its constructor.
+    """
+
+    def __init__(
+        self,
+        manifest: dict,
+        segments: dict[int, ShmIndexSegment],
+        owner: bool,
+        spill_dir: Path | None,
+        owns_spill: bool,
+    ) -> None:
+        self._manifest = manifest
+        self._segments = segments
+        self._owner = owner
+        self._spill_dir = spill_dir
+        self._owns_spill = owns_spill
+        self._stores: dict[int, CompactLabelIndex | CompactDirectedLabelIndex] = {}
+        self._cold_opened: dict[int, CompactLabelIndex | CompactDirectedLabelIndex] = {}
+        self._closed = False
+        self._unlinked = False
+        _LIVE_FLEETS.add(self)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(
+        cls,
+        counter: object,
+        shards: int,
+        cold: Iterable[int] = (),
+        spill_dir: str | Path | None = None,
+    ) -> "ShmSegmentFleet":
+        """Partition ``counter`` into ``shards`` pieces and publish the fleet.
+
+        ``cold`` names shard indices that stay out of shared memory
+        entirely (reachable only through their mmap spill files) — the
+        switch that lets a fleet's total label bytes exceed what any one
+        worker maps.  ``spill_dir`` overrides the temporary directory the
+        per-shard ``.npz`` files land in (the fleet owns and removes a
+        directory it created itself).
+        """
+        store = _flat_store(counter)
+        parts, bounds = store_module.partition_store(store, shards)
+        cold_set = {int(i) for i in cold}
+        if not all(0 <= i < shards for i in cold_set):
+            raise ServeError(
+                f"cold shard indices {sorted(cold_set)} out of range for "
+                f"{shards} shards"
+            )
+        if spill_dir is None:
+            directory = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+            owns_spill = True
+        else:
+            directory = Path(spill_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            owns_spill = False
+        token = secrets.token_hex(8)
+        segments: dict[int, ShmIndexSegment] = {}
+        entries: list[dict] = []
+        try:
+            for i, part in enumerate(parts):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                npz_path = directory / f"shard-{i:03d}.npz"
+                entry = store_module.write_shard(
+                    npz_path,
+                    part,
+                    vertex_lo=lo,
+                    vertex_hi=hi,
+                    shard_index=i,
+                    shard_count=shards,
+                    compress=False,
+                )
+                entry["npz"] = str(npz_path)
+                if i in cold_set:
+                    entry["shm"] = None
+                    entry["hot"] = False
+                else:
+                    segment = ShmIndexSegment.publish(
+                        part, name=f"{SEGMENT_PREFIX}{token}-s{i}"
+                    )
+                    segments[i] = segment
+                    entry["shm"] = segment.manifest
+                    entry["hot"] = True
+                entries.append(entry)
+            manifest = store_module.build_fleet_manifest(
+                n=store.n,
+                store_kind=store.kind,
+                bounds=bounds,
+                shards=entries,
+            )
+        except BaseException:
+            # partial-publish rollback: shards 0..j-1 must not outlive a
+            # failure at shard j — unlink the segments and drop the spill
+            for segment in segments.values():
+                segment._cleanup_silently()
+            cls._remove_spill(directory, owns_spill)
+            raise
+        return cls(manifest, segments, owner=True, spill_dir=directory, owns_spill=owns_spill)
+
+    @classmethod
+    def attach(
+        cls, manifest: dict | str, hot: Sequence[int] | None = None
+    ) -> "ShmSegmentFleet":
+        """Attach to a published fleet, mapping only selected shards hot.
+
+        ``hot=None`` attaches every shard the publisher put in shared
+        memory; an explicit list attaches only those (a worker passes its
+        own shard).  Shards not attached hot — whether cold-published or
+        simply not requested — are opened lazily from their spill files
+        with ``mmap=True`` on first use.
+        """
+        manifest = store_module.check_fleet_manifest(manifest)
+        if hot is None:
+            wanted = manifest.get("hot")
+            hot = [int(i) for i in wanted] if wanted is not None else None
+        published = {
+            int(entry["shard"])
+            for entry in manifest["shards"]
+            if entry.get("shm") is not None
+        }
+        selected = published if hot is None else (published & {int(i) for i in hot})
+        segments: dict[int, ShmIndexSegment] = {}
+        try:
+            for entry in manifest["shards"]:
+                i = int(entry["shard"])
+                if i in selected:
+                    segments[i] = ShmIndexSegment.attach(entry["shm"])
+        except BaseException:
+            for segment in segments.values():
+                segment._cleanup_silently()
+            raise
+        return cls(manifest, segments, owner=False, spill_dir=None, owns_spill=False)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> dict:
+        """The fleet manifest (see :func:`~repro.core.store.build_fleet_manifest`)."""
+        return self._manifest
+
+    def manifest_json(self) -> str:
+        """The manifest encoded as JSON (for environment/CLI hand-off)."""
+        return json.dumps(self._manifest)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Shard boundaries as an int64 array of length ``shard_count + 1``."""
+        return np.asarray(self._manifest["bounds"], dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        """Number of indexed vertices across the whole fleet."""
+        return int(self._manifest["n"])
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._manifest["shards"])
+
+    @property
+    def directed(self) -> bool:
+        """Whether the fleet answers asymmetric (s -> t) queries."""
+        return self._manifest.get("store_kind") == "directed-compact"
+
+    @property
+    def owner(self) -> bool:
+        """Whether this handle published (and must unlink) the fleet."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def hot_shards(self) -> tuple[int, ...]:
+        """Shard indices this process has mapped in shared memory."""
+        return tuple(sorted(self._segments))
+
+    @property
+    def total_label_bytes(self) -> int:
+        """Label payload bytes across every shard (hot and cold)."""
+        return sum(int(entry["nbytes"]) for entry in self._manifest["shards"])
+
+    @property
+    def attached_bytes(self) -> int:
+        """Shared-memory bytes actually mapped by this handle."""
+        return sum(segment.nbytes for segment in self._segments.values())
+
+    def shard_entry(self, shard: int) -> dict:
+        """The manifest entry of one shard (range, bytes, checksum, ...)."""
+        entries = self._manifest["shards"]
+        if not 0 <= shard < len(entries):
+            raise ServeError(
+                f"shard {shard} out of range for a {len(entries)}-shard fleet"
+            )
+        return entries[shard]
+
+    def store_for(
+        self, shard: int
+    ) -> "CompactLabelIndex | CompactDirectedLabelIndex":
+        """The queryable store of one shard.
+
+        Hot shards resolve to their attached shm segment's store; every
+        other shard is opened from its spill file on first use
+        (``read_shard(mmap=True)``, so cold labels cost page faults) and
+        cached for the fleet's lifetime.
+        """
+        if self._closed:
+            raise ServeError("shm fleet is closed")
+        cached = self._stores.get(shard)
+        if cached is not None:
+            return cached
+        entry = self.shard_entry(shard)
+        segment = self._segments.get(shard)
+        if segment is not None:
+            store = segment.store
+        else:
+            npz = entry.get("npz")
+            if npz is None:
+                raise ServeError(
+                    f"shard {shard} is not attached and has no spill file"
+                )
+            store, _ = store_module.read_shard(npz, mmap=True)
+            self._cold_opened[shard] = store
+        self._stores[shard] = store
+        return store
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every mapping this handle holds (idempotent).
+
+        Hot segments detach, lazily-opened cold stores drop their memory
+        maps.  The system-wide blocks and spill files survive until the
+        owner calls :meth:`unlink`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stores.clear()
+        for store in self._cold_opened.values():
+            store_module.close_store(store)
+        self._cold_opened.clear()
+        for segment in self._segments.values():
+            segment.close()
+
+    def unlink(self) -> None:
+        """Remove the fleet from the system (idempotent, owner-side).
+
+        Unlinks every published shm segment and removes the spill
+        directory when the fleet created it.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for segment in self._segments.values():
+            segment.unlink()
+        if self._spill_dir is not None:
+            self._remove_spill(self._spill_dir, self._owns_spill)
+
+    @staticmethod
+    def _remove_spill(directory: Path, owns_dir: bool) -> None:
+        """Delete the per-shard spill files (and the directory if ours)."""
+        if owns_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+            return
+        for npz in directory.glob("shard-*.npz"):
+            try:
+                npz.unlink()
+            except OSError:  # pragma: no cover - already gone / perms
+                pass
+
+    def _cleanup_silently(self) -> None:
+        """Best-effort close (+ unlink when owning); never raises."""
+        try:
+            self._closed = True
+            self._stores.clear()
+            for store in self._cold_opened.values():
+                store_module.close_store(store)
+            self._cold_opened.clear()
+            for segment in self._segments.values():
+                segment._cleanup_silently()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ShmSegmentFleet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        self._cleanup_silently()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("owner" if self._owner else "attached")
+        return (
+            f"ShmSegmentFleet(shards={self.shard_count}, "
+            f"hot={list(self.hot_shards)}, "
+            f"{self.total_label_bytes / 2**20:.2f}MB total, {state})"
         )

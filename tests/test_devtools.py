@@ -516,6 +516,79 @@ class TestMonotonicNoPrintRule:
 
 
 # ----------------------------------------------------------------------
+# R009 — shard fleet manifests flow through the canonical helpers
+# ----------------------------------------------------------------------
+class TestFleetManifestRule:
+    def test_hardcoded_fleet_tag_flagged(self):
+        src = """\
+        def sniff(manifest):
+            return manifest.get("format") == "repro-fleet"
+        """
+        findings = hits(src, "src/repro/serve/pool.py", "R009")
+        assert [f.line for f in findings] == [2]
+        assert "is_fleet_manifest" in findings[0].message
+
+    def test_fleet_tag_allowed_in_store(self):
+        src = """\
+        FLEET_FORMAT_NAME = "repro-fleet"
+        """
+        assert hits(src, "src/repro/core/store.py", "R009") == []
+
+    def test_adhoc_fleet_manifest_dict_flagged(self):
+        src = """\
+        def hand_rolled(bounds, shards):
+            return {"format": "x", "version": 1, "bounds": bounds, "shards": shards}
+        """
+        findings = hits(src, "src/repro/serve/pool.py", "R009")
+        assert [f.line for f in findings] == [2]
+        assert "build_fleet_manifest" in findings[0].message
+
+    def test_adhoc_segment_manifest_dict_flagged(self):
+        src = """\
+        def hand_rolled(shm):
+            return {"format": "seg", "shm_name": shm.name}
+        """
+        assert lines_of(src, "src/repro/serve/pool.py", "R009") == [2]
+
+    def test_segment_manifest_allowed_in_shm(self):
+        src = """\
+        def publish_manifest(shm):
+            return {"format": "seg", "shm_name": shm.name}
+        """
+        assert hits(src, "src/repro/serve/shm.py", "R009") == []
+
+    def test_dict_call_augmentation_clean(self):
+        src = """\
+        def worker_manifest(manifest, owned):
+            return dict(manifest, hot=list(owned))
+        """
+        assert hits(src, "src/repro/serve/pool.py", "R009") == []
+
+    def test_unrelated_format_dict_clean(self):
+        src = """\
+        def csv_options():
+            return {"format": "csv", "delimiter": ","}
+        """
+        assert hits(src, "src/repro/cli.py", "R009") == []
+
+    def test_tests_and_devtools_out_of_scope(self):
+        src = """\
+        manifest = {"format": "repro-fleet", "bounds": [0, 5], "shards": []}
+        """
+        assert hits(src, "tests/test_shard.py", "R009") == []
+        assert hits(src, "src/repro/devtools/fixtures.py", "R009") == []
+
+    def test_suppression_with_reason_honoured(self):
+        src = (
+            'tag = "repro-fleet"  # reprolint: '
+            "disable=R009 (docs example renders the literal tag)\n"
+        )
+        report = lint(src, "src/repro/serve/router.py")
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["R009"]
+
+
+# ----------------------------------------------------------------------
 # the suppression protocol (R000)
 # ----------------------------------------------------------------------
 class TestSuppressionProtocol:
@@ -647,8 +720,8 @@ class TestRepositoryIsClean:
 
     def test_rule_ids_are_unique_and_documented(self):
         registry = rules_by_id()
-        assert len(registry) == len(ALL_RULES) == 8
-        assert sorted(registry) == [f"R00{i}" for i in range(1, 9)]
+        assert len(registry) == len(ALL_RULES) == 9
+        assert sorted(registry) == [f"R00{i}" for i in range(1, 10)]
         for rule in ALL_RULES:
             assert rule.title, rule.rule_id
             assert (rule.__doc__ or "").strip(), rule.rule_id
